@@ -1,0 +1,35 @@
+"""E11 — intermediate-buffer planning table (pipeline memory optimisation).
+
+Naive total intermediate memory vs the liveness-reused peak, with fusion
+off and on, for every zoo model.  Claims: fusion removes most
+intermediates outright; buffer reuse shrinks what remains; the combination
+bounds peak memory for arbitrary shapes without per-shape tuning.
+"""
+
+import pytest
+
+from repro.bench import e11_memory_planning, format_memory_planning, \
+    print_and_save
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    result = e11_memory_planning()
+    print_and_save("e11_memory_planning", result,
+                   format_memory_planning(result))
+    return result
+
+
+def test_bench_e11_memory_planning(benchmark, experiment, bert_disc,
+                                   bert_inputs):
+    benchmark(bert_disc.run, bert_inputs)
+    rows = experiment["rows"]
+    for row in rows:
+        assert row["peak_mb"] <= row["naive_mb"] + 1e-9
+        assert row["reuse_factor"] >= 1.0
+    by_key = {(r["model"], r["fusion"]): r for r in rows}
+    for model in {r["model"] for r in rows}:
+        unfused = by_key[(model, "unfused")]
+        fused = by_key[(model, "fused")]
+        assert fused["values"] <= unfused["values"], model
+        assert fused["naive_mb"] <= unfused["naive_mb"] + 1e-9, model

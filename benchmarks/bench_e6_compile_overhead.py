@@ -1,0 +1,31 @@
+"""E6 — compilation overhead table.
+
+One-time compilation cost per zoo model: pipeline wall time of this
+implementation, the simulated JIT-grade compile cost charged in serving
+experiments, kernel counts, and the symbolic-analysis share.  The paper's
+point: BladeDISC pays this once per *model*, not per shape.
+"""
+
+import pytest
+
+from repro.bench import e6_compile_overhead, format_compile_overhead, \
+    print_and_save
+from repro.core import DiscCompiler
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    result = e6_compile_overhead()
+    print_and_save("e6_compile_overhead", result,
+                   format_compile_overhead(result))
+    return result
+
+
+def test_bench_e6_compile_bert(benchmark, experiment, bert_model):
+    compiler = DiscCompiler()
+    benchmark(compiler.compile, bert_model.graph)
+    for row in experiment["rows"]:
+        assert row["kernels"] > 0
+        assert row["pipeline_wall_s"] < 60
+        # the symbolic analysis is a trivial share of compilation
+        assert row["analysis_ms"] / 1e3 < row["pipeline_wall_s"]

@@ -1,0 +1,45 @@
+"""E9 — multi-schedule codegen benefit table.
+
+A softmax kernel compiled once with three schedule variants, measured at
+three row-space extremes.  No single fixed schedule is best everywhere;
+the runtime selector must track the per-shape best variant — the payoff of
+shipping several schedules in one compilation.
+"""
+
+import numpy as np
+import pytest
+
+from repro.bench import e9_schedule_selection, format_schedule_selection, \
+    print_and_save
+from repro.core import compile_graph
+from repro.ir import GraphBuilder, f32
+from repro.runtime import ExecutionEngine
+from repro.device import A10
+
+
+@pytest.fixture(scope="module")
+def experiment():
+    result = e9_schedule_selection("A10")
+    print_and_save("e9_schedule_selection", result,
+                   format_schedule_selection(result))
+    return result
+
+
+def test_bench_e9_schedule_selection(benchmark, experiment):
+    b = GraphBuilder("softmax_micro")
+    rows, cols = b.sym("rows"), b.sym("cols")
+    x = b.parameter("x", (rows, cols), f32)
+    b.outputs(b.softmax(x, axis=-1))
+    engine = ExecutionEngine(compile_graph(b.graph), A10)
+    data = np.random.default_rng(0).normal(
+        size=(1024, 256)).astype(np.float32)
+    benchmark(engine.run, {"x": data})
+
+    schedules = experiment["schedules"]
+    no_single_winner = set()
+    for record in experiment["rows"]:
+        best = min(schedules, key=lambda s: record[s])
+        no_single_winner.add(best)
+        assert record["selected"] <= 1.25 * record["best_fixed"], record
+    assert len(no_single_winner) >= 2, \
+        "expected different shapes to favour different schedules"

@@ -1,0 +1,34 @@
+"""Shared helpers for the benchmark suite.
+
+Every ``bench_e*.py`` file regenerates one paper artifact: a module-scoped
+fixture runs the (simulated) experiment, prints the paper-style table and
+persists it under ``benchmarks/results/``; the ``test_bench_*`` functions
+then time a representative real code path with pytest-benchmark so the
+suite doubles as a performance regression harness for the compiler itself.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.baselines import DiscExecutor
+from repro.bench import BENCH_MODELS
+from repro.device import A10
+from repro.models import build_model
+
+
+@pytest.fixture(scope="session")
+def bert_model():
+    return build_model("bert", **BENCH_MODELS["bert"])
+
+
+@pytest.fixture(scope="session")
+def bert_disc(bert_model):
+    return DiscExecutor(bert_model.graph, A10)
+
+
+@pytest.fixture(scope="session")
+def bert_inputs(bert_model):
+    rng = np.random.default_rng(0)
+    return bert_model.make_inputs(rng, batch=2, seqlen=64)

@@ -1,0 +1,79 @@
+#!/usr/bin/env python3
+"""Autoregressive decoding: a new tensor shape at every single step.
+
+Generation grows the sequence by one token per step, so *every* forward
+pass has a shape no static compiler has seen before — the harshest dynamic
+workload there is.  This example decodes greedily from the GPT-2-style zoo
+model and compares three strategies over the whole generation:
+
+- BladeDISC: one shape-generic compile, every step served immediately;
+- XLA-style JIT: recompiles at every step (each length is a new
+  signature);
+- TensorRT-style padded engine: pads each step up to the bucket and wastes
+  the difference.
+
+Run:  python examples/autoregressive_decode.py [--steps 24]
+"""
+
+import argparse
+
+import numpy as np
+
+from repro import DiscExecutor, build_model, device_named, make_baseline
+
+
+def decode(executor, prompt_ids, steps):
+    """Greedy decode; returns (generated ids, totals dict)."""
+    ids = prompt_ids.copy()
+    totals = {"steady_us": 0.0, "compile_us": 0.0, "kernels": 0,
+              "pad_bytes": 0}
+    for _ in range(steps):
+        (logits,), stats = executor.run({"input_ids": ids})
+        next_token = logits[:, -1, :].argmax(axis=-1)
+        ids = np.concatenate([ids, next_token[:, None]], axis=1)
+        totals["steady_us"] += stats.steady_time_us
+        totals["compile_us"] += stats.compile_time_us
+        totals["kernels"] += stats.kernels_launched
+        totals["pad_bytes"] += stats.padding_waste_bytes
+    return ids, totals
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--steps", type=int, default=24)
+    parser.add_argument("--device", default="A10", choices=("A10", "T4"))
+    args = parser.parse_args()
+
+    device = device_named(args.device)
+    model = build_model("gpt2", layers=2, hidden=192, heads=4, vocab=2048)
+    rng = np.random.default_rng(0)
+    prompt = rng.integers(0, 2048, size=(1, 8), dtype=np.int64)
+    print(f"decoding {args.steps} tokens from an 8-token prompt "
+          f"({args.steps} distinct shapes!) on {device.name}\n")
+
+    systems = {
+        "BladeDISC": DiscExecutor(model.graph, device),
+        "XLA-style JIT": make_baseline("XLA", model.graph, device),
+        "TensorRT-style": make_baseline("TensorRT", model.graph, device),
+    }
+    reference = None
+    header = (f"{'system':16s} {'steady total':>14s} {'compile total':>14s}"
+              f" {'pad waste':>10s} {'same tokens':>12s}")
+    print(header)
+    print("-" * len(header))
+    for name, executor in systems.items():
+        ids, totals = decode(executor, prompt, args.steps)
+        if reference is None:
+            reference = ids
+        same = bool(np.array_equal(ids, reference))
+        print(f"{name:16s} {totals['steady_us'] / 1e3:11.2f} ms "
+              f"{totals['compile_us'] / 1e6:11.2f} s  "
+              f"{totals['pad_bytes'] / 1e6:7.1f} MB {str(same):>12s}")
+
+    print("\nevery step is a new sequence length: the JIT recompiles "
+          f"{args.steps} times, the padded engine\nwastes compute on "
+          "filler positions, BladeDISC compiled exactly once.")
+
+
+if __name__ == "__main__":
+    main()

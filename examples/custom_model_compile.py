@@ -1,0 +1,97 @@
+#!/usr/bin/env python3
+"""Bring your own model: build, inspect, and ablate the compiler.
+
+Walks through the full public API on a custom attention block:
+
+1. build an IR graph with the GraphBuilder over symbolic dims;
+2. inspect the symbolic shape analysis (what the compiler can *prove*);
+3. compare fusion plans across ablated configurations;
+4. compile and read the generated kernels;
+5. execute and check against the reference interpreter.
+
+Run:  python examples/custom_model_compile.py
+"""
+
+import numpy as np
+
+from repro import (A10, CompileOptions, ConstraintLevel, DiscCompiler,
+                   ExecutionEngine, FusionConfig, GraphBuilder, evaluate,
+                   f32)
+from repro.core.fusion import plan_fusion
+from repro.core.symbolic import analyze_shapes
+
+
+def attention_block():
+    """Single-head attention with the reshape glue real models carry."""
+    b = GraphBuilder("attention")
+    batch = b.sym("batch", hint=4)
+    seqlen = b.sym("seqlen", hint=64)
+    hidden = 64
+    rng = np.random.default_rng(0)
+
+    x = b.parameter("x", (batch, seqlen, hidden), f32)
+    wq = b.constant(rng.normal(0, 0.1, (hidden, hidden)).astype("f4"))
+    wk = b.constant(rng.normal(0, 0.1, (hidden, hidden)).astype("f4"))
+    wv = b.constant(rng.normal(0, 0.1, (hidden, hidden)).astype("f4"))
+
+    q = b.dot(x, wq)
+    k = b.dot(x, wk)
+    v = b.dot(x, wv)
+    scores = b.mul(b.dot(q, b.transpose(k, (0, 2, 1))),
+                   b.scalar(hidden ** -0.5))
+    probs = b.softmax(scores, axis=-1)
+    b.outputs(b.dot(probs, v))
+    return b.graph, batch, seqlen
+
+
+def main():
+    graph, batch, seqlen = attention_block()
+
+    print("== 1. what the symbolic analysis proves ==")
+    analysis = analyze_shapes(graph)
+    print(f"  facts: {analysis.summary()}")
+    print(f"  seqlen == seqlen across ops: "
+          f"{analysis.dims_equal(seqlen, seqlen)}")
+
+    print("\n== 2. fusion plans under ablation ==")
+    for label, config in [
+        ("no fusion", FusionConfig.none()),
+        ("kLoop only", FusionConfig.loop_only()),
+        ("kLoop+kInput", FusionConfig.loop_and_input()),
+        ("full (with kStitch)", FusionConfig()),
+    ]:
+        # Fusion runs on the *lowered* graph; compile does this for us,
+        # so clone + lower manually for the comparison.
+        from repro.passes import PassManager, default_pipeline
+        working = graph.clone()
+        PassManager(default_pipeline()).run(working)
+        plan = plan_fusion(working, analyze_shapes(working), config)
+        print(f"  {label:22s}: {plan.stats()}")
+
+    print("\n== 3. compile (constraint-level ablation) ==")
+    for level in (ConstraintLevel.NONE, ConstraintLevel.FULL):
+        exe = DiscCompiler(CompileOptions(constraint_level=level)).compile(
+            graph)
+        print(f"  constraints={level.value:8s}: "
+              f"{exe.report.num_kernels} kernels")
+
+    executable = DiscCompiler().compile(graph)
+    print("\n== 4. a generated stitch kernel (softmax) ==")
+    for kernel in executable.kernels:
+        if "kStitch" in kernel.name:
+            print(kernel.source)
+            break
+
+    print("== 5. execute at two shapes and verify ==")
+    engine = ExecutionEngine(executable, A10)
+    rng = np.random.default_rng(7)
+    for shape in [(2, 10, 64), (5, 33, 64)]:
+        x = rng.normal(size=shape).astype(np.float32)
+        (got,), stats = engine.run({"x": x})
+        (want,) = evaluate(graph, {"x": x})
+        print(f"  {shape}: match={np.allclose(got, want, atol=1e-4)} "
+              f"simulated={stats.device_time_us:.1f} us")
+
+
+if __name__ == "__main__":
+    main()

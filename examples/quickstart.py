@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Quickstart: compile a dynamic-shape model once, run it at any shape.
+
+Builds a small two-layer MLP whose batch size and sequence length are
+*symbolic*, compiles it with the DISC pipeline, and serves a handful of
+differently-shaped requests from the single compiled executable —
+verifying the numerics against the reference interpreter and printing the
+simulated A10 cost of every call.
+
+Run:  python examples/quickstart.py
+"""
+
+import numpy as np
+
+from repro import (A10, ExecutionEngine, GraphBuilder, compile_graph,
+                   evaluate, f32, print_graph)
+
+
+def build_model():
+    """A tiny model with everything dynamic shapes make hard: a reshape
+    across a symbolic boundary, a layer-norm and a softmax."""
+    b = GraphBuilder("quickstart")
+    batch = b.sym("batch", hint=8)     # hint = likely value (heuristics)
+    seqlen = b.sym("seqlen", hint=64)
+
+    x = b.parameter("x", (batch, seqlen, 64), f32)
+    w1 = b.constant(np.random.default_rng(0).normal(
+        0, 0.05, size=(64, 128)).astype(np.float32))
+    w2 = b.constant(np.random.default_rng(1).normal(
+        0, 0.05, size=(128, 64)).astype(np.float32))
+    gamma = b.constant(np.ones(64, dtype=np.float32))
+    beta = b.constant(np.zeros(64, dtype=np.float32))
+
+    flat = b.reshape(x, (b.sym("bs"), 64))       # [batch*seqlen, 64]
+    h = b.gelu(b.dot(flat, w1))
+    h = b.dot(h, w2)
+    h = b.reshape(h, (batch, seqlen, 64))
+    h = b.layer_norm(b.add(h, x), gamma, beta)   # residual + LN
+    b.outputs(b.softmax(h, axis=-1))
+    return b.graph
+
+
+def main():
+    graph = build_model()
+    print("== model IR ==")
+    print(print_graph(graph))
+
+    # Compile ONCE.  No shape values exist at this point.
+    executable = compile_graph(graph)
+    report = executable.report
+    print(f"\ncompiled: {report.num_kernels} kernels from "
+          f"{report.num_nodes} ops; fusion = {report.fusion_stats}")
+    print("\n== one generated kernel ==")
+    stitch = [k for k in executable.kernels if "kStitch" in k.name]
+    print(stitch[0].source if stitch else executable.kernels[0].source)
+
+    engine = ExecutionEngine(executable, A10)
+    rng = np.random.default_rng(42)
+    print("\n== serving dynamically shaped requests ==")
+    for batch, seqlen in [(1, 7), (4, 64), (2, 200), (16, 3)]:
+        x = rng.normal(size=(batch, seqlen, 64)).astype(np.float32)
+        (result,), stats = engine.run({"x": x})
+        (expected,) = evaluate(graph, {"x": x})
+        ok = np.allclose(result, expected, atol=1e-4)
+        print(f"  shape ({batch:3d},{seqlen:4d}): "
+              f"{stats.kernels_launched:3d} kernels, "
+              f"{stats.device_time_us:8.1f} us simulated device time, "
+              f"numerics {'OK' if ok else 'WRONG'}")
+    print("\nsame executable, every shape — zero recompilation.")
+
+
+if __name__ == "__main__":
+    main()

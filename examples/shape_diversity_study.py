@@ -1,0 +1,75 @@
+#!/usr/bin/env python3
+"""Why dynamic shapes break static compilers: a diversity sweep.
+
+Serves the same number of BERT queries while increasing how many *distinct*
+shapes appear in the trace, and plots (as an ASCII chart) the amortised
+per-query cost — compilation included — for:
+
+- BladeDISC (compile once, shape-generic kernels),
+- an XLA-style per-signature JIT,
+- a TensorRT-style padded bucket engine.
+
+This is the experiment that motivates the whole paper: at one shape the
+static systems look great; at production diversity they drown in
+recompilation or padding.
+
+Run:  python examples/shape_diversity_study.py
+"""
+
+import numpy as np
+
+from repro import DiscExecutor, build_model, device_named, make_baseline
+from repro.workloads.traces import Trace
+
+
+def k_shape_trace(model, num_queries, k, seed=0):
+    spans = {axis: np.linspace(lo, hi, k).astype(int)
+             for axis, (lo, hi) in model.axes.items()}
+    axis_values = [{axis: int(v[i % k]) for axis, v in spans.items()}
+                   for i in range(num_queries)]
+    return Trace(model=model, axis_values=axis_values, seed=seed + 1)
+
+
+def ascii_chart(series, shape_counts, width=50):
+    peak = max(max(v) for v in series.values())
+    lines = []
+    for name, values in series.items():
+        lines.append(f"{name}:")
+        for k, v in zip(shape_counts, values):
+            bar = "#" * max(1, int(width * v / peak))
+            lines.append(f"  {k:4d} shapes |{bar} {v:,.0f} us/query")
+    return "\n".join(lines)
+
+
+def main():
+    device = device_named("A10")
+    model = build_model("bert", layers=3, hidden=256, heads=4)
+    shape_counts = (1, 2, 4, 8, 16)
+    num_queries = 32
+
+    systems = {
+        "BladeDISC": lambda: DiscExecutor(model.graph, device),
+        "XLA (JIT/shape)": lambda: make_baseline("XLA", model.graph,
+                                                 device),
+        "TensorRT (pad)": lambda: make_baseline("TensorRT", model.graph,
+                                                device),
+    }
+    series = {name: [] for name in systems}
+    for k in shape_counts:
+        trace = k_shape_trace(model, num_queries, k)
+        inputs = trace.inputs()
+        for name, factory in systems.items():
+            timeline = factory().run_trace(inputs)
+            series[name].append(timeline.mean_total_us)
+        print(f"measured k={k}")
+
+    print(f"\nAmortised us/query (compile included), {num_queries} "
+          f"queries on {device.name}:\n")
+    print(ascii_chart(series, shape_counts))
+    flat = max(series["BladeDISC"]) / min(series["BladeDISC"])
+    print(f"\nBladeDISC max/min across diversity: {flat:.2f}x (flat); "
+          f"the others climb with every new shape.")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,62 @@
+#!/usr/bin/env python3
+"""The tracing frontend: from plain Python code to a compiled executable.
+
+Real deployments rarely hand-build IR — BladeDISC attaches to PyTorch by
+tracing.  This example writes a small attention-pooled classifier as
+ordinary Python over traced tensors, captures it once with symbolic batch
+and length dims, compiles it, and serves dynamic shapes.
+
+Run:  python examples/traced_frontend.py
+"""
+
+import numpy as np
+
+from repro import (A10, ExecutionEngine, compile_graph, evaluate,
+                   print_graph, trace)
+from repro.frontend import constant
+from repro.ir import f32
+
+
+def make_classifier(hidden: int = 64, classes: int = 4):
+    rng = np.random.default_rng(0)
+    w_score = rng.normal(0, 0.1, (hidden, 1)).astype(np.float32)
+    w_out = rng.normal(0, 0.1, (hidden, classes)).astype(np.float32)
+
+    def classifier(x):
+        # x: [batch, length, hidden] with symbolic batch/length.
+        scores = (x @ constant(w_score))          # [b, L, 1]
+        weights = scores.softmax(axis=1)          # attend over length
+        pooled = (x * weights).sum(axis=1)        # [b, hidden]
+        normed = pooled.layer_norm(np.ones(hidden, np.float32),
+                                   np.zeros(hidden, np.float32))
+        return (normed @ constant(w_out)).softmax(axis=-1)
+
+    return trace(classifier, [
+        ("x", ("batch", "length", hidden), f32)])
+
+
+def main():
+    graph = make_classifier()
+    print("== traced IR ==")
+    print(print_graph(graph))
+
+    executable = compile_graph(graph)
+    print(f"\ncompiled into {executable.report.num_kernels} kernels "
+          f"({executable.report.fusion_stats['by_kind']})")
+
+    engine = ExecutionEngine(executable, A10)
+    rng = np.random.default_rng(1)
+    print("\n== serving ==")
+    for batch, length in [(1, 5), (8, 40), (3, 200)]:
+        x = rng.normal(size=(batch, length, 64)).astype(np.float32)
+        (probs,), stats = engine.run({"x": x})
+        (expected,) = evaluate(graph, {"x": x})
+        ok = np.allclose(probs, expected, atol=1e-5)
+        print(f"  ({batch:2d},{length:3d}): prob rows sum to "
+              f"{probs.sum(axis=-1).mean():.4f}, "
+              f"{stats.device_time_us:6.1f} simulated us, "
+              f"numerics {'OK' if ok else 'WRONG'}")
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,9 @@
+"""Legacy setup shim.
+
+The canonical metadata lives in pyproject.toml; this file exists so that
+``pip install -e .`` works in offline environments where the ``wheel``
+package (required by PEP 660 editable builds) is unavailable.
+"""
+from setuptools import setup
+
+setup()

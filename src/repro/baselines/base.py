@@ -1,0 +1,47 @@
+"""The uniform executor interface every system implements.
+
+An executor owns one model graph on one device and serves inference calls.
+``run`` executes *numerically* (all executors produce bit-comparable
+results, cross-checked against the reference interpreter in tests) and
+returns the simulated :class:`RunStats` for the call.
+"""
+
+from __future__ import annotations
+
+from abc import ABC, abstractmethod
+from typing import Mapping
+
+import numpy as np
+
+from ..device.counters import RunStats, Timeline
+from ..device.profiles import DeviceProfile
+from ..ir.graph import Graph
+
+__all__ = ["Executor"]
+
+
+class Executor(ABC):
+    """One system (DISC or a baseline) serving one model on one device."""
+
+    name: str = "executor"
+
+    def __init__(self, graph: Graph, device: DeviceProfile) -> None:
+        self.graph = graph
+        self.device = device
+
+    @abstractmethod
+    def run(self, inputs: Mapping[str, np.ndarray]
+            ) -> tuple[list, RunStats]:
+        """Serve one inference call; returns (outputs, simulated stats)."""
+
+    def run_trace(self, trace) -> Timeline:
+        """Serve a whole trace of input dicts; returns aggregate stats."""
+        timeline = Timeline()
+        for inputs in trace:
+            __, stats = self.run(inputs)
+            timeline.record(stats)
+        return timeline
+
+    def __repr__(self) -> str:
+        return (f"{type(self).__name__}(name={self.name!r}, "
+                f"device={self.device.name}, graph={self.graph.name!r})")

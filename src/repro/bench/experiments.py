@@ -1,0 +1,771 @@
+"""The experiment harness: one function per paper table/figure (E1-E10).
+
+Each function runs the full (simulated) measurement and returns a payload
+dict with the raw numbers plus a ``format_*`` companion producing the
+paper-style text table.  The ``benchmarks/bench_e*.py`` files are thin
+pytest wrappers around these.
+
+Scale note: query counts default to values that keep the numpy substrate
+fast; set ``REPRO_BENCH_QUERIES`` to raise them for smoother averages.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+from statistics import mean
+
+import numpy as np
+
+from ..baselines import DiscExecutor, baseline_names, make_baseline
+from ..core.fusion.kinds import FusionConfig
+from ..core.pipeline import CompileOptions, DiscCompiler
+from ..core.symbolic import ConstraintLevel
+from ..device import Timeline, device_named
+from ..ir import f32
+from ..ir.builder import GraphBuilder
+from ..models import build_model
+from ..runtime.engine import EngineOptions, ExecutionEngine
+from ..workloads import make_trace
+from .reporting import format_table
+
+__all__ = [
+    "BENCH_MODELS", "bench_queries",
+    "e1_end_to_end", "format_end_to_end",
+    "e3_fusion_ablation", "format_fusion_ablation",
+    "e4_shape_constraints", "format_shape_constraints",
+    "e5_codegen_strategies", "format_codegen_strategies",
+    "e6_compile_overhead", "format_compile_overhead",
+    "e7_shape_diversity", "format_shape_diversity",
+    "e8_kernel_reduction", "format_kernel_reduction",
+    "e9_schedule_selection", "format_schedule_selection",
+    "e10_placement_overhead", "format_placement_overhead",
+    "e11_memory_planning", "format_memory_planning",
+    "e12_adaptive_specialization", "format_adaptive_specialization",
+    "e14_serving_tail_latency", "format_serving_tail_latency",
+]
+
+#: Zoo configurations used by the end-to-end experiments: moderate sizes
+#: that preserve each architecture's op mix while keeping the numpy
+#: substrate fast enough to sweep 8 systems x 2 devices.
+BENCH_MODELS = {
+    "bert": {"layers": 3, "hidden": 256, "heads": 4},
+    "albert": {"layers": 3, "hidden": 256, "heads": 4},
+    "gpt2": {"layers": 3, "hidden": 256, "heads": 4, "vocab": 4096},
+    "t5": {"layers": 2, "hidden": 256, "heads": 4, "vocab": 4096},
+    "s2t": {"layers": 3, "hidden": 256, "heads": 4},
+    "crnn": {},
+    "fastspeech2": {"layers": 2, "hidden": 256, "heads": 4},
+    "dien": {},
+}
+
+
+def bench_queries(default: int) -> int:
+    return int(os.environ.get("REPRO_BENCH_QUERIES", default))
+
+
+def _bench_model(name: str):
+    return build_model(name, **BENCH_MODELS.get(name, {}))
+
+
+# ---------------------------------------------------------------------------
+# E1/E2 — end-to-end speedup across the zoo (the paper's headline figure)
+# ---------------------------------------------------------------------------
+
+def e1_end_to_end(device_name: str = "A10", models: list | None = None,
+                  num_queries: int | None = None,
+                  distribution: str = "zipf", seed: int = 0) -> dict:
+    """Mean steady-state speedup of BladeDISC vs every baseline, per model.
+
+    The paper reports end-to-end inference latency with compilation
+    excluded (every system warmed on the trace's shapes); we report the
+    same "steady" number, and additionally surface compile totals.
+    """
+    device = device_named(device_name)
+    model_names = models or list(BENCH_MODELS)
+    num_queries = num_queries if num_queries is not None \
+        else bench_queries(30)
+    systems = baseline_names()
+    per_model: dict[str, dict] = {}
+    disc_latency: dict[str, float] = {}
+    compile_us: dict[str, dict] = {}
+
+    for model_name in model_names:
+        model = _bench_model(model_name)
+        trace = make_trace(model, num_queries, distribution, seed=seed)
+        inputs = trace.inputs()
+
+        disc = DiscExecutor(model.graph, device)
+        disc_timeline = disc.run_trace(inputs)
+        disc_latency[model_name] = disc_timeline.mean_steady_us
+
+        speedups: dict[str, float] = {}
+        compiles: dict[str, float] = {}
+        for system in systems:
+            executor = make_baseline(system, model.graph, device)
+            timeline = executor.run_trace(inputs)
+            speedups[system] = (timeline.mean_steady_us
+                                / disc_timeline.mean_steady_us)
+            compiles[system] = timeline.compile_us
+        per_model[model_name] = speedups
+        compile_us[model_name] = compiles
+
+    summary = {
+        system: {
+            "mean": mean(per_model[m][system] for m in model_names),
+            "max": max(per_model[m][system] for m in model_names),
+        }
+        for system in systems
+    }
+    return {
+        "experiment": "end_to_end",
+        "device": device_name,
+        "distribution": distribution,
+        "num_queries": num_queries,
+        "models": model_names,
+        "baselines": systems,
+        "speedup": per_model,
+        "summary": summary,
+        "disc_mean_steady_us": disc_latency,
+        "baseline_compile_us": compile_us,
+    }
+
+
+def format_end_to_end(result: dict) -> str:
+    headers = ["model"] + result["baselines"]
+    rows = []
+    for model_name in result["models"]:
+        row = [model_name] + [result["speedup"][model_name][s]
+                              for s in result["baselines"]]
+        rows.append(row)
+    rows.append(["(mean)"] + [result["summary"][s]["mean"]
+                              for s in result["baselines"]])
+    rows.append(["(max)"] + [result["summary"][s]["max"]
+                             for s in result["baselines"]])
+    title = (f"[{result['device']}] BladeDISC end-to-end speedup over each "
+             f"baseline ({result['distribution']} trace, "
+             f"{result['num_queries']} queries, compile excluded)")
+    return format_table(headers, rows, title)
+
+
+# ---------------------------------------------------------------------------
+# E3 — fusion-kind ablation
+# ---------------------------------------------------------------------------
+
+def e3_fusion_ablation(device_name: str = "A10",
+                       models: tuple = ("bert", "s2t"),
+                       num_queries: int | None = None,
+                       seed: int = 0) -> dict:
+    """Kernels / bytes / latency as fusion kinds are enabled one by one."""
+    device = device_named(device_name)
+    num_queries = num_queries if num_queries is not None \
+        else bench_queries(15)
+    variants = [
+        ("no-fusion", FusionConfig.none()),
+        ("kLoop", FusionConfig.loop_only()),
+        ("kLoop+kInput", FusionConfig.loop_and_input()),
+        ("kLoop+kInput+kStitch", FusionConfig()),
+    ]
+    rows = []
+    for model_name in models:
+        model = _bench_model(model_name)
+        trace = make_trace(model, num_queries, "zipf", seed=seed)
+        inputs = trace.inputs()
+        for label, config in variants:
+            options = CompileOptions(fusion=config)
+            executor = DiscExecutor(model.graph, device, options)
+            timeline = executor.run_trace(inputs)
+            rows.append({
+                "model": model_name,
+                "variant": label,
+                "kernels_per_query": timeline.kernels / timeline.calls,
+                "mbytes_per_query": timeline.bytes / timeline.calls / 1e6,
+                "mean_steady_us": timeline.mean_steady_us,
+            })
+    return {"experiment": "fusion_ablation", "device": device_name,
+            "rows": rows}
+
+
+def format_fusion_ablation(result: dict) -> str:
+    headers = ["model", "fusion", "kernels/query", "MB/query",
+               "latency (us)"]
+    rows = [[r["model"], r["variant"], r["kernels_per_query"],
+             r["mbytes_per_query"], r["mean_steady_us"]]
+            for r in result["rows"]]
+    return format_table(
+        headers, rows,
+        f"[{result['device']}] Fusion ablation: adding kLoop, kInput, "
+        f"kStitch")
+
+
+# ---------------------------------------------------------------------------
+# E4 — shape-constraint ablation
+# ---------------------------------------------------------------------------
+
+def e4_shape_constraints(device_name: str = "A10",
+                         models: tuple = ("bert", "gpt2", "s2t"),
+                         num_queries: int | None = None,
+                         seed: int = 0) -> dict:
+    """What the symbolic constraints buy: fusion size and latency by level."""
+    device = device_named(device_name)
+    num_queries = num_queries if num_queries is not None \
+        else bench_queries(15)
+    rows = []
+    for model_name in models:
+        model = _bench_model(model_name)
+        trace = make_trace(model, num_queries, "zipf", seed=seed)
+        inputs = trace.inputs()
+        for level in (ConstraintLevel.NONE, ConstraintLevel.EQUALITY,
+                      ConstraintLevel.FULL):
+            options = CompileOptions(constraint_level=level)
+            executor = DiscExecutor(model.graph, device, options)
+            stats = executor.executable.report.fusion_stats
+            timeline = executor.run_trace(inputs)
+            rows.append({
+                "model": model_name,
+                "level": level.value,
+                "kernels": stats["kernels"],
+                "fused_ops": stats["fused_ops"],
+                "mean_steady_us": timeline.mean_steady_us,
+            })
+    return {"experiment": "shape_constraints", "device": device_name,
+            "rows": rows}
+
+
+def format_shape_constraints(result: dict) -> str:
+    headers = ["model", "constraints", "kernels", "fused ops",
+               "latency (us)"]
+    rows = [[r["model"], r["level"], r["kernels"], r["fused_ops"],
+             r["mean_steady_us"]] for r in result["rows"]]
+    return format_table(
+        headers, rows,
+        f"[{result['device']}] Symbolic shape-constraint ablation "
+        f"(none / dim-equality / +product-equality)")
+
+
+# ---------------------------------------------------------------------------
+# E5 — compilation-strategy comparison
+# ---------------------------------------------------------------------------
+
+def _k_distinct_trace(model, num_queries: int, k: int, seed: int = 0):
+    """A trace cycling through exactly ``k`` distinct shape signatures."""
+    axis_values = []
+    spans = {}
+    for axis, (lo, hi) in model.axes.items():
+        spans[axis] = np.linspace(lo, hi, k).astype(int)
+    for i in range(num_queries):
+        axis_values.append(
+            {axis: int(values[i % k]) for axis, values in spans.items()})
+    from ..workloads.traces import Trace
+    return Trace(model=model, axis_values=axis_values, seed=seed + 1)
+
+
+def e5_codegen_strategies(device_name: str = "A10", model_name: str = "bert",
+                          num_queries: int | None = None,
+                          shape_counts: tuple = (1, 4, 16, 64),
+                          seed: int = 0) -> dict:
+    """Compile-once vs recompile-per-shape vs bucket-and-pad.
+
+    Reports compile events and end-to-end totals (including compilation)
+    as the number of distinct shapes in the trace grows.
+    """
+    device = device_named(device_name)
+    num_queries = num_queries if num_queries is not None \
+        else bench_queries(64)
+    model = _bench_model(model_name)
+    strategies = {
+        "combined (BladeDISC)": lambda: DiscExecutor(model.graph, device),
+        "recompile/shape (XLA-style)": lambda: make_baseline(
+            "XLA", model.graph, device),
+        "bucket+pad (TensorRT-style)": lambda: make_baseline(
+            "TensorRT", model.graph, device),
+    }
+    rows = []
+    for k in shape_counts:
+        trace = _k_distinct_trace(model, num_queries, k, seed)
+        inputs = trace.inputs()
+        for label, factory in strategies.items():
+            executor = factory()
+            timeline = executor.run_trace(inputs)
+            rows.append({
+                "distinct_shapes": k,
+                "strategy": label,
+                "compile_events": timeline.compile_events,
+                "compile_total_s": timeline.compile_us / 1e6,
+                "steady_us_per_query": timeline.mean_steady_us,
+                "total_us_per_query": timeline.mean_total_us,
+            })
+    return {"experiment": "codegen_strategies", "device": device_name,
+            "model": model_name, "num_queries": num_queries, "rows": rows}
+
+
+def format_codegen_strategies(result: dict) -> str:
+    headers = ["#shapes", "strategy", "compiles", "compile total (s)",
+               "steady us/query", "total us/query"]
+    rows = [[r["distinct_shapes"], r["strategy"], r["compile_events"],
+             r["compile_total_s"], r["steady_us_per_query"],
+             r["total_us_per_query"]] for r in result["rows"]]
+    return format_table(
+        headers, rows,
+        f"[{result['device']}] Codegen strategy comparison on "
+        f"{result['model']} ({result['num_queries']} queries)")
+
+
+# ---------------------------------------------------------------------------
+# E6 — compilation overhead per model
+# ---------------------------------------------------------------------------
+
+def e6_compile_overhead(models: list | None = None) -> dict:
+    """One-time compile cost and kernel counts for every zoo model."""
+    model_names = models or list(BENCH_MODELS)
+    rows = []
+    for model_name in model_names:
+        model = _bench_model(model_name)
+        compiler = DiscCompiler(CompileOptions())
+        start = time.perf_counter()
+        executable = compiler.compile(model.graph)
+        wall = time.perf_counter() - start
+        report = executable.report
+        rows.append({
+            "model": model_name,
+            "nodes": report.num_nodes,
+            "kernels": report.num_kernels,
+            "pipeline_wall_s": wall,
+            "simulated_compile_s": report.simulated_compile_us / 1e6,
+            "analysis_ms": report.analysis_summary.get(
+                "analysis_time_s", 0.0) * 1e3,
+            "dim_facts": report.analysis_summary.get("dim_facts", 0),
+            "product_facts": report.analysis_summary.get(
+                "product_facts", 0),
+        })
+    return {"experiment": "compile_overhead", "rows": rows}
+
+
+def format_compile_overhead(result: dict) -> str:
+    headers = ["model", "nodes", "kernels", "pipeline wall (s)",
+               "simulated compile (s)", "analysis (ms)", "dim facts",
+               "product facts"]
+    rows = [[r["model"], r["nodes"], r["kernels"], r["pipeline_wall_s"],
+             r["simulated_compile_s"], r["analysis_ms"], r["dim_facts"],
+             r["product_facts"]] for r in result["rows"]]
+    return format_table(headers, rows,
+                        "Compilation overhead per model (compile once, "
+                        "serve every shape)")
+
+
+# ---------------------------------------------------------------------------
+# E7 — sensitivity to shape diversity
+# ---------------------------------------------------------------------------
+
+def e7_shape_diversity(device_name: str = "A10", model_name: str = "bert",
+                       num_queries: int | None = None,
+                       shape_counts: tuple = (1, 2, 4, 8, 16, 32),
+                       systems: tuple = ("BladeDISC", "XLA", "TVM",
+                                         "TensorRT", "TorchInductor"),
+                       seed: int = 0) -> dict:
+    """Amortised per-query latency (compile included) vs shape diversity."""
+    device = device_named(device_name)
+    num_queries = num_queries if num_queries is not None \
+        else bench_queries(48)
+    model = _bench_model(model_name)
+    series: dict[str, list] = {system: [] for system in systems}
+    for k in shape_counts:
+        trace = _k_distinct_trace(model, num_queries, k, seed)
+        inputs = trace.inputs()
+        for system in systems:
+            if system == "BladeDISC":
+                executor = DiscExecutor(model.graph, device)
+            else:
+                executor = make_baseline(system, model.graph, device)
+            timeline = executor.run_trace(inputs)
+            series[system].append(timeline.mean_total_us)
+    return {
+        "experiment": "shape_diversity",
+        "device": device_name,
+        "model": model_name,
+        "num_queries": num_queries,
+        "shape_counts": list(shape_counts),
+        "series": series,
+    }
+
+
+def format_shape_diversity(result: dict) -> str:
+    headers = ["#shapes"] + list(result["series"])
+    rows = []
+    for i, k in enumerate(result["shape_counts"]):
+        rows.append([k] + [result["series"][s][i]
+                           for s in result["series"]])
+    return format_table(
+        headers, rows,
+        f"[{result['device']}] Amortised us/query (compile included) vs "
+        f"distinct shapes, {result['model']}, "
+        f"{result['num_queries']} queries")
+
+
+# ---------------------------------------------------------------------------
+# E8 — kernel & memory-traffic reduction
+# ---------------------------------------------------------------------------
+
+def e8_kernel_reduction(device_name: str = "A10",
+                        models: list | None = None,
+                        seed: int = 0) -> dict:
+    """Per model: kernels launched and bytes moved, eager vs BladeDISC."""
+    device = device_named(device_name)
+    model_names = models or list(BENCH_MODELS)
+    rows = []
+    rng = np.random.default_rng(seed)
+    for model_name in model_names:
+        model = _bench_model(model_name)
+        inputs = model.sample_inputs(rng)
+        eager = make_baseline("PyTorch", model.graph, device)
+        disc = DiscExecutor(model.graph, device)
+        __, eager_stats = eager.run(inputs)
+        __, disc_stats = disc.run(inputs)
+        rows.append({
+            "model": model_name,
+            "eager_kernels": eager_stats.kernels_launched,
+            "disc_kernels": disc_stats.kernels_launched,
+            "kernel_reduction": (eager_stats.kernels_launched
+                                 / max(1, disc_stats.kernels_launched)),
+            "eager_mbytes": eager_stats.bytes_total / 1e6,
+            "disc_mbytes": disc_stats.bytes_total / 1e6,
+            "bytes_reduction": (eager_stats.bytes_total
+                                / max(1, disc_stats.bytes_total)),
+        })
+    return {"experiment": "kernel_reduction", "device": device_name,
+            "rows": rows}
+
+
+def format_kernel_reduction(result: dict) -> str:
+    headers = ["model", "kernels eager", "kernels DISC", "reduction",
+               "MB eager", "MB DISC", "traffic reduction"]
+    rows = [[r["model"], r["eager_kernels"], r["disc_kernels"],
+             r["kernel_reduction"], r["eager_mbytes"], r["disc_mbytes"],
+             r["bytes_reduction"]] for r in result["rows"]]
+    return format_table(headers, rows,
+                        f"[{result['device']}] Kernel and memory-traffic "
+                        f"reduction vs per-op execution")
+
+
+# ---------------------------------------------------------------------------
+# E9 — runtime schedule selection
+# ---------------------------------------------------------------------------
+
+def _softmax_micro():
+    b = GraphBuilder("softmax_micro")
+    rows = b.sym("rows", hint=1024)
+    cols = b.sym("cols", hint=512)
+    x = b.parameter("x", (rows, cols), f32)
+    b.outputs(b.softmax(x, axis=-1))
+    return b.graph
+
+
+def e9_schedule_selection(device_name: str = "A10",
+                          seed: int = 0) -> dict:
+    """Selector vs each fixed schedule across row-space extremes."""
+    device = device_named(device_name)
+    graph = _softmax_micro()
+    executable = DiscCompiler(CompileOptions()).compile(graph)
+    shapes = [("many short rows", 16384, 64),
+              ("balanced", 1024, 1024),
+              ("few long rows", 8, 131072)]
+    schedules = ["row_per_warp", "row_per_block", "two_pass"]
+    rng = np.random.default_rng(seed)
+    rows_out = []
+    for label, rows, cols in shapes:
+        x = rng.normal(size=(rows, cols)).astype(np.float32)
+        record = {"shape": label, "rows": rows, "cols": cols}
+        for schedule in schedules:
+            engine = ExecutionEngine(executable, device, EngineOptions(
+                fixed_schedule=schedule))
+            __, stats = engine.run({"x": x})
+            record[schedule] = stats.device_time_us
+        engine = ExecutionEngine(executable, device, EngineOptions())
+        __, stats = engine.run({"x": x})
+        record["selected"] = stats.device_time_us
+        record["best_fixed"] = min(record[s] for s in schedules)
+        rows_out.append(record)
+    return {"experiment": "schedule_selection", "device": device_name,
+            "schedules": schedules, "rows": rows_out}
+
+
+def format_schedule_selection(result: dict) -> str:
+    headers = (["shape", "rows", "cols"] + result["schedules"]
+               + ["selected", "best fixed"])
+    rows = [[r["shape"], r["rows"], r["cols"]]
+            + [r[s] for s in result["schedules"]]
+            + [r["selected"], r["best_fixed"]]
+            for r in result["rows"]]
+    return format_table(
+        headers, rows,
+        f"[{result['device']}] Softmax kernel device time (us) per "
+        f"schedule variant; runtime selection vs fixed")
+
+
+# ---------------------------------------------------------------------------
+# E10 — host placement of shape computations + analysis overhead
+# ---------------------------------------------------------------------------
+
+def _length_feature_model(hidden: int = 256, num_shape_ops: int = 8):
+    """A model whose graph computes features *from its own shape*.
+
+    Mirrors length-aware ranking models: the sequence length is read with
+    ``dim_size``, pushed through scalar arithmetic, and mixed into the
+    activations.  Without host placement every scalar op is a kernel
+    launch.
+    """
+    b = GraphBuilder("length_feature")
+    batch = b.sym("batch", hint=8)
+    seqlen = b.sym("seqlen", hint=64)
+    x = b.parameter("x", (batch, seqlen, hidden), f32)
+    length = b.dim_size(x, 1)
+    for _ in range(num_shape_ops):
+        length = b.mul(b.add(length, b.constant(
+            np.asarray(1, dtype=np.int64))), b.constant(
+            np.asarray(1, dtype=np.int64)))
+    feat = b.cast(length, f32)
+    feat = b.mul(feat, b.scalar(1e-3, f32))
+    y = b.mul(x, b.broadcast_to(feat, x.shape))
+    b.outputs(b.softmax(y, axis=-1))
+    return b.graph
+
+
+def e10_placement_overhead(device_name: str = "A10",
+                           num_queries: int | None = None,
+                           seed: int = 0) -> dict:
+    """Host-placement benefit + symbolic-analysis compile overhead."""
+    device = device_named(device_name)
+    num_queries = num_queries if num_queries is not None \
+        else bench_queries(20)
+    graph = _length_feature_model()
+    executable = DiscCompiler(CompileOptions()).compile(graph)
+    rng = np.random.default_rng(seed)
+    rows = []
+    for enabled in (True, False):
+        engine = ExecutionEngine(executable, device, EngineOptions(
+            host_placement_enabled=enabled))
+        timeline = Timeline()
+        for _ in range(num_queries):
+            seqlen = int(rng.integers(16, 128))
+            x = rng.normal(size=(4, seqlen, 256)).astype(np.float32)
+            __, stats = engine.run({"x": x})
+            timeline.record(stats)
+        rows.append({
+            "host_placement": enabled,
+            "mean_steady_us": timeline.mean_steady_us,
+            "kernels_per_query": timeline.kernels / timeline.calls,
+        })
+    analysis_rows = e6_compile_overhead()["rows"]
+    return {"experiment": "placement_overhead", "device": device_name,
+            "placement_rows": rows, "analysis_rows": analysis_rows}
+
+
+def format_placement_overhead(result: dict) -> str:
+    headers = ["host placement", "latency (us)", "kernels/query"]
+    rows = [[str(r["host_placement"]), r["mean_steady_us"],
+             r["kernels_per_query"]] for r in result["placement_rows"]]
+    part1 = format_table(
+        headers, rows,
+        f"[{result['device']}] Shape-computation placement "
+        f"(length-feature model)")
+    headers2 = ["model", "analysis (ms)", "pipeline wall (s)"]
+    rows2 = [[r["model"], r["analysis_ms"], r["pipeline_wall_s"]]
+             for r in result["analysis_rows"]]
+    part2 = format_table(headers2, rows2,
+                         "Symbolic analysis cost within compilation")
+    return part1 + "\n\n" + part2
+
+
+# ---------------------------------------------------------------------------
+# E11 — intermediate-buffer planning (the pipeline's memory optimisation)
+# ---------------------------------------------------------------------------
+
+def e11_memory_planning(models: list | None = None, seed: int = 0) -> dict:
+    """Naive vs liveness-reused intermediate memory, with and without
+    fusion.
+
+    Fusion already eliminates most intermediates (they live inside fused
+    kernels); buffer reuse then shares what remains.  The paper's pipeline
+    applies both; this experiment separates their contributions.
+    """
+    from ..numerics.resolve import bind_inputs, resolve_all_dims
+
+    model_names = models or list(BENCH_MODELS)
+    rng = np.random.default_rng(seed)
+    rows = []
+    for model_name in model_names:
+        model = _bench_model(model_name)
+        inputs = model.sample_inputs(rng)
+        for fused, label in ((False, "unfused"), (True, "fused")):
+            config = FusionConfig() if fused else FusionConfig.none()
+            exe = DiscCompiler(CompileOptions(fusion=config)).compile(
+                model.graph)
+            dims = bind_inputs(exe.params, inputs)
+            resolve_all_dims(exe.graph.nodes, dims)
+            stats = exe.buffer_plan.evaluate(dims)
+            rows.append({
+                "model": model_name,
+                "fusion": label,
+                "values": stats["values"],
+                "naive_mb": stats["naive_bytes"] / 1e6,
+                "peak_mb": stats["peak_bytes"] / 1e6,
+                "reuse_factor": stats["reuse_factor"],
+                "slots": stats["slots"],
+            })
+    return {"experiment": "memory_planning", "rows": rows}
+
+
+def format_memory_planning(result: dict) -> str:
+    headers = ["model", "fusion", "intermediates", "naive MB", "peak MB",
+               "reuse", "slots"]
+    rows = [[r["model"], r["fusion"], r["values"], r["naive_mb"],
+             r["peak_mb"], r["reuse_factor"], r["slots"]]
+            for r in result["rows"]]
+    return format_table(headers, rows,
+                        "Intermediate-buffer planning: naive vs "
+                        "liveness-reused peak memory")
+
+
+# ---------------------------------------------------------------------------
+# E12 — adaptive shape specialisation (speculative compilation extension)
+# ---------------------------------------------------------------------------
+
+def e12_adaptive_specialization(device_name: str = "A10",
+                                model_name: str = "bert",
+                                num_queries: int | None = None,
+                                seed: int = 0) -> dict:
+    """Generic-only vs adaptive specialisation vs per-shape JIT on a
+    skewed trace.
+
+    A Zipf trace concentrates traffic on a few hot shapes.  The adaptive
+    engine should close (part of) the per-kernel efficiency gap to a
+    shape-specialising JIT on the hot shapes, with zero request stalls,
+    while the JIT pays a visible compile per signature.
+    """
+    from ..core.pipeline import DiscCompiler
+    from ..runtime.engine import ExecutionEngine
+    from ..runtime.specialize import AdaptiveEngine, SpecializationOptions
+
+    device = device_named(device_name)
+    num_queries = num_queries if num_queries is not None \
+        else bench_queries(60)
+    model = _bench_model(model_name)
+    # Latency-oriented serving: batch pinned to 1, Zipf-skewed lengths —
+    # the regime where a handful of short lengths dominate and
+    # specialisation has something to chew on.
+    trace = make_trace(model, num_queries, "zipf", seed=seed,
+                       fixed_axes={"batch": 1})
+    inputs = trace.inputs()
+
+    executable = DiscCompiler(CompileOptions()).compile(model.graph)
+
+    generic = ExecutionEngine(executable, device)
+    generic_timeline = Timeline()
+    for query in inputs:
+        __, stats = generic.run(query)
+        generic_timeline.record(stats)
+
+    adaptive = AdaptiveEngine(executable, device,
+                              SpecializationOptions(threshold=2))
+    adaptive_timeline = adaptive.run_trace(inputs)
+
+    xla = make_baseline("XLA", model.graph, device)
+    xla_timeline = xla.run_trace(inputs)
+
+    rows = [
+        {"engine": "generic (compile once)",
+         "mean_steady_us": generic_timeline.mean_steady_us,
+         "stall_compiles": 0,
+         "background_compiles": 0,
+         "total_us_per_query": generic_timeline.mean_total_us},
+        {"engine": "adaptive specialisation",
+         "mean_steady_us": adaptive_timeline.mean_steady_us,
+         "stall_compiles": adaptive_timeline.compile_events,
+         "background_compiles": adaptive.specializations_built,
+         "total_us_per_query": adaptive_timeline.mean_total_us},
+        {"engine": "per-shape JIT (XLA-style)",
+         "mean_steady_us": xla_timeline.mean_steady_us,
+         "stall_compiles": xla_timeline.compile_events,
+         "background_compiles": 0,
+         "total_us_per_query": xla_timeline.mean_total_us},
+    ]
+    return {"experiment": "adaptive_specialization",
+            "device": device_name, "model": model_name,
+            "num_queries": num_queries,
+            "distinct_shapes": trace.distinct_signatures(),
+            "adaptive_stats": adaptive.stats(), "rows": rows}
+
+
+def format_adaptive_specialization(result: dict) -> str:
+    headers = ["engine", "steady us/query", "stall compiles",
+               "bg specialisations", "total us/query"]
+    rows = [[r["engine"], r["mean_steady_us"], r["stall_compiles"],
+             r["background_compiles"], r["total_us_per_query"]]
+            for r in result["rows"]]
+    return format_table(
+        headers, rows,
+        f"[{result['device']}] Adaptive shape specialisation on "
+        f"{result['model']} ({result['num_queries']} queries, "
+        f"{result['distinct_shapes']} distinct shapes)")
+
+
+# ---------------------------------------------------------------------------
+# E14 — online serving tail latency (queueing view of the same story)
+# ---------------------------------------------------------------------------
+
+def e14_serving_tail_latency(device_name: str = "A10",
+                             model_name: str = "bert",
+                             num_queries: int | None = None,
+                             arrival_rate_qps: float = 600.0,
+                             systems: tuple = ("BladeDISC", "PyTorch",
+                                               "ONNXRuntime", "XLA"),
+                             seed: int = 0) -> dict:
+    """Latency percentiles under Poisson load.
+
+    Every system serves the same arrival process and trace.  Compile
+    stalls (XLA) queue behind requests and blow up the tail; per-op
+    overhead (PyTorch) raises the median and saturates earlier; the
+    compile-once executable keeps both percentiles flat.
+    """
+    from .serving import simulate_serving
+
+    device = device_named(device_name)
+    num_queries = num_queries if num_queries is not None \
+        else bench_queries(60)
+    model = _bench_model(model_name)
+    trace = make_trace(model, num_queries, "zipf", seed=seed,
+                       fixed_axes={"batch": 1})
+    inputs = trace.inputs()
+
+    rows = []
+    for system in systems:
+        if system == "BladeDISC":
+            executor = DiscExecutor(model.graph, device)
+        else:
+            executor = make_baseline(system, model.graph, device)
+        # Deployments initialise/compile on the *first* shape before
+        # taking traffic; per-shape and per-bucket systems still stall on
+        # every shape they have not seen — which is the failure mode this
+        # experiment exists to show.
+        executor.run(inputs[0])
+        result = simulate_serving(executor, inputs, arrival_rate_qps,
+                                  seed=seed + 1)
+        row = {"system": system}
+        row.update(result.summary())
+        rows.append(row)
+    return {"experiment": "serving_tail_latency", "device": device_name,
+            "model": model_name, "arrival_rate_qps": arrival_rate_qps,
+            "num_queries": num_queries, "rows": rows}
+
+
+def format_serving_tail_latency(result: dict) -> str:
+    headers = ["system", "p50 us", "p95 us", "p99 us", "max us",
+               "stalls", "util"]
+    rows = [[r["system"], r["p50_us"], r["p95_us"], r["p99_us"],
+             r["max_us"], r["compile_stalls"], r["utilization"]]
+            for r in result["rows"]]
+    return format_table(
+        headers, rows,
+        f"[{result['device']}] Serving latency percentiles on "
+        f"{result['model']} at {result['arrival_rate_qps']:.0f} qps "
+        f"Poisson ({result['num_queries']} queries)")

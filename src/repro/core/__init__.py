@@ -1,0 +1,13 @@
+"""The paper's contribution: symbolic shapes, fusion, combined codegen."""
+
+from .pipeline import CompileOptions, DiscCompiler, compile_graph
+from .symbolic import ConstraintLevel, ShapeAnalysis, analyze_shapes
+from .fusion import FusionConfig, FusionGroup, FusionKind, FusionPlan, \
+    plan_fusion
+
+__all__ = [
+    "CompileOptions", "DiscCompiler", "compile_graph",
+    "ConstraintLevel", "ShapeAnalysis", "analyze_shapes",
+    "FusionConfig", "FusionGroup", "FusionKind", "FusionPlan",
+    "plan_fusion",
+]

@@ -1,0 +1,15 @@
+"""Compile-time + runtime combined code generation."""
+
+from .exprs import emit_statement, serialize_shape
+from .kernels import CompiledKernel, CostRecipe, compile_group
+from .schedules import (ELEMENTWISE_SCHEDULES, REDUCTION_SCHEDULES, Schedule,
+                        schedule_named, select_elementwise, select_reduction)
+from .support import SUPPORT_NAMESPACE
+
+__all__ = [
+    "emit_statement", "serialize_shape",
+    "CompiledKernel", "CostRecipe", "compile_group",
+    "ELEMENTWISE_SCHEDULES", "REDUCTION_SCHEDULES", "Schedule",
+    "schedule_named", "select_elementwise", "select_reduction",
+    "SUPPORT_NAMESPACE",
+]

@@ -1,0 +1,108 @@
+"""Schedule variants and runtime schedule selection.
+
+A static-shape compiler bakes one schedule (tiling, vectorisation, launch
+dims) into each kernel, chosen from the concrete shape.  With unknown
+shapes BladeDISC instead emits a *small set* of schedule variants per
+kernel at compile time and selects among them at run time from the actual
+shapes — a few integer comparisons per launch, no recompilation.
+
+The variants modelled here are the ones the paper's kernels need:
+
+- elementwise kernels: a flat thread-per-element schedule, plus a
+  vectorised (``float4``) one applicable when the innermost extent is a
+  multiple of 4;
+- reduction/stitch kernels over row spaces: ``row_per_warp`` (one warp per
+  row — best for many short rows), ``row_per_block`` (one thread block per
+  row — best for long rows) and ``two_pass`` (grid-wide tree reduction for
+  extreme rows, costing one extra launch).
+
+Each variant supplies the cost model with an efficiency factor and the
+parallelism it exposes; the *selector* chooses using the same shape
+thresholds a generated kernel's dispatch stub would use.  Experiment E9
+verifies the selector tracks the per-shape best variant.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["Schedule", "ELEMENTWISE_SCHEDULES", "REDUCTION_SCHEDULES",
+           "select_elementwise", "select_reduction", "schedule_named"]
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """One generated schedule variant of a kernel."""
+
+    name: str
+    #: extra kernel launches this schedule needs beyond the first.
+    extra_launches: int = 0
+
+    # Efficiency / parallelism are functions of the *concrete* iteration
+    # space, evaluated at run time when the shapes are known.
+
+    def elementwise_profile(self, total_elements: int) -> tuple:
+        """(efficiency, parallel_elements) for a flat loop kernel."""
+        if self.name == "vectorized4":
+            return 1.0, total_elements
+        if self.name == "flat":
+            return 0.82, total_elements
+        raise ValueError(f"{self.name} is not an elementwise schedule")
+
+    def reduction_profile(self, rows: int, cols: int) -> tuple:
+        """(efficiency, parallel_elements) for a row-space kernel."""
+        if self.name == "row_per_warp":
+            # One 32-lane warp per row: great while rows supply enough
+            # warps and the row fits in-register; collapses on long rows.
+            eff = 0.95 if cols <= 2048 else 0.30
+            return eff, rows * 32
+        if self.name == "row_per_block":
+            # One 256-thread block per row: wins on long rows, wastes the
+            # block on short ones.
+            eff = 0.90 if cols > 256 else 0.45
+            return eff, rows * 256
+        if self.name == "two_pass":
+            # Grid-wide tree reduction: full parallelism, extra launch,
+            # intermediate traffic folded into a lower efficiency.
+            return 0.70, rows * cols
+        raise ValueError(f"{self.name} is not a reduction schedule")
+
+
+FLAT = Schedule("flat")
+VECTORIZED4 = Schedule("vectorized4")
+ROW_PER_WARP = Schedule("row_per_warp")
+ROW_PER_BLOCK = Schedule("row_per_block")
+TWO_PASS = Schedule("two_pass", extra_launches=1)
+
+ELEMENTWISE_SCHEDULES = (VECTORIZED4, FLAT)
+REDUCTION_SCHEDULES = (ROW_PER_WARP, ROW_PER_BLOCK, TWO_PASS)
+
+_BY_NAME = {s.name: s for s in ELEMENTWISE_SCHEDULES + REDUCTION_SCHEDULES}
+
+
+def schedule_named(name: str) -> Schedule:
+    return _BY_NAME[name]
+
+
+def select_elementwise(total_elements: int, innermost: int) -> Schedule:
+    """Runtime dispatch stub for elementwise kernels."""
+    if innermost % 4 == 0 and total_elements >= 4:
+        return VECTORIZED4
+    return FLAT
+
+
+def select_reduction(rows: int, cols: int) -> Schedule:
+    """Runtime dispatch stub for reduction/stitch kernels.
+
+    Thresholds mirror the efficiency cliffs above: warp-per-row for many
+    short rows, block-per-row once rows alone provide enough blocks to
+    fill the device, two-pass when rows are too few for row-parallel
+    schedules to reach occupancy.
+    """
+    if cols <= 256 and rows >= 4096:
+        # Short rows in bulk: one warp per row supplies enough warps to
+        # fill the device, and a block per row would waste 7/8 of it.
+        return ROW_PER_WARP
+    if rows >= 512 or cols <= 1024:
+        return ROW_PER_BLOCK
+    return TWO_PASS

@@ -1,0 +1,156 @@
+"""Runtime support library linked into every generated kernel.
+
+Generated kernel source is plain Python over numpy, produced once at
+compile time.  Anything shape-dependent is deferred to these helpers, which
+take the per-call ``dims`` bindings (symbol name -> int) — this is the
+"runtime half" of the paper's compile-time/runtime combined codegen: the
+kernel *structure* is fixed at compile time, while extents, broadcast
+shapes and reshape targets are resolved per invocation.
+
+``_reshape`` may *bind* a previously unseen symbol (solved from the element
+count), extending ``dims`` for later statements in the same executable.
+"""
+
+from __future__ import annotations
+
+import math
+
+import numpy as np
+from scipy import special as _special
+
+__all__ = ["SUPPORT_NAMESPACE"]
+
+
+def _dim(value, dims: dict) -> int:
+    """Resolve one serialized dim: an int, or a symbol name in ``dims``."""
+    if isinstance(value, str):
+        return int(dims[value])
+    return int(value)
+
+
+def _shape(template, dims: dict) -> tuple:
+    return tuple(_dim(d, dims) for d in template)
+
+
+def _broadcast(x: np.ndarray, out_template, broadcast_dims,
+               dims: dict) -> np.ndarray:
+    out_shape = _shape(out_template, dims)
+    expand = [1] * len(out_shape)
+    for in_pos, out_pos in enumerate(broadcast_dims):
+        expand[out_pos] = x.shape[in_pos]
+    return np.broadcast_to(x.reshape(expand), out_shape)
+
+
+def _reshape(x: np.ndarray, new_template, dims: dict) -> np.ndarray:
+    known = 1
+    unknown = None
+    resolved = []
+    for d in new_template:
+        if isinstance(d, str) and d not in dims:
+            if unknown is not None:
+                raise ValueError(
+                    f"reshape target {new_template} has two unbound "
+                    f"symbols")
+            unknown = d
+            resolved.append(-1)
+            continue
+        value = _dim(d, dims)
+        known *= value
+        resolved.append(value)
+    if unknown is not None:
+        total = x.size
+        if known == 0 or total % known != 0:
+            raise ValueError(
+                f"cannot solve {unknown}: {total} elements vs known "
+                f"extent {known}")
+        dims[unknown] = total // known
+        resolved = [dims[unknown] if r == -1 else r for r in resolved]
+    return np.reshape(x, tuple(resolved))
+
+
+def _iota(shape_template, axis: int, np_dtype, dims: dict) -> np.ndarray:
+    shape = _shape(shape_template, dims)
+    vec = np.arange(shape[axis], dtype=np_dtype)
+    expand = [1] * len(shape)
+    expand[axis] = shape[axis]
+    return np.broadcast_to(vec.reshape(expand), shape).copy()
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    return _special.erf(x).astype(x.dtype, copy=False)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return _special.expit(x).astype(x.dtype, copy=False)
+
+
+def _rsqrt(x: np.ndarray) -> np.ndarray:
+    return (1.0 / np.sqrt(x)).astype(x.dtype, copy=False)
+
+
+def _relu(x: np.ndarray) -> np.ndarray:
+    return np.maximum(x, np.asarray(0, dtype=x.dtype))
+
+
+def _div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if np.issubdtype(a.dtype, np.integer) and np.issubdtype(
+            b.dtype, np.integer):
+        return a // b
+    return a / b
+
+
+def _softmax(x: np.ndarray, axis: int) -> np.ndarray:
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return (e / np.sum(e, axis=axis, keepdims=True)).astype(
+        x.dtype, copy=False)
+
+
+def _layer_norm(x, scale, bias, eps):
+    mean = np.mean(x, axis=-1, keepdims=True)
+    var = np.mean((x - mean) ** 2, axis=-1, keepdims=True)
+    normed = (x - mean) / np.sqrt(var + eps)
+    return (normed * scale + bias).astype(x.dtype, copy=False)
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    return (x * 0.5 * (1.0 + _special.erf(
+        x / math.sqrt(2.0)))).astype(x.dtype, copy=False)
+
+
+def _conv2d(x, w, strides, padding):
+    from ...numerics.kernels import _k_conv2d
+    return _k_conv2d([x, w], {"strides": strides, "padding": padding})
+
+
+def _gather(operand, indices, axis):
+    return np.take(operand, indices.astype(np.int64), axis=axis)
+
+
+def _slice(x, starts, limits, strides, dims):
+    resolved_limits = tuple(_dim(h, dims) for h in limits)
+    index = tuple(slice(int(lo), int(hi), int(st))
+                  for lo, hi, st in zip(starts, resolved_limits, strides))
+    return x[index]
+
+
+#: Names injected into the namespace every generated kernel executes in.
+SUPPORT_NAMESPACE = {
+    "np": np,
+    "math": math,
+    "_broadcast": _broadcast,
+    "_reshape": _reshape,
+    "_iota": _iota,
+    "_erf": _erf,
+    "_softmax": _softmax,
+    "_layer_norm": _layer_norm,
+    "_gelu": _gelu,
+    "_sigmoid": _sigmoid,
+    "_rsqrt": _rsqrt,
+    "_relu": _relu,
+    "_div": _div,
+    "_conv2d": _conv2d,
+    "_gather": _gather,
+    "_slice": _slice,
+    "_shape": _shape,
+}

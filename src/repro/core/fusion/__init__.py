@@ -1,0 +1,14 @@
+"""Dynamic-shape fusion based on shape information propagation."""
+
+from .kinds import FusionConfig, FusionGroup, FusionKind, FusionPlan
+from .legality import (is_last_axis_reduce, is_loop_fusible,
+                       loop_edge_compatible, reduce_row_space,
+                       stitch_member_role)
+from .planner import plan_fusion
+
+__all__ = [
+    "FusionConfig", "FusionGroup", "FusionKind", "FusionPlan",
+    "is_last_axis_reduce", "is_loop_fusible", "loop_edge_compatible",
+    "reduce_row_space", "stitch_member_role",
+    "plan_fusion",
+]

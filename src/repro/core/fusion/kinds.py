@@ -1,0 +1,199 @@
+"""Fusion kinds, groups, and plans.
+
+BladeDISC distinguishes three fusion kinds, reproduced here:
+
+- ``kLoop`` — a single parallel loop over one iteration domain; members are
+  elementwise ops, broadcasts, and metadata reshapes whose element counts
+  are *provably* equal under the symbolic shape analysis.
+- ``kInput`` — a reduction root plus the elementwise producers feeding it
+  (XLA-style input fusion); one pass over the reduce's input domain.
+- ``kStitch`` — the paper's contribution: several reductions over the same
+  row space plus the elementwise ops between them, stitched into one kernel
+  through shared memory.  This is what fuses a whole softmax or layer-norm
+  (two reductions each) into a single launch.
+
+Ops that stay unfused (``dot``, ``conv2d``, ``transpose``, ...) become
+singleton groups of kind ``kLibrary`` / ``kElementwiseSingleton`` etc. so the
+rest of the pipeline can treat "the plan" as a total partition of the graph.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+
+from ...ir.graph import Graph
+from ...ir.node import Node
+from ...ir.traversal import (induced_subgraph_inputs,
+                             induced_subgraph_outputs)
+
+__all__ = ["FusionKind", "FusionGroup", "FusionPlan", "FusionConfig"]
+
+
+class FusionKind(Enum):
+    """How a group of ops becomes (or avoids becoming) a kernel."""
+
+    LOOP = "kLoop"
+    INPUT = "kInput"
+    STITCH = "kStitch"
+    #: singleton heavy op backed by a device library (dot, conv2d)
+    LIBRARY = "kLibrary"
+    #: singleton op that still needs its own kernel (transpose, concat, ...)
+    SINGLETON = "kSingleton"
+    #: metadata-only op that costs nothing at run time (reshape alone)
+    METADATA = "kMetadata"
+    #: host-placed shape computation (no device kernel at all)
+    HOST = "kHost"
+
+
+@dataclass
+class FusionConfig:
+    """Which fusion kinds the planner may use (ablated by experiment E3)."""
+
+    enable_loop: bool = True
+    enable_input: bool = True
+    enable_stitch: bool = True
+    #: register/shared-memory pressure proxy: max ops in one fused kernel.
+    max_group_size: int = 64
+    #: may loop fusion cross reshape boundaries?  Requires product-equality
+    #: constraints; systems without symbolic shapes (TorchScript's fuser)
+    #: cannot do it.
+    loop_include_reshape: bool = True
+    #: max reductions stitched into one kStitch kernel.
+    max_stitch_reductions: int = 6
+
+    @classmethod
+    def none(cls) -> "FusionConfig":
+        return cls(enable_loop=False, enable_input=False,
+                   enable_stitch=False)
+
+    @classmethod
+    def loop_only(cls) -> "FusionConfig":
+        return cls(enable_loop=True, enable_input=False,
+                   enable_stitch=False)
+
+    @classmethod
+    def loop_and_input(cls) -> "FusionConfig":
+        return cls(enable_loop=True, enable_input=True, enable_stitch=False)
+
+
+@dataclass
+class FusionGroup:
+    """A set of nodes compiled into one kernel (or no kernel at all)."""
+
+    group_id: int
+    kind: FusionKind
+    members: list[Node] = field(default_factory=list)
+
+    def member_set(self) -> set[Node]:
+        return set(self.members)
+
+    def inputs(self) -> list[Node]:
+        """External values the group reads."""
+        return induced_subgraph_inputs(self.members)
+
+    def outputs(self, users: dict[Node, list[Node]],
+                graph_outputs) -> list[Node]:
+        """Members whose value escapes the group."""
+        return induced_subgraph_outputs(self.members, users, graph_outputs)
+
+    @property
+    def size(self) -> int:
+        return len(self.members)
+
+    def __repr__(self) -> str:
+        names = ",".join(m.short() for m in self.members[:4])
+        more = f",+{self.size - 4}" if self.size > 4 else ""
+        return f"<{self.kind.value}#{self.group_id} [{names}{more}]>"
+
+
+class FusionPlan:
+    """A total partition of a graph's compute nodes into fusion groups."""
+
+    def __init__(self, graph: Graph, groups: list[FusionGroup]) -> None:
+        self.graph = graph
+        self.groups = groups
+        self.group_of: dict[Node, FusionGroup] = {}
+        for group in groups:
+            for member in group.members:
+                if member in self.group_of:
+                    raise ValueError(
+                        f"{member.short()} assigned to two groups")
+                self.group_of[member] = group
+
+    def kernel_groups(self) -> list[FusionGroup]:
+        """Groups that launch a device kernel."""
+        launching = (FusionKind.LOOP, FusionKind.INPUT, FusionKind.STITCH,
+                     FusionKind.LIBRARY, FusionKind.SINGLETON)
+        return [g for g in self.groups if g.kind in launching]
+
+    def num_kernels(self) -> int:
+        return len(self.kernel_groups())
+
+    def fused_op_count(self) -> int:
+        """Compute ops covered by multi-op fused kernels."""
+        return sum(g.size for g in self.groups
+                   if g.kind in (FusionKind.LOOP, FusionKind.INPUT,
+                                 FusionKind.STITCH) and g.size > 1)
+
+    def ordered_groups(self) -> list[FusionGroup]:
+        """Groups in a topological execution order.
+
+        Kahn's algorithm over the group-contracted graph (which the
+        planner's merge-time cycle checks guarantee is acyclic).  Ties are
+        broken by first-member position so the order is deterministic and
+        close to program order.
+        """
+        from collections import deque
+
+        first_position: dict[int, int] = {}
+        for position, node in enumerate(self.graph.nodes):
+            group = self.group_of.get(node)
+            if group is not None:
+                first_position.setdefault(group.group_id, position)
+
+        successors: dict[int, set] = {g.group_id: set()
+                                      for g in self.groups}
+        indegree: dict[int, int] = {g.group_id: 0 for g in self.groups}
+        for node in self.graph.nodes:
+            consumer = self.group_of.get(node)
+            if consumer is None:
+                continue
+            for operand in node.inputs:
+                producer = self.group_of.get(operand)
+                if producer is None or producer is consumer:
+                    continue
+                if consumer.group_id not in successors[producer.group_id]:
+                    successors[producer.group_id].add(consumer.group_id)
+                    indegree[consumer.group_id] += 1
+
+        by_id = {g.group_id: g for g in self.groups}
+        ready = sorted((gid for gid, deg in indegree.items() if deg == 0),
+                       key=lambda gid: first_position.get(gid, -1))
+        queue = deque(ready)
+        order: list[FusionGroup] = []
+        while queue:
+            gid = queue.popleft()
+            order.append(by_id[gid])
+            unlocked = []
+            for succ in successors[gid]:
+                indegree[succ] -= 1
+                if indegree[succ] == 0:
+                    unlocked.append(succ)
+            for succ in sorted(unlocked,
+                               key=lambda g: first_position.get(g, -1)):
+                queue.append(succ)
+        if len(order) != len(self.groups):
+            raise RuntimeError("fusion plan contains a group cycle")
+        return order
+
+    def stats(self) -> dict:
+        by_kind: dict[str, int] = {}
+        for group in self.groups:
+            by_kind[group.kind.value] = by_kind.get(group.kind.value, 0) + 1
+        return {
+            "groups": len(self.groups),
+            "kernels": self.num_kernels(),
+            "fused_ops": self.fused_op_count(),
+            "by_kind": by_kind,
+        }

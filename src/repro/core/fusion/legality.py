@@ -1,0 +1,110 @@
+"""Fusion legality predicates.
+
+Everything here is decided from *shape relationships*, never shape values —
+the paper's central insight.  All questions are answered by the
+:class:`~repro.core.symbolic.ShapeAnalysis`; with the analysis ablated to
+``NONE`` the same predicates run on structural equality only and legal
+fusions are missed (experiment E4 measures exactly that).
+"""
+
+from __future__ import annotations
+
+from ...ir.node import Node
+from ...ir.ops import OpCategory
+from ..symbolic import ShapeAnalysis
+
+__all__ = [
+    "is_loop_fusible",
+    "loop_edge_compatible",
+    "is_last_axis_reduce",
+    "reduce_row_space",
+    "stitch_member_role",
+]
+
+#: Categories that may join a kLoop group.
+_LOOP_CATEGORIES = (OpCategory.ELEMENTWISE, OpCategory.BROADCAST,
+                    OpCategory.RESHAPE)
+
+
+def is_loop_fusible(node: Node, include_reshape: bool = True) -> bool:
+    """May this node be a member of a single-loop fused kernel?"""
+    if node.attrs.get("_placement") == "host":
+        return False
+    if node.category is OpCategory.RESHAPE:
+        return include_reshape
+    if node.category in _LOOP_CATEGORIES:
+        return True
+    return node.op == "iota"
+
+
+def loop_edge_compatible(producer: Node, consumer: Node,
+                         analysis: ShapeAnalysis,
+                         include_reshape: bool = True) -> bool:
+    """May ``producer`` and ``consumer`` share one loop iteration domain?
+
+    The rule set mirrors BladeDISC's kLoop legality:
+
+    - the consumer being a ``broadcast_in_dim`` always absorbs its (smaller)
+      producer — inside the kernel the broadcast is just an index mapping;
+    - otherwise the two ops must cover *provably* the same number of
+      elements.  For structurally-equal shapes that is trivially true; for
+      reshape boundaries it needs the product-equality constraints — the
+      case where symbolic shape analysis earns its keep.
+    """
+    if not (is_loop_fusible(producer, include_reshape)
+            and is_loop_fusible(consumer, include_reshape)):
+        return False
+    if consumer.category is OpCategory.BROADCAST:
+        return True
+    return analysis.same_num_elements(producer.shape, consumer.shape)
+
+
+def is_last_axis_reduce(node: Node) -> bool:
+    """A reduction over exactly the last axis (the stitch-friendly form)."""
+    if not node.is_reduction:
+        return False
+    axes = node.attrs["axes"]
+    return tuple(axes) == (node.inputs[0].rank - 1,)
+
+
+def reduce_row_space(node: Node) -> tuple:
+    """(row_dims, reduced_dim) of a last-axis reduce's input."""
+    in_shape = node.inputs[0].shape
+    return tuple(in_shape[:-1]), in_shape[-1]
+
+
+def stitch_member_role(node: Node, rows: tuple, reduced,
+                       analysis: ShapeAnalysis) -> str | None:
+    """Can ``node`` live in a stitch group over row space ``rows``x``reduced``?
+
+    Returns the member's role, or ``None`` if it cannot join:
+
+    - ``"reduce"`` — a last-axis reduce over the same row space;
+    - ``"full"`` — an elementwise/broadcast op over ``rows + (reduced,)``;
+    - ``"row"`` — an op over ``rows`` or ``rows + (1,)`` (per-row scalars
+      such as the max/sum intermediates of a softmax).
+
+    The row space comparison uses constraint-derived dim equality, so two
+    reduces separated by a reshape-free elementwise chain stitch together
+    even when their shapes use different (but provably equal) symbols.
+    """
+    if node.attrs.get("_placement") == "host":
+        return None
+    if node.is_reduction:
+        if not is_last_axis_reduce(node):
+            return None
+        node_rows, node_reduced = reduce_row_space(node)
+        if analysis.shapes_equal(node_rows, rows) and analysis.dims_equal(
+                node_reduced, reduced):
+            return "reduce"
+        return None
+    if node.category not in (OpCategory.ELEMENTWISE, OpCategory.BROADCAST):
+        return None
+    shape = node.shape
+    full = rows + (reduced,)
+    if analysis.shapes_equal(shape, full):
+        return "full"
+    if analysis.shapes_equal(shape, rows + (1,)) or analysis.shapes_equal(
+            shape, rows):
+        return "row"
+    return None

@@ -1,0 +1,101 @@
+"""The complete DISC optimization pipeline.
+
+``compile_graph`` is the library's main entry point: it takes a model graph
+with symbolic shapes and produces a shape-generic :class:`Executable` —
+
+1. lower composites, simplify, CSE, DCE, place shape computations (the
+   generic pass pipeline);
+2. run the cross-level symbolic shape analysis;
+3. plan fusion from the propagated shape relationships;
+4. generate one kernel per fusion group (compile-time half) with runtime
+   schedule selection hooks (runtime half);
+5. assemble the executable with its compile report.
+
+Compilation happens exactly once per model; no step here ever needs a
+concrete shape value.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+
+from ..device.compilecost import compile_cost_us
+from ..ir.graph import Graph
+from ..ir.verifier import verify
+from ..passes import PassManager, default_pipeline
+from ..runtime.executable import CompileReport, Executable
+from ..runtime.memory import plan_buffers
+from .codegen.kernels import compile_group
+from .fusion.kinds import FusionConfig, FusionKind
+from .fusion.planner import plan_fusion
+from .symbolic import ConstraintLevel, analyze_shapes
+
+__all__ = ["CompileOptions", "DiscCompiler", "compile_graph"]
+
+
+@dataclass
+class CompileOptions:
+    """Every ablatable knob of the pipeline."""
+
+    constraint_level: ConstraintLevel = ConstraintLevel.FULL
+    fusion: FusionConfig = field(default_factory=FusionConfig)
+    #: verify IR invariants after every pass (slower; on in tests).
+    verify_each_pass: bool = False
+    #: simulated compile-cost grade charged for this compilation.
+    compile_grade: str = "jit"
+
+
+class DiscCompiler:
+    """Compiles IR graphs into shape-generic executables."""
+
+    def __init__(self, options: CompileOptions | None = None) -> None:
+        self.options = options or CompileOptions()
+
+    def compile(self, graph: Graph) -> Executable:
+        """Compile ``graph`` (a clone is optimised; the input is kept)."""
+        options = self.options
+        start = time.perf_counter()
+        working = graph.clone()
+        verify(working)
+
+        manager = PassManager(default_pipeline(),
+                              verify_each=options.verify_each_pass)
+        pass_results = manager.run(working)
+
+        analysis = analyze_shapes(working, options.constraint_level)
+        plan = plan_fusion(working, analysis, options.fusion)
+
+        users = working.users()
+        kernels = []
+        constants = {}
+        for group in plan.ordered_groups():
+            kernels.append(compile_group(group, users, working.outputs))
+        for node in working.nodes:
+            if node.op == "constant":
+                constants[node] = node.attrs["value"].astype(
+                    node.dtype.to_numpy(), copy=False)
+
+        wall = time.perf_counter() - start
+        report = CompileReport(
+            wall_time_s=wall,
+            simulated_compile_us=compile_cost_us(len(working.nodes),
+                                                 options.compile_grade),
+            pass_results=pass_results,
+            fusion_stats=plan.stats(),
+            analysis_summary=analysis.summary(),
+            num_kernels=sum(1 for k in kernels
+                            if k.kind not in (FusionKind.METADATA,
+                                              FusionKind.HOST)),
+            num_nodes=len(working.nodes),
+        )
+        buffer_plan = plan_buffers(kernels, working.outputs)
+        return Executable(graph=working, plan=plan, kernels=kernels,
+                          constants=constants, report=report,
+                          buffer_plan=buffer_plan)
+
+
+def compile_graph(graph: Graph,
+                  options: CompileOptions | None = None) -> Executable:
+    """One-shot convenience wrapper around :class:`DiscCompiler`."""
+    return DiscCompiler(options).compile(graph)

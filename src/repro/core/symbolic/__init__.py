@@ -1,0 +1,11 @@
+"""Cross-level symbolic shape representation and constraint analysis."""
+
+from .unionfind import ContradictionError, UnionFind
+from .constraints import ConstraintStore, product_term
+from .analysis import ConstraintLevel, ShapeAnalysis, analyze_shapes
+
+__all__ = [
+    "ContradictionError", "UnionFind",
+    "ConstraintStore", "product_term",
+    "ConstraintLevel", "ShapeAnalysis", "analyze_shapes",
+]

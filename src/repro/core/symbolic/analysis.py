@@ -1,0 +1,191 @@
+"""Cross-level symbolic shape analysis.
+
+One pass over the graph collects, per op, the shape relationships that the
+op's semantics *guarantee* — no shape values needed.  The result is a
+:class:`ShapeAnalysis` object the fusion planner (and later codegen) queries.
+This is the paper's "shape information propagation": shape knowledge flows
+along dataflow edges as constraints rather than as concrete numbers.
+
+The analysis supports three strictness levels, which experiment E4 ablates:
+
+- ``NONE`` — no constraint collection; only structural dim identity.
+- ``EQUALITY`` — dim-equality facts (union-find) from elementwise ops,
+  broadcasts, transposes, reductions, dots.
+- ``FULL`` — adds reshape product-equality facts and likely-value hints.
+"""
+
+from __future__ import annotations
+
+import time
+from enum import Enum
+
+from ...ir.graph import Graph
+from ...ir.node import Node
+from ...ir.shapes import Dim, SymDim
+from .constraints import ConstraintStore
+
+__all__ = ["ConstraintLevel", "ShapeAnalysis", "analyze_shapes"]
+
+
+class ConstraintLevel(Enum):
+    """Strictness of the shape-constraint analysis (ablated by E4)."""
+
+    NONE = "none"
+    EQUALITY = "equality"
+    FULL = "full"
+
+
+class ShapeAnalysis:
+    """The queryable result of running shape analysis over a graph."""
+
+    def __init__(self, graph: Graph, level: ConstraintLevel) -> None:
+        self.graph = graph
+        self.level = level
+        self.store = ConstraintStore()
+        self.analysis_time_s = 0.0
+
+    # -- queries used by fusion/codegen ---------------------------------
+
+    def dims_equal(self, a: Dim, b: Dim) -> bool:
+        if self.level is ConstraintLevel.NONE:
+            return a == b
+        return self.store.dims_equal(a, b)
+
+    def shapes_equal(self, a, b) -> bool:
+        if self.level is ConstraintLevel.NONE:
+            return tuple(a) == tuple(b)
+        return self.store.shapes_equal(a, b)
+
+    def same_num_elements(self, a, b) -> bool:
+        if self.level is ConstraintLevel.NONE:
+            return tuple(a) == tuple(b)
+        if self.level is ConstraintLevel.EQUALITY:
+            # Without product facts, only directly comparable products of
+            # equal shapes can be decided.
+            return self.store.shapes_equal(a, b)
+        return self.store.same_num_elements(a, b)
+
+    def likely_value(self, dim: Dim) -> int | None:
+        if isinstance(dim, int):
+            return dim
+        if self.level is ConstraintLevel.NONE:
+            return dim.hint
+        return self.store.likely_value(dim)
+
+    def likely_num_elements(self, shape) -> int:
+        """Heuristic element count (1 for unknown symbols)."""
+        total = 1
+        for dim in shape:
+            value = self.likely_value(dim)
+            total *= value if value else 1
+        return total
+
+    def summary(self) -> dict:
+        info = self.store.summary()
+        info["level"] = self.level.value
+        info["analysis_time_s"] = self.analysis_time_s
+        return info
+
+
+def analyze_shapes(graph: Graph,
+                   level: ConstraintLevel = ConstraintLevel.FULL
+                   ) -> ShapeAnalysis:
+    """Collect shape constraints for ``graph`` at the given level."""
+    analysis = ShapeAnalysis(graph, level)
+    if level is ConstraintLevel.NONE:
+        return analysis
+    start = time.perf_counter()
+    store = analysis.store
+    full = level is ConstraintLevel.FULL
+    for node in graph.nodes:
+        _collect_node(node, store, full)
+        if full:
+            for dim in node.shape:
+                if isinstance(dim, SymDim):
+                    store.note_likely_value(dim)
+    analysis.analysis_time_s = time.perf_counter() - start
+    return analysis
+
+
+def _collect_node(node: Node, store: ConstraintStore, full: bool) -> None:
+    """Record the shape facts one op guarantees."""
+    op = node.op
+    if node.is_elementwise:
+        # All operands and the result are elementwise-aligned.
+        for operand in node.inputs:
+            store.assert_shapes_equal(operand.shape, node.shape)
+        return
+    if op == "broadcast_in_dim":
+        (operand,) = node.inputs
+        for in_dim, out_pos in zip(operand.shape,
+                                   node.attrs["broadcast_dims"]):
+            if in_dim != 1:
+                store.assert_dims_equal(in_dim, node.shape[out_pos])
+        return
+    if op == "reshape":
+        if full:
+            (operand,) = node.inputs
+            store.assert_products_equal(operand.shape, node.shape)
+        return
+    if op == "transpose":
+        (operand,) = node.inputs
+        for out_pos, in_pos in enumerate(node.attrs["perm"]):
+            store.assert_dims_equal(operand.shape[in_pos],
+                                    node.shape[out_pos])
+        return
+    if op == "reduce":
+        (operand,) = node.inputs
+        axes = set(node.attrs["axes"])
+        keepdims = node.attrs.get("keepdims", False)
+        out_iter = iter(node.shape)
+        for i, in_dim in enumerate(operand.shape):
+            if i in axes:
+                if keepdims:
+                    next(out_iter)  # the kept 1
+                continue
+            store.assert_dims_equal(in_dim, next(out_iter))
+        return
+    if op == "dot":
+        a, b = node.inputs
+        store.assert_dims_equal(a.shape[-1], b.shape[-2])
+        store.assert_dims_equal(a.shape[-2], node.shape[-2])
+        store.assert_dims_equal(b.shape[-1], node.shape[-1])
+        # Batch dims: align right-to-left where neither side is 1.
+        batch_out = node.shape[:-2]
+        for operand in (a, b):
+            batch_in = operand.shape[:-2]
+            for off in range(1, len(batch_in) + 1):
+                din = batch_in[-off]
+                dout = batch_out[-off]
+                if din != 1:
+                    store.assert_dims_equal(din, dout)
+        return
+    if op == "concat":
+        axis = node.attrs["axis"]
+        for operand in node.inputs:
+            for i, in_dim in enumerate(operand.shape):
+                if i != axis:
+                    store.assert_dims_equal(in_dim, node.shape[i])
+        return
+    if op == "gather":
+        operand, indices = node.inputs
+        axis = node.attrs.get("axis", 0)
+        for i in range(axis):
+            store.assert_dims_equal(operand.shape[i], node.shape[i])
+        for j, idx_dim in enumerate(indices.shape):
+            store.assert_dims_equal(idx_dim, node.shape[axis + j])
+        tail = len(operand.shape) - axis - 1
+        for k in range(tail):
+            store.assert_dims_equal(operand.shape[axis + 1 + k],
+                                    node.shape[axis + len(indices.shape) + k])
+        return
+    if op == "slice":
+        (operand,) = node.inputs
+        # Full-dim slices of symbolic dims preserve the symbol; inference
+        # already reused the same SymDim so only static info remains.
+        return
+    if op in ("softmax", "layer_norm", "gelu"):
+        # Composites are elementwise in their first operand's shape.
+        store.assert_shapes_equal(node.inputs[0].shape, node.shape)
+        return
+    # parameter/constant/iota/conv2d/shape_of/dim_size: nothing portable.

@@ -1,0 +1,162 @@
+"""Shape-constraint store: the facts the analysis collects.
+
+Three kinds of facts, mirroring the paper's shape-constraint taxonomy:
+
+- **dim equality** — two dims always hold the same value (e.g. the two
+  operands of an ``add``).  Stored in a union-find keyed by symbol name /
+  int constant.
+- **product equality** — two dim *sets* have the same product (the paper's
+  reshape constraint: ``reshape [b, s, h] -> [bs, h]`` proves
+  ``b*s == bs``).  Stored as a union-find over canonical product terms.
+- **likely values** — per-symbol value hints mined from ``SymDim.hint``;
+  heuristic inputs only (schedule variant ordering), never correctness.
+
+The store answers the two queries fusion actually needs — "are these shapes
+certainly element-wise identical?" and "do these shapes certainly cover the
+same number of elements?" — without ever needing a concrete value.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+from ...ir.shapes import Dim, SymDim
+from .unionfind import ContradictionError, UnionFind
+
+__all__ = ["ConstraintStore", "ContradictionError", "product_term"]
+
+
+def _dim_key(dim: Dim):
+    return dim.name if isinstance(dim, SymDim) else int(dim)
+
+
+def product_term(shape: Sequence[Dim], resolver=None) -> tuple:
+    """Canonical product of a shape: ``(coeff, sorted symbol keys)``.
+
+    ``resolver`` optionally maps a symbol key to either an int (the class
+    constant) or a canonical representative key, letting the store fold dim
+    equalities into product comparison.
+    """
+    coeff = 1
+    syms: list = []
+    for dim in shape:
+        key = _dim_key(dim)
+        if resolver is not None and not isinstance(key, int):
+            key = resolver(key)
+        if isinstance(key, int):
+            coeff *= key
+        else:
+            syms.append(key)
+    return (coeff, tuple(sorted(syms)))
+
+
+class ConstraintStore:
+    """Accumulates and queries shape constraints for one graph."""
+
+    def __init__(self) -> None:
+        self._dims = UnionFind()
+        self._products = UnionFind()
+        self._likely: dict[str, int] = {}
+        self.num_dim_facts = 0
+        self.num_product_facts = 0
+
+    # -- recording ---------------------------------------------------------
+
+    def assert_dims_equal(self, a: Dim, b: Dim) -> None:
+        """Record that two dims are always equal."""
+        ka, kb = _dim_key(a), _dim_key(b)
+        if ka == kb:
+            return
+        self._dims.union(ka, kb)
+        self.num_dim_facts += 1
+
+    def assert_shapes_equal(self, a: Sequence[Dim], b: Sequence[Dim]) -> None:
+        if len(a) != len(b):
+            raise ContradictionError(
+                f"shapes of different rank asserted equal: {a} vs {b}")
+        for da, db in zip(a, b):
+            self.assert_dims_equal(da, db)
+
+    def assert_products_equal(self, a: Sequence[Dim],
+                              b: Sequence[Dim]) -> None:
+        """Record that two shapes cover the same number of elements."""
+        ta = product_term(a, self._resolve)
+        tb = product_term(b, self._resolve)
+        if ta == tb:
+            return
+        self._products.union(ta, tb)
+        self.num_product_facts += 1
+
+    def note_likely_value(self, sym: SymDim) -> None:
+        if sym.hint is not None:
+            self._likely.setdefault(sym.name, sym.hint)
+
+    # -- queries -----------------------------------------------------------
+
+    def dims_equal(self, a: Dim, b: Dim) -> bool:
+        """Certainly-equal: structural, constant-resolved, or unioned."""
+        ka, kb = _dim_key(a), _dim_key(b)
+        if ka == kb:
+            return True
+        ca = self._dims.constant_of(ka) if ka in self._dims or isinstance(
+            ka, int) else None
+        cb = self._dims.constant_of(kb) if kb in self._dims or isinstance(
+            kb, int) else None
+        if ca is not None and cb is not None:
+            return ca == cb
+        return self._dims.same(ka, kb)
+
+    def shapes_equal(self, a: Sequence[Dim], b: Sequence[Dim]) -> bool:
+        return len(a) == len(b) and all(
+            self.dims_equal(da, db) for da, db in zip(a, b))
+
+    def same_num_elements(self, a: Sequence[Dim], b: Sequence[Dim]) -> bool:
+        """Certainly-equal element counts, the key fusion query.
+
+        True when the canonical product terms coincide after folding dim
+        equalities, or when a reshape fact linked the two terms.
+        """
+        ta = product_term(a, self._resolve)
+        tb = product_term(b, self._resolve)
+        if ta == tb:
+            return True
+        return self._products.same(ta, tb)
+
+    def resolve_dim(self, dim: Dim) -> Dim:
+        """Fold a dim to its class constant (int) when one is known."""
+        key = _dim_key(dim)
+        if isinstance(key, int):
+            return key
+        const = self._dims.constant_of(key)
+        return const if const is not None else dim
+
+    def likely_value(self, dim: Dim) -> int | None:
+        """Heuristic magnitude for a dim: constant, class constant or hint."""
+        if isinstance(dim, int):
+            return dim
+        const = self._dims.constant_of(dim.name)
+        if const is not None:
+            return const
+        return self._likely.get(dim.name, dim.hint)
+
+    def dim_classes(self) -> list[list]:
+        return self._dims.classes()
+
+    # -- internals -----------------------------------------------------------
+
+    def _resolve(self, key: str):
+        """Map a symbol key to its class constant or representative key."""
+        const = self._dims.constant_of(key)
+        if const is not None:
+            return const
+        root = self._dims.find(key)
+        return root
+
+    def summary(self) -> dict:
+        """Counters used by the analysis-overhead experiment (E10)."""
+        return {
+            "dim_facts": self.num_dim_facts,
+            "product_facts": self.num_product_facts,
+            "dim_classes": len(self.dim_classes()),
+            "likely_values": len(self._likely),
+        }

@@ -1,0 +1,92 @@
+"""A small union-find used for dimension-equality classes.
+
+Keys are hashable tokens (symbol names and ``int`` constants).  Classes that
+contain a constant resolve to that constant; merging two classes with
+*different* constants is a contradiction and raises, which surfaces
+inconsistent graphs at analysis time rather than at run time.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Iterable
+
+__all__ = ["UnionFind", "ContradictionError"]
+
+
+class ContradictionError(ValueError):
+    """Two provably different values were asserted equal."""
+
+
+class UnionFind:
+    """Union-find with path compression and union-by-size."""
+
+    def __init__(self) -> None:
+        self._parent: dict[Hashable, Hashable] = {}
+        self._size: dict[Hashable, int] = {}
+        self._constant: dict[Hashable, int] = {}
+
+    def add(self, key: Hashable) -> None:
+        if key not in self._parent:
+            self._parent[key] = key
+            self._size[key] = 1
+            if isinstance(key, int):
+                self._constant[key] = key
+
+    def find(self, key: Hashable) -> Hashable:
+        self.add(key)
+        root = key
+        while self._parent[root] != root:
+            root = self._parent[root]
+        while self._parent[key] != root:  # path compression
+            self._parent[key], key = root, self._parent[key]
+        return root
+
+    def union(self, a: Hashable, b: Hashable) -> Hashable:
+        """Merge the classes of ``a`` and ``b``; returns the new root.
+
+        Raises :class:`ContradictionError` when both classes already
+        resolve to different constants.
+        """
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return ra
+        ca = self._constant.get(ra)
+        cb = self._constant.get(rb)
+        if ca is not None and cb is not None and ca != cb:
+            raise ContradictionError(
+                f"cannot unify dims: {a!r} = {ca} but {b!r} = {cb}")
+        if self._size[ra] < self._size[rb]:
+            ra, rb = rb, ra
+        self._parent[rb] = ra
+        self._size[ra] += self._size[rb]
+        const = ca if ca is not None else cb
+        if const is not None:
+            self._constant[ra] = const
+        return ra
+
+    def same(self, a: Hashable, b: Hashable) -> bool:
+        """True when ``a`` and ``b`` are known equal.
+
+        Unseen keys are added as singletons, so ``same`` never raises.
+        Two equal constants compare equal even if never unioned.
+        """
+        if isinstance(a, int) and isinstance(b, int):
+            return a == b
+        return self.find(a) == self.find(b)
+
+    def constant_of(self, key: Hashable) -> int | None:
+        """The constant this key's class resolves to, if any."""
+        return self._constant.get(self.find(key))
+
+    def classes(self) -> list[list]:
+        """All equivalence classes with more than one member."""
+        by_root: dict[Hashable, list] = {}
+        for key in self._parent:
+            by_root.setdefault(self.find(key), []).append(key)
+        return [members for members in by_root.values() if len(members) > 1]
+
+    def keys(self) -> Iterable[Hashable]:
+        return self._parent.keys()
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._parent

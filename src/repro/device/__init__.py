@@ -1,0 +1,13 @@
+"""Simulated GPU substrate: device profiles, cost model, counters."""
+
+from .profiles import (A10, CPU_AARCH64, CPU_X86, DEVICES, T4,
+                       DeviceProfile, device_named)
+from .cost import KernelSpec, kernel_time_us, library_efficiency, occupancy
+from .counters import RunStats, Timeline
+
+__all__ = [
+    "A10", "CPU_AARCH64", "CPU_X86", "DEVICES", "T4", "DeviceProfile",
+    "device_named",
+    "KernelSpec", "kernel_time_us", "library_efficiency", "occupancy",
+    "RunStats", "Timeline",
+]

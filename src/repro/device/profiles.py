@@ -1,0 +1,116 @@
+"""Simulated GPU device profiles.
+
+The paper evaluates on NVIDIA A10 and T4.  We model each device with the
+handful of first-order parameters that determine kernel latency for the
+inference workloads in question:
+
+- ``mem_bandwidth_gbps`` — peak DRAM bandwidth; memory-bound kernel time is
+  ``bytes / (bandwidth * efficiency)``.
+- ``peak_fp32_tflops`` — peak compute; compute-bound kernel time is
+  ``flops / (peak * efficiency)``.
+- ``kernel_launch_us`` — fixed host→device launch latency per kernel; the
+  dominant cost of unfused dynamic-shape inference at small batch.
+- ``sm_count`` / ``threads_per_sm`` — device parallelism, used to model how
+  much work it takes to saturate the device (small kernels run at a
+  fraction of peak bandwidth).
+
+Parameter values are taken from the public datasheets; they produce
+realistic *ratios* (A10 ≈ 1.9× the bandwidth and ≈ 3.9× the fp32 compute
+of T4), which is what matters for reproducing the paper's speedup shape.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["DeviceProfile", "A10", "T4", "DEVICES", "device_named"]
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """First-order performance model of one GPU."""
+
+    name: str
+    mem_bandwidth_gbps: float
+    peak_fp32_tflops: float
+    kernel_launch_us: float
+    sm_count: int
+    threads_per_sm: int = 1536
+    #: fixed tail/epilogue overhead per kernel beyond the launch itself.
+    kernel_fixed_us: float = 0.5
+    #: host cost of one host-placed scalar/shape computation.
+    host_op_us: float = 0.08
+
+    @property
+    def saturation_elements(self) -> int:
+        """Elements of parallel work needed to saturate the device.
+
+        Below this, effective bandwidth/compute scale roughly linearly
+        with available parallelism (tail effect / low occupancy).
+        """
+        return self.sm_count * self.threads_per_sm * 2
+
+    def bytes_per_us(self) -> float:
+        return self.mem_bandwidth_gbps * 1e9 / 1e6
+
+    def flops_per_us(self) -> float:
+        return self.peak_fp32_tflops * 1e12 / 1e6
+
+
+A10 = DeviceProfile(
+    name="A10",
+    mem_bandwidth_gbps=600.0,
+    peak_fp32_tflops=31.2,
+    kernel_launch_us=3.5,
+    sm_count=72,
+)
+
+T4 = DeviceProfile(
+    name="T4",
+    mem_bandwidth_gbps=320.0,
+    peak_fp32_tflops=8.1,
+    kernel_launch_us=3.5,
+    sm_count=40,
+)
+
+#: A server CPU (Ice-Lake-class, 32 cores with AVX-512).  BladeDISC also
+#: deploys on CPU; the profile reuses the same roofline with CPU-typical
+#: parameters: tiny "launch" cost (a function call, not a PCIe round
+#: trip), low bandwidth, and so few hardware threads that the occupancy
+#: ramp saturates almost immediately.
+CPU_X86 = DeviceProfile(
+    name="CPU-x86",
+    mem_bandwidth_gbps=100.0,
+    peak_fp32_tflops=2.0,
+    kernel_launch_us=0.3,
+    kernel_fixed_us=0.2,
+    sm_count=32,
+    threads_per_sm=2,
+    host_op_us=0.05,
+)
+
+#: An AArch64 server CPU (Yitian-710-class), the other CPU target the
+#: BladeDISC system supports.
+CPU_AARCH64 = DeviceProfile(
+    name="CPU-aarch64",
+    mem_bandwidth_gbps=140.0,
+    peak_fp32_tflops=1.6,
+    kernel_launch_us=0.3,
+    kernel_fixed_us=0.2,
+    sm_count=64,
+    threads_per_sm=2,
+    host_op_us=0.05,
+)
+
+DEVICES = {"A10": A10, "T4": T4, "CPU-x86": CPU_X86,
+           "CPU-aarch64": CPU_AARCH64}
+
+
+def device_named(name: str) -> DeviceProfile:
+    """Look up a device profile by name ("A10", "T4", "CPU-x86", ...)."""
+    try:
+        return DEVICES[name]
+    except KeyError:
+        raise KeyError(
+            f"unknown device {name!r}; available: {sorted(DEVICES)}"
+        ) from None

@@ -1,0 +1,5 @@
+"""Tracing frontend: capture Python tensor programs as IR graphs."""
+
+from .tracer import TracedTensor, TraceError, constant, trace
+
+__all__ = ["TracedTensor", "TraceError", "constant", "trace"]

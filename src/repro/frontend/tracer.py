@@ -1,0 +1,247 @@
+"""Tracing frontend: capture plain Python tensor code as an IR graph.
+
+BladeDISC attaches to frameworks by tracing (TorchBlade captures PyTorch
+programs and hands the graph to the compiler).  This module provides the
+equivalent entry point for this reproduction: write ordinary numeric Python
+against :class:`TracedTensor` — operators, numpy-style methods — and
+:func:`trace` records it, once, into a :class:`~repro.ir.graph.Graph` with
+symbolic shapes.
+
+Example::
+
+    from repro.frontend import trace
+    from repro.ir import f32
+
+    def model(x, w):
+        h = (x @ w).relu()
+        return h.softmax(axis=-1)
+
+    graph = trace(model, [("x", ("batch", 128), f32),
+                          ("w", (128, 64), f32)])
+
+Dims given as strings become named symbolic dims; the traced graph then
+compiles and serves every shape like any hand-built graph.
+"""
+
+from __future__ import annotations
+
+import contextvars
+from typing import Callable, Sequence
+
+import numpy as np
+
+from ..ir import dtypes as dt
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from ..ir.node import Node
+
+__all__ = ["TracedTensor", "TraceError", "trace", "constant"]
+
+
+class TraceError(RuntimeError):
+    """Raised for untraceable constructs."""
+
+
+_ACTIVE_BUILDER: contextvars.ContextVar = contextvars.ContextVar(
+    "repro_active_tracer", default=None)
+
+
+def _builder() -> GraphBuilder:
+    builder = _ACTIVE_BUILDER.get()
+    if builder is None:
+        raise TraceError(
+            "no active trace; TracedTensor operations are only valid "
+            "inside a function passed to repro.frontend.trace()")
+    return builder
+
+
+class TracedTensor:
+    """A symbolic tensor recording the ops applied to it."""
+
+    __slots__ = ("node",)
+
+    def __init__(self, node: Node) -> None:
+        self.node = node
+
+    # -- metadata ---------------------------------------------------------
+
+    @property
+    def shape(self) -> tuple:
+        return self.node.shape
+
+    @property
+    def dtype(self):
+        return self.node.dtype
+
+    @property
+    def ndim(self) -> int:
+        return len(self.node.shape)
+
+    def __repr__(self) -> str:
+        return f"TracedTensor({self.node!r})"
+
+    # -- coercion -----------------------------------------------------------
+
+    @staticmethod
+    def _wrap(value) -> "TracedTensor":
+        if isinstance(value, TracedTensor):
+            return value
+        b = _builder()
+        if isinstance(value, (int, float, bool, np.number)):
+            return TracedTensor(b.scalar(float(value)))
+        if isinstance(value, np.ndarray):
+            return TracedTensor(b.constant(value))
+        raise TraceError(f"cannot trace value of type {type(value)!r}")
+
+    def _binary(self, op: str, other, reflected: bool = False):
+        other = self._wrap(other)
+        b = _builder()
+        left, right = (other, self) if reflected else (self, other)
+        return TracedTensor(getattr(b, op)(left.node, right.node))
+
+    # -- arithmetic operators -------------------------------------------------
+
+    def __add__(self, other): return self._binary("add", other)
+    def __radd__(self, other): return self._binary("add", other, True)
+    def __sub__(self, other): return self._binary("sub", other)
+    def __rsub__(self, other): return self._binary("sub", other, True)
+    def __mul__(self, other): return self._binary("mul", other)
+    def __rmul__(self, other): return self._binary("mul", other, True)
+    def __truediv__(self, other): return self._binary("div", other)
+    def __rtruediv__(self, other): return self._binary("div", other, True)
+    def __pow__(self, other): return self._binary("pow", other)
+    def __matmul__(self, other): return self._binary("dot", other)
+    def __neg__(self): return TracedTensor(_builder().neg(self.node))
+    def __abs__(self): return TracedTensor(_builder().abs(self.node))
+
+    # -- comparisons ----------------------------------------------------------
+
+    def __lt__(self, other): return self._binary("lt", other)
+    def __le__(self, other): return self._binary("le", other)
+    def __gt__(self, other): return self._binary("gt", other)
+    def __ge__(self, other): return self._binary("ge", other)
+
+    def equals(self, other):
+        """Elementwise equality (``==`` is kept as identity so tensors
+        stay usable in dicts/sets during tracing)."""
+        return self._binary("eq", other)
+
+    # -- elementwise methods ------------------------------------------------------
+
+    def exp(self): return TracedTensor(_builder().exp(self.node))
+    def log(self): return TracedTensor(_builder().log(self.node))
+    def sqrt(self): return TracedTensor(_builder().sqrt(self.node))
+    def rsqrt(self): return TracedTensor(_builder().rsqrt(self.node))
+    def tanh(self): return TracedTensor(_builder().tanh(self.node))
+    def sigmoid(self): return TracedTensor(_builder().sigmoid(self.node))
+    def relu(self): return TracedTensor(_builder().relu(self.node))
+    def gelu(self): return TracedTensor(_builder().gelu(self.node))
+
+    def astype(self, dtype: dt.DType):
+        return TracedTensor(_builder().cast(self.node, dtype))
+
+    def where(self, on_true, on_false):
+        """self (a boolean tensor) selects between the two branches."""
+        on_true = self._wrap(on_true)
+        on_false = self._wrap(on_false)
+        return TracedTensor(_builder().select(
+            self.node, on_true.node, on_false.node))
+
+    # -- shape methods ---------------------------------------------------------------
+
+    def reshape(self, *new_shape):
+        if len(new_shape) == 1 and isinstance(new_shape[0],
+                                              (tuple, list)):
+            new_shape = tuple(new_shape[0])
+        b = _builder()
+        resolved = tuple(b.sym(d) if isinstance(d, str) else d
+                         for d in new_shape)
+        return TracedTensor(b.reshape(self.node, resolved))
+
+    def transpose(self, *perm):
+        if len(perm) == 1 and isinstance(perm[0], (tuple, list)):
+            perm = tuple(perm[0])
+        if not perm:
+            perm = tuple(reversed(range(self.ndim)))
+        return TracedTensor(_builder().transpose(self.node, perm))
+
+    @property
+    def T(self):
+        return self.transpose()
+
+    def broadcast_to(self, shape):
+        return TracedTensor(_builder().broadcast_to(self.node,
+                                                    tuple(shape)))
+
+    # -- reductions -------------------------------------------------------------------
+
+    def _reduce(self, kind: str, axis, keepdims: bool):
+        if axis is None:
+            axis = tuple(range(self.ndim))
+        return TracedTensor(_builder().reduce(self.node, kind, axis,
+                                              keepdims))
+
+    def sum(self, axis=None, keepdims=False):
+        return self._reduce("sum", axis, keepdims)
+
+    def max(self, axis=None, keepdims=False):
+        return self._reduce("max", axis, keepdims)
+
+    def min(self, axis=None, keepdims=False):
+        return self._reduce("min", axis, keepdims)
+
+    def mean(self, axis=None, keepdims=False):
+        return self._reduce("mean", axis, keepdims)
+
+    # -- composites -------------------------------------------------------------------------
+
+    def softmax(self, axis: int = -1):
+        return TracedTensor(_builder().softmax(self.node, axis))
+
+    def layer_norm(self, scale, bias, eps: float = 1e-5):
+        scale = self._wrap(scale)
+        bias = self._wrap(bias)
+        return TracedTensor(_builder().layer_norm(
+            self.node, scale.node, bias.node, eps))
+
+
+def constant(value, dtype: dt.DType | None = None) -> TracedTensor:
+    """Embed a constant array into the graph being traced."""
+    return TracedTensor(_builder().constant(np.asarray(value), dtype))
+
+
+def trace(fn: Callable, input_specs: Sequence[tuple],
+          name: str | None = None) -> Graph:
+    """Run ``fn`` once on traced tensors and return the captured graph.
+
+    ``input_specs`` is a list of ``(name, shape, dtype)`` triples; string
+    dims in ``shape`` become named symbolic dims (repeated names share the
+    symbol, expressing cross-input shape constraints).
+    """
+    builder = GraphBuilder(name or getattr(fn, "__name__", "traced"))
+    token = _ACTIVE_BUILDER.set(builder)
+    try:
+        args = []
+        for spec in input_specs:
+            if len(spec) != 3:
+                raise TraceError(
+                    f"input spec must be (name, shape, dtype); got {spec}")
+            arg_name, shape, dtype = spec
+            resolved = tuple(builder.sym(d) if isinstance(d, str) else d
+                             for d in shape)
+            args.append(TracedTensor(
+                builder.parameter(arg_name, resolved, dtype)))
+        result = fn(*args)
+        outputs = result if isinstance(result, (tuple, list)) else (
+            result,)
+        nodes = []
+        for out in outputs:
+            if not isinstance(out, TracedTensor):
+                raise TraceError(
+                    f"traced function must return TracedTensor(s); got "
+                    f"{type(out)!r}")
+            nodes.append(out.node)
+        builder.outputs(*nodes)
+    finally:
+        _ACTIVE_BUILDER.reset(token)
+    return builder.graph

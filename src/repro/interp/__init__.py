@@ -1,0 +1,5 @@
+"""Reference interpreter — the numerical ground truth for every executor."""
+
+from .interpreter import Interpreter, evaluate
+
+__all__ = ["Interpreter", "evaluate"]

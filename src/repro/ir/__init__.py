@@ -1,0 +1,42 @@
+"""Tensor-level IR: the substrate the BladeDISC reproduction compiles.
+
+Public surface:
+
+- dtypes: :data:`f16` :data:`f32` :data:`f64` :data:`i32` :data:`i64`
+  :data:`boolean`
+- shapes: :class:`SymDim`, :class:`SymbolTable`, shape helpers
+- graph: :class:`Node`, :class:`Graph`, :class:`GraphBuilder`
+- tooling: :func:`verify`, :func:`print_graph`, traversal helpers
+"""
+
+from .dtypes import (ALL_DTYPES, DType, boolean, f16, f32, f64, from_numpy,
+                     i32, i64, promote)
+from .shapes import (Dim, Shape, SymDim, SymbolTable, dims_definitely_equal,
+                     format_shape, is_static, num_elements, substitute)
+from .ops import (OPS, InferenceError, OpCategory, OpInfo, is_elementwise,
+                  is_reduction, op_info)
+from .node import Node
+from .graph import Graph
+from .builder import GraphBuilder
+from .verifier import VerificationError, verify
+from .printer import format_node, print_graph
+from .serde import graph_from_dict, graph_to_dict, load_graph, save_graph
+from .traversal import (ancestors, descendants, induced_subgraph_inputs,
+                        induced_subgraph_outputs, reverse_topological_order,
+                        topological_order)
+
+__all__ = [
+    "ALL_DTYPES", "DType", "boolean", "f16", "f32", "f64", "from_numpy",
+    "i32", "i64", "promote",
+    "Dim", "Shape", "SymDim", "SymbolTable", "dims_definitely_equal",
+    "format_shape", "is_static", "num_elements", "substitute",
+    "OPS", "InferenceError", "OpCategory", "OpInfo", "is_elementwise",
+    "is_reduction", "op_info",
+    "Node", "Graph", "GraphBuilder",
+    "VerificationError", "verify",
+    "format_node", "print_graph",
+    "graph_from_dict", "graph_to_dict", "load_graph", "save_graph",
+    "ancestors", "descendants", "induced_subgraph_inputs",
+    "induced_subgraph_outputs", "reverse_topological_order",
+    "topological_order",
+]

@@ -1,0 +1,252 @@
+"""Fluent graph construction API.
+
+:class:`GraphBuilder` wraps a :class:`~repro.ir.graph.Graph` with one method
+per op plus convenience helpers that insert the explicit broadcasts the IR
+requires.  Model builders in ``repro.models`` are written against this API.
+
+Example::
+
+    b = GraphBuilder("toy")
+    batch = b.sym("batch", hint=8)
+    x = b.parameter("x", (batch, 128), f32)
+    w = b.parameter("w", (128, 64), f32)
+    y = b.relu(b.add_bias(b.dot(x, w), b.parameter("c", (64,), f32)))
+    b.outputs(y)
+    graph = b.graph
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from . import dtypes as dt
+from .dtypes import DType
+from .graph import Graph
+from .node import Node
+from .shapes import Dim, SymDim
+
+__all__ = ["GraphBuilder"]
+
+
+class GraphBuilder:
+    """Builds a graph one op at a time with automatic shape inference."""
+
+    def __init__(self, name: str = "graph", graph: Graph | None = None):
+        self.graph = graph if graph is not None else Graph(name)
+
+    # -- symbols and sources ---------------------------------------------
+
+    def sym(self, name: str, hint: int | None = None) -> SymDim:
+        """A named symbolic dimension (interned per graph)."""
+        return self.graph.symtab.named(name, hint)
+
+    def parameter(self, name: str, shape: Sequence[Dim],
+                  dtype: DType = dt.f32) -> Node:
+        return self.graph.parameter(name, shape, dtype)
+
+    def constant(self, value, dtype: DType | None = None,
+                 name: str | None = None) -> Node:
+        arr = np.asarray(value)
+        if dtype is not None:
+            arr = arr.astype(dtype.to_numpy())
+        return self.graph.constant(arr, name=name)
+
+    def scalar(self, value: float, dtype: DType = dt.f32) -> Node:
+        return self.constant(np.asarray(value, dtype=dtype.to_numpy()))
+
+    def iota(self, shape: Sequence[Dim], axis: int = 0,
+             dtype: DType = dt.i64) -> Node:
+        return self.graph.add("iota", (), {
+            "shape": tuple(shape), "axis": axis, "dtype": dtype})
+
+    def outputs(self, *nodes: Node) -> None:
+        self.graph.set_outputs(nodes)
+
+    # -- elementwise -------------------------------------------------------
+
+    def _unary(self, op: str, x: Node) -> Node:
+        return self.graph.add(op, (x,))
+
+    def neg(self, x): return self._unary("neg", x)
+    def abs(self, x): return self._unary("abs", x)
+    def exp(self, x): return self._unary("exp", x)
+    def log(self, x): return self._unary("log", x)
+    def sqrt(self, x): return self._unary("sqrt", x)
+    def rsqrt(self, x): return self._unary("rsqrt", x)
+    def tanh(self, x): return self._unary("tanh", x)
+    def erf(self, x): return self._unary("erf", x)
+    def sigmoid(self, x): return self._unary("sigmoid", x)
+    def relu(self, x): return self._unary("relu", x)
+    def floor(self, x): return self._unary("floor", x)
+    def sign(self, x): return self._unary("sign", x)
+
+    def cast(self, x: Node, dtype: DType) -> Node:
+        return self.graph.add("cast", (x,), {"dtype": dtype})
+
+    def _binary(self, op: str, a: Node, b: Node) -> Node:
+        a, b = self._coerce_pair(a, b)
+        return self.graph.add(op, (a, b))
+
+    def add(self, a, b): return self._binary("add", a, b)
+    def sub(self, a, b): return self._binary("sub", a, b)
+    def mul(self, a, b): return self._binary("mul", a, b)
+    def div(self, a, b): return self._binary("div", a, b)
+    def pow(self, a, b): return self._binary("pow", a, b)
+    def maximum(self, a, b): return self._binary("maximum", a, b)
+    def minimum(self, a, b): return self._binary("minimum", a, b)
+
+    def eq(self, a, b): return self._binary("eq", a, b)
+    def ne(self, a, b): return self._binary("ne", a, b)
+    def lt(self, a, b): return self._binary("lt", a, b)
+    def le(self, a, b): return self._binary("le", a, b)
+    def gt(self, a, b): return self._binary("gt", a, b)
+    def ge(self, a, b): return self._binary("ge", a, b)
+
+    def select(self, pred: Node, a: Node, b: Node) -> Node:
+        pred = self.broadcast_to(pred, a.shape)
+        b = self.broadcast_to(b, a.shape)
+        return self.graph.add("select", (pred, a, b))
+
+    # -- shape manipulation ------------------------------------------------
+
+    def broadcast_in_dim(self, x: Node, out_shape: Sequence[Dim],
+                         broadcast_dims: Sequence[int]) -> Node:
+        return self.graph.add("broadcast_in_dim", (x,), {
+            "out_shape": tuple(out_shape),
+            "broadcast_dims": tuple(broadcast_dims)})
+
+    def broadcast_to(self, x: Node, out_shape: Sequence[Dim]) -> Node:
+        """Numpy-style right-aligned broadcast, as an explicit op.
+
+        No-op when the shape already matches structurally.
+        """
+        out_shape = tuple(out_shape)
+        if x.shape == out_shape:
+            return x
+        offset = len(out_shape) - len(x.shape)
+        if offset < 0:
+            raise ValueError(
+                f"cannot broadcast {x.shape} to lower rank {out_shape}")
+        bdims = tuple(range(offset, len(out_shape)))
+        for in_dim, pos in zip(x.shape, bdims):
+            target = out_shape[pos]
+            if in_dim != 1 and in_dim != target:
+                raise ValueError(
+                    f"cannot broadcast dim {in_dim} to {target} "
+                    f"({x.shape} -> {out_shape})")
+        return self.broadcast_in_dim(x, out_shape, bdims)
+
+    def _coerce_pair(self, a: Node, b: Node) -> tuple:
+        """Insert broadcasts so both operands share a structural shape."""
+        if a.shape == b.shape:
+            return a, b
+        if len(a.shape) <= len(b.shape) and self._broadcastable(a, b.shape):
+            return self.broadcast_to(a, b.shape), b
+        if self._broadcastable(b, a.shape):
+            return a, self.broadcast_to(b, a.shape)
+        raise ValueError(
+            f"operands not broadcast-compatible: {a.shape} vs {b.shape}")
+
+    @staticmethod
+    def _broadcastable(x: Node, target: tuple) -> bool:
+        offset = len(target) - len(x.shape)
+        if offset < 0:
+            return False
+        return all(d == 1 or d == target[i + offset]
+                   for i, d in enumerate(x.shape))
+
+    def reshape(self, x: Node, new_shape: Sequence[Dim]) -> Node:
+        new_shape = tuple(new_shape)
+        if x.shape == new_shape:
+            return x
+        return self.graph.add("reshape", (x,), {"new_shape": new_shape})
+
+    def transpose(self, x: Node, perm: Sequence[int]) -> Node:
+        return self.graph.add("transpose", (x,), {"perm": tuple(perm)})
+
+    def slice(self, x: Node, starts, limits, strides=None) -> Node:
+        return self.graph.add("slice", (x,), {
+            "starts": tuple(starts), "limits": tuple(limits),
+            "strides": tuple(strides) if strides else None})
+
+    def pad(self, x: Node, pads: Sequence, value: float = 0) -> Node:
+        return self.graph.add("pad", (x,), {
+            "pads": tuple(tuple(p) for p in pads), "value": value})
+
+    def concat(self, parts: Sequence[Node], axis: int) -> Node:
+        return self.graph.add("concat", tuple(parts), {"axis": axis})
+
+    def gather(self, operand: Node, indices: Node, axis: int = 0) -> Node:
+        return self.graph.add("gather", (operand, indices), {"axis": axis})
+
+    # -- reductions ----------------------------------------------------------
+
+    def reduce(self, x: Node, kind: str, axes: Sequence[int] | int,
+               keepdims: bool = False) -> Node:
+        if isinstance(axes, int):
+            axes = (axes,)
+        axes = tuple(a % len(x.shape) for a in axes)
+        return self.graph.add("reduce", (x,), {
+            "kind": kind, "axes": axes, "keepdims": keepdims})
+
+    def reduce_sum(self, x, axes, keepdims=False):
+        return self.reduce(x, "sum", axes, keepdims)
+
+    def reduce_max(self, x, axes, keepdims=False):
+        return self.reduce(x, "max", axes, keepdims)
+
+    def reduce_mean(self, x, axes, keepdims=False):
+        return self.reduce(x, "mean", axes, keepdims)
+
+    def argmax(self, x, axis=-1, keepdims=False):
+        return self.reduce(x, "argmax", axis, keepdims)
+
+    def argmin(self, x, axis=-1, keepdims=False):
+        return self.reduce(x, "argmin", axis, keepdims)
+
+    # -- heavy compute -------------------------------------------------------
+
+    def dot(self, a: Node, b: Node) -> Node:
+        return self.graph.add("dot", (a, b))
+
+    def matmul(self, a: Node, b: Node) -> Node:
+        return self.dot(a, b)
+
+    def conv2d(self, x: Node, w: Node, strides=(1, 1),
+               padding: str = "same") -> Node:
+        return self.graph.add("conv2d", (x, w), {
+            "strides": tuple(strides), "padding": padding})
+
+    # -- shape ops -----------------------------------------------------------
+
+    def shape_of(self, x: Node) -> Node:
+        return self.graph.add("shape_of", (x,))
+
+    def dim_size(self, x: Node, axis: int) -> Node:
+        return self.graph.add("dim_size", (x,), {"axis": axis})
+
+    # -- composites ------------------------------------------------------------
+
+    def softmax(self, x: Node, axis: int = -1) -> Node:
+        return self.graph.add("softmax", (x,), {"axis": axis})
+
+    def layer_norm(self, x: Node, scale: Node, bias: Node,
+                   eps: float = 1e-5) -> Node:
+        return self.graph.add("layer_norm", (x, scale, bias), {"eps": eps})
+
+    def gelu(self, x: Node) -> Node:
+        return self.graph.add("gelu", (x,))
+
+    # -- convenience -----------------------------------------------------------
+
+    def add_bias(self, x: Node, bias: Node) -> Node:
+        """x + bias with bias broadcast over the leading dims."""
+        return self.add(x, self.broadcast_to(bias, x.shape))
+
+    def linear(self, x: Node, weight: Node, bias: Node | None = None) -> Node:
+        y = self.dot(x, weight)
+        if bias is not None:
+            y = self.add_bias(y, bias)
+        return y

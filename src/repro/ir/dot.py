@@ -1,0 +1,91 @@
+"""Graphviz DOT export for graphs and fusion plans.
+
+``to_dot(graph)`` renders the dataflow; ``plan_to_dot(plan)`` additionally
+clusters nodes by fusion group and colours by fusion kind, which is the
+fastest way to see what the planner did to a model.  Output is plain DOT
+text — feed it to ``dot -Tsvg`` or any Graphviz viewer.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .node import Node
+from .shapes import format_shape
+
+__all__ = ["to_dot", "plan_to_dot"]
+
+_KIND_COLORS = {
+    "kLoop": "#a6cee3",
+    "kInput": "#b2df8a",
+    "kStitch": "#fb9a99",
+    "kLibrary": "#fdbf6f",
+    "kSingleton": "#cab2d6",
+    "kMetadata": "#eeeeee",
+    "kHost": "#ffff99",
+}
+
+
+def _escape(text: str) -> str:
+    return text.replace('"', r'\"')
+
+
+def _node_label(node: Node) -> str:
+    return _escape(f"{node.name}\n{node.op} "
+                   f"{format_shape(node.shape)}")
+
+
+def _node_lines(nodes, indent: str, fill: str | None = None) -> list:
+    lines = []
+    for node in nodes:
+        style = f', style=filled, fillcolor="{fill}"' if fill else ""
+        shape = "box" if node.op in ("parameter", "constant") else "oval"
+        lines.append(f'{indent}n{node.id} [label="{_node_label(node)}", '
+                     f'shape={shape}{style}];')
+    return lines
+
+
+def _edge_lines(graph: Graph) -> list:
+    lines = []
+    for node in graph.nodes:
+        for operand in node.inputs:
+            lines.append(f"  n{operand.id} -> n{node.id};")
+    for i, out in enumerate(graph.outputs):
+        lines.append(f'  out{i} [label="output {i}", shape=doublecircle];')
+        lines.append(f"  n{out.id} -> out{i};")
+    return lines
+
+
+def to_dot(graph: Graph) -> str:
+    """The graph as DOT text."""
+    lines = [f'digraph "{_escape(graph.name)}" {{',
+             "  rankdir=TB;"]
+    lines.extend(_node_lines(graph.nodes, "  "))
+    lines.extend(_edge_lines(graph))
+    lines.append("}")
+    return "\n".join(lines)
+
+
+def plan_to_dot(plan) -> str:
+    """A fusion plan as DOT text with one cluster per multi-op group."""
+    graph = plan.graph
+    lines = [f'digraph "{_escape(graph.name)}_fused" {{',
+             "  rankdir=TB;", "  compound=true;"]
+    clustered: set = set()
+    for group in plan.groups:
+        color = _KIND_COLORS.get(group.kind.value, "#ffffff")
+        if group.size > 1:
+            lines.append(f"  subgraph cluster_{group.group_id} {{")
+            lines.append(f'    label="{group.kind.value}'
+                         f'#{group.group_id}";')
+            lines.append(f'    style=filled; color="{color}";')
+            lines.extend(_node_lines(group.members, "    "))
+            lines.append("  }")
+            clustered.update(group.members)
+        else:
+            lines.extend(_node_lines(group.members, "  ", fill=color))
+            clustered.update(group.members)
+    remaining = [n for n in graph.nodes if n not in clustered]
+    lines.extend(_node_lines(remaining, "  "))
+    lines.extend(_edge_lines(graph))
+    lines.append("}")
+    return "\n".join(lines)

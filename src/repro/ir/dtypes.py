@@ -1,0 +1,86 @@
+"""Element data types for the tensor IR.
+
+The IR supports the small set of dtypes that the paper's model zoo needs:
+floating point for activations and weights, integers for token ids and
+indices, and booleans for masks and comparison results.
+
+Each :class:`DType` carries its byte width (used by the device cost model to
+account memory traffic) and the numpy dtype that backs its execution
+semantics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+__all__ = [
+    "DType",
+    "f16",
+    "f32",
+    "f64",
+    "i32",
+    "i64",
+    "boolean",
+    "ALL_DTYPES",
+    "from_numpy",
+    "promote",
+]
+
+
+@dataclass(frozen=True)
+class DType:
+    """An element type: a name, a byte width, and numpy execution dtype."""
+
+    name: str
+    size: int
+    np_dtype: np.dtype
+    is_float: bool = False
+    is_int: bool = False
+    is_bool: bool = False
+
+    def __repr__(self) -> str:
+        return self.name
+
+    def to_numpy(self) -> np.dtype:
+        return self.np_dtype
+
+
+f16 = DType("f16", 2, np.dtype(np.float16), is_float=True)
+f32 = DType("f32", 4, np.dtype(np.float32), is_float=True)
+f64 = DType("f64", 8, np.dtype(np.float64), is_float=True)
+i32 = DType("i32", 4, np.dtype(np.int32), is_int=True)
+i64 = DType("i64", 8, np.dtype(np.int64), is_int=True)
+boolean = DType("bool", 1, np.dtype(np.bool_), is_bool=True)
+
+ALL_DTYPES = (f16, f32, f64, i32, i64, boolean)
+
+_BY_NUMPY = {dt.np_dtype: dt for dt in ALL_DTYPES}
+
+_PROMOTION_ORDER = {dt.name: rank for rank, dt in enumerate(
+    (boolean, i32, i64, f16, f32, f64))}
+
+
+def from_numpy(np_dtype: np.dtype) -> DType:
+    """Map a numpy dtype to the IR dtype that represents it.
+
+    Raises ``KeyError`` for dtypes the IR does not model (e.g. complex).
+    """
+    key = np.dtype(np_dtype)
+    if key not in _BY_NUMPY:
+        raise KeyError(f"unsupported numpy dtype: {np_dtype!r}")
+    return _BY_NUMPY[key]
+
+
+def promote(a: DType, b: DType) -> DType:
+    """Binary-op result dtype: the higher of the two in promotion order.
+
+    This intentionally mirrors a simplified version of numpy promotion that
+    is sufficient for the op mix in the model zoo (we never mix float widths
+    within a model).
+    """
+    if a is b:
+        return a
+    ranked = max((a, b), key=lambda dt: _PROMOTION_ORDER[dt.name])
+    return ranked

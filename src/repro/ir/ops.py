@@ -1,0 +1,530 @@
+"""Operator registry and per-op symbolic shape/dtype inference.
+
+The op set is modelled on DHLO (the dynamic-shape HLO dialect BladeDISC
+compiles): explicit broadcasts, primitive elementwise ops, rooted reductions,
+``dot``/``conv2d`` for the compute-heavy ops, data movement (reshape,
+transpose, slice, concat, gather) and a small set of *composite* ops
+(``softmax``, ``layer_norm``, ``gelu``) that model builders use for
+convenience and that the lowering pass decomposes into primitives before
+fusion.
+
+Every op has an :class:`OpInfo` record with:
+
+- ``category`` — drives fusion legality (what may join a ``kLoop`` /
+  ``kInput`` / ``kStitch`` group) and the device cost model (memory- vs
+  compute-bound accounting);
+- ``infer`` — symbolic shape/dtype inference.  Inference works directly on
+  :class:`~repro.ir.shapes.Dim` values, so a graph built once with symbolic
+  dims types correctly for *every* runtime shape; this is the compile-time
+  half of the paper's "shape information propagation".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Sequence
+
+import numpy as np
+
+from . import dtypes as dt
+from .dtypes import DType
+from .shapes import Dim, SymDim, SymbolTable, num_elements
+
+__all__ = [
+    "OpCategory",
+    "OpInfo",
+    "OPS",
+    "op_info",
+    "is_elementwise",
+    "is_reduction",
+    "InferenceError",
+    "InferContext",
+]
+
+
+class InferenceError(ValueError):
+    """Raised when operand shapes/dtypes are incompatible with an op."""
+
+
+class OpCategory(Enum):
+    """Coarse operator classes used by fusion and the cost model."""
+
+    SOURCE = "source"            # parameter, constant, iota
+    ELEMENTWISE = "elementwise"  # 1:1 maps, incl. binary/compare/select
+    BROADCAST = "broadcast"      # broadcast_in_dim
+    RESHAPE = "reshape"          # metadata-only data movement
+    TRANSPOSE = "transpose"      # physical data movement
+    DATA_MOVEMENT = "data_movement"  # slice, concat, gather
+    REDUCTION = "reduction"      # reduce
+    DOT = "dot"                  # matmul
+    CONV = "conv"                # conv2d
+    SHAPE = "shape"              # shape_of, dim_size (host-placed)
+    COMPOSITE = "composite"      # softmax, layer_norm, gelu (pre-lowering)
+
+
+@dataclass
+class InferContext:
+    """Everything an inference function may need."""
+
+    shapes: Sequence[tuple]
+    in_dtypes: Sequence[DType]
+    attrs: dict
+    symtab: SymbolTable
+
+
+InferFn = Callable[[InferContext], tuple]
+
+
+@dataclass(frozen=True)
+class OpInfo:
+    """Static metadata for one op kind."""
+
+    name: str
+    category: OpCategory
+    arity: int | None  # None = variadic
+    infer: InferFn
+    commutative: bool = False
+    #: flop cost per output element for elementwise ops (cost model input).
+    flops_per_element: float = 1.0
+
+
+OPS: dict[str, OpInfo] = {}
+
+
+def _register(name: str, category: OpCategory, arity: int | None,
+              infer: InferFn, commutative: bool = False,
+              flops_per_element: float = 1.0) -> None:
+    if name in OPS:
+        raise ValueError(f"duplicate op registration: {name}")
+    OPS[name] = OpInfo(name, category, arity, infer, commutative,
+                       flops_per_element)
+
+
+def op_info(name: str) -> OpInfo:
+    try:
+        return OPS[name]
+    except KeyError:
+        raise InferenceError(f"unknown op kind: {name!r}") from None
+
+
+def is_elementwise(name: str) -> bool:
+    return op_info(name).category is OpCategory.ELEMENTWISE
+
+
+def is_reduction(name: str) -> bool:
+    return op_info(name).category is OpCategory.REDUCTION
+
+
+# ---------------------------------------------------------------------------
+# helpers
+# ---------------------------------------------------------------------------
+
+def _require(cond: bool, msg: str) -> None:
+    if not cond:
+        raise InferenceError(msg)
+
+
+def _same_shape(a: Sequence[Dim], b: Sequence[Dim]) -> bool:
+    return len(a) == len(b) and all(x == y for x, y in zip(a, b))
+
+
+def _check_binary(ctx: InferContext, op: str) -> tuple:
+    a, b = ctx.shapes
+    _require(
+        _same_shape(a, b),
+        f"{op}: operand shapes must match structurally (insert an explicit "
+        f"broadcast_in_dim); got {a} vs {b}",
+    )
+    return tuple(a)
+
+
+# ---------------------------------------------------------------------------
+# sources
+# ---------------------------------------------------------------------------
+
+def _infer_parameter(ctx: InferContext) -> tuple:
+    shape = tuple(ctx.attrs["shape"])
+    return shape, ctx.attrs["dtype"]
+
+
+def _infer_constant(ctx: InferContext) -> tuple:
+    value = ctx.attrs["value"]
+    _require(isinstance(value, np.ndarray),
+             "constant: attrs['value'] must be a numpy array")
+    return tuple(int(d) for d in value.shape), dt.from_numpy(value.dtype)
+
+
+def _infer_iota(ctx: InferContext) -> tuple:
+    shape = tuple(ctx.attrs["shape"])
+    axis = ctx.attrs["axis"]
+    _require(0 <= axis < len(shape), f"iota: axis {axis} out of range")
+    return shape, ctx.attrs.get("dtype", dt.i64)
+
+
+_register("parameter", OpCategory.SOURCE, 0, _infer_parameter)
+_register("constant", OpCategory.SOURCE, 0, _infer_constant)
+_register("iota", OpCategory.SOURCE, 0, _infer_iota)
+
+
+# ---------------------------------------------------------------------------
+# elementwise
+# ---------------------------------------------------------------------------
+
+def _infer_unary_ew(ctx: InferContext) -> tuple:
+    return tuple(ctx.shapes[0]), ctx.in_dtypes[0]
+
+
+def _infer_cast(ctx: InferContext) -> tuple:
+    return tuple(ctx.shapes[0]), ctx.attrs["dtype"]
+
+
+def _infer_binary_ew(op: str) -> InferFn:
+    def infer(ctx: InferContext) -> tuple:
+        shape = _check_binary(ctx, op)
+        return shape, dt.promote(ctx.in_dtypes[0], ctx.in_dtypes[1])
+    return infer
+
+
+def _infer_compare(op: str) -> InferFn:
+    def infer(ctx: InferContext) -> tuple:
+        shape = _check_binary(ctx, op)
+        return shape, dt.boolean
+    return infer
+
+
+def _infer_select(ctx: InferContext) -> tuple:
+    pred, a, b = ctx.shapes
+    _require(_same_shape(a, b), f"select: branch shapes differ: {a} vs {b}")
+    _require(_same_shape(pred, a),
+             f"select: predicate shape {pred} must match branches {a}")
+    _require(ctx.in_dtypes[0].is_bool, "select: predicate must be bool")
+    return tuple(a), dt.promote(ctx.in_dtypes[1], ctx.in_dtypes[2])
+
+
+_UNARY_EW = {
+    "neg": 1.0, "abs": 1.0, "exp": 4.0, "log": 4.0, "sqrt": 4.0,
+    "rsqrt": 4.0, "tanh": 8.0, "erf": 8.0, "sigmoid": 6.0, "relu": 1.0,
+    "floor": 1.0, "sign": 1.0,
+}
+for _name, _flops in _UNARY_EW.items():
+    _register(_name, OpCategory.ELEMENTWISE, 1, _infer_unary_ew,
+              flops_per_element=_flops)
+_register("cast", OpCategory.ELEMENTWISE, 1, _infer_cast)
+
+_BINARY_EW = {
+    "add": (True, 1.0), "sub": (False, 1.0), "mul": (True, 1.0),
+    "div": (False, 4.0), "pow": (False, 8.0),
+    "maximum": (True, 1.0), "minimum": (True, 1.0),
+}
+for _name, (_comm, _flops) in _BINARY_EW.items():
+    _register(_name, OpCategory.ELEMENTWISE, 2, _infer_binary_ew(_name),
+              commutative=_comm, flops_per_element=_flops)
+
+for _name in ("eq", "ne", "lt", "le", "gt", "ge"):
+    _register(_name, OpCategory.ELEMENTWISE, 2, _infer_compare(_name),
+              commutative=_name in ("eq", "ne"))
+
+_register("select", OpCategory.ELEMENTWISE, 3, _infer_select)
+
+
+# ---------------------------------------------------------------------------
+# broadcast / reshape / transpose
+# ---------------------------------------------------------------------------
+
+def _infer_broadcast_in_dim(ctx: InferContext) -> tuple:
+    (in_shape,) = ctx.shapes
+    out_shape = tuple(ctx.attrs["out_shape"])
+    bdims = tuple(ctx.attrs["broadcast_dims"])
+    _require(len(bdims) == len(in_shape),
+             "broadcast_in_dim: broadcast_dims must map every input dim")
+    _require(all(0 <= d < len(out_shape) for d in bdims),
+             "broadcast_in_dim: broadcast_dims out of range")
+    _require(list(bdims) == sorted(bdims),
+             "broadcast_in_dim: broadcast_dims must be increasing")
+    for in_dim, out_pos in zip(in_shape, bdims):
+        out_dim = out_shape[out_pos]
+        ok = in_dim == 1 or in_dim == out_dim
+        _require(ok, (
+            f"broadcast_in_dim: input dim {in_dim} maps to output dim "
+            f"{out_dim}; must be 1 or structurally equal"))
+    return out_shape, ctx.in_dtypes[0]
+
+
+def _infer_reshape(ctx: InferContext) -> tuple:
+    (in_shape,) = ctx.shapes
+    new_shape = tuple(ctx.attrs["new_shape"])
+    in_count = num_elements(in_shape)
+    out_count = num_elements(new_shape)
+    if isinstance(in_count, int) and isinstance(out_count, int):
+        _require(in_count == out_count, (
+            f"reshape: element count mismatch: {in_shape} ({in_count}) -> "
+            f"{new_shape} ({out_count})"))
+    # Symbolic counts: provable equality is checked when the canonical
+    # product terms match; otherwise we accept the reshape and record a
+    # product-equality constraint during shape analysis (the paper's
+    # approach — the constraint is an *assertion* the runtime validates).
+    return new_shape, ctx.in_dtypes[0]
+
+
+def _infer_transpose(ctx: InferContext) -> tuple:
+    (in_shape,) = ctx.shapes
+    perm = tuple(ctx.attrs["perm"])
+    _require(sorted(perm) == list(range(len(in_shape))),
+             f"transpose: perm {perm} is not a permutation of rank "
+             f"{len(in_shape)}")
+    return tuple(in_shape[p] for p in perm), ctx.in_dtypes[0]
+
+
+_register("broadcast_in_dim", OpCategory.BROADCAST, 1,
+          _infer_broadcast_in_dim)
+_register("reshape", OpCategory.RESHAPE, 1, _infer_reshape)
+_register("transpose", OpCategory.TRANSPOSE, 1, _infer_transpose)
+
+
+# ---------------------------------------------------------------------------
+# data movement
+# ---------------------------------------------------------------------------
+
+def _infer_slice(ctx: InferContext) -> tuple:
+    (in_shape,) = ctx.shapes
+    starts = tuple(ctx.attrs["starts"])
+    limits = tuple(ctx.attrs["limits"])
+    strides = tuple(ctx.attrs.get("strides") or (1,) * len(in_shape))
+    rank = len(in_shape)
+    _require(len(starts) == len(limits) == len(strides) == rank,
+             "slice: starts/limits/strides must cover every dim")
+    out = []
+    for d, (lo, hi, st) in zip(in_shape, zip(starts, limits, strides)):
+        _require(st >= 1, "slice: strides must be >= 1")
+        if isinstance(d, int):
+            _require(0 <= lo <= hi <= d,
+                     f"slice: bounds [{lo}:{hi}] out of range for dim {d}")
+            out.append((hi - lo + st - 1) // st)
+        else:
+            # Symbolic dims may only be sliced trivially (full dim), which
+            # keeps the symbol; anything else would need a dynamic_slice.
+            _require(lo == 0 and st == 1 and hi == d, (
+                "slice: a symbolic dim may only be sliced as the full "
+                f"dimension, got [{lo}:{hi}:{st}] on {d}"))
+            out.append(d)
+    return tuple(out), ctx.in_dtypes[0]
+
+
+def _infer_concat(ctx: InferContext) -> tuple:
+    _require(len(ctx.shapes) >= 1, "concat: needs at least one operand")
+    axis = ctx.attrs["axis"]
+    first = ctx.shapes[0]
+    rank = len(first)
+    _require(0 <= axis < rank, f"concat: axis {axis} out of range")
+    out_axis: Dim = 0
+    symbolic_axis: list[Dim] = []
+    for shape in ctx.shapes:
+        _require(len(shape) == rank, "concat: rank mismatch")
+        for i in range(rank):
+            if i == axis:
+                continue
+            _require(shape[i] == first[i], (
+                f"concat: non-axis dims must match structurally: "
+                f"{shape} vs {first}"))
+        d = shape[axis]
+        if isinstance(d, int) and isinstance(out_axis, int):
+            out_axis += d
+        else:
+            symbolic_axis.append(d)
+    if symbolic_axis:
+        # The concatenated extent involves symbols; introduce a fresh symbol
+        # (the shape analysis records it as a sum of the parts).
+        out_axis = ctx.symtab.fresh()
+    out = list(first)
+    out[axis] = out_axis
+    dtype = ctx.in_dtypes[0]
+    for other in ctx.in_dtypes[1:]:
+        _require(other is dtype, "concat: dtype mismatch")
+    return tuple(out), dtype
+
+
+def _infer_pad(ctx: InferContext) -> tuple:
+    (in_shape,) = ctx.shapes
+    pads = tuple(tuple(p) for p in ctx.attrs["pads"])
+    _require(len(pads) == len(in_shape),
+             "pad: pads must cover every dim")
+    out = []
+    for d, (lo, hi) in zip(in_shape, pads):
+        _require(lo >= 0 and hi >= 0, "pad: negative padding unsupported")
+        if lo == 0 and hi == 0:
+            out.append(d)
+        elif isinstance(d, int):
+            out.append(d + lo + hi)
+        else:
+            # padded symbolic extent: a fresh symbol (resolved at run
+            # time as in + lo + hi by resolve_all_dims)
+            out.append(ctx.symtab.fresh())
+    return tuple(out), ctx.in_dtypes[0]
+
+
+def _infer_gather(ctx: InferContext) -> tuple:
+    operand, indices = ctx.shapes
+    axis = ctx.attrs.get("axis", 0)
+    _require(0 <= axis < len(operand), f"gather: axis {axis} out of range")
+    _require(ctx.in_dtypes[1].is_int, "gather: indices must be integer")
+    out = tuple(operand[:axis]) + tuple(indices) + tuple(operand[axis + 1:])
+    return out, ctx.in_dtypes[0]
+
+
+_register("pad", OpCategory.DATA_MOVEMENT, 1, _infer_pad)
+_register("slice", OpCategory.DATA_MOVEMENT, 1, _infer_slice)
+_register("concat", OpCategory.DATA_MOVEMENT, None, _infer_concat)
+_register("gather", OpCategory.DATA_MOVEMENT, 2, _infer_gather)
+
+
+# ---------------------------------------------------------------------------
+# reduction
+# ---------------------------------------------------------------------------
+
+_REDUCE_KINDS = ("sum", "max", "min", "mean", "prod", "argmax", "argmin")
+
+
+def _infer_reduce(ctx: InferContext) -> tuple:
+    (in_shape,) = ctx.shapes
+    kind = ctx.attrs["kind"]
+    _require(kind in _REDUCE_KINDS, f"reduce: unknown kind {kind!r}")
+    axes = tuple(sorted(ctx.attrs["axes"]))
+    keepdims = bool(ctx.attrs.get("keepdims", False))
+    rank = len(in_shape)
+    _require(all(0 <= a < rank for a in axes),
+             f"reduce: axes {axes} out of range for rank {rank}")
+    _require(len(set(axes)) == len(axes), "reduce: duplicate axes")
+    out = []
+    for i, d in enumerate(in_shape):
+        if i in axes:
+            if keepdims:
+                out.append(1)
+        else:
+            out.append(d)
+    if kind in ("argmax", "argmin"):
+        _require(len(axes) == 1,
+                 f"reduce: {kind} reduces exactly one axis")
+        return tuple(out), dt.i64
+    return tuple(out), ctx.in_dtypes[0]
+
+
+_register("reduce", OpCategory.REDUCTION, 1, _infer_reduce)
+
+
+# ---------------------------------------------------------------------------
+# dot / conv
+# ---------------------------------------------------------------------------
+
+def _infer_dot(ctx: InferContext) -> tuple:
+    a, b = ctx.shapes
+    _require(len(a) >= 2 and len(b) >= 2,
+             f"dot: operands must be rank>=2, got {a} and {b}")
+    m, k1 = a[-2], a[-1]
+    k2, n = b[-2], b[-1]
+    _require(k1 == k2, (
+        f"dot: contraction dims must match structurally: {k1} vs {k2} "
+        f"(shapes {a} x {b})"))
+    batch_a, batch_b = a[:-2], b[:-2]
+    # Batch dims broadcast numpy-style (dim 1 stretches).
+    rank = max(len(batch_a), len(batch_b))
+    pa = (1,) * (rank - len(batch_a)) + tuple(batch_a)
+    pb = (1,) * (rank - len(batch_b)) + tuple(batch_b)
+    batch = []
+    for x, y in zip(pa, pb):
+        if x == 1:
+            batch.append(y)
+        elif y == 1:
+            batch.append(x)
+        else:
+            _require(x == y, f"dot: batch dims incompatible: {x} vs {y}")
+            batch.append(x)
+    dtype = dt.promote(ctx.in_dtypes[0], ctx.in_dtypes[1])
+    return tuple(batch) + (m, n), dtype
+
+
+def _infer_conv2d(ctx: InferContext) -> tuple:
+    x, w = ctx.shapes  # NHWC, HWIO
+    _require(len(x) == 4 and len(w) == 4,
+             "conv2d: expects NHWC input and HWIO weights")
+    n, h, wdt, cin = x
+    kh, kw, wcin, cout = w
+    _require(cin == wcin,
+             f"conv2d: input channels {cin} != weight channels {wcin}")
+    _require(isinstance(kh, int) and isinstance(kw, int)
+             and isinstance(cout, int),
+             "conv2d: weight dims must be static")
+    sh, sw = ctx.attrs.get("strides", (1, 1))
+    padding = ctx.attrs.get("padding", "same")
+    _require(padding in ("same", "valid"), "conv2d: padding same|valid")
+
+    def out_extent(d: Dim, k: int, s: int) -> Dim:
+        if padding == "same":
+            if isinstance(d, int):
+                return -(-d // s)  # ceil div
+            return d if s == 1 else ctx.symtab.fresh()
+        if isinstance(d, int):
+            _require(d >= k, f"conv2d: spatial dim {d} smaller than kernel")
+            return (d - k) // s + 1
+        return ctx.symtab.fresh()
+
+    oh = out_extent(h, kh, sh)
+    ow = out_extent(wdt, kw, sw)
+    return (n, oh, ow, cout), dt.promote(ctx.in_dtypes[0], ctx.in_dtypes[1])
+
+
+_register("dot", OpCategory.DOT, 2, _infer_dot)
+_register("conv2d", OpCategory.CONV, 2, _infer_conv2d)
+
+
+# ---------------------------------------------------------------------------
+# shape ops (host-placed)
+# ---------------------------------------------------------------------------
+
+def _infer_shape_of(ctx: InferContext) -> tuple:
+    (in_shape,) = ctx.shapes
+    return (len(in_shape),), dt.i64
+
+
+def _infer_dim_size(ctx: InferContext) -> tuple:
+    (in_shape,) = ctx.shapes
+    axis = ctx.attrs["axis"]
+    _require(0 <= axis < len(in_shape),
+             f"dim_size: axis {axis} out of range")
+    return (), dt.i64
+
+
+_register("shape_of", OpCategory.SHAPE, 1, _infer_shape_of)
+_register("dim_size", OpCategory.SHAPE, 1, _infer_dim_size)
+
+
+# ---------------------------------------------------------------------------
+# composites (decomposed by the lowering pass)
+# ---------------------------------------------------------------------------
+
+def _infer_softmax(ctx: InferContext) -> tuple:
+    (in_shape,) = ctx.shapes
+    axis = ctx.attrs.get("axis", -1)
+    rank = len(in_shape)
+    _require(-rank <= axis < rank, f"softmax: axis {axis} out of range")
+    _require(ctx.in_dtypes[0].is_float, "softmax: float input required")
+    return tuple(in_shape), ctx.in_dtypes[0]
+
+
+def _infer_layer_norm(ctx: InferContext) -> tuple:
+    x, scale, bias = ctx.shapes
+    _require(len(scale) == 1 and len(bias) == 1,
+             "layer_norm: scale/bias must be rank-1")
+    _require(scale[0] == x[-1] and bias[0] == x[-1],
+             "layer_norm: scale/bias extent must match last dim")
+    return tuple(x), ctx.in_dtypes[0]
+
+
+def _infer_gelu(ctx: InferContext) -> tuple:
+    _require(ctx.in_dtypes[0].is_float, "gelu: float input required")
+    return tuple(ctx.shapes[0]), ctx.in_dtypes[0]
+
+
+_register("softmax", OpCategory.COMPOSITE, 1, _infer_softmax)
+_register("layer_norm", OpCategory.COMPOSITE, 3, _infer_layer_norm)
+_register("gelu", OpCategory.COMPOSITE, 1, _infer_gelu, flops_per_element=12.0)

@@ -1,0 +1,44 @@
+"""Textual rendering of graphs, for debugging and golden tests."""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .graph import Graph
+from .node import Node
+from .shapes import format_shape
+
+__all__ = ["print_graph", "format_node"]
+
+
+def _format_attr(value) -> str:
+    if isinstance(value, np.ndarray):
+        if value.size <= 4:
+            return np.array2string(value, separator=",").replace("\n", "")
+        return f"dense<{value.dtype}{list(value.shape)}>"
+    return repr(value)
+
+
+def format_node(node: Node) -> str:
+    ins = ", ".join(n.name for n in node.inputs)
+    attrs = ", ".join(f"{k}={_format_attr(v)}"
+                      for k, v in sorted(node.attrs.items())
+                      if k not in ("shape", "dtype"))
+    attr_str = f" {{{attrs}}}" if attrs else ""
+    return (f"  {node.name} = {node.op}({ins}){attr_str} : "
+            f"{node.dtype}{format_shape(node.shape)}")
+
+
+def print_graph(graph: Graph) -> str:
+    """Render the whole graph as readable text."""
+    params = ", ".join(
+        f"{p.name}: {p.dtype}{format_shape(p.shape)}" for p in graph.params)
+    lines = [f"func {graph.name}({params}) {{"]
+    for node in graph.nodes:
+        if node.op == "parameter":
+            continue
+        lines.append(format_node(node))
+    outs = ", ".join(o.name for o in graph.outputs)
+    lines.append(f"  return {outs}")
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,156 @@
+"""Graph (de)serialisation to JSON.
+
+A compiled service wants to ship models as artifacts; this module encodes
+an IR graph — nodes, attributes (including embedded weight arrays and
+symbolic dims), parameters and outputs — into a self-contained JSON
+document and reconstructs an identical graph from it.
+
+Round-trip guarantees (enforced by tests): the reloaded graph verifies,
+prints identically modulo whitespace, and evaluates to bit-identical
+outputs on the same inputs.
+"""
+
+from __future__ import annotations
+
+import base64
+import json
+import re
+from pathlib import Path
+
+import numpy as np
+
+from . import dtypes as dt
+from .graph import Graph
+from .node import Node
+from .shapes import SymDim
+
+__all__ = ["graph_to_dict", "graph_from_dict", "save_graph", "load_graph"]
+
+_FORMAT_VERSION = 1
+
+
+# ---------------------------------------------------------------------------
+# value encoding
+# ---------------------------------------------------------------------------
+
+def _encode_value(value):
+    if isinstance(value, np.ndarray):
+        return {"__ndarray__": True,
+                "dtype": str(value.dtype),
+                "shape": list(value.shape),
+                "data": base64.b64encode(
+                    np.ascontiguousarray(value).tobytes()).decode("ascii")}
+    if isinstance(value, dt.DType):
+        return {"__dtype__": value.name}
+    if isinstance(value, SymDim):
+        return {"__sym__": value.name, "hint": value.hint}
+    if isinstance(value, (tuple, list)):
+        return {"__tuple__": [_encode_value(v) for v in value]}
+    if isinstance(value, (np.integer,)):
+        return int(value)
+    if isinstance(value, (np.floating,)):
+        return float(value)
+    if value is None or isinstance(value, (bool, int, float, str)):
+        return value
+    raise TypeError(f"cannot serialise attr value of type {type(value)!r}")
+
+
+def _decode_value(value, symtab):
+    if isinstance(value, dict):
+        if value.get("__ndarray__"):
+            raw = base64.b64decode(value["data"])
+            array = np.frombuffer(raw, dtype=np.dtype(value["dtype"]))
+            return array.reshape(value["shape"]).copy()
+        if "__dtype__" in value:
+            by_name = {d.name: d for d in dt.ALL_DTYPES}
+            return by_name[value["__dtype__"]]
+        if "__sym__" in value:
+            return symtab.named(value["__sym__"], value.get("hint"))
+        if "__tuple__" in value:
+            return tuple(_decode_value(v, symtab)
+                         for v in value["__tuple__"])
+        raise TypeError(f"unknown encoded dict {sorted(value)}")
+    return value
+
+
+# ---------------------------------------------------------------------------
+# graph encoding
+# ---------------------------------------------------------------------------
+
+def graph_to_dict(graph: Graph) -> dict:
+    """Encode ``graph`` as a JSON-ready dict."""
+    nodes = []
+    for node in graph.nodes:
+        nodes.append({
+            "id": node.id,
+            "op": node.op,
+            "name": node.name,
+            "inputs": [operand.id for operand in node.inputs],
+            "attrs": {k: _encode_value(v) for k, v in node.attrs.items()
+                      if not k.startswith("_concrete")},
+            "shape": _encode_value(tuple(node.shape)),
+            "dtype": node.dtype.name,
+        })
+    return {
+        "format_version": _FORMAT_VERSION,
+        "name": graph.name,
+        "symbols": [{"name": s.name, "hint": s.hint}
+                    for s in graph.symtab.symbols()],
+        "nodes": nodes,
+        "outputs": [node.id for node in graph.outputs],
+    }
+
+
+def graph_from_dict(payload: dict) -> Graph:
+    """Rebuild a graph from :func:`graph_to_dict` output.
+
+    Node shapes/dtypes are restored verbatim (ops that mint fresh symbols
+    during inference would otherwise not round-trip); the verifier's
+    re-inference check still runs in tests.
+    """
+    version = payload.get("format_version")
+    if version != _FORMAT_VERSION:
+        raise ValueError(f"unsupported graph format version {version!r}")
+    graph = Graph(payload["name"])
+    for symbol in payload["symbols"]:
+        graph.symtab.named(symbol["name"], symbol.get("hint"))
+    # Future fresh symbols must not collide with serialised s<N> names.
+    max_auto = -1
+    for symbol in payload["symbols"]:
+        match = re.fullmatch(r"s(\d+)", symbol["name"])
+        if match:
+            max_auto = max(max_auto, int(match.group(1)))
+    for _ in range(max_auto + 1):
+        next(graph.symtab._counter)
+
+    by_name = {d.name: d for d in dt.ALL_DTYPES}
+    by_id: dict[int, Node] = {}
+    for entry in payload["nodes"]:
+        attrs = {k: _decode_value(v, graph.symtab)
+                 for k, v in entry["attrs"].items()}
+        shape = _decode_value(entry["shape"], graph.symtab)
+        node = Node(entry["id"], entry["op"],
+                    [by_id[i] for i in entry["inputs"]],
+                    attrs, shape, by_name[entry["dtype"]],
+                    entry.get("name"))
+        by_id[node.id] = node
+        graph.nodes.append(node)
+        if node.op == "parameter":
+            graph.params.append(node)
+    graph.outputs = [by_id[i] for i in payload["outputs"]]
+    graph._next_id = 1 + max((n.id for n in graph.nodes), default=-1)
+    return graph
+
+
+def save_graph(graph: Graph, path) -> Path:
+    """Serialise ``graph`` to a JSON file; returns the path."""
+    path = Path(path)
+    with open(path, "w") as f:
+        json.dump(graph_to_dict(graph), f)
+    return path
+
+
+def load_graph(path) -> Graph:
+    """Load a graph saved by :func:`save_graph`."""
+    with open(path) as f:
+        return graph_from_dict(json.load(f))

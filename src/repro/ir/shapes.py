@@ -1,0 +1,162 @@
+"""Shapes with symbolic dimensions.
+
+This module is the foundation of the paper's *cross-level symbolic shape
+representation*: a tensor dimension is either a concrete ``int`` or a
+:class:`SymDim` — a named symbol drawn from a per-graph :class:`SymbolTable`.
+
+The IR layer only defines the representation and basic algebra (equality,
+broadcasting, element counts).  The richer analysis — constraint collection,
+union-find over symbols, product-equality groups — lives in
+``repro.core.symbolic`` and operates over these same objects, which is what
+makes the representation "cross-level": the graph, the fusion planner and the
+generated kernels all speak about the same symbols.
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping, Sequence, Union
+
+__all__ = [
+    "SymDim",
+    "Dim",
+    "Shape",
+    "SymbolTable",
+    "is_static",
+    "dims_definitely_equal",
+    "dims_may_differ",
+    "num_elements",
+    "substitute",
+    "format_shape",
+]
+
+
+@dataclass(frozen=True)
+class SymDim:
+    """A symbolic dimension: a graph-unique name plus an optional hint.
+
+    ``hint`` is the paper's "likely value": a representative magnitude used
+    only for heuristics (e.g. picking a default schedule variant ordering),
+    never for correctness decisions.
+    """
+
+    name: str
+    hint: int | None = field(default=None, compare=False)
+
+    def __repr__(self) -> str:
+        return self.name
+
+
+#: A single dimension: concrete or symbolic.
+Dim = Union[int, SymDim]
+
+#: A tensor shape: a tuple of dims.  Rank is always concrete.
+Shape = tuple
+
+
+class SymbolTable:
+    """Allocates and interns the symbolic dims of one graph.
+
+    The table hands out fresh symbols (``s0``, ``s1``, ...) and remembers
+    every symbol it produced, so analyses can enumerate the full symbol
+    universe of a graph.
+    """
+
+    def __init__(self) -> None:
+        self._counter = itertools.count()
+        self._symbols: dict[str, SymDim] = {}
+
+    def fresh(self, hint: int | None = None) -> SymDim:
+        """Create a new, never-before-seen symbolic dim."""
+        name = f"s{next(self._counter)}"
+        sym = SymDim(name, hint)
+        self._symbols[name] = sym
+        return sym
+
+    def named(self, name: str, hint: int | None = None) -> SymDim:
+        """Return the symbol called ``name``, creating it if needed.
+
+        Useful for model builders that want human-readable axis names such
+        as ``batch`` or ``seqlen``.
+        """
+        if name not in self._symbols:
+            self._symbols[name] = SymDim(name, hint)
+        return self._symbols[name]
+
+    def lookup(self, name: str) -> SymDim:
+        return self._symbols[name]
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._symbols
+
+    def symbols(self) -> list[SymDim]:
+        return list(self._symbols.values())
+
+    def __len__(self) -> int:
+        return len(self._symbols)
+
+
+def is_static(shape: Sequence[Dim]) -> bool:
+    """True when every dim of ``shape`` is a concrete integer."""
+    return all(isinstance(d, int) for d in shape)
+
+
+def dims_definitely_equal(a: Dim, b: Dim) -> bool:
+    """Structural equality: same int, or the very same symbol.
+
+    This is the *conservative* equality the IR can decide on its own.  The
+    symbolic analysis refines it with constraint-derived equalities.
+    """
+    return a == b
+
+
+def dims_may_differ(a: Dim, b: Dim) -> bool:
+    """True when the two dims could hold different values at runtime.
+
+    Two distinct concrete ints definitely differ; anything involving a
+    symbol may or may not, so it "may differ" unless structurally equal.
+    """
+    return not dims_definitely_equal(a, b)
+
+
+def num_elements(shape: Sequence[Dim]) -> Dim | tuple:
+    """Element count of ``shape``.
+
+    Returns an ``int`` when the shape is static.  When symbolic, returns a
+    canonical product term ``(coefficient, sorted tuple of symbol names)``
+    so callers can compare element counts symbolically (two shapes have
+    provably-equal element counts iff their product terms match — this is
+    what reshape's product-equality constraint uses).
+    """
+    coeff = 1
+    syms: list[str] = []
+    for d in shape:
+        if isinstance(d, int):
+            coeff *= d
+        else:
+            syms.append(d.name)
+    if not syms:
+        return coeff
+    return (coeff, tuple(sorted(syms)))
+
+
+def substitute(shape: Sequence[Dim], bindings: Mapping[str, int]) -> tuple:
+    """Replace symbols with concrete values from ``bindings``.
+
+    Symbols missing from ``bindings`` are left in place, so partial
+    substitution is allowed (the runtime uses full substitution; analyses
+    may use partial).
+    """
+    out = []
+    for d in shape:
+        if isinstance(d, SymDim) and d.name in bindings:
+            out.append(int(bindings[d.name]))
+        else:
+            out.append(d)
+    return tuple(out)
+
+
+def format_shape(shape: Iterable[Dim]) -> str:
+    """Human-readable rendering, e.g. ``[batch, seqlen, 768]``."""
+    return "[" + ", ".join(str(d) for d in shape) + "]"

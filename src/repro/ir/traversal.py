@@ -1,0 +1,139 @@
+"""Graph traversal utilities shared by passes and the fusion planner."""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable, Iterable, Sequence
+
+from .graph import Graph
+from .node import Node
+
+__all__ = [
+    "topological_order",
+    "reverse_topological_order",
+    "reachable_from",
+    "ancestors",
+    "descendants",
+    "induced_subgraph_inputs",
+    "induced_subgraph_outputs",
+    "has_path_through_external",
+]
+
+
+def topological_order(graph: Graph) -> list[Node]:
+    """A topological order of the graph (the node list itself, validated).
+
+    The graph keeps nodes in creation order which is topological by
+    construction; this function exists so callers do not depend on that
+    detail, and it re-sorts defensively if an in-place pass disturbed it.
+    """
+    position = {n: i for i, n in enumerate(graph.nodes)}
+    for node in graph.nodes:
+        if any(position[i] > position[node] for i in node.inputs):
+            return _kahn(graph)
+    return list(graph.nodes)
+
+
+def _kahn(graph: Graph) -> list[Node]:
+    indegree = {n: len(n.inputs) for n in graph.nodes}
+    users = graph.users()
+    ready = deque(n for n in graph.nodes if indegree[n] == 0)
+    order: list[Node] = []
+    while ready:
+        node = ready.popleft()
+        order.append(node)
+        for user in users[node]:
+            indegree[user] -= 1
+            if indegree[user] == 0:
+                ready.append(user)
+    if len(order) != len(graph.nodes):
+        raise RuntimeError("graph contains a cycle")
+    return order
+
+
+def reverse_topological_order(graph: Graph) -> list[Node]:
+    return list(reversed(topological_order(graph)))
+
+
+def reachable_from(roots: Iterable[Node],
+                   next_fn: Callable[[Node], Iterable[Node]]) -> set:
+    """Generic reachability closure."""
+    seen: set[Node] = set()
+    stack = list(roots)
+    while stack:
+        node = stack.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        stack.extend(next_fn(node))
+    return seen
+
+
+def ancestors(node: Node, include_self: bool = False) -> set:
+    """All transitive operands of ``node``."""
+    result = reachable_from(node.inputs, lambda n: n.inputs)
+    if include_self:
+        result.add(node)
+    return result
+
+
+def descendants(node: Node, users: dict[Node, list[Node]],
+                include_self: bool = False) -> set:
+    """All transitive users of ``node`` (given a precomputed users map)."""
+    result = reachable_from(users.get(node, ()), lambda n: users.get(n, ()))
+    if include_self:
+        result.add(node)
+    return result
+
+
+def induced_subgraph_inputs(members: Sequence[Node]) -> list[Node]:
+    """External values a node set consumes, in first-use order."""
+    member_set = set(members)
+    seen: set[Node] = set()
+    result: list[Node] = []
+    for node in members:
+        for operand in node.inputs:
+            if operand not in member_set and operand not in seen:
+                seen.add(operand)
+                result.append(operand)
+    return result
+
+
+def induced_subgraph_outputs(members: Sequence[Node],
+                             users: dict[Node, list[Node]],
+                             graph_outputs: Iterable[Node] = ()) -> list:
+    """Members whose value escapes the set (used outside, or graph output)."""
+    member_set = set(members)
+    graph_out = set(graph_outputs)
+    result = []
+    for node in members:
+        escapes = node in graph_out or any(
+            u not in member_set for u in users.get(node, ()))
+        if escapes:
+            result.append(node)
+    return result
+
+
+def has_path_through_external(src_group: set, dst_group: set,
+                              users: dict[Node, list[Node]]) -> bool:
+    """Is there a path from ``src_group`` to ``dst_group`` that leaves the
+    union?  Merging two groups with such a path would create a cycle in the
+    fused graph, so the fusion planner must reject the merge.
+    """
+    union = src_group | dst_group
+    frontier = [u for node in src_group for u in users.get(node, ())
+                if u not in union]
+    seen: set[Node] = set()
+    while frontier:
+        node = frontier.pop()
+        if node in seen:
+            continue
+        seen.add(node)
+        if node in dst_group:
+            return True
+        for user in users.get(node, ()):
+            if user in dst_group:
+                return True
+            if user not in union:
+                frontier.append(user)
+    return False

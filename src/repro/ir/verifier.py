@@ -1,0 +1,79 @@
+"""Graph well-formedness checks.
+
+The verifier re-checks the invariants the builder establishes, so that
+passes that mutate graphs in place can be validated cheaply in tests and at
+pipeline stage boundaries:
+
+- node list is a topological order (operands precede users);
+- every operand of every node (and every output) is owned by the graph;
+- re-running shape inference on each node reproduces its recorded
+  shape/dtype (inference is deterministic, so a pass that forgot to update
+  a shape is caught here);
+- parameters have unique names.
+"""
+
+from __future__ import annotations
+
+from .graph import Graph
+from .ops import InferContext, op_info
+
+__all__ = ["VerificationError", "verify"]
+
+
+class VerificationError(RuntimeError):
+    """An IR invariant was violated."""
+
+
+def verify(graph: Graph) -> None:
+    """Raise :class:`VerificationError` on the first broken invariant."""
+    seen: set[int] = set()
+    owned = {id(n) for n in graph.nodes}
+
+    for node in graph.nodes:
+        for operand in node.inputs:
+            if id(operand) not in owned:
+                raise VerificationError(
+                    f"{node.short()}: operand {operand.short()} is not "
+                    f"owned by graph {graph.name!r}")
+            if operand.id not in seen:
+                raise VerificationError(
+                    f"{node.short()}: operand {operand.short()} appears "
+                    f"after its user (topological order broken)")
+        seen.add(node.id)
+
+    for out in graph.outputs:
+        if id(out) not in owned:
+            raise VerificationError(
+                f"output {out.short()} is not owned by graph {graph.name!r}")
+
+    names = [p.attrs.get("param_name") for p in graph.params]
+    if len(names) != len(set(names)):
+        raise VerificationError(f"duplicate parameter names: {names}")
+
+    for node in graph.nodes:
+        info = op_info(node.op)
+        if info.arity is not None and len(node.inputs) != info.arity:
+            raise VerificationError(
+                f"{node.short()}: arity {len(node.inputs)} != "
+                f"{info.arity}")
+        ctx = InferContext(
+            shapes=[n.shape for n in node.inputs],
+            in_dtypes=[n.dtype for n in node.inputs],
+            attrs=node.attrs,
+            symtab=graph.symtab,
+        )
+        if node.op in ("concat", "conv2d", "pad"):
+            # These may mint fresh symbols during inference; re-inference
+            # would mint different ones, so only check rank/dtype.
+            shape, dtype = info.infer(ctx)
+            if len(shape) != len(node.shape) or dtype is not node.dtype:
+                raise VerificationError(
+                    f"{node.short()}: recorded type {node.dtype}"
+                    f"{node.shape} inconsistent with inference "
+                    f"{dtype}{shape}")
+            continue
+        shape, dtype = info.infer(ctx)
+        if tuple(shape) != tuple(node.shape) or dtype is not node.dtype:
+            raise VerificationError(
+                f"{node.short()}: recorded type {node.dtype}{node.shape} "
+                f"!= inferred {dtype}{shape}")

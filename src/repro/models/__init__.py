@@ -1,0 +1,55 @@
+"""The model zoo: eight dynamic-shape architectures built on the IR.
+
+``MODEL_BUILDERS`` maps a model name to its builder; :func:`build_model`
+instantiates one by name with optional size overrides, and
+:func:`zoo` builds the whole suite (the set the end-to-end experiments
+sweep).
+"""
+
+from .model import Model
+from .bert import build_bert
+from .albert import build_albert
+from .gpt2 import build_gpt2
+from .t5 import build_t5
+from .s2t import build_s2t
+from .crnn import build_crnn
+from .fastspeech2 import build_fastspeech2
+from .dien import build_dien
+
+__all__ = [
+    "Model", "MODEL_BUILDERS", "build_model", "zoo",
+    "build_bert", "build_albert", "build_gpt2", "build_t5", "build_s2t",
+    "build_crnn", "build_fastspeech2", "build_dien",
+]
+
+MODEL_BUILDERS = {
+    "bert": build_bert,
+    "albert": build_albert,
+    "gpt2": build_gpt2,
+    "t5": build_t5,
+    "s2t": build_s2t,
+    "crnn": build_crnn,
+    "fastspeech2": build_fastspeech2,
+    "dien": build_dien,
+}
+
+
+def build_model(name: str, **overrides) -> Model:
+    """Instantiate a zoo model by name with optional size overrides."""
+    try:
+        builder = MODEL_BUILDERS[name]
+    except KeyError:
+        raise KeyError(f"unknown model {name!r}; "
+                       f"available: {sorted(MODEL_BUILDERS)}") from None
+    return builder(**overrides)
+
+
+def zoo(overrides: dict | None = None) -> list:
+    """Build every zoo model.
+
+    ``overrides`` optionally maps a model name to builder kwargs, e.g.
+    ``zoo({"bert": {"layers": 2}})``.
+    """
+    overrides = overrides or {}
+    return [builder(**overrides.get(name, {}))
+            for name, builder in MODEL_BUILDERS.items()]

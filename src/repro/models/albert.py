@@ -1,0 +1,74 @@
+"""ALBERT-style encoder: factorised embeddings + cross-layer sharing.
+
+Structurally a BERT, with the two ALBERT signatures that matter to a
+compiler: the embedding is factorised (vocab -> small E -> hidden, an extra
+matmul every call) and one transformer layer's weights are *reused* for all
+``layers`` iterations — the same constant nodes appear in every block, so
+CSE/fusion see genuinely shared operands.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import f32, i64
+from ..ir.builder import GraphBuilder
+from .layers import (Weights, embedding, linear_layer, positional_embedding,
+                     transformer_layer)
+from .model import Model
+
+__all__ = ["build_albert"]
+
+
+def build_albert(layers: int = 6, hidden: int = 256, heads: int = 4,
+                 embed_dim: int = 64, vocab: int = 8192, max_len: int = 512,
+                 num_classes: int = 2, seed: int = 1,
+                 name: str = "albert") -> Model:
+    inner = hidden * 4
+    b = GraphBuilder(name)
+    w = Weights(b, np.random.default_rng(seed))
+    batch = b.sym("batch", hint=4)
+    seqlen = b.sym("seqlen", hint=64)
+
+    ids = b.parameter("input_ids", (batch, seqlen), i64)
+    mask = b.parameter("attention_mask", (batch, seqlen), f32)
+
+    token_table = w.dense(vocab, embed_dim)
+    pos_table = w.dense(max_len, hidden)
+
+    x = embedding(b, token_table, ids)          # [b, s, E]
+    x = linear_layer(b, w, x, embed_dim, hidden)  # factorised projection
+    x = b.add(x, positional_embedding(b, pos_table, seqlen, x))
+    x = b.layer_norm(x, w.ones(hidden), w.zeros(hidden))
+
+    bias = b.mul(b.sub(mask, b.scalar(1.0, f32)), b.scalar(1e9, f32))
+    bias = b.reshape(bias, (batch, 1, 1, seqlen))
+
+    # Cross-layer parameter sharing: every block draws its constants from a
+    # freshly re-seeded RNG, so all blocks hold byte-identical weights and
+    # CSE folds them into a single shared set (ALBERT's weight tying).
+    for _ in range(layers):
+        layer_w = Weights(b, np.random.default_rng(seed + 1))
+        x = transformer_layer(b, layer_w, x, hidden, heads, inner, batch,
+                              seqlen, mask=bias)
+
+    pooled = b.reduce_mean(x, axes=1)
+    logits = linear_layer(b, w, pooled, hidden, num_classes)
+    b.outputs(logits)
+
+    def make_inputs(rng: np.random.Generator, batch: int,
+                    seqlen: int) -> dict:
+        return {
+            "input_ids": rng.integers(0, vocab, size=(batch, seqlen),
+                                      dtype=np.int64),
+            "attention_mask": np.ones((batch, seqlen), dtype=np.float32),
+        }
+
+    return Model(
+        name=name,
+        graph=b.graph,
+        axes={"batch": (1, 16), "seqlen": (8, 256)},
+        make_inputs=make_inputs,
+        description=(f"ALBERT-style encoder: {layers} shared layers, "
+                     f"hidden {hidden}, factorised embedding {embed_dim}"),
+    )

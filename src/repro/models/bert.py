@@ -1,0 +1,73 @@
+"""BERT-style encoder (the paper's flagship dynamic-shape workload).
+
+Token ids and an attention mask arrive with dynamic batch size and sequence
+length.  The graph is the standard encoder stack: token + position
+embeddings, ``layers`` pre-norm transformer blocks, mean pooling, and a
+classification head.
+
+Size defaults are scaled down from BERT-base (vocabulary especially) to
+keep the numpy substrate fast; the op mix and dynamism are unchanged.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import f32, i64
+from ..ir.builder import GraphBuilder
+from .layers import (Weights, embedding, linear_layer, positional_embedding,
+                     transformer_layer)
+from .model import Model
+
+__all__ = ["build_bert"]
+
+
+def build_bert(layers: int = 4, hidden: int = 256, heads: int = 4,
+               inner: int | None = None, vocab: int = 8192,
+               max_len: int = 512, num_classes: int = 2,
+               seed: int = 0, name: str = "bert") -> Model:
+    """Build a BERT-style classifier over symbolic (batch, seqlen)."""
+    inner = inner if inner is not None else hidden * 4
+    b = GraphBuilder(name)
+    w = Weights(b, np.random.default_rng(seed))
+    batch = b.sym("batch", hint=4)
+    seqlen = b.sym("seqlen", hint=64)
+
+    ids = b.parameter("input_ids", (batch, seqlen), i64)
+    mask = b.parameter("attention_mask", (batch, seqlen), f32)
+
+    token_table = w.dense(vocab, hidden)
+    pos_table = w.dense(max_len, hidden)
+
+    x = embedding(b, token_table, ids)
+    x = b.add(x, positional_embedding(b, pos_table, seqlen, x))
+    x = b.layer_norm(x, w.ones(hidden), w.zeros(hidden))
+
+    # Additive attention bias: 0 where attended, -1e9 where masked.
+    bias = b.mul(b.sub(mask, b.scalar(1.0, f32)), b.scalar(1e9, f32))
+    bias = b.reshape(bias, (batch, 1, 1, seqlen))
+
+    for _ in range(layers):
+        x = transformer_layer(b, w, x, hidden, heads, inner, batch, seqlen,
+                              mask=bias)
+
+    pooled = b.reduce_mean(x, axes=1)              # [batch, hidden]
+    logits = linear_layer(b, w, pooled, hidden, num_classes)
+    b.outputs(logits)
+
+    def make_inputs(rng: np.random.Generator, batch: int,
+                    seqlen: int) -> dict:
+        return {
+            "input_ids": rng.integers(0, vocab, size=(batch, seqlen),
+                                      dtype=np.int64),
+            "attention_mask": np.ones((batch, seqlen), dtype=np.float32),
+        }
+
+    return Model(
+        name=name,
+        graph=b.graph,
+        axes={"batch": (1, 16), "seqlen": (8, 256)},
+        make_inputs=make_inputs,
+        description=(f"BERT-style encoder: {layers} layers, hidden "
+                     f"{hidden}, {heads} heads"),
+    )

@@ -1,0 +1,67 @@
+"""CRNN-style OCR recogniser: convolutional stem over dynamic-width images.
+
+Text-line images share a fixed height but vary in width with the text
+length, so the spatial width axis is symbolic.  The convolution stem
+downsamples 4x in both dimensions, the feature map is re-laid-out into a
+frame sequence, and a per-frame classifier produces CTC-style character
+probabilities.
+
+Substitution note: the original CRNN's bidirectional LSTM cannot be
+expressed in a loop-free tensor IR; it is replaced by a per-frame MLP over
+a 3-frame context window (built with two extra convolutions), which keeps
+the same dynamic-width behaviour and a similar op mix.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import f32
+from ..ir.builder import GraphBuilder
+from .layers import Weights, conv_block, linear_layer, mlp
+from .model import Model
+
+__all__ = ["build_crnn"]
+
+
+def build_crnn(height: int = 32, channels: int = 48, charset: int = 96,
+               seed: int = 5, name: str = "crnn") -> Model:
+    b = GraphBuilder(name)
+    w = Weights(b, np.random.default_rng(seed))
+    batch = b.sym("batch", hint=8)
+    width = b.sym("width", hint=128)
+
+    image = b.parameter("image", (batch, height, width, 1), f32)
+
+    x = conv_block(b, w, image, 1, channels // 2, strides=(2, 2))
+    x = conv_block(b, w, x, channels // 2, channels, strides=(2, 2))
+    # context mixing standing in for the recurrent layers:
+    x = conv_block(b, w, x, channels, channels, kernel=3)
+
+    reduced_h = height // 4
+    frame_w = x.shape[2]          # the conv-derived symbolic width/4
+    frames = b.transpose(x, (0, 2, 1, 3))  # [b, w/4, h/4, c]
+    frames = b.reshape(frames, (batch, frame_w, reduced_h * channels))
+
+    hidden = 192
+    seq = b.relu(linear_layer(b, w, frames, reduced_h * channels, hidden))
+    logits = mlp(b, w, seq, [hidden, hidden, charset])
+    probs = b.softmax(logits, axis=-1)
+    b.outputs(probs)
+
+    def make_inputs(rng: np.random.Generator, batch: int,
+                    width: int) -> dict:
+        width = max(8, (width // 4) * 4)  # stem downsamples 4x cleanly
+        return {
+            "image": rng.normal(
+                size=(batch, height, width, 1)).astype(np.float32),
+        }
+
+    return Model(
+        name=name,
+        graph=b.graph,
+        axes={"batch": (1, 16), "width": (32, 512)},
+        make_inputs=make_inputs,
+        description=(f"CRNN-style OCR: conv stem over dynamic width, "
+                     f"per-frame classifier over {charset} characters"),
+    )

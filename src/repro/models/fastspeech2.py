@@ -1,0 +1,83 @@
+"""FastSpeech2-style TTS: phoneme encoder, length regulator, mel decoder.
+
+Text-to-speech has two *coupled* dynamic axes: the phoneme count and the
+(longer) mel frame count produced by the length regulator.  The regulator
+itself expands each phoneme by its predicted duration — data-dependent
+shapes that every static compiler chokes on.
+
+Substitution note: real FastSpeech2 computes the frame→phoneme alignment
+from the duration predictor's output at run time.  That alignment is fed
+here as an explicit index input (``alignment``), which preserves exactly
+the compiler-visible behaviour — a gather whose output length is a fresh
+dynamic dim — while keeping the graph loop-free.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import f32, i64
+from ..ir.builder import GraphBuilder
+from .layers import (Weights, embedding, linear_layer, mlp,
+                     positional_embedding, transformer_layer)
+from .model import Model
+
+__all__ = ["build_fastspeech2"]
+
+
+def build_fastspeech2(layers: int = 2, hidden: int = 256, heads: int = 4,
+                      phonemes: int = 128, mel_bins: int = 80,
+                      max_len: int = 2048, seed: int = 6,
+                      name: str = "fastspeech2") -> Model:
+    inner = hidden * 4
+    b = GraphBuilder(name)
+    w = Weights(b, np.random.default_rng(seed))
+    batch = b.sym("batch", hint=2)
+    phon_len = b.sym("phon_len", hint=48)
+    frames = b.sym("frames", hint=320)
+
+    ids = b.parameter("phoneme_ids", (batch, phon_len), i64)
+    alignment = b.parameter("alignment", (frames,), i64)
+
+    table = w.dense(phonemes, hidden)
+    pos_table = w.dense(max_len, hidden)
+
+    x = embedding(b, table, ids)
+    x = b.add(x, positional_embedding(b, pos_table, phon_len, x))
+    for _ in range(layers):
+        x = transformer_layer(b, w, x, hidden, heads, inner, batch,
+                              phon_len)
+
+    # Duration predictor (its output is a model output, used upstream to
+    # build the alignment for the *next* request in a real serving stack).
+    durations = b.relu(mlp(b, w, x, [hidden, hidden // 2, 1]))
+
+    # Length regulator: frame f copies phoneme alignment[f].
+    expanded = b.gather(x, alignment, axis=1)   # [b, frames, hidden]
+    expanded = b.add(expanded,
+                     positional_embedding(b, pos_table, frames, expanded))
+
+    y = expanded
+    for _ in range(layers):
+        y = transformer_layer(b, w, y, hidden, heads, inner, batch, frames)
+    mel = linear_layer(b, w, y, hidden, mel_bins)
+    b.outputs(mel, durations)
+
+    def make_inputs(rng: np.random.Generator, batch: int, phon_len: int,
+                    frames: int) -> dict:
+        return {
+            "phoneme_ids": rng.integers(
+                0, phonemes, size=(batch, phon_len), dtype=np.int64),
+            "alignment": np.sort(rng.integers(
+                0, phon_len, size=(frames,))).astype(np.int64),
+        }
+
+    return Model(
+        name=name,
+        graph=b.graph,
+        axes={"batch": (1, 4), "phon_len": (16, 128),
+              "frames": (64, 1024)},
+        make_inputs=make_inputs,
+        description=(f"FastSpeech2-style TTS: {layers}+{layers} layers, "
+                     f"gather-based length regulator, {mel_bins} mel bins"),
+    )

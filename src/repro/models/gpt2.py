@@ -1,0 +1,70 @@
+"""GPT-2-style decoder: causal self-attention over a dynamic prompt.
+
+The dynamic-shape stressor here is autoregressive *prefill*: prompt lengths
+vary per request, and the causal mask is built inside the graph from two
+``iota`` ops compared against each other — shape-dependent data the
+compiler must generate for arbitrary lengths.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import f32, i64
+from ..ir.builder import GraphBuilder
+from .layers import (Weights, embedding, linear_layer, positional_embedding,
+                     transformer_layer)
+from .model import Model
+
+__all__ = ["build_gpt2"]
+
+
+def build_gpt2(layers: int = 4, hidden: int = 256, heads: int = 4,
+               vocab: int = 8192, max_len: int = 1024, seed: int = 2,
+               name: str = "gpt2") -> Model:
+    inner = hidden * 4
+    b = GraphBuilder(name)
+    w = Weights(b, np.random.default_rng(seed))
+    batch = b.sym("batch", hint=4)
+    seqlen = b.sym("seqlen", hint=64)
+
+    ids = b.parameter("input_ids", (batch, seqlen), i64)
+
+    token_table = w.dense(vocab, hidden)
+    pos_table = w.dense(max_len, hidden)
+
+    x = embedding(b, token_table, ids)
+    x = b.add(x, positional_embedding(b, pos_table, seqlen, x))
+
+    # Causal bias [s, s]: 0 at or below the diagonal, -1e9 above it.
+    row = b.iota((seqlen, seqlen), axis=0, dtype=i64)
+    col = b.iota((seqlen, seqlen), axis=1, dtype=i64)
+    allowed = b.ge(row, col)
+    zeros = b.broadcast_to(b.scalar(0.0, f32), (seqlen, seqlen))
+    neg = b.broadcast_to(b.scalar(-1e9, f32), (seqlen, seqlen))
+    causal = b.select(allowed, zeros, neg)
+    causal = b.reshape(causal, (1, 1, seqlen, seqlen))
+
+    for _ in range(layers):
+        x = transformer_layer(b, w, x, hidden, heads, inner, batch, seqlen,
+                              mask=causal)
+
+    x = b.layer_norm(x, w.ones(hidden), w.zeros(hidden))
+    logits = linear_layer(b, w, x, hidden, vocab, bias=False)
+    b.outputs(logits)
+
+    def make_inputs(rng: np.random.Generator, batch: int,
+                    seqlen: int) -> dict:
+        return {
+            "input_ids": rng.integers(0, vocab, size=(batch, seqlen),
+                                      dtype=np.int64),
+        }
+
+    return Model(
+        name=name,
+        graph=b.graph,
+        axes={"batch": (1, 8), "seqlen": (8, 256)},
+        make_inputs=make_inputs,
+        description=(f"GPT-2-style decoder prefill: {layers} layers, "
+                     f"hidden {hidden}, causal masking via iota"),
+    )

@@ -1,0 +1,167 @@
+"""Reusable model-building blocks.
+
+These helpers build IR subgraphs for the layers the zoo's architectures
+share: embeddings, multi-head self/cross attention, feed-forward blocks,
+convolutional stems.  Weights are embedded as graph constants (frozen
+inference models), initialised from a caller-provided RNG so models are
+deterministic per seed.
+
+Everything is built against *symbolic* batch/sequence dims — each model is
+constructed exactly once and serves every shape.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import f32, i64
+from ..ir.builder import GraphBuilder
+from ..ir.node import Node
+
+__all__ = ["Weights", "embedding", "positional_embedding", "linear_layer",
+           "multi_head_attention", "feed_forward", "transformer_layer",
+           "conv_block", "mlp"]
+
+
+class Weights:
+    """Deterministic weight factory for one model."""
+
+    def __init__(self, builder: GraphBuilder, rng: np.random.Generator,
+                 scale: float = 0.02) -> None:
+        self.builder = builder
+        self.rng = rng
+        self.scale = scale
+
+    def dense(self, *shape: int, scale: float | None = None) -> Node:
+        scale = self.scale if scale is None else scale
+        data = self.rng.normal(0.0, scale, size=shape).astype(np.float32)
+        return self.builder.constant(data)
+
+    def zeros(self, *shape: int) -> Node:
+        return self.builder.constant(np.zeros(shape, dtype=np.float32))
+
+    def ones(self, *shape: int) -> Node:
+        return self.builder.constant(np.ones(shape, dtype=np.float32))
+
+
+def embedding(b: GraphBuilder, table: Node, ids: Node) -> Node:
+    """Token embedding lookup: ids [..] -> vectors [.., hidden]."""
+    return b.gather(table, ids, axis=0)
+
+
+def positional_embedding(b: GraphBuilder, table: Node, seq_dim,
+                         target: Node) -> Node:
+    """Rows 0..seqlen-1 of ``table``, broadcast onto ``target``'s shape."""
+    positions = b.iota((seq_dim,), axis=0, dtype=i64)
+    rows = b.gather(table, positions, axis=0)
+    return b.broadcast_to(rows, target.shape)
+
+
+def linear_layer(b: GraphBuilder, w: Weights, x: Node, in_dim: int,
+                 out_dim: int, bias: bool = True) -> Node:
+    """Dense layer; higher-rank inputs are flattened to 2-D around the
+    matmul, the way real frameworks lower ``nn.Linear`` (cuBLAS GEMMs are
+    2-D).  The flatten/unflatten reshapes are exactly the symbolic-shape
+    boundaries the paper's product-equality constraints let fusion cross.
+    """
+    weight = w.dense(in_dim, out_dim)
+    leading = x.shape[:-1]
+    if len(leading) > 1:
+        flat = b.reshape(x, (b.graph.symtab.fresh(), in_dim))
+        y = b.dot(flat, weight)
+        if bias:
+            y = b.add_bias(y, w.zeros(out_dim))
+        return b.reshape(y, leading + (out_dim,))
+    y = b.dot(x, weight)
+    if bias:
+        y = b.add_bias(y, w.zeros(out_dim))
+    return y
+
+
+def multi_head_attention(b: GraphBuilder, w: Weights, query: Node,
+                         memory: Node, hidden: int, heads: int,
+                         batch_dim, q_len, kv_len,
+                         mask: Node | None = None) -> Node:
+    """Multi-head attention: query [b, q, H] attends to memory [b, k, H].
+
+    ``mask`` (optional) is an additive bias of shape [b, heads, q, k] (or
+    broadcastable to it) applied to the attention scores before softmax.
+    """
+    head_dim = hidden // heads
+    if head_dim * heads != hidden:
+        raise ValueError(f"hidden {hidden} not divisible by heads {heads}")
+
+    def split_heads(x: Node, length) -> Node:
+        x = b.reshape(x, (batch_dim, length, heads, head_dim))
+        return b.transpose(x, (0, 2, 1, 3))  # [b, h, len, d]
+
+    q = split_heads(linear_layer(b, w, query, hidden, hidden), q_len)
+    k = split_heads(linear_layer(b, w, memory, hidden, hidden), kv_len)
+    v = split_heads(linear_layer(b, w, memory, hidden, hidden), kv_len)
+
+    k_t = b.transpose(k, (0, 1, 3, 2))  # [b, h, d, k]
+    scores = b.dot(q, k_t)              # [b, h, q, k]
+    scores = b.mul(scores, b.scalar(1.0 / np.sqrt(head_dim), f32))
+    if mask is not None:
+        scores = b.add(scores, b.broadcast_to(mask, scores.shape))
+    probs = b.softmax(scores, axis=-1)
+    context = b.dot(probs, v)           # [b, h, q, d]
+    context = b.transpose(context, (0, 2, 1, 3))
+    context = b.reshape(context, (batch_dim, q_len, hidden))
+    return linear_layer(b, w, context, hidden, hidden)
+
+
+def feed_forward(b: GraphBuilder, w: Weights, x: Node, hidden: int,
+                 inner: int, activation: str = "gelu") -> Node:
+    h = linear_layer(b, w, x, hidden, inner)
+    if activation == "gelu":
+        h = b.gelu(h)
+    elif activation == "relu":
+        h = b.relu(h)
+    else:
+        raise ValueError(f"unknown activation {activation!r}")
+    return linear_layer(b, w, h, inner, hidden)
+
+
+def transformer_layer(b: GraphBuilder, w: Weights, x: Node, hidden: int,
+                      heads: int, inner: int, batch_dim, seq_len,
+                      mask: Node | None = None,
+                      memory: Node | None = None,
+                      memory_len=None) -> Node:
+    """Pre-norm transformer layer; adds cross-attention when ``memory``."""
+    attn = multi_head_attention(b, w, x, x, hidden, heads, batch_dim,
+                                seq_len, seq_len, mask)
+    x = b.layer_norm(b.add(x, attn), w.ones(hidden), w.zeros(hidden))
+    if memory is not None:
+        cross = multi_head_attention(b, w, x, memory, hidden, heads,
+                                     batch_dim, seq_len, memory_len)
+        x = b.layer_norm(b.add(x, cross), w.ones(hidden), w.zeros(hidden))
+    ffn = feed_forward(b, w, x, hidden, inner)
+    return b.layer_norm(b.add(x, ffn), w.ones(hidden), w.zeros(hidden))
+
+
+def conv_block(b: GraphBuilder, w: Weights, x: Node, in_ch: int,
+               out_ch: int, kernel: int = 3,
+               strides: tuple = (1, 1)) -> Node:
+    """conv2d (NHWC) + bias + relu."""
+    kernel_w = w.dense(kernel, kernel, in_ch, out_ch, scale=0.1)
+    y = b.conv2d(x, kernel_w, strides=strides, padding="same")
+    y = b.add_bias(y, w.zeros(out_ch))
+    return b.relu(y)
+
+
+def mlp(b: GraphBuilder, w: Weights, x: Node, dims: list,
+        activation: str = "relu") -> Node:
+    """A stack of linear layers with activations between them (none after
+    the final layer)."""
+    pairs = list(zip(dims[:-1], dims[1:]))
+    for i, (in_dim, out_dim) in enumerate(pairs):
+        x = linear_layer(b, w, x, in_dim, out_dim)
+        if i < len(pairs) - 1:
+            if activation == "relu":
+                x = b.relu(x)
+            elif activation == "sigmoid":
+                x = b.sigmoid(x)
+            else:
+                raise ValueError(f"unknown activation {activation!r}")
+    return x

@@ -1,0 +1,46 @@
+"""The model bundle: a graph plus how to feed it.
+
+A :class:`Model` packages an IR graph (weights frozen as constants,
+activations as parameters with symbolic dims) together with its dynamic-axis
+ranges and an input generator, so workloads and benchmarks can drive any
+model uniformly.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..ir.graph import Graph
+
+__all__ = ["Model"]
+
+
+@dataclass
+class Model:
+    """One zoo architecture, built once over symbolic dims."""
+
+    name: str
+    graph: Graph
+    #: dynamic axis name -> (min, max) plausible range; workload generators
+    #: sample these.
+    axes: dict = field(default_factory=dict)
+    #: (rng, {axis: value}) -> {param name: array}
+    make_inputs: Callable = None
+    description: str = ""
+
+    def sample_inputs(self, rng: np.random.Generator,
+                      axis_values: Mapping[str, int] | None = None) -> dict:
+        """Inputs for one call; unspecified axes get mid-range values."""
+        values = dict(axis_values or {})
+        for axis, (lo, hi) in self.axes.items():
+            values.setdefault(axis, (lo + hi) // 2)
+        return self.make_inputs(rng, **values)
+
+    def __repr__(self) -> str:
+        axes = ", ".join(f"{k}∈[{lo},{hi}]"
+                         for k, (lo, hi) in self.axes.items())
+        return (f"Model({self.name!r}, nodes={len(self.graph)}, "
+                f"axes: {axes})")

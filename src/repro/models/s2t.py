@@ -1,0 +1,65 @@
+"""Speech-to-Text transformer: long, highly variable frame counts.
+
+ASR inputs are filterbank features ``[batch, frames, 80]`` whose frame
+count spans an order of magnitude between utterances — the widest dynamic
+range in the zoo, which is what defeats padding engines (a power-of-two
+bucket on frames wastes up to half the compute).  A strided projection
+stem downsamples 4x (standing in for the usual conv subsampler), then a
+transformer encoder and a CTC-style vocabulary head run per frame.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir import f32
+from ..ir.builder import GraphBuilder
+from .layers import Weights, linear_layer, positional_embedding, \
+    transformer_layer
+from .model import Model
+
+__all__ = ["build_s2t"]
+
+
+def build_s2t(layers: int = 4, hidden: int = 256, heads: int = 4,
+              feat_dim: int = 80, vocab: int = 1024, max_len: int = 1024,
+              seed: int = 4, name: str = "s2t") -> Model:
+    inner = hidden * 4
+    b = GraphBuilder(name)
+    w = Weights(b, np.random.default_rng(seed))
+    batch = b.sym("batch", hint=4)
+    frames = b.sym("frames", hint=256)   # raw frame count, multiple of 4
+    sub_len = b.sym("sub_len", hint=64)  # frames / 4 after subsampling
+
+    feats = b.parameter("features", (batch, frames, feat_dim), f32)
+
+    # 4x temporal subsampling: stack 4 adjacent frames and project.
+    stacked = b.reshape(feats, (batch, sub_len, 4 * feat_dim))
+    x = b.relu(linear_layer(b, w, stacked, 4 * feat_dim, hidden))
+    pos_table = w.dense(max_len, hidden)
+    x = b.add(x, positional_embedding(b, pos_table, sub_len, x))
+    x = b.layer_norm(x, w.ones(hidden), w.zeros(hidden))
+
+    for _ in range(layers):
+        x = transformer_layer(b, w, x, hidden, heads, inner, batch, sub_len)
+
+    logits = linear_layer(b, w, x, hidden, vocab)   # CTC head per frame
+    log_probs = b.softmax(logits, axis=-1)
+    b.outputs(log_probs)
+
+    def make_inputs(rng: np.random.Generator, batch: int,
+                    frames: int) -> dict:
+        frames = max(4, (frames // 4) * 4)  # the stem needs a multiple of 4
+        return {
+            "features": rng.normal(
+                size=(batch, frames, feat_dim)).astype(np.float32),
+        }
+
+    return Model(
+        name=name,
+        graph=b.graph,
+        axes={"batch": (1, 8), "frames": (64, 1024)},
+        make_inputs=make_inputs,
+        description=(f"Speech-to-Text encoder: {layers} layers, 4x "
+                     f"subsampling stem, frames vary 64-1024"),
+    )

@@ -1,0 +1,12 @@
+"""Numpy execution semantics and symbolic-shape resolution."""
+
+from .kernels import KERNELS, SemanticsError, apply_op
+from .resolve import (BindingError, bind_inputs, concretize_attrs,
+                      concretize_shape, resolve_all_dims,
+                      solve_reshape_shape, unify_shape)
+
+__all__ = [
+    "KERNELS", "SemanticsError", "apply_op",
+    "BindingError", "bind_inputs", "concretize_attrs", "concretize_shape",
+    "resolve_all_dims", "solve_reshape_shape", "unify_shape",
+]

@@ -1,0 +1,326 @@
+"""Numpy execution semantics for every IR op.
+
+This is the single source of numerical truth: the reference interpreter
+evaluates graphs with these functions, the DISC code generator emits calls
+into them from fused kernels, and every baseline executor runs them per op —
+so all executors in the system are numerically identical by construction and
+any divergence found in tests is a real bug.
+
+Each entry takes the already-evaluated operand arrays plus the node's attrs
+and returns one output array.  Dtype handling mirrors shape inference in
+``repro.ir.ops`` (results are cast to the node's inferred dtype by the
+callers when needed).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Callable, Sequence
+
+import numpy as np
+from scipy import special as _sp
+
+__all__ = ["KERNELS", "apply_op", "SemanticsError"]
+
+
+class SemanticsError(RuntimeError):
+    """An op was applied to arrays it cannot execute on."""
+
+
+def _erf(x: np.ndarray) -> np.ndarray:
+    return _sp.erf(x).astype(x.dtype, copy=False)
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return _sp.expit(x).astype(x.dtype, copy=False)
+
+
+def _gelu(x: np.ndarray) -> np.ndarray:
+    # exact (erf) formulation, the one BERT uses
+    return (x * 0.5 * (1.0 + _sp.erf(x / math.sqrt(2.0)))).astype(
+        x.dtype, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# sources
+# ---------------------------------------------------------------------------
+
+def _k_parameter(args, attrs):
+    raise SemanticsError("parameter has no kernel; bind inputs instead")
+
+
+def _k_constant(args, attrs):
+    return attrs["value"]
+
+
+def _k_iota(args, attrs):
+    shape = tuple(int(d) for d in attrs["shape"])
+    axis = attrs["axis"]
+    dtype = attrs.get("dtype")
+    np_dtype = dtype.to_numpy() if dtype is not None else np.int64
+    vec = np.arange(shape[axis], dtype=np_dtype)
+    expand = [1] * len(shape)
+    expand[axis] = shape[axis]
+    return np.broadcast_to(vec.reshape(expand), shape).copy()
+
+
+# ---------------------------------------------------------------------------
+# elementwise
+# ---------------------------------------------------------------------------
+
+def _unary(fn: Callable[[np.ndarray], np.ndarray]):
+    def kernel(args, attrs):
+        return fn(args[0])
+    return kernel
+
+
+def _binary(fn: Callable[[np.ndarray, np.ndarray], np.ndarray]):
+    def kernel(args, attrs):
+        return fn(args[0], args[1])
+    return kernel
+
+
+def _k_cast(args, attrs):
+    return args[0].astype(attrs["dtype"].to_numpy())
+
+
+def _k_select(args, attrs):
+    pred, a, b = args
+    return np.where(pred, a, b)
+
+
+def _k_relu(args, attrs):
+    x = args[0]
+    return np.maximum(x, np.asarray(0, dtype=x.dtype))
+
+
+def _safe_div(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    if np.issubdtype(a.dtype, np.integer) and np.issubdtype(
+            b.dtype, np.integer):
+        return a // b
+    return a / b
+
+
+def _safe_pow(a: np.ndarray, b: np.ndarray) -> np.ndarray:
+    with np.errstate(invalid="ignore"):
+        return np.power(a, b)
+
+
+# ---------------------------------------------------------------------------
+# broadcast / reshape / transpose / data movement
+# ---------------------------------------------------------------------------
+
+def _k_broadcast_in_dim(args, attrs):
+    (x,) = args
+    out_shape = tuple(int(d) for d in attrs["_concrete_out_shape"])
+    bdims = tuple(attrs["broadcast_dims"])
+    expand = [1] * len(out_shape)
+    for in_pos, out_pos in enumerate(bdims):
+        expand[out_pos] = x.shape[in_pos]
+    return np.broadcast_to(x.reshape(expand), out_shape)
+
+
+def _k_reshape(args, attrs):
+    (x,) = args
+    new_shape = tuple(int(d) for d in attrs["_concrete_new_shape"])
+    return np.reshape(x, new_shape)
+
+
+def _k_transpose(args, attrs):
+    return np.transpose(args[0], attrs["perm"])
+
+
+def _k_slice(args, attrs):
+    (x,) = args
+    starts = attrs["starts"]
+    limits = attrs["limits"]
+    strides = attrs.get("strides") or (1,) * x.ndim
+    index = tuple(slice(int(lo), None if hi is None else int(hi), int(st))
+                  for lo, hi, st in zip(starts, limits, strides))
+    return x[index]
+
+
+def _k_concat(args, attrs):
+    return np.concatenate(args, axis=attrs["axis"])
+
+
+def _k_gather(args, attrs):
+    operand, indices = args
+    return np.take(operand, indices.astype(np.int64), axis=attrs.get(
+        "axis", 0))
+
+
+# ---------------------------------------------------------------------------
+# reduction
+# ---------------------------------------------------------------------------
+
+_REDUCERS = {
+    "sum": np.sum,
+    "max": np.max,
+    "min": np.min,
+    "mean": np.mean,
+    "prod": np.prod,
+}
+
+
+def _k_reduce(args, attrs):
+    (x,) = args
+    kind = attrs["kind"]
+    axes = tuple(attrs["axes"])
+    keepdims = bool(attrs.get("keepdims", False))
+    if kind in ("argmax", "argmin"):
+        fn = np.argmax if kind == "argmax" else np.argmin
+        out = fn(x, axis=axes[0], keepdims=keepdims)
+        return np.asarray(out, dtype=np.int64)
+    out = _REDUCERS[kind](x, axis=axes, keepdims=keepdims)
+    return np.asarray(out, dtype=x.dtype)
+
+
+def _k_pad(args, attrs):
+    (x,) = args
+    pads = tuple(tuple(p) for p in attrs["pads"])
+    value = attrs.get("value", 0)
+    return np.pad(x, pads, constant_values=value)
+
+
+# ---------------------------------------------------------------------------
+# dot / conv2d
+# ---------------------------------------------------------------------------
+
+def _k_dot(args, attrs):
+    a, b = args
+    return np.matmul(a, b)
+
+
+def _k_conv2d(args, attrs):
+    """NHWC x HWIO -> NHWC convolution via im2col + matmul."""
+    x, w = args
+    sh, sw = attrs.get("strides", (1, 1))
+    padding = attrs.get("padding", "same")
+    n, h, wd, cin = x.shape
+    kh, kw, wcin, cout = w.shape
+    if cin != wcin:
+        raise SemanticsError("conv2d: channel mismatch")
+    if padding == "same":
+        oh = -(-h // sh)
+        ow = -(-wd // sw)
+        pad_h = max((oh - 1) * sh + kh - h, 0)
+        pad_w = max((ow - 1) * sw + kw - wd, 0)
+        x = np.pad(x, ((0, 0), (pad_h // 2, pad_h - pad_h // 2),
+                       (pad_w // 2, pad_w - pad_w // 2), (0, 0)))
+    else:
+        oh = (h - kh) // sh + 1
+        ow = (wd - kw) // sw + 1
+    # im2col: patches[n, oh, ow, kh*kw*cin]
+    strides = x.strides
+    patch_shape = (n, oh, ow, kh, kw, cin)
+    patch_strides = (strides[0], strides[1] * sh, strides[2] * sw,
+                     strides[1], strides[2], strides[3])
+    patches = np.lib.stride_tricks.as_strided(
+        x, shape=patch_shape, strides=patch_strides, writeable=False)
+    cols = patches.reshape(n, oh, ow, kh * kw * cin)
+    kernel = w.reshape(kh * kw * cin, cout)
+    out = cols @ kernel
+    return out.astype(x.dtype, copy=False)
+
+
+# ---------------------------------------------------------------------------
+# shape ops
+# ---------------------------------------------------------------------------
+
+def _k_shape_of(args, attrs):
+    return np.asarray(args[0].shape, dtype=np.int64)
+
+
+def _k_dim_size(args, attrs):
+    return np.asarray(args[0].shape[attrs["axis"]], dtype=np.int64)
+
+
+# ---------------------------------------------------------------------------
+# composites
+# ---------------------------------------------------------------------------
+
+def _k_softmax(args, attrs):
+    (x,) = args
+    axis = attrs.get("axis", -1)
+    shifted = x - np.max(x, axis=axis, keepdims=True)
+    e = np.exp(shifted)
+    return (e / np.sum(e, axis=axis, keepdims=True)).astype(
+        x.dtype, copy=False)
+
+
+def _k_layer_norm(args, attrs):
+    x, scale, bias = args
+    eps = attrs.get("eps", 1e-5)
+    mean = np.mean(x, axis=-1, keepdims=True)
+    var = np.mean((x - mean) ** 2, axis=-1, keepdims=True)
+    normed = (x - mean) / np.sqrt(var + eps)
+    return (normed * scale + bias).astype(x.dtype, copy=False)
+
+
+def _k_gelu(args, attrs):
+    return _gelu(args[0])
+
+
+KERNELS: dict[str, Callable] = {
+    "parameter": _k_parameter,
+    "constant": _k_constant,
+    "iota": _k_iota,
+    "neg": _unary(np.negative),
+    "abs": _unary(np.abs),
+    "exp": _unary(np.exp),
+    "log": _unary(np.log),
+    "sqrt": _unary(np.sqrt),
+    "rsqrt": _unary(lambda x: (1.0 / np.sqrt(x)).astype(x.dtype,
+                                                        copy=False)),
+    "tanh": _unary(np.tanh),
+    "erf": _unary(_erf),
+    "sigmoid": _unary(_sigmoid),
+    "relu": _k_relu,
+    "floor": _unary(np.floor),
+    "sign": _unary(np.sign),
+    "cast": _k_cast,
+    "add": _binary(np.add),
+    "sub": _binary(np.subtract),
+    "mul": _binary(np.multiply),
+    "div": _binary(_safe_div),
+    "pow": _binary(_safe_pow),
+    "maximum": _binary(np.maximum),
+    "minimum": _binary(np.minimum),
+    "eq": _binary(np.equal),
+    "ne": _binary(np.not_equal),
+    "lt": _binary(np.less),
+    "le": _binary(np.less_equal),
+    "gt": _binary(np.greater),
+    "ge": _binary(np.greater_equal),
+    "select": _k_select,
+    "broadcast_in_dim": _k_broadcast_in_dim,
+    "reshape": _k_reshape,
+    "transpose": _k_transpose,
+    "pad": _k_pad,
+    "slice": _k_slice,
+    "concat": _k_concat,
+    "gather": _k_gather,
+    "reduce": _k_reduce,
+    "dot": _k_dot,
+    "conv2d": _k_conv2d,
+    "shape_of": _k_shape_of,
+    "dim_size": _k_dim_size,
+    "softmax": _k_softmax,
+    "layer_norm": _k_layer_norm,
+    "gelu": _k_gelu,
+}
+
+
+def apply_op(op: str, args: Sequence[np.ndarray], attrs: dict) -> np.ndarray:
+    """Execute one op on concrete arrays.
+
+    For shape-bearing ops (``broadcast_in_dim``, ``reshape``) the caller must
+    have resolved symbolic dims into the ``_concrete_*`` attr entries — see
+    :func:`repro.numerics.resolve.concretize_attrs`.
+    """
+    try:
+        kernel = KERNELS[op]
+    except KeyError:
+        raise SemanticsError(f"no numpy semantics for op {op!r}") from None
+    return kernel(list(args), attrs)

@@ -1,0 +1,234 @@
+"""Resolving symbolic shapes against concrete runtime arrays.
+
+At run time the engine receives concrete numpy arrays for the graph
+parameters.  :func:`bind_inputs` unifies each parameter's symbolic shape with
+its array to produce the *dim bindings* (symbol name -> int) for the call —
+the runtime half of the paper's symbolic shape representation.  Downstream,
+:func:`concretize_shape` turns any symbolic shape into ints, and
+:func:`concretize_attrs` prepares the ``_concrete_*`` attr entries the numpy
+kernels need for ``reshape`` / ``broadcast_in_dim``.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping, MutableMapping, Sequence
+
+import numpy as np
+
+from ..ir.node import Node
+from ..ir.shapes import Dim, SymDim
+
+__all__ = [
+    "BindingError",
+    "unify_shape",
+    "bind_inputs",
+    "concretize_shape",
+    "concretize_attrs",
+    "solve_reshape_shape",
+    "resolve_all_dims",
+]
+
+
+class BindingError(ValueError):
+    """Concrete shapes contradict the graph's symbolic shapes."""
+
+
+def unify_shape(sym_shape: Sequence[Dim], concrete: Sequence[int],
+                bindings: MutableMapping[str, int]) -> None:
+    """Match ``concrete`` against ``sym_shape``, extending ``bindings``.
+
+    Raises :class:`BindingError` on rank mismatch, on a concrete dim that
+    disagrees with the IR, or on a symbol already bound to a different
+    value (e.g. two inputs that must share a batch size but do not).
+    """
+    if len(sym_shape) != len(concrete):
+        raise BindingError(
+            f"rank mismatch: expected {len(sym_shape)} dims "
+            f"({tuple(sym_shape)}), got shape {tuple(concrete)}")
+    for dim, actual in zip(sym_shape, concrete):
+        actual = int(actual)
+        if isinstance(dim, int):
+            if dim != actual:
+                raise BindingError(
+                    f"static dim mismatch: IR says {dim}, array has "
+                    f"{actual} (shape {tuple(concrete)})")
+        else:
+            bound = bindings.get(dim.name)
+            if bound is None:
+                bindings[dim.name] = actual
+            elif bound != actual:
+                raise BindingError(
+                    f"symbol {dim.name} bound to {bound} but array "
+                    f"requires {actual}")
+
+
+def bind_inputs(params: Sequence[Node],
+                inputs: Mapping[str, np.ndarray]) -> dict[str, int]:
+    """Derive dim bindings from the parameter arrays of one call."""
+    bindings: dict[str, int] = {}
+    for param in params:
+        pname = param.attrs["param_name"]
+        if pname not in inputs:
+            raise BindingError(f"missing input for parameter {pname!r}")
+        unify_shape(param.shape, inputs[pname].shape, bindings)
+    return bindings
+
+
+def concretize_shape(shape: Sequence[Dim],
+                     bindings: Mapping[str, int]) -> tuple:
+    """Substitute all symbols; every symbol must be bound."""
+    out = []
+    for dim in shape:
+        if isinstance(dim, SymDim):
+            if dim.name not in bindings:
+                raise BindingError(f"unbound symbolic dim {dim.name}")
+            out.append(int(bindings[dim.name]))
+        else:
+            out.append(int(dim))
+    return tuple(out)
+
+
+def solve_reshape_shape(new_shape: Sequence[Dim], total_elements: int,
+                        bindings: MutableMapping[str, int]) -> tuple:
+    """Resolve a reshape target, solving at most one unbound symbol.
+
+    A reshape like ``[batch, seq, h] -> [bs, h]`` introduces a symbol
+    (``bs``) whose value is not carried by any graph input.  Exactly like
+    numpy's ``-1`` extent, its value is implied by the operand's element
+    count; we solve it here and *bind* it so later uses of the symbol
+    resolve consistently.
+    """
+    known = 1
+    unknown: SymDim | None = None
+    out: list = []
+    for dim in new_shape:
+        if isinstance(dim, SymDim) and dim.name not in bindings:
+            if unknown is not None:
+                raise BindingError(
+                    f"reshape target {tuple(new_shape)} has more than one "
+                    f"unbound symbol ({unknown.name}, {dim.name})")
+            unknown = dim
+            out.append(dim)
+            continue
+        value = bindings[dim.name] if isinstance(dim, SymDim) else int(dim)
+        known *= value
+        out.append(value)
+    if unknown is None:
+        resolved = tuple(int(d) for d in out)
+        if total_elements != int(np.prod(resolved, initial=1)):
+            raise BindingError(
+                f"reshape target {resolved} does not cover "
+                f"{total_elements} elements")
+        return resolved
+    if known == 0 or total_elements % known != 0:
+        raise BindingError(
+            f"cannot solve {unknown.name}: {total_elements} elements do "
+            f"not divide by known extent {known}")
+    solved = total_elements // known
+    bindings[unknown.name] = solved
+    return tuple(solved if d is unknown else d for d in out)
+
+
+def resolve_all_dims(nodes: Sequence[Node],
+                     bindings: MutableMapping[str, int]) -> None:
+    """Statically solve every solvable symbol before execution.
+
+    Some symbols are not carried by any graph input: reshape targets mint
+    them (``[b, s, h] -> [bs, h]``), concat sums them, conv2d derives them
+    from strides.  Walking the graph in topological order, each such symbol
+    is computable from already-bound symbols — no tensor data needed.
+    Binding them all up front makes kernel execution order-independent
+    (an ``iota`` over a solved symbol may run before the reshape that
+    "created" it).
+    """
+    for node in nodes:
+        if node.op == "reshape":
+            in_shape = node.inputs[0].shape
+            if all(not isinstance(d, SymDim) or d.name in bindings
+                   for d in in_shape):
+                total = 1
+                for d in in_shape:
+                    total *= bindings[d.name] if isinstance(d, SymDim) \
+                        else int(d)
+                try:
+                    solve_reshape_shape(node.attrs["new_shape"], total,
+                                        bindings)
+                except BindingError:
+                    pass  # more than one unknown; runtime solves lazily
+        elif node.op == "concat":
+            axis = node.attrs["axis"]
+            out_dim = node.shape[axis]
+            if isinstance(out_dim, SymDim) and out_dim.name not in bindings:
+                parts = []
+                for operand in node.inputs:
+                    d = operand.shape[axis]
+                    if isinstance(d, SymDim):
+                        if d.name not in bindings:
+                            break
+                        parts.append(bindings[d.name])
+                    else:
+                        parts.append(int(d))
+                else:
+                    bindings[out_dim.name] = sum(parts)
+        elif node.op == "pad":
+            pads = node.attrs["pads"]
+            x = node.inputs[0]
+            for axis, (lo, hi) in enumerate(pads):
+                out_dim = node.shape[axis]
+                in_dim = x.shape[axis]
+                if not isinstance(out_dim, SymDim) or \
+                        out_dim.name in bindings:
+                    continue
+                if isinstance(in_dim, SymDim):
+                    if in_dim.name not in bindings:
+                        continue
+                    in_value = bindings[in_dim.name]
+                else:
+                    in_value = int(in_dim)
+                bindings[out_dim.name] = in_value + lo + hi
+        elif node.op == "conv2d":
+            strides = node.attrs.get("strides", (1, 1))
+            x = node.inputs[0]
+            for spatial, stride in ((1, strides[0]), (2, strides[1])):
+                out_dim = node.shape[spatial]
+                in_dim = x.shape[spatial]
+                if not isinstance(out_dim, SymDim) or \
+                        out_dim.name in bindings:
+                    continue
+                if isinstance(in_dim, SymDim):
+                    if in_dim.name not in bindings:
+                        continue
+                    in_value = bindings[in_dim.name]
+                else:
+                    in_value = int(in_dim)
+                if node.attrs.get("padding", "same") == "same":
+                    bindings[out_dim.name] = -(-in_value // stride)
+                else:
+                    k = int(node.inputs[1].shape[spatial - 1])
+                    bindings[out_dim.name] = (in_value - k) // stride + 1
+
+
+def concretize_attrs(node: Node, bindings: MutableMapping[str, int],
+                     operand_shapes: Sequence[tuple] | None = None) -> dict:
+    """Attrs with symbolic shape attributes resolved for execution.
+
+    Returns a shallow copy; the node's own attrs are never mutated (they are
+    shared across calls with different shapes).  ``operand_shapes`` (the
+    concrete runtime shapes of the operands) is required for ``reshape`` so
+    an unbound target symbol can be solved from the element count.
+    """
+    attrs = dict(node.attrs)
+    if node.op == "reshape":
+        if operand_shapes:
+            total = int(np.prod(operand_shapes[0], initial=1))
+            attrs["_concrete_new_shape"] = solve_reshape_shape(
+                attrs["new_shape"], total, bindings)
+        else:
+            attrs["_concrete_new_shape"] = concretize_shape(
+                attrs["new_shape"], bindings)
+    elif node.op == "broadcast_in_dim":
+        attrs["_concrete_out_shape"] = concretize_shape(
+            attrs["out_shape"], bindings)
+    elif node.op == "iota":
+        attrs["shape"] = concretize_shape(attrs["shape"], bindings)
+    return attrs

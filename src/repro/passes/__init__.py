@@ -1,0 +1,30 @@
+"""Graph optimization passes used by the DISC pipeline."""
+
+from .base import FunctionPass, Pass, PassManager, PassResult
+from .lowering import LowerComposites
+from .simplify import AlgebraicSimplify, ConstantFold
+from .cse import CommonSubexpressionElimination
+from .dce import DeadCodeElimination
+from .placement import PlaceShapeComputations, is_host_placed
+
+__all__ = [
+    "FunctionPass", "Pass", "PassManager", "PassResult",
+    "LowerComposites",
+    "AlgebraicSimplify", "ConstantFold",
+    "CommonSubexpressionElimination",
+    "DeadCodeElimination",
+    "PlaceShapeComputations", "is_host_placed",
+    "default_pipeline",
+]
+
+
+def default_pipeline() -> list:
+    """The standard pre-fusion pass pipeline, in order."""
+    return [
+        LowerComposites(),
+        AlgebraicSimplify(),
+        ConstantFold(),
+        CommonSubexpressionElimination(),
+        DeadCodeElimination(),
+        PlaceShapeComputations(),
+    ]

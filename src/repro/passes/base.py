@@ -1,0 +1,81 @@
+"""Pass infrastructure: a uniform interface plus a pass manager.
+
+Passes mutate the graph in place and report simple statistics.  The pass
+manager runs a pipeline, optionally verifying after each pass (on by
+default in tests, off in benchmarks), and records per-pass timing for the
+compilation-overhead experiment (E6).
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable
+
+from ..ir.graph import Graph
+from ..ir.verifier import verify
+
+__all__ = ["Pass", "PassResult", "PassManager"]
+
+
+@dataclass
+class PassResult:
+    """What one pass did."""
+
+    name: str
+    changed: bool
+    duration_s: float
+    details: dict = field(default_factory=dict)
+
+
+class Pass:
+    """Base class: subclasses implement :meth:`run` returning change info."""
+
+    name = "pass"
+
+    def run(self, graph: Graph) -> dict:
+        """Transform ``graph`` in place; return a details dict.
+
+        The dict should include ``"changed": bool``; other keys are free-form
+        statistics surfaced in compile reports.
+        """
+        raise NotImplementedError
+
+    def __call__(self, graph: Graph) -> PassResult:
+        start = time.perf_counter()
+        details = self.run(graph) or {}
+        duration = time.perf_counter() - start
+        changed = bool(details.pop("changed", False))
+        return PassResult(self.name, changed, duration, details)
+
+
+class FunctionPass(Pass):
+    """Adapter turning a plain function into a Pass."""
+
+    def __init__(self, fn: Callable[[Graph], dict], name: str | None = None):
+        self._fn = fn
+        self.name = name or fn.__name__
+
+    def run(self, graph: Graph) -> dict:
+        return self._fn(graph)
+
+
+class PassManager:
+    """Runs a pipeline of passes over a graph."""
+
+    def __init__(self, passes: list[Pass], verify_each: bool = False) -> None:
+        self.passes = list(passes)
+        self.verify_each = verify_each
+        self.results: list[PassResult] = []
+
+    def run(self, graph: Graph) -> list[PassResult]:
+        self.results = []
+        for pass_ in self.passes:
+            result = pass_(graph)
+            self.results.append(result)
+            if self.verify_each:
+                verify(graph)
+        return self.results
+
+    def total_time_s(self) -> float:
+        return sum(r.duration_s for r in self.results)

@@ -1,0 +1,64 @@
+"""Common subexpression elimination.
+
+Two nodes compute the same value when they run the same op over the same
+operands with equal attributes.  Attribute equality handles numpy arrays
+(constants) by content digest, so duplicate weight-free constants (the
+scalar epsilons and 0.5s that lowering sprinkles around) deduplicate too.
+"""
+
+from __future__ import annotations
+
+import hashlib
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.node import Node
+from .base import Pass
+
+__all__ = ["CommonSubexpressionElimination"]
+
+
+def _attr_token(value) -> object:
+    if isinstance(value, np.ndarray):
+        digest = hashlib.sha1(value.tobytes()).hexdigest()
+        return ("ndarray", str(value.dtype), value.shape, digest)
+    if isinstance(value, (list, tuple)):
+        return tuple(_attr_token(v) for v in value)
+    if isinstance(value, dict):
+        return tuple(sorted((k, _attr_token(v)) for k, v in value.items()))
+    return value
+
+
+def node_signature(node: Node, canonical: dict[Node, Node]) -> tuple:
+    """A hashable key identifying the value ``node`` computes."""
+    info_inputs = tuple(canonical.get(i, i).id for i in node.inputs)
+    from ..ir.ops import op_info
+    if op_info(node.op).commutative:
+        info_inputs = tuple(sorted(info_inputs))
+    attrs = _attr_token(node.attrs)
+    return (node.op, info_inputs, attrs)
+
+
+class CommonSubexpressionElimination(Pass):
+    name = "cse"
+
+    def run(self, graph: Graph) -> dict:
+        canonical: dict[Node, Node] = {}
+        seen: dict[tuple, Node] = {}
+        removed = 0
+        for node in graph.nodes:
+            if node.op == "parameter":
+                continue
+            key = node_signature(node, canonical)
+            if key in seen:
+                canonical[node] = seen[key]
+                removed += 1
+            else:
+                seen[key] = node
+        for duplicate, keeper in canonical.items():
+            graph.replace_all_uses(duplicate, keeper)
+        if removed:
+            graph.prune()
+            graph.normalize_order()
+        return {"changed": removed > 0, "removed": removed}

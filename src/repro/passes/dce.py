@@ -1,0 +1,16 @@
+"""Dead code elimination (a counted wrapper over ``Graph.prune``)."""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph
+from .base import Pass
+
+__all__ = ["DeadCodeElimination"]
+
+
+class DeadCodeElimination(Pass):
+    name = "dce"
+
+    def run(self, graph: Graph) -> dict:
+        removed = graph.prune()
+        return {"changed": removed > 0, "removed": removed}

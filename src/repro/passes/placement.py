@@ -1,0 +1,64 @@
+"""Shape-computation placement: keep shape arithmetic on the host.
+
+Dynamic-shape graphs contain small integer computations that only exist to
+*describe* shapes (``shape_of`` / ``dim_size`` and the scalar arithmetic fed
+by them).  Launching device kernels for these 8-byte computations wastes a
+full kernel-launch latency each; BladeDISC places them on the host CPU.
+
+The pass marks each such node with ``attrs["_placement"] = "host"``.  The
+device cost model charges host-placed nodes a (cheap) host-arithmetic cost
+instead of a kernel launch; experiment E10 measures the difference.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir.ops import OpCategory
+from .base import Pass
+
+__all__ = ["PlaceShapeComputations", "is_host_placed"]
+
+#: Largest element count a host-placed tensor may have: shape vectors and
+#: scalars only, never real data.
+_HOST_MAX_ELEMENTS = 64
+
+
+def is_host_placed(node: Node) -> bool:
+    return node.attrs.get("_placement") == "host"
+
+
+def _small_static(node: Node) -> bool:
+    total = 1
+    for dim in node.shape:
+        if not isinstance(dim, int):
+            return False
+        total *= dim
+    return total <= _HOST_MAX_ELEMENTS
+
+
+class PlaceShapeComputations(Pass):
+    name = "place-shape-computations"
+
+    def run(self, graph: Graph) -> dict:
+        placed = 0
+        host: set[Node] = set()
+        for node in graph.nodes:  # topological: operands decided first
+            if node.category is OpCategory.SHAPE:
+                host.add(node)
+                continue
+            if not node.inputs or not _small_static(node):
+                continue
+            feeds_from_host = all(
+                operand in host or operand.op == "constant"
+                for operand in node.inputs)
+            movable = node.category in (OpCategory.ELEMENTWISE,
+                                        OpCategory.RESHAPE,
+                                        OpCategory.DATA_MOVEMENT)
+            if feeds_from_host and movable:
+                host.add(node)
+        for node in host:
+            if not is_host_placed(node):
+                node.attrs["_placement"] = "host"
+                placed += 1
+        return {"changed": placed > 0, "placed": placed}

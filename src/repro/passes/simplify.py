@@ -1,0 +1,143 @@
+"""Algebraic simplification and constant folding.
+
+A conservative rewrite set sufficient for the graphs the model zoo
+produces.  Every rewrite is semantics-preserving for all runtime shapes —
+rules that would need concrete shape values to justify are exactly the ones
+a dynamic-shape compiler must *not* apply, and tests assert we don't.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir.shapes import is_static
+from ..numerics import apply_op
+from .base import Pass
+
+__all__ = ["AlgebraicSimplify", "ConstantFold"]
+
+
+def _as_scalar_constant(node: Node) -> float | None:
+    """The scalar value of a (possibly broadcast) constant, else None."""
+    src = node
+    if src.op == "broadcast_in_dim":
+        src = src.inputs[0]
+    if src.op != "constant":
+        return None
+    value = src.attrs["value"]
+    if value.size != 1:
+        return None
+    return float(value.reshape(()))
+
+
+class AlgebraicSimplify(Pass):
+    """Identity/involution rewrites: x+0, x*1, neg(neg x), transpose chains,
+    reshape chains, no-op reshapes/transposes/broadcasts/casts."""
+
+    name = "algebraic-simplify"
+
+    def run(self, graph: Graph) -> dict:
+        rewrites = 0
+        for node in list(graph.nodes):
+            target = self._rewrite(node)
+            if target is not None:
+                graph.replace_all_uses(node, target)
+                rewrites += 1
+        if rewrites:
+            graph.prune()
+            graph.normalize_order()
+        return {"changed": rewrites > 0, "rewrites": rewrites}
+
+    def _rewrite(self, node: Node) -> Node | None:
+        op = node.op
+        if op in ("add", "sub"):
+            value = _as_scalar_constant(node.inputs[1])
+            if value == 0.0 and node.inputs[0].shape == node.shape:
+                return node.inputs[0]
+            if op == "add":
+                value = _as_scalar_constant(node.inputs[0])
+                if value == 0.0 and node.inputs[1].shape == node.shape:
+                    return node.inputs[1]
+        elif op in ("mul", "div"):
+            value = _as_scalar_constant(node.inputs[1])
+            if value == 1.0 and node.inputs[0].shape == node.shape:
+                return node.inputs[0]
+            if op == "mul":
+                value = _as_scalar_constant(node.inputs[0])
+                if value == 1.0 and node.inputs[1].shape == node.shape:
+                    return node.inputs[1]
+        elif op == "neg" and node.inputs[0].op == "neg":
+            return node.inputs[0].inputs[0]
+        elif op == "transpose":
+            (operand,) = node.inputs
+            perm = node.attrs["perm"]
+            if perm == tuple(range(len(perm))):
+                return operand
+            if operand.op == "transpose":
+                inner = operand.attrs["perm"]
+                composed = tuple(inner[p] for p in perm)
+                if composed == tuple(range(len(composed))):
+                    return operand.inputs[0]
+        elif op == "reshape":
+            (operand,) = node.inputs
+            if node.shape == operand.shape:
+                return operand
+            if operand.op == "reshape" and node.shape == \
+                    operand.inputs[0].shape:
+                return operand.inputs[0]
+        elif op == "broadcast_in_dim":
+            (operand,) = node.inputs
+            bdims = node.attrs["broadcast_dims"]
+            identity = (node.shape == operand.shape
+                        and bdims == tuple(range(len(operand.shape))))
+            if identity:
+                return operand
+        elif op == "cast":
+            (operand,) = node.inputs
+            if operand.dtype is node.attrs["dtype"]:
+                return operand
+        return None
+
+
+class ConstantFold(Pass):
+    """Evaluate nodes whose operands are all static-shaped constants."""
+
+    name = "constant-fold"
+    #: Never fold tensors bigger than this (avoids bloating the graph with
+    #: huge dense constants for marginal gain).
+    max_elements = 1 << 16
+
+    def run(self, graph: Graph) -> dict:
+        folded = 0
+        values: dict[Node, np.ndarray] = {}
+        for node in list(graph.nodes):
+            if node.op == "constant":
+                values[node] = node.attrs["value"]
+                continue
+            if node.op in ("parameter", "shape_of", "dim_size"):
+                continue
+            if not is_static(node.shape):
+                continue
+            if any(operand not in values for operand in node.inputs):
+                continue
+            size = int(np.prod([int(d) for d in node.shape], initial=1))
+            if size > self.max_elements:
+                continue
+            attrs = dict(node.attrs)
+            if node.op == "reshape":
+                attrs["_concrete_new_shape"] = tuple(node.shape)
+            elif node.op == "broadcast_in_dim":
+                attrs["_concrete_out_shape"] = tuple(node.shape)
+            args = [values[operand] for operand in node.inputs]
+            result = np.asarray(apply_op(node.op, args, attrs)).astype(
+                node.dtype.to_numpy())
+            replacement = graph.constant(result)
+            values[replacement] = result
+            graph.replace_all_uses(node, replacement)
+            folded += 1
+        if folded:
+            graph.prune()
+            graph.normalize_order()
+        return {"changed": folded > 0, "folded": folded}

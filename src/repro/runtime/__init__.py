@@ -1,0 +1,15 @@
+"""Runtime abstraction layer: executables, engine, caches."""
+
+from .caches import ShapeSpecializationCache, shape_signature
+from .engine import EngineOptions, ExecutionEngine
+from .executable import CompileReport, Executable
+from .memory import BufferPlan, Interval, plan_buffers
+from .specialize import AdaptiveEngine, SpecializationOptions
+
+__all__ = [
+    "ShapeSpecializationCache", "shape_signature",
+    "EngineOptions", "ExecutionEngine",
+    "CompileReport", "Executable",
+    "BufferPlan", "Interval", "plan_buffers",
+    "AdaptiveEngine", "SpecializationOptions",
+]

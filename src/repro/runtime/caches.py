@@ -1,0 +1,65 @@
+"""Shape-specialisation cache.
+
+Compile-per-shape systems (XLA, and per-bucket systems like TVM/TensorRT)
+key their compiled artifacts on a shape signature.  This cache provides
+that behaviour plus the hit/miss accounting the shape-diversity experiment
+(E7) reports.  BladeDISC itself does not need one — its executable is
+shape-generic — which is precisely the point of the comparison.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Hashable, Mapping
+
+import numpy as np
+
+__all__ = ["shape_signature", "ShapeSpecializationCache"]
+
+
+def shape_signature(inputs: Mapping[str, np.ndarray]) -> tuple:
+    """A hashable key identifying the exact input shapes of one call."""
+    return tuple(sorted(
+        (name, tuple(int(d) for d in array.shape))
+        for name, array in inputs.items()))
+
+
+class ShapeSpecializationCache:
+    """Maps shape signatures to compiled artifacts, with statistics."""
+
+    def __init__(self, capacity: int | None = None) -> None:
+        self._entries: dict[Hashable, object] = {}
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+
+    def get_or_build(self, key: Hashable,
+                     build: Callable[[], object]) -> tuple:
+        """Return (artifact, was_hit); builds and inserts on miss."""
+        if key in self._entries:
+            self.hits += 1
+            return self._entries[key], True
+        self.misses += 1
+        artifact = build()
+        if self.capacity is not None and len(self._entries) >= self.capacity:
+            # FIFO eviction: oldest signature leaves first.  Real systems
+            # use LRU; FIFO keeps the experiment deterministic and the
+            # difference is immaterial for the access patterns tested.
+            oldest = next(iter(self._entries))
+            del self._entries[oldest]
+        self._entries[key] = artifact
+        return artifact, False
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._entries
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._entries),
+            "hits": self.hits,
+            "misses": self.misses,
+            "hit_rate": self.hits / total if total else 0.0,
+        }

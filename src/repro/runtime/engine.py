@@ -1,0 +1,121 @@
+"""The execution engine (the paper's Runtime Abstraction Layer, RAL).
+
+Runs an :class:`Executable` on concrete inputs: binds symbolic dims from
+the input shapes, walks the kernel list, executes each generated kernel for
+real (numpy) and charges its simulated device cost.  Per-kernel schedule
+variants are selected here, at run time, from the concrete shapes — the
+runtime half of the combined codegen approach.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Mapping
+
+import numpy as np
+
+from ..core.codegen.schedules import Schedule, schedule_named
+from ..core.fusion.kinds import FusionKind
+from ..device.cost import kernel_time_us
+from ..device.counters import RunStats
+from ..device.profiles import DeviceProfile
+from ..numerics.resolve import bind_inputs, resolve_all_dims
+from .executable import Executable
+
+__all__ = ["EngineOptions", "ExecutionEngine"]
+
+
+@dataclass
+class EngineOptions:
+    """Execution knobs (ablations use these)."""
+
+    #: codegen quality relative to a perfectly tuned static kernel; the
+    #: paper concedes a small gap versus shape-specialised code.
+    base_efficiency: float = 0.95
+    #: host-side cost of issuing one kernel from compiled host code.
+    dispatch_us_per_kernel: float = 0.6
+    #: force a single schedule variant everywhere (experiment E9); None
+    #: enables the runtime selector.
+    fixed_schedule: str | None = None
+    #: charge host-placed ops at host cost instead of kernel launches
+    #: (disabled by the E10 ablation to show why placement matters).
+    host_placement_enabled: bool = True
+
+
+class ExecutionEngine:
+    """Executes a compiled program and accounts its simulated cost."""
+
+    def __init__(self, executable: Executable, device: DeviceProfile,
+                 options: EngineOptions | None = None) -> None:
+        self.executable = executable
+        self.device = device
+        self.options = options or EngineOptions()
+
+    def run(self, inputs: Mapping[str, np.ndarray]
+            ) -> tuple[list, RunStats]:
+        """Execute on concrete inputs; returns (outputs, stats)."""
+        executable = self.executable
+        options = self.options
+        dims = bind_inputs(executable.params, inputs)
+        resolve_all_dims(executable.graph.nodes, dims)
+        stats = RunStats(cache_hit=True)
+
+        env: dict[int, np.ndarray] = {}
+        for param in executable.params:
+            env[param.id] = np.ascontiguousarray(
+                inputs[param.attrs["param_name"]])
+        for node, value in executable.constants.items():
+            env[node.id] = value
+
+        forced: Schedule | None = None
+        if options.fixed_schedule is not None:
+            forced = schedule_named(options.fixed_schedule)
+
+        for kernel in executable.kernels:
+            args = [env[n.id] for n in kernel.input_nodes]
+            outputs = kernel.execute(args, dims)
+            for node, value in zip(kernel.output_nodes, outputs):
+                env[node.id] = value
+            self._charge(kernel, dims, stats, forced)
+
+        stats.host_time_us += (options.dispatch_us_per_kernel
+                               * stats.kernels_launched)
+        if executable.buffer_plan is not None:
+            stats.details["memory"] = executable.buffer_plan.evaluate(dims)
+        results = [env[out.id] for out in executable.outputs]
+        return results, stats
+
+    def _charge(self, kernel, dims: dict, stats: RunStats,
+                forced: Schedule | None) -> None:
+        options = self.options
+        kind = kernel.kind
+        if kind is FusionKind.METADATA:
+            # reshape-only: a host-side view adjustment.
+            stats.host_time_us += 0.1 * len(kernel.members)
+            return
+        if kind is FusionKind.HOST:
+            if options.host_placement_enabled:
+                stats.host_time_us += (self.device.host_op_us
+                                       * len(kernel.members))
+                return
+            # Ablation: shape computation launched as device kernels.
+            spec = kernel.cost_spec(dims, None, options.base_efficiency)
+            stats.device_time_us += kernel_time_us(spec, self.device)
+            stats.kernels_launched += 1
+            return
+        schedule = forced if forced is not None else \
+            kernel.select_schedule(dims)
+        if forced is not None and kernel.recipe.domain is not None:
+            # A forced elementwise schedule makes no sense on a row-space
+            # kernel and vice versa; fall back to the selector there.
+            domain_kind = kernel.recipe.domain[0]
+            is_row = schedule.name in ("row_per_warp", "row_per_block",
+                                       "two_pass")
+            if (domain_kind == "rows") != is_row:
+                schedule = kernel.select_schedule(dims)
+        spec = kernel.cost_spec(dims, schedule, options.base_efficiency)
+        stats.device_time_us += kernel_time_us(spec, self.device)
+        stats.kernels_launched += 1 + spec.extra_launches
+        stats.bytes_read += spec.bytes_read
+        stats.bytes_written += spec.bytes_written
+        stats.flops += spec.flops

@@ -1,0 +1,6 @@
+"""Dynamic-shape workload generation."""
+
+from .distributions import DISTRIBUTIONS, sample_axis
+from .traces import Trace, make_trace
+
+__all__ = ["DISTRIBUTIONS", "sample_axis", "Trace", "make_trace"]

@@ -1,0 +1,49 @@
+"""Dynamic-axis value distributions.
+
+Production inference traffic is not uniform over shapes: sequence lengths
+cluster short with a heavy tail (the paper's motivation for why padding
+hurts and recompilation never converges).  These samplers produce per-axis
+integer values in a model's declared range under several distributions:
+
+- ``uniform`` — every length equally likely (stress case for caches);
+- ``zipf`` — short requests dominate, long tail (realistic serving);
+- ``bimodal`` — two clusters (e.g. chat vs document traffic);
+- ``fixed`` — a single value (the static-shape control).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["sample_axis", "DISTRIBUTIONS"]
+
+DISTRIBUTIONS = ("uniform", "zipf", "bimodal", "fixed")
+
+
+def sample_axis(rng: np.random.Generator, lo: int, hi: int, n: int,
+                distribution: str = "zipf") -> np.ndarray:
+    """Sample ``n`` integer axis values in [lo, hi]."""
+    if lo > hi:
+        raise ValueError(f"empty axis range [{lo}, {hi}]")
+    if distribution == "fixed":
+        return np.full(n, (lo + hi) // 2, dtype=np.int64)
+    if distribution == "uniform":
+        return rng.integers(lo, hi + 1, size=n).astype(np.int64)
+    if distribution == "zipf":
+        # Power-law over the offset from lo: mass concentrates at short
+        # lengths, tail reaches hi.
+        span = hi - lo + 1
+        ranks = np.arange(1, span + 1, dtype=np.float64)
+        weights = ranks ** -1.1
+        weights /= weights.sum()
+        offsets = rng.choice(span, size=n, p=weights)
+        return (lo + offsets).astype(np.int64)
+    if distribution == "bimodal":
+        short = lo + (hi - lo) // 8
+        long = lo + (hi - lo) * 3 // 4
+        centers = rng.choice([short, long], size=n, p=[0.7, 0.3])
+        jitter = rng.integers(-max(1, (hi - lo) // 16),
+                              max(2, (hi - lo) // 16), size=n)
+        return np.clip(centers + jitter, lo, hi).astype(np.int64)
+    raise ValueError(f"unknown distribution {distribution!r}; "
+                     f"available: {DISTRIBUTIONS}")

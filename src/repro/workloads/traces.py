@@ -1,0 +1,73 @@
+"""Serving traces: sequences of dynamically-shaped requests for one model.
+
+A :class:`Trace` holds the sampled axis values for each query plus a lazy
+materialiser for the actual input arrays, so the same trace can be replayed
+against every executor (identical shapes *and* identical data — the
+numeric cross-checks rely on this).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..models.model import Model
+from .distributions import sample_axis
+
+__all__ = ["Trace", "make_trace"]
+
+
+@dataclass
+class Trace:
+    """A replayable request sequence for one model."""
+
+    model: Model
+    axis_values: list  # one {axis: int} dict per query
+    seed: int = 0
+    _inputs: list = field(default_factory=list, repr=False)
+
+    def __len__(self) -> int:
+        return len(self.axis_values)
+
+    def inputs(self) -> list:
+        """Materialise (and cache) the input dict of every query."""
+        if not self._inputs:
+            rng = np.random.default_rng(self.seed)
+            self._inputs = [self.model.make_inputs(rng, **values)
+                            for values in self.axis_values]
+        return self._inputs
+
+    def __iter__(self):
+        return iter(self.inputs())
+
+    def distinct_signatures(self) -> int:
+        """Number of distinct shape signatures in the trace."""
+        seen = set()
+        for values in self.axis_values:
+            seen.add(tuple(sorted(values.items())))
+        return len(seen)
+
+
+def make_trace(model: Model, num_queries: int, distribution: str = "zipf",
+               seed: int = 0, fixed_axes: dict | None = None) -> Trace:
+    """Sample a trace over the model's dynamic axes.
+
+    ``fixed_axes`` pins chosen axes to constants (e.g. ``{"batch": 1}``
+    for latency-oriented serving).
+    """
+    rng = np.random.default_rng(seed)
+    fixed_axes = fixed_axes or {}
+    per_axis: dict[str, np.ndarray] = {}
+    for axis, (lo, hi) in model.axes.items():
+        if axis in fixed_axes:
+            per_axis[axis] = np.full(num_queries, fixed_axes[axis],
+                                     dtype=np.int64)
+        else:
+            per_axis[axis] = sample_axis(rng, lo, hi, num_queries,
+                                         distribution)
+    axis_values = [
+        {axis: int(values[i]) for axis, values in per_axis.items()}
+        for i in range(num_queries)
+    ]
+    return Trace(model=model, axis_values=axis_values, seed=seed + 1)

@@ -1,0 +1,44 @@
+"""Experiment reporting utilities."""
+
+import json
+
+from repro.bench.reporting import (format_table, results_dir,
+                                   save_results)
+
+
+def test_format_table_alignment():
+    text = format_table(["name", "value"],
+                        [["a", 1.0], ["longer", 123456.789]],
+                        title="My Table")
+    lines = text.splitlines()
+    assert lines[0] == "My Table"
+    assert "name" in lines[1] and "value" in lines[1]
+    assert set(lines[2]) <= {"-", " "}
+    assert "123,457" in text  # thousands formatting
+    assert "1.00" in text
+
+
+def test_format_table_float_precision():
+    text = format_table(["v"], [[0.1234], [12.34], [1234.5], [0]])
+    assert "0.12" in text
+    assert "12.3" in text
+    assert "1,234" in text or "1,235" in text
+    assert "\n0" in text  # zero renders bare
+
+
+def test_save_results_writes_json_and_text(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path))
+    payload = {"answer": 42, "rows": [{"a": 1}]}
+    path = save_results("unit_test_result", payload, "table text")
+    assert path.exists()
+    with open(path) as f:
+        assert json.load(f) == payload
+    assert (tmp_path / "unit_test_result.txt").read_text() == \
+        "table text\n"
+
+
+def test_results_dir_env_override(tmp_path, monkeypatch):
+    monkeypatch.setenv("REPRO_RESULTS_DIR", str(tmp_path / "sub"))
+    directory = results_dir()
+    assert directory == tmp_path / "sub"
+    assert directory.is_dir()

@@ -1,0 +1,89 @@
+"""The serving-queue simulator."""
+
+import numpy as np
+import pytest
+
+from repro.bench.serving import ServingResult, simulate_serving
+from repro.device.counters import RunStats
+
+
+class FakeExecutor:
+    """Deterministic service times for queueing-math checks."""
+
+    def __init__(self, service_us, compile_on=()):
+        self.service_us = list(service_us)
+        self.compile_on = set(compile_on)
+        self.calls = 0
+
+    def run(self, inputs):
+        index = self.calls
+        self.calls += 1
+        stats = RunStats(device_time_us=self.service_us[index])
+        if index in self.compile_on:
+            stats.compile_time_us = 1e6
+        return [], stats
+
+
+def test_low_load_latency_equals_service():
+    executor = FakeExecutor([100.0] * 20)
+    result = simulate_serving(executor, [{}] * 20,
+                              arrival_rate_qps=1.0, seed=0)
+    # 1 qps with 100us service: queue always empty
+    assert all(abs(lat - 100.0) < 1e-6 for lat in result.latencies_us)
+    assert result.utilization < 0.01
+    assert result.compile_stalls == 0
+
+
+def test_overload_queues_grow():
+    executor = FakeExecutor([1000.0] * 30)
+    result = simulate_serving(executor, [{}] * 30,
+                              arrival_rate_qps=5000.0, seed=0)
+    # 5000 qps with 1ms service: heavy overload, latencies climb
+    assert result.latencies_us[-1] > result.latencies_us[0]
+    assert result.utilization > 0.9
+
+
+def test_compile_stall_blocks_followers():
+    executor = FakeExecutor([100.0] * 10, compile_on={3})
+    result = simulate_serving(executor, [{}] * 10,
+                              arrival_rate_qps=2000.0, seed=0)
+    assert result.compile_stalls == 1
+    # queries after the stall wait behind the 1s compile
+    assert result.latencies_us[4] > 0.5e6
+    assert result.p99_us > 100 * result.p50_us or \
+        result.max_us > 1e6
+
+
+def test_percentiles_ordered():
+    executor = FakeExecutor(list(np.linspace(50, 500, 40)))
+    result = simulate_serving(executor, [{}] * 40,
+                              arrival_rate_qps=100.0, seed=1)
+    assert result.p50_us <= result.p95_us <= result.p99_us \
+        <= result.max_us
+
+
+def test_throughput_bounded_by_arrivals():
+    executor = FakeExecutor([10.0] * 50)
+    result = simulate_serving(executor, [{}] * 50,
+                              arrival_rate_qps=1000.0, seed=2)
+    assert 0 < result.throughput_qps < 2000
+
+
+def test_invalid_rate_rejected():
+    with pytest.raises(ValueError):
+        simulate_serving(FakeExecutor([1.0]), [{}], arrival_rate_qps=0)
+
+
+def test_empty_result_safe():
+    result = ServingResult()
+    assert result.p99_us == 0.0
+    assert result.throughput_qps == 0.0
+    assert result.utilization == 0.0
+
+
+def test_deterministic_given_seed():
+    a = simulate_serving(FakeExecutor([100.0] * 10), [{}] * 10, 500.0,
+                         seed=7)
+    b = simulate_serving(FakeExecutor([100.0] * 10), [{}] * 10, 500.0,
+                         seed=7)
+    assert a.latencies_us == b.latencies_us

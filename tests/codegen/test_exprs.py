@@ -1,0 +1,96 @@
+"""Expression emission for generated kernels."""
+
+import pytest
+
+from repro.core.codegen.exprs import EmitError, emit_statement, \
+    serialize_shape
+from repro.ir import GraphBuilder, f32, i64
+
+
+def emit_for(build):
+    b = GraphBuilder("g")
+    node = build(b)
+    names = {}
+    for n in b.graph.nodes:
+        names[n] = f"v{n.id}"
+    return emit_statement(node, names)
+
+
+def test_serialize_shape():
+    b = GraphBuilder("g")
+    s = b.sym("batch")
+    assert serialize_shape((s, 4)) == ("batch", 4)
+
+
+def test_infix_binary():
+    stmt = emit_for(lambda b: b.add(b.parameter("x", (4,), f32),
+                                    b.parameter("y", (4,), f32)))
+    assert "+" in stmt and stmt.startswith("v2 = ")
+
+
+def test_unary_np():
+    stmt = emit_for(lambda b: b.exp(b.parameter("x", (4,), f32)))
+    assert "np.exp(" in stmt
+
+
+def test_support_unary():
+    stmt = emit_for(lambda b: b.erf(b.parameter("x", (4,), f32)))
+    assert "_erf(" in stmt
+
+
+def test_broadcast_serializes_symbols():
+    def build(b):
+        s = b.sym("s")
+        v = b.parameter("v", (8,), f32)
+        return b.broadcast_in_dim(v, (s, 8), (1,))
+    stmt = emit_for(build)
+    assert "_broadcast(" in stmt and "'s'" in stmt
+
+
+def test_reshape_emits_dims_call():
+    def build(b):
+        s = b.sym("s")
+        x = b.parameter("x", (s, 8), f32)
+        return b.reshape(x, (b.sym("t"), 4))
+    stmt = emit_for(build)
+    assert "_reshape(" in stmt and "dims" in stmt
+
+
+def test_reduce_emits_keepdims():
+    def build(b):
+        x = b.parameter("x", (4, 8), f32)
+        return b.reduce_max(x, axes=1, keepdims=True)
+    stmt = emit_for(build)
+    assert "np.max(" in stmt and "keepdims=True" in stmt
+
+
+def test_cast_emits_astype():
+    def build(b):
+        return b.cast(b.parameter("x", (4,), f32), i64)
+    assert ".astype(np.int64)" in emit_for(build)
+
+
+def test_composites_emit_support_calls():
+    def build(b):
+        x = b.parameter("x", (4, 8), f32)
+        return b.softmax(x)
+    assert "_softmax(" in emit_for(build)
+
+
+def test_dot_and_conv():
+    def build_dot(b):
+        return b.dot(b.parameter("x", (4, 8), f32),
+                     b.parameter("w", (8, 2), f32))
+    assert "np.matmul(" in emit_for(build_dot)
+
+    def build_conv(b):
+        return b.conv2d(b.parameter("x", (1, 8, 8, 3), f32),
+                        b.parameter("w", (3, 3, 3, 4), f32))
+    assert "_conv2d(" in emit_for(build_conv)
+
+
+def test_parameter_has_no_expression():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    with pytest.raises(EmitError):
+        emit_statement(x, {x: "v0"})

@@ -1,0 +1,70 @@
+"""Golden tests for generated kernel source.
+
+These snapshots protect the shape of the compile-time/runtime split: any
+change that makes generated kernels resolve something at compile time that
+must stay runtime (or vice versa) shows up here as a diff.
+"""
+
+from repro.core import compile_graph
+from repro.core.fusion.kinds import FusionKind
+from repro.ir import GraphBuilder, f32
+
+
+def softmax_source():
+    b = GraphBuilder("g")
+    rows, cols = b.sym("rows"), b.sym("cols")
+    x = b.parameter("x", (rows, cols), f32)
+    b.outputs(b.softmax(x, axis=-1))
+    exe = compile_graph(b.graph)
+    (stitch,) = [k for k in exe.kernels
+                 if k.kind is FusionKind.STITCH]
+    return stitch.source
+
+
+def test_softmax_stitch_golden():
+    source = softmax_source()
+    # statements, in dependency order
+    expected_fragments = [
+        "def kStitch_",
+        "(args, dims):",
+        "np.max(",          # first reduction
+        "keepdims=True",
+        "_broadcast(",      # row value back over the row
+        "('rows', 'cols')",  # symbolic shapes resolved at RUN time
+        "np.exp(",
+        "np.sum(",          # second reduction
+        "_div(",
+        "return (",
+    ]
+    position = -1
+    for fragment in expected_fragments[:2] + ["np.max("]:
+        assert fragment in source, f"missing {fragment!r}\n{source}"
+    for fragment in ["np.max(", "np.exp(", "np.sum(", "_div("]:
+        next_position = source.index(fragment)
+        assert next_position > position, \
+            f"{fragment!r} out of order\n{source}"
+        position = next_position
+    for fragment in expected_fragments:
+        assert fragment in source, f"missing {fragment!r}\n{source}"
+
+
+def test_no_concrete_shapes_in_source():
+    """Compile once means no shape *values* may appear in kernel text."""
+    source = softmax_source()
+    # symbols appear as quoted names, never as resolved integers
+    assert "'rows'" in source and "'cols'" in source
+    assert "dims" in source
+
+
+def test_source_compiles_under_exec():
+    source = softmax_source()
+    namespace = {}
+    from repro.core.codegen.support import SUPPORT_NAMESPACE
+    namespace.update(SUPPORT_NAMESPACE)
+    exec(compile(source, "<golden>", "exec"), namespace)
+    fn_name = source.split("(")[0].replace("def ", "")
+    assert callable(namespace[fn_name])
+
+
+def test_deterministic_emission():
+    assert softmax_source() == softmax_source()

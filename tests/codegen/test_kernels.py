@@ -1,0 +1,142 @@
+"""Fused-kernel compilation: source generation, execution, cost recipes."""
+
+import numpy as np
+import pytest
+
+from repro.core.codegen.kernels import compile_group
+from repro.core.fusion import FusionConfig, FusionKind, plan_fusion
+from repro.core.symbolic import analyze_shapes
+from repro.ir import GraphBuilder, f32
+from repro.passes import PassManager, default_pipeline
+
+from ..conftest import toy_mlp_graph, toy_mlp_inputs
+
+
+def compile_all(graph, config=None):
+    analysis = analyze_shapes(graph)
+    plan = plan_fusion(graph, analysis, config)
+    users = graph.users()
+    return [compile_group(g, users, graph.outputs)
+            for g in plan.ordered_groups()]
+
+
+def test_generated_source_is_real_python():
+    b = toy_mlp_graph()
+    PassManager(default_pipeline()).run(b.graph)
+    kernels = compile_all(b.graph)
+    stitch = [k for k in kernels if k.kind is FusionKind.STITCH]
+    assert stitch
+    src = stitch[0].source
+    assert src.startswith("def kStitch_")
+    assert "np.exp(" in src or "np.max(" in src
+    assert "return (" in src
+
+
+def test_kernel_executes_standalone(rng):
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 8), f32)
+    out = b.mul(b.exp(x), b.scalar(2.0))
+    b.outputs(out)
+    kernels = compile_all(b.graph)
+    loops = [k for k in kernels if k.kind is FusionKind.LOOP]
+    assert len(loops) == 1
+    kernel = loops[0]
+    xv = rng.normal(size=(3, 8)).astype(np.float32)
+    args = []
+    for node in kernel.input_nodes:
+        if node.op == "parameter":
+            args.append(xv)
+        else:
+            args.append(node.attrs["value"])
+    (result,) = kernel.execute(args, {"s": 3})
+    assert np.allclose(result, np.exp(xv) * 2.0, atol=1e-5)
+
+
+def test_cost_recipe_bytes_scale_with_dims():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 8), f32)
+    b.outputs(b.exp(x))
+    (kernel,) = [k for k in compile_all(b.graph)
+                 if k.kind in (FusionKind.LOOP, FusionKind.SINGLETON)]
+    r1, w1 = kernel.recipe.eval_bytes({"s": 10})
+    r2, w2 = kernel.recipe.eval_bytes({"s": 20})
+    assert r2 == 2 * r1 and w2 == 2 * w1
+    assert w1 == 10 * 8 * 4
+
+
+def test_dot_flops_formula():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 32), f32)
+    w = b.parameter("w", (32, 16), f32)
+    b.outputs(b.dot(x, w))
+    (kernel,) = [k for k in compile_all(b.graph)
+                 if k.kind is FusionKind.LIBRARY]
+    assert kernel.recipe.eval_flops({"s": 10}) == 2.0 * 10 * 32 * 16
+
+
+def test_library_kernel_cost_is_occupancy_exempt():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 32), f32)
+    w = b.parameter("w", (32, 16), f32)
+    b.outputs(b.dot(x, w))
+    (kernel,) = [k for k in compile_all(b.graph)
+                 if k.kind is FusionKind.LIBRARY]
+    spec = kernel.cost_spec({}, None)
+    assert spec.occupancy_exempt
+
+
+def test_gather_reads_rows_not_table(rng):
+    from repro.ir import i64
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    table = b.parameter("table", (10000, 64), f32)
+    ids = b.parameter("ids", (s,), i64)
+    b.outputs(b.gather(table, ids))
+    (kernel,) = [k for k in compile_all(b.graph)
+                 if k.kind is FusionKind.SINGLETON]
+    read, written = kernel.recipe.eval_bytes({"s": 8})
+    table_bytes = 10000 * 64 * 4
+    assert read < table_bytes
+    assert written == 8 * 64 * 4
+
+
+def test_schedule_domain_rows_for_stitch():
+    b = toy_mlp_graph()
+    PassManager(default_pipeline()).run(b.graph)
+    kernels = compile_all(b.graph)
+    stitch = [k for k in kernels if k.kind is FusionKind.STITCH][0]
+    assert stitch.recipe.domain[0] == "rows"
+    schedule = stitch.select_schedule({"batch": 512, "seq": 2, "bs": 1024})
+    assert schedule.name in ("row_per_warp", "row_per_block", "two_pass")
+
+
+def test_multi_output_kernel(rng):
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    a = b.exp(x)
+    b.outputs(b.neg(a), a)  # 'a' escapes the fused group too
+    kernels = compile_all(b.graph)
+    fused = [k for k in kernels if len(k.members) == 2]
+    assert fused, "exp+neg should fuse"
+    kernel = fused[0]
+    assert len(kernel.output_nodes) == 2
+    xv = rng.normal(size=(4,)).astype(np.float32)
+    outs = kernel.execute([xv], {})
+    by_node = dict(zip(kernel.output_nodes, outs))
+    for node, value in by_node.items():
+        if node.op == "neg":
+            assert np.allclose(value, -np.exp(xv), atol=1e-6)
+        else:
+            assert np.allclose(value, np.exp(xv), atol=1e-6)
+
+
+def test_composite_flop_accounting():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 8), f32)
+    b.outputs(b.softmax(x))
+    kernels = compile_all(b.graph, FusionConfig.none())
+    soft = [k for k in kernels if k.members[0].op == "softmax"][0]
+    assert soft.recipe.eval_flops({}) == 8.0 * 32

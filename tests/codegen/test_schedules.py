@@ -1,0 +1,67 @@
+"""Schedule variants and the runtime selector."""
+
+import pytest
+
+from repro.core.codegen.schedules import (ELEMENTWISE_SCHEDULES,
+                                          REDUCTION_SCHEDULES,
+                                          schedule_named,
+                                          select_elementwise,
+                                          select_reduction)
+
+
+def test_schedule_registry():
+    for s in ELEMENTWISE_SCHEDULES + REDUCTION_SCHEDULES:
+        assert schedule_named(s.name) is s
+    with pytest.raises(KeyError):
+        schedule_named("nope")
+
+
+def test_elementwise_selector_vectorizes_multiples_of_4():
+    assert select_elementwise(1024, 256).name == "vectorized4"
+    assert select_elementwise(1024, 255).name == "flat"
+    assert select_elementwise(2, 1).name == "flat"
+
+
+def test_reduction_selector_thresholds():
+    assert select_reduction(rows=4096, cols=256).name == "row_per_warp"
+    assert select_reduction(rows=512, cols=8192).name == "row_per_block"
+    assert select_reduction(rows=4, cols=1 << 20).name == "two_pass"
+
+
+def test_selector_tracks_best_profile():
+    """The dispatch stub should pick (near-)argmin of the *cost model*
+    across a spread of shapes — the property E9 measures."""
+    from repro.device import A10, KernelSpec, kernel_time_us
+
+    shapes = [(16384, 64), (4096, 512), (512, 4096), (64, 32768),
+              (8, 1 << 18)]
+    for rows, cols in shapes:
+        chosen = select_reduction(rows, cols)
+
+        def simulated_time(schedule):
+            eff, parallel = schedule.reduction_profile(rows, cols)
+            spec = KernelSpec(
+                name="reduce", bytes_read=rows * cols * 4,
+                bytes_written=rows * 4, flops=rows * cols,
+                parallel_elements=int(parallel), efficiency=eff,
+                extra_launches=schedule.extra_launches)
+            return kernel_time_us(spec, A10)
+
+        best = min(REDUCTION_SCHEDULES, key=simulated_time)
+        assert simulated_time(chosen) <= 1.5 * simulated_time(best), \
+            f"poor selection at rows={rows} cols={cols}: chose " \
+            f"{chosen.name}, best {best.name}"
+
+
+def test_two_pass_costs_extra_launch():
+    assert schedule_named("two_pass").extra_launches == 1
+    assert schedule_named("row_per_warp").extra_launches == 0
+
+
+def test_profiles_reject_wrong_family():
+    flat = schedule_named("flat")
+    with pytest.raises(ValueError):
+        flat.reduction_profile(4, 4)
+    warp = schedule_named("row_per_warp")
+    with pytest.raises(ValueError):
+        warp.elementwise_profile(100)

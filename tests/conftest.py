@@ -1,0 +1,55 @@
+"""Shared fixtures and graph factories for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder, f32
+
+
+@pytest.fixture
+def rng() -> np.random.Generator:
+    return np.random.default_rng(1234)
+
+
+def toy_mlp_graph(name: str = "toy_mlp") -> GraphBuilder:
+    """batch-dynamic MLP with reshape/gelu/layer-norm/softmax glue.
+
+    Returns the *builder* so tests can reach symbols; the graph is
+    ``builder.graph``.
+    """
+    b = GraphBuilder(name)
+    batch = b.sym("batch", hint=8)
+    seq = b.sym("seq", hint=16)
+    x = b.parameter("x", (batch, seq, 32), f32)
+    w = b.parameter("w", (32, 16), f32)
+    c = b.parameter("c", (16,), f32)
+    g = b.parameter("g", (16,), f32)
+    beta = b.parameter("beta", (16,), f32)
+    flat = b.reshape(x, (b.sym("bs"), 32))
+    h = b.gelu(b.linear(flat, w, c))
+    h = b.reshape(h, (batch, seq, 16))
+    y = b.softmax(b.layer_norm(h, g, beta), axis=-1)
+    b.outputs(y)
+    return b
+
+
+def toy_mlp_inputs(rng: np.random.Generator, batch: int = 3,
+                   seq: int = 5) -> dict:
+    return {
+        "x": rng.normal(size=(batch, seq, 32)).astype(np.float32),
+        "w": (rng.normal(size=(32, 16)) * 0.2).astype(np.float32),
+        "c": rng.normal(size=(16,)).astype(np.float32),
+        "g": np.abs(rng.normal(size=(16,))).astype(np.float32) + 0.5,
+        "beta": rng.normal(size=(16,)).astype(np.float32),
+    }
+
+
+def softmax_graph(rows_hint: int = 64, cols_hint: int = 32):
+    b = GraphBuilder("softmax")
+    rows = b.sym("rows", hint=rows_hint)
+    cols = b.sym("cols", hint=cols_hint)
+    x = b.parameter("x", (rows, cols), f32)
+    b.outputs(b.softmax(x, axis=-1))
+    return b

@@ -1,0 +1,27 @@
+"""Simulated compilation cost model."""
+
+import pytest
+
+from repro.device.compilecost import COMPILE_GRADES, compile_cost_us
+
+
+def test_scales_with_nodes():
+    assert compile_cost_us(200, "jit") > compile_cost_us(100, "jit")
+
+
+def test_grade_ordering():
+    n = 500
+    assert compile_cost_us(n, "session_init") < compile_cost_us(n, "jit")
+    assert compile_cost_us(n, "jit") < compile_cost_us(n, "engine_build")
+    assert compile_cost_us(n, "engine_build") < compile_cost_us(
+        n, "autotune")
+
+
+def test_unknown_grade():
+    with pytest.raises(KeyError):
+        compile_cost_us(10, "psychic")
+
+
+def test_all_grades_defined():
+    for grade in COMPILE_GRADES:
+        assert compile_cost_us(100, grade) > 0

@@ -1,0 +1,94 @@
+"""The analytic kernel cost model."""
+
+import pytest
+
+from repro.device import (A10, T4, KernelSpec, kernel_time_us,
+                          library_efficiency, occupancy)
+
+
+def spec(bytes_total=1 << 20, flops=0.0, parallel=1 << 20, eff=1.0,
+         extra=0, exempt=False):
+    return KernelSpec(name="k", bytes_read=bytes_total, bytes_written=0,
+                      flops=flops, parallel_elements=parallel,
+                      efficiency=eff, extra_launches=extra,
+                      occupancy_exempt=exempt)
+
+
+def test_time_positive_and_floor_is_launch():
+    tiny = spec(bytes_total=4, parallel=1)
+    t = kernel_time_us(tiny, A10)
+    assert t >= A10.kernel_launch_us
+
+
+def test_monotone_in_bytes():
+    times = [kernel_time_us(spec(bytes_total=n), A10)
+             for n in (1 << 16, 1 << 20, 1 << 24)]
+    assert times[0] < times[1] < times[2]
+
+
+def test_monotone_in_flops():
+    times = [kernel_time_us(spec(flops=f, bytes_total=1), A10)
+             for f in (1e6, 1e8, 1e10)]
+    assert times[0] < times[1] < times[2]
+
+
+def test_roofline_max_semantics():
+    memory_bound = spec(bytes_total=1 << 26, flops=1.0)
+    compute_bound = spec(bytes_total=4, flops=1e12)
+    both = spec(bytes_total=1 << 26, flops=1e12)
+    t = kernel_time_us(both, A10)
+    assert t >= kernel_time_us(memory_bound, A10) - 1
+    assert t >= kernel_time_us(compute_bound, A10) - 1
+
+
+def test_occupancy_bounds_and_monotonicity():
+    assert 0 < occupancy(0, A10) <= 1
+    assert occupancy(1, A10) <= occupancy(1 << 10, A10) \
+        <= occupancy(1 << 30, A10)
+    assert occupancy(1 << 30, A10) == 1.0
+
+
+def test_small_kernels_cannot_saturate():
+    small = spec(bytes_total=1 << 20, parallel=256)
+    big = spec(bytes_total=1 << 20, parallel=1 << 24)
+    assert kernel_time_us(small, A10) > kernel_time_us(big, A10)
+
+
+def test_occupancy_exempt_skips_penalty():
+    penalised = spec(bytes_total=1 << 20, parallel=256)
+    exempt = spec(bytes_total=1 << 20, parallel=256, exempt=True)
+    assert kernel_time_us(exempt, A10) < kernel_time_us(penalised, A10)
+
+
+def test_extra_launches_add_fixed_cost():
+    single = spec()
+    double = spec(extra=1)
+    delta = kernel_time_us(double, A10) - kernel_time_us(single, A10)
+    assert delta == pytest.approx(A10.kernel_launch_us
+                                  + A10.kernel_fixed_us)
+
+
+def test_t4_slower_than_a10():
+    s = spec(bytes_total=1 << 24)
+    assert kernel_time_us(s, T4) > kernel_time_us(s, A10)
+    c = spec(flops=1e10, bytes_total=1)
+    assert kernel_time_us(c, T4) > kernel_time_us(c, A10)
+
+
+def test_efficiency_scales_time():
+    fast = spec(eff=1.0)
+    slow = spec(eff=0.5)
+    t_fast = kernel_time_us(fast, A10) - A10.kernel_launch_us \
+        - A10.kernel_fixed_us
+    t_slow = kernel_time_us(slow, A10) - A10.kernel_launch_us \
+        - A10.kernel_fixed_us
+    assert t_slow == pytest.approx(2 * t_fast, rel=1e-6)
+
+
+def test_library_efficiency_curve():
+    assert library_efficiency(4096, 4096, 4096) == pytest.approx(0.85)
+    assert library_efficiency(64, 64, 64) < 0.2
+    assert library_efficiency(8, 8, 8) >= 0.85 * 0.05
+    sizes = [(64, 64, 64), (256, 256, 256), (1024, 1024, 1024)]
+    effs = [library_efficiency(*s) for s in sizes]
+    assert effs[0] < effs[1] < effs[2] <= 0.85

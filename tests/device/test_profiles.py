@@ -1,0 +1,30 @@
+"""Device profiles."""
+
+import pytest
+
+from repro.device import A10, DEVICES, T4, device_named
+
+
+def test_registry():
+    assert device_named("A10") is A10
+    assert device_named("T4") is T4
+    with pytest.raises(KeyError):
+        device_named("H100")
+    assert {"A10", "T4"} <= set(DEVICES)
+
+
+def test_datasheet_ratios():
+    # A10 ≈ 1.9x bandwidth and ≈ 3.9x fp32 compute of T4.
+    assert A10.mem_bandwidth_gbps / T4.mem_bandwidth_gbps == \
+        pytest.approx(1.875, rel=0.01)
+    assert A10.peak_fp32_tflops / T4.peak_fp32_tflops == \
+        pytest.approx(3.85, rel=0.02)
+
+
+def test_unit_conversions():
+    assert A10.bytes_per_us() == pytest.approx(600e3)
+    assert A10.flops_per_us() == pytest.approx(31.2e6)
+
+
+def test_saturation_scales_with_sms():
+    assert A10.saturation_elements > T4.saturation_elements

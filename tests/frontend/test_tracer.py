@@ -1,0 +1,164 @@
+"""The tracing frontend."""
+
+import numpy as np
+import pytest
+
+from repro import A10, ExecutionEngine, compile_graph, evaluate
+from repro.frontend import TracedTensor, TraceError, constant, trace
+from repro.ir import f32, i64
+
+
+def test_basic_trace_structure():
+    def model(x, w):
+        return (x @ w).relu().softmax(axis=-1)
+
+    graph = trace(model, [("x", ("batch", 16), f32),
+                          ("w", (16, 8), f32)])
+    ops = [n.op for n in graph]
+    assert "dot" in ops and "relu" in ops and "softmax" in ops
+    assert graph.param_names() == ["x", "w"]
+    assert graph.name == "model"
+
+
+def test_symbolic_dims_shared_across_inputs():
+    def model(x, y):
+        return x + y
+
+    graph = trace(model, [("x", ("n", 4), f32), ("y", ("n", 4), f32)])
+    x, y = graph.params
+    assert x.shape[0] is y.shape[0]
+
+
+def test_operators_and_scalars(rng):
+    def model(x):
+        return (2.0 * x + 1.0 - x / 4.0) ** 2.0
+
+    graph = trace(model, [("x", (3,), f32)])
+    xv = rng.normal(size=(3,)).astype(np.float32)
+    (out,) = evaluate(graph, {"x": xv})
+    assert np.allclose(out, (2 * xv + 1 - xv / 4) ** 2, atol=1e-5)
+
+
+def test_reflected_operators(rng):
+    def model(x):
+        return 1.0 / (1.0 - x)
+
+    graph = trace(model, [("x", (4,), f32)])
+    xv = (rng.random(4) * 0.5).astype(np.float32)
+    (out,) = evaluate(graph, {"x": xv})
+    assert np.allclose(out, 1 / (1 - xv), atol=1e-5)
+
+
+def test_reductions_and_reshape(rng):
+    def model(x):
+        flat = x.reshape("bs", 8)
+        return flat.mean(axis=1, keepdims=True)
+
+    graph = trace(model, [("x", ("a", "b", 8), f32)])
+    xv = rng.normal(size=(2, 3, 8)).astype(np.float32)
+    (out,) = evaluate(graph, {"x": xv})
+    assert out.shape == (6, 1)
+    assert np.allclose(out[:, 0], xv.reshape(6, 8).mean(axis=1),
+                       atol=1e-5)
+
+
+def test_transpose_and_T(rng):
+    def model(x):
+        return x.T @ x
+
+    graph = trace(model, [("x", (4, 3), f32)])
+    xv = rng.normal(size=(4, 3)).astype(np.float32)
+    (out,) = evaluate(graph, {"x": xv})
+    assert np.allclose(out, xv.T @ xv, atol=1e-4)
+
+
+def test_comparison_and_where(rng):
+    def model(x):
+        return (x > 0.0).where(x, -x)
+
+    graph = trace(model, [("x", (6,), f32)])
+    xv = rng.normal(size=(6,)).astype(np.float32)
+    (out,) = evaluate(graph, {"x": xv})
+    assert np.allclose(out, np.abs(xv), atol=1e-6)
+
+
+def test_constant_helper(rng):
+    def model(x):
+        w = constant(np.eye(4, dtype=np.float32))
+        return x @ w
+
+    graph = trace(model, [("x", (2, 4), f32)])
+    xv = rng.normal(size=(2, 4)).astype(np.float32)
+    (out,) = evaluate(graph, {"x": xv})
+    assert np.allclose(out, xv)
+
+
+def test_layer_norm_method(rng):
+    def model(x):
+        return x.layer_norm(np.ones(8, np.float32),
+                            np.zeros(8, np.float32))
+
+    graph = trace(model, [("x", ("n", 8), f32)])
+    xv = rng.normal(size=(5, 8)).astype(np.float32)
+    (out,) = evaluate(graph, {"x": xv})
+    assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-5)
+
+
+def test_multiple_outputs():
+    def model(x):
+        return x.relu(), x.tanh()
+
+    graph = trace(model, [("x", (4,), f32)])
+    assert len(graph.outputs) == 2
+
+
+def test_astype(rng):
+    def model(x):
+        return x.astype(i64)
+
+    graph = trace(model, [("x", (3,), f32)])
+    (out,) = evaluate(graph, {"x": np.ones(3, np.float32)})
+    assert out.dtype == np.int64
+
+
+def test_traced_graph_compiles_and_serves_dynamic(rng):
+    def model(x, w):
+        h = (x @ w).gelu()
+        return h.softmax(axis=-1)
+
+    graph = trace(model, [("x", ("batch", 16), f32), ("w", (16, 8), f32)])
+    engine = ExecutionEngine(compile_graph(graph), A10)
+    w = rng.normal(size=(16, 8)).astype(np.float32)
+    for n in (1, 7, 30):
+        x = rng.normal(size=(n, 16)).astype(np.float32)
+        (got,), __ = engine.run({"x": x, "w": w})
+        (want,) = evaluate(graph, {"x": x, "w": w})
+        assert np.allclose(got, want, atol=1e-5)
+
+
+def test_operations_outside_trace_rejected():
+    def model(x):
+        return x.relu()
+
+    graph = trace(model, [("x", (4,), f32)])
+    leaked = TracedTensor(graph.outputs[0])
+    with pytest.raises(TraceError):
+        leaked.exp()
+
+
+def test_bad_return_type_rejected():
+    with pytest.raises(TraceError):
+        trace(lambda x: 42, [("x", (4,), f32)])
+
+
+def test_bad_spec_rejected():
+    with pytest.raises(TraceError):
+        trace(lambda x: x, [("x", (4,))])
+
+
+def test_untraceable_operand_rejected():
+    def model(x):
+        return x + "nope"
+
+    with pytest.raises(TraceError):
+        trace(model, [("x", (4,), f32)])

@@ -1,0 +1,109 @@
+"""Fusion legality predicates."""
+
+from repro.core.fusion import (is_last_axis_reduce, is_loop_fusible,
+                               loop_edge_compatible, reduce_row_space,
+                               stitch_member_role)
+from repro.core.symbolic import ConstraintLevel, analyze_shapes
+from repro.ir import GraphBuilder, f32
+
+
+def build():
+    b = GraphBuilder("g")
+    batch, seq = b.sym("batch"), b.sym("seq")
+    x = b.parameter("x", (batch, seq, 16), f32)
+    return b, batch, seq, x
+
+
+def test_loop_fusible_categories():
+    b, batch, seq, x = build()
+    e = b.exp(x)
+    r = b.reshape(x, (b.sym("bs"), 16))
+    red = b.reduce_sum(x, axes=2)
+    d = b.dot(b.reshape(x, (b.sym("bs2"), 16)),
+              b.parameter("w", (16, 4), f32))
+    assert is_loop_fusible(e)
+    assert is_loop_fusible(r)
+    assert not is_loop_fusible(r, include_reshape=False)
+    assert not is_loop_fusible(red)
+    assert not is_loop_fusible(d)
+
+
+def test_host_placed_not_fusible():
+    b, batch, seq, x = build()
+    e = b.exp(x)
+    e.attrs["_placement"] = "host"
+    assert not is_loop_fusible(e)
+
+
+def test_loop_edge_same_shape():
+    b, batch, seq, x = build()
+    e1 = b.exp(x)
+    e2 = b.neg(e1)
+    b.outputs(e2)
+    an = analyze_shapes(b.graph)
+    assert loop_edge_compatible(e1, e2, an)
+
+
+def test_loop_edge_across_reshape_needs_product_facts():
+    b, batch, seq, x = build()
+    e1 = b.exp(x)
+    r = b.reshape(e1, (b.sym("bs"), 16))
+    e2 = b.neg(r)
+    b.outputs(e2)
+    full = analyze_shapes(b.graph, ConstraintLevel.FULL)
+    assert loop_edge_compatible(e1, r, full)
+    assert loop_edge_compatible(r, e2, full)
+    none = analyze_shapes(b.graph, ConstraintLevel.NONE)
+    assert not loop_edge_compatible(e1, r, none)
+
+
+def test_broadcast_consumer_always_absorbs():
+    b, batch, seq, x = build()
+    v = b.parameter("v", (16,), f32)
+    scaled = b.mul(v, b.scalar(2.0))
+    bc = b.broadcast_in_dim(scaled, (batch, seq, 16), (2,))
+    b.outputs(b.add(x, bc))
+    an = analyze_shapes(b.graph, ConstraintLevel.NONE)
+    assert loop_edge_compatible(scaled, bc, an)
+
+
+def test_last_axis_reduce_detection():
+    b, batch, seq, x = build()
+    last = b.reduce_max(x, axes=2, keepdims=True)
+    middle = b.reduce_max(x, axes=1)
+    assert is_last_axis_reduce(last)
+    assert not is_last_axis_reduce(middle)
+    assert not is_last_axis_reduce(b.exp(x))
+    rows, reduced = reduce_row_space(last)
+    assert rows == (batch, seq)
+    assert reduced == 16
+
+
+def test_stitch_roles():
+    b, batch, seq, x = build()
+    peak = b.reduce_max(x, axes=2, keepdims=True)
+    shifted = b.sub(x, peak)
+    exped = b.exp(shifted)
+    total = b.reduce_sum(exped, axes=2, keepdims=True)
+    out = b.div(exped, total)
+    b.outputs(out)
+    an = analyze_shapes(b.graph)
+    rows, reduced = reduce_row_space(peak)
+    assert stitch_member_role(total, rows, reduced, an) == "reduce"
+    assert stitch_member_role(exped, rows, reduced, an) == "full"
+    # the broadcast of the row scalar
+    users = b.graph.users()
+    bc = [u for u in users[peak]][0]
+    assert stitch_member_role(bc, rows, reduced, an) in ("full", "row")
+
+
+def test_stitch_rejects_foreign_row_space():
+    b, batch, seq, x = build()
+    y = b.parameter("y", (batch, 4, 16), f32)
+    r1 = b.reduce_max(x, axes=2, keepdims=True)
+    r2 = b.reduce_max(y, axes=2, keepdims=True)
+    b.outputs(b.add(b.reduce_sum(r1, axes=(1, 2)),
+                    b.reduce_sum(r2, axes=(1, 2))))
+    an = analyze_shapes(b.graph)
+    rows, reduced = reduce_row_space(r1)
+    assert stitch_member_role(r2, rows, reduced, an) is None

@@ -1,0 +1,125 @@
+"""Deeper kStitch coverage: the fusion kind that is the paper's novelty."""
+
+import numpy as np
+
+from repro.core import compile_graph
+from repro.core.fusion import FusionConfig, FusionKind, plan_fusion
+from repro.core.symbolic import analyze_shapes
+from repro.device import A10
+from repro.interp import evaluate
+from repro.ir import GraphBuilder, f32
+from repro.passes import LowerComposites, PassManager
+from repro.runtime import ExecutionEngine
+
+
+def plan_of(graph, config=None):
+    PassManager([LowerComposites()]).run(graph)
+    return plan_fusion(graph, analyze_shapes(graph), config)
+
+
+def stitch_groups(plan):
+    return [g for g in plan.groups if g.kind is FusionKind.STITCH]
+
+
+def test_softmax_is_one_stitch():
+    b = GraphBuilder("g")
+    rows, cols = b.sym("r"), b.sym("c")
+    x = b.parameter("x", (rows, cols), f32)
+    b.outputs(b.softmax(x, axis=-1))
+    plan = plan_of(b.graph)
+    groups = stitch_groups(plan)
+    assert len(groups) == 1
+    reduces = [m for m in groups[0].members if m.is_reduction]
+    assert len(reduces) == 2  # max + sum
+
+
+def test_consecutive_softmax_layernorm_stitch_together():
+    b = GraphBuilder("g")
+    rows = b.sym("r")
+    x = b.parameter("x", (rows, 32), f32)
+    g = b.parameter("g", (32,), f32)
+    beta = b.parameter("bb", (32,), f32)
+    y = b.softmax(b.layer_norm(x, g, beta), axis=-1)
+    b.outputs(y)
+    plan = plan_of(b.graph)
+    groups = stitch_groups(plan)
+    # same row space: one stitched kernel covering all 4 reductions
+    assert len(groups) == 1
+    assert sum(1 for m in groups[0].members if m.is_reduction) == 4
+
+
+def test_different_row_spaces_do_not_stitch():
+    b = GraphBuilder("g")
+    r1, r2 = b.sym("r1"), b.sym("r2")
+    x = b.parameter("x", (r1, 16), f32)
+    y = b.parameter("y", (r2, 16), f32)
+    b.outputs(b.softmax(x, axis=-1), b.softmax(y, axis=-1))
+    plan = plan_of(b.graph)
+    groups = stitch_groups(plan)
+    assert len(groups) == 2
+
+
+def test_max_stitch_reductions_splits_chains():
+    b = GraphBuilder("g")
+    rows = b.sym("r")
+    x = b.parameter("x", (rows, 16), f32)
+    value = x
+    for _ in range(4):  # 8 reductions total
+        value = b.softmax(value, axis=-1)
+    b.outputs(value)
+    plan = plan_of(b.graph, FusionConfig(max_stitch_reductions=4))
+    for group in stitch_groups(plan):
+        assert sum(1 for m in group.members if m.is_reduction) <= 4
+    assert len(stitch_groups(plan)) >= 2
+
+
+def test_non_last_axis_reduce_not_stitched():
+    b = GraphBuilder("g")
+    rows = b.sym("r")
+    x = b.parameter("x", (rows, 8, 16), f32)
+    middle = b.reduce_sum(x, axes=1, keepdims=True)   # not last axis
+    last = b.reduce_sum(x, axes=2, keepdims=True)
+    b.outputs(b.add(b.reduce_sum(middle, axes=(1, 2)),
+                    b.reduce_sum(last, axes=(1, 2))))
+    plan = plan_of(b.graph)
+    for group in stitch_groups(plan):
+        for member in group.members:
+            if member.is_reduction:
+                axes = member.attrs["axes"]
+                assert axes == (member.inputs[0].rank - 1,)
+
+
+def test_stitch_numerics_with_argmax_member(rng):
+    """argmax is a legal last-axis reduce; stitching it with a softmax
+    must stay correct."""
+    b = GraphBuilder("g")
+    rows = b.sym("r")
+    x = b.parameter("x", (rows, 24), f32)
+    probs = b.softmax(x, axis=-1)
+    best = b.argmax(x, axis=-1, keepdims=True)
+    b.outputs(probs, best)
+    engine = ExecutionEngine(compile_graph(b.graph), A10)
+    xv = rng.normal(size=(7, 24)).astype(np.float32)
+    (p, a), __ = engine.run({"x": xv})
+    ep, ea = evaluate(b.graph, {"x": xv})
+    assert np.allclose(p, ep, atol=1e-5)
+    assert np.array_equal(a, ea)
+
+
+def test_stitch_multi_output(rng):
+    """Intermediates consumed outside the stitch escape as extra outputs."""
+    b = GraphBuilder("g")
+    rows = b.sym("r")
+    x = b.parameter("x", (rows, 16), f32)
+    peak = b.reduce_max(x, axes=1, keepdims=True)
+    shifted = b.sub(x, peak)
+    exped = b.exp(shifted)
+    total = b.reduce_sum(exped, axes=1, keepdims=True)
+    soft = b.div(exped, total)
+    b.outputs(soft, peak)   # peak escapes
+    engine = ExecutionEngine(compile_graph(b.graph), A10)
+    xv = rng.normal(size=(4, 16)).astype(np.float32)
+    (s, p), __ = engine.run({"x": xv})
+    es, ep = evaluate(b.graph, {"x": xv})
+    assert np.allclose(s, es, atol=1e-5)
+    assert np.allclose(p, ep, atol=1e-6)

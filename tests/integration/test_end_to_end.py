@@ -1,0 +1,90 @@
+"""Cross-executor integration: all 8 systems agree numerically on real
+models, and one DISC compilation serves the whole dynamic-shape space."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import DiscExecutor, baseline_names, make_baseline
+from repro.device import A10, T4
+from repro.interp import evaluate
+from repro.models import build_model
+
+SMALL = {
+    "bert": {"layers": 1, "hidden": 64, "heads": 2, "vocab": 128},
+    "dien": {"items": 256, "embed_dim": 16},
+    "crnn": {"channels": 16, "charset": 32},
+}
+
+
+@pytest.fixture(scope="module")
+def models():
+    return {name: build_model(name, **cfg) for name, cfg in SMALL.items()}
+
+
+@pytest.mark.parametrize("model_name", sorted(SMALL))
+def test_all_executors_numerically_identical(models, model_name, rng):
+    model = models[model_name]
+    inputs = model.sample_inputs(rng)
+    (expected, *rest) = evaluate(model.graph, inputs)
+
+    disc = DiscExecutor(model.graph, A10)
+    (actual, *__), __stats = disc.run(inputs)
+    assert np.allclose(expected, actual, atol=1e-4, rtol=1e-4)
+
+    for name in baseline_names():
+        executor = make_baseline(name, model.graph, A10)
+        (out, *__), __stats = executor.run(inputs)
+        assert np.allclose(expected, out, atol=1e-4, rtol=1e-4), \
+            f"{name} diverges on {model_name}"
+
+
+def test_disc_shape_generic_on_bert(models, rng):
+    model = models["bert"]
+    disc = DiscExecutor(model.graph, A10)
+    for batch, seqlen in [(1, 8), (4, 19), (2, 64), (7, 8)]:
+        inputs = model.make_inputs(rng, batch=batch, seqlen=seqlen)
+        (expected,) = evaluate(model.graph, inputs)
+        (actual,), stats = disc.run(inputs)
+        assert actual.shape == (batch, 2)
+        assert np.allclose(expected, actual, atol=1e-4, rtol=1e-4)
+    # after the first call, never a compile again
+    __, final = disc.run(model.make_inputs(rng, batch=3, seqlen=40))
+    assert final.compile_time_us == 0
+
+
+def test_speedup_structure_on_trace(models, rng):
+    """The qualitative E1 claims at integration-test scale."""
+    model = models["bert"]
+    shapes = [(1, 9), (2, 17), (1, 30), (3, 12), (1, 52)]
+    traces = [model.make_inputs(rng, batch=b, seqlen=s)
+              for b, s in shapes]
+
+    def steady(executor):
+        return sum(executor.run(i)[1].steady_time_us for i in traces)
+
+    disc_time = steady(DiscExecutor(model.graph, A10))
+    for name in baseline_names():
+        baseline_time = steady(make_baseline(name, model.graph, A10))
+        assert baseline_time > disc_time, \
+            f"BladeDISC should beat {name} on a dynamic trace"
+
+
+def test_devices_preserve_ordering(models, rng):
+    model = models["dien"]
+    inputs = model.sample_inputs(rng)
+    for device in (A10, T4):
+        disc = DiscExecutor(model.graph, device)
+        eager = make_baseline("PyTorch", model.graph, device)
+        __, sd = disc.run(inputs)
+        __, se = eager.run(inputs)
+        assert se.steady_time_us > sd.steady_time_us
+
+
+def test_conv_model_through_disc(models, rng):
+    model = models["crnn"]
+    disc = DiscExecutor(model.graph, A10)
+    for width in (32, 64, 100):
+        inputs = model.make_inputs(rng, batch=2, width=width)
+        (expected,) = evaluate(model.graph, inputs)
+        (actual,), __ = disc.run(inputs)
+        assert np.allclose(expected, actual, atol=1e-3, rtol=1e-3)

@@ -1,0 +1,50 @@
+"""Every example script runs end-to-end as a subprocess."""
+
+import subprocess
+import sys
+from pathlib import Path
+
+import pytest
+
+EXAMPLES = Path(__file__).resolve().parents[2] / "examples"
+
+
+def run_example(name: str, *args: str) -> str:
+    result = subprocess.run(
+        [sys.executable, str(EXAMPLES / name), *args],
+        capture_output=True, text=True, timeout=420)
+    assert result.returncode == 0, result.stderr[-2000:]
+    return result.stdout
+
+
+def test_quickstart():
+    out = run_example("quickstart.py")
+    assert "zero recompilation" in out
+    assert "numerics OK" in out
+    assert "WRONG" not in out
+
+
+def test_custom_model_compile():
+    out = run_example("custom_model_compile.py")
+    assert "match=True" in out
+    assert "kStitch" in out
+
+
+def test_traced_frontend():
+    out = run_example("traced_frontend.py")
+    assert "numerics OK" in out
+    assert "WRONG" not in out
+
+
+@pytest.mark.slow
+def test_bert_serving_small():
+    out = run_example("bert_serving.py", "--queries", "4")
+    assert "BladeDISC" in out
+    assert "speedup" in out
+
+
+@pytest.mark.slow
+def test_autoregressive_decode_small():
+    out = run_example("autoregressive_decode.py", "--steps", "6")
+    assert "compiled exactly once" in out
+    assert out.count("True") >= 3  # all systems decode identical tokens

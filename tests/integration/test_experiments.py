@@ -1,0 +1,98 @@
+"""Experiment harness smoke runs + the paper's qualitative claims.
+
+Each experiment runs at tiny scale; the assertions are the acceptance
+criteria from DESIGN.md §4 — monotone ablations, flat DISC curves, padded
+and recompiling baselines degrading with shape diversity.
+"""
+
+import pytest
+
+from repro.bench import (e1_end_to_end, e3_fusion_ablation,
+                         e4_shape_constraints, e5_codegen_strategies,
+                         e6_compile_overhead, e7_shape_diversity,
+                         e8_kernel_reduction, e9_schedule_selection,
+                         e10_placement_overhead, format_end_to_end,
+                         format_fusion_ablation)
+
+
+def test_e1_disc_wins_on_average():
+    result = e1_end_to_end("A10", models=["bert", "dien"], num_queries=6,
+                           seed=2)
+    for system, summary in result["summary"].items():
+        assert summary["mean"] > 1.0, \
+            f"BladeDISC should beat {system} on average"
+    text = format_end_to_end(result)
+    assert "BladeDISC" in text and "bert" in text
+
+
+def test_e3_fusion_ablation_monotone():
+    result = e3_fusion_ablation("A10", models=("bert",), num_queries=4)
+    rows = result["rows"]
+    kernels = [r["kernels_per_query"] for r in rows]
+    latency = [r["mean_steady_us"] for r in rows]
+    assert kernels == sorted(kernels, reverse=True)
+    assert latency[0] > latency[-1]
+    assert format_fusion_ablation(result)
+
+
+def test_e4_constraints_help():
+    result = e4_shape_constraints("A10", models=("bert",), num_queries=4)
+    by_level = {r["level"]: r for r in result["rows"]}
+    assert by_level["full"]["kernels"] <= by_level["none"]["kernels"]
+    assert by_level["full"]["fused_ops"] >= by_level["none"]["fused_ops"]
+
+
+def test_e5_compile_strategy_scaling():
+    result = e5_codegen_strategies("A10", num_queries=8,
+                                   shape_counts=(1, 4))
+    rows = {(r["strategy"], r["distinct_shapes"]): r
+            for r in result["rows"]}
+    disc1 = rows[("combined (BladeDISC)", 1)]
+    disc4 = rows[("combined (BladeDISC)", 4)]
+    xla1 = rows[("recompile/shape (XLA-style)", 1)]
+    xla4 = rows[("recompile/shape (XLA-style)", 4)]
+    assert disc1["compile_events"] == disc4["compile_events"] == 1
+    assert xla4["compile_events"] == 4 > xla1["compile_events"]
+    assert xla4["compile_total_s"] > disc4["compile_total_s"]
+
+
+def test_e6_compile_overhead_rows():
+    result = e6_compile_overhead(models=["bert", "dien"])
+    assert len(result["rows"]) == 2
+    for row in result["rows"]:
+        assert row["kernels"] > 0
+        assert row["simulated_compile_s"] > 0
+        assert row["analysis_ms"] >= 0
+
+
+def test_e7_disc_flat_under_diversity():
+    result = e7_shape_diversity("A10", num_queries=12,
+                                shape_counts=(1, 4, 8),
+                                systems=("BladeDISC", "XLA"))
+    disc = result["series"]["BladeDISC"]
+    xla = result["series"]["XLA"]
+    # DISC's amortised cost must not grow with diversity (same compile
+    # once); XLA's must grow (a JIT per distinct shape).
+    assert max(disc) < 2.5 * min(disc)
+    assert xla[-1] > 1.5 * xla[0] or xla[-1] > 2 * disc[-1]
+
+
+def test_e8_kernel_reduction_positive():
+    result = e8_kernel_reduction("A10", models=["bert", "s2t"])
+    for row in result["rows"]:
+        assert row["kernel_reduction"] > 1.5
+        assert row["bytes_reduction"] > 1.0
+
+
+def test_e9_selected_close_to_best():
+    result = e9_schedule_selection("A10")
+    for row in result["rows"]:
+        assert row["selected"] <= 1.25 * row["best_fixed"], row
+
+
+def test_e10_placement_saves_launches():
+    result = e10_placement_overhead("A10", num_queries=4)
+    enabled, disabled = result["placement_rows"]
+    assert enabled["host_placement"] is True
+    assert enabled["mean_steady_us"] < disabled["mean_steady_us"]
+    assert enabled["kernels_per_query"] < disabled["kernels_per_query"]

@@ -1,0 +1,94 @@
+"""GraphBuilder conveniences: broadcast insertion, helpers."""
+
+import pytest
+
+from repro.ir import GraphBuilder, f32, i64
+
+
+@pytest.fixture
+def b():
+    return GraphBuilder("t")
+
+
+def test_auto_broadcast_bias(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 16), f32)
+    c = b.parameter("c", (16,), f32)
+    out = b.add(x, c)
+    assert out.shape == (s, 16)
+    ops = [n.op for n in b.graph]
+    assert "broadcast_in_dim" in ops
+
+
+def test_no_broadcast_when_shapes_match(b):
+    x = b.parameter("x", (4, 4), f32)
+    y = b.parameter("y", (4, 4), f32)
+    b.add(x, y)
+    assert "broadcast_in_dim" not in [n.op for n in b.graph]
+
+
+def test_scalar_broadcast(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 8), f32)
+    out = b.mul(x, b.scalar(2.0))
+    assert out.shape == (s, 8)
+
+
+def test_keepdims_reduction_broadcasts_back(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 8), f32)
+    peak = b.reduce_max(x, axes=1, keepdims=True)
+    out = b.sub(x, peak)
+    assert out.shape == (s, 8)
+
+
+def test_incompatible_broadcast_raises(b):
+    x = b.parameter("x", (4, 8), f32)
+    y = b.parameter("y", (3,), f32)
+    with pytest.raises(ValueError):
+        b.add(x, y)
+
+
+def test_broadcast_to_lower_rank_raises(b):
+    x = b.parameter("x", (4, 8), f32)
+    with pytest.raises(ValueError):
+        b.broadcast_to(x, (8,))
+
+
+def test_reshape_identity_is_noop(b):
+    x = b.parameter("x", (4, 8), f32)
+    assert b.reshape(x, (4, 8)) is x
+
+
+def test_linear_helper(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 32), f32)
+    w = b.parameter("w", (32, 16), f32)
+    c = b.parameter("c", (16,), f32)
+    assert b.linear(x, w, c).shape == (s, 16)
+    assert b.linear(x, w).shape == (s, 16)
+
+
+def test_reduce_negative_axis_normalised(b):
+    x = b.parameter("x", (4, 8), f32)
+    out = b.reduce_sum(x, axes=-1)
+    assert out.shape == (4,)
+    assert out.attrs["axes"] == (1,)
+
+
+def test_select_broadcasts_pred_and_else(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 8), f32)
+    pred = b.ge(x, b.scalar(0.0))
+    out = b.select(pred, x, b.scalar(-1.0))
+    assert out.shape == (s, 8)
+
+
+def test_iota_dtype(b):
+    out = b.iota((4,), axis=0, dtype=i64)
+    assert out.dtype is i64
+
+
+def test_constant_with_dtype_cast(b):
+    c = b.constant([1, 2, 3], dtype=f32)
+    assert c.dtype is f32

@@ -1,0 +1,47 @@
+"""DOT export."""
+
+from repro.core.fusion import plan_fusion
+from repro.core.symbolic import analyze_shapes
+from repro.ir import GraphBuilder, f32
+from repro.ir.dot import plan_to_dot, to_dot
+from repro.passes import PassManager, default_pipeline
+
+from ..conftest import toy_mlp_graph
+
+
+def test_graph_dot_structure():
+    b = GraphBuilder("viz")
+    x = b.parameter("x", (4, 8), f32)
+    y = b.relu(x)
+    b.outputs(y)
+    dot = to_dot(b.graph)
+    assert dot.startswith('digraph "viz"')
+    assert f"n{x.id} -> n{y.id};" in dot
+    assert "doublecircle" in dot  # output marker
+    assert dot.rstrip().endswith("}")
+
+
+def test_graph_dot_every_node_present():
+    b = toy_mlp_graph()
+    dot = to_dot(b.graph)
+    for node in b.graph.nodes:
+        assert f"n{node.id} " in dot
+
+
+def test_plan_dot_clusters_fused_groups():
+    b = toy_mlp_graph()
+    PassManager(default_pipeline()).run(b.graph)
+    plan = plan_fusion(b.graph, analyze_shapes(b.graph))
+    dot = plan_to_dot(plan)
+    assert "subgraph cluster_" in dot
+    assert "kStitch" in dot
+    # the matmul is a singleton, coloured not clustered
+    assert "#fdbf6f" in dot
+
+
+def test_dot_escapes_quotes():
+    b = GraphBuilder('we"ird')
+    x = b.parameter("x", (2,), f32)
+    b.outputs(b.relu(x))
+    dot = to_dot(b.graph)
+    assert 'digraph "we\\"ird"' in dot

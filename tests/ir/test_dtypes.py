@@ -1,0 +1,53 @@
+"""Dtype table and promotion rules."""
+
+import numpy as np
+import pytest
+
+from repro.ir import dtypes as dt
+
+
+def test_sizes():
+    assert dt.f16.size == 2
+    assert dt.f32.size == 4
+    assert dt.f64.size == 8
+    assert dt.i32.size == 4
+    assert dt.i64.size == 8
+    assert dt.boolean.size == 1
+
+
+def test_flags():
+    assert dt.f32.is_float and not dt.f32.is_int and not dt.f32.is_bool
+    assert dt.i64.is_int and not dt.i64.is_float
+    assert dt.boolean.is_bool
+
+
+def test_numpy_round_trip():
+    for d in dt.ALL_DTYPES:
+        assert dt.from_numpy(d.to_numpy()) is d
+
+
+def test_from_numpy_accepts_dtype_like():
+    assert dt.from_numpy(np.float32) is dt.f32
+    assert dt.from_numpy("int64") is dt.i64
+
+
+def test_from_numpy_rejects_unknown():
+    with pytest.raises(KeyError):
+        dt.from_numpy(np.complex64)
+
+
+@pytest.mark.parametrize("a, b, expected", [
+    (dt.f32, dt.f32, dt.f32),
+    (dt.f32, dt.f64, dt.f64),
+    (dt.i32, dt.i64, dt.i64),
+    (dt.i64, dt.f32, dt.f32),
+    (dt.boolean, dt.i32, dt.i32),
+    (dt.f16, dt.f32, dt.f32),
+])
+def test_promote(a, b, expected):
+    assert dt.promote(a, b) is expected
+    assert dt.promote(b, a) is expected
+
+
+def test_repr_is_name():
+    assert repr(dt.f32) == "f32"

@@ -1,0 +1,111 @@
+"""pad and argmax/argmin: inference, semantics, compilation."""
+
+import numpy as np
+import pytest
+
+from repro import A10, ExecutionEngine, compile_graph
+from repro.interp import evaluate
+from repro.ir import GraphBuilder, InferenceError, f32, i64, verify
+
+
+@pytest.fixture
+def b():
+    return GraphBuilder("t")
+
+
+def test_pad_static_inference(b):
+    x = b.parameter("x", (4, 6), f32)
+    out = b.pad(x, ((1, 2), (0, 3)))
+    assert out.shape == (7, 9)
+    assert out.dtype is f32
+
+
+def test_pad_symbolic_mints_symbol(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 6), f32)
+    out = b.pad(x, ((1, 1), (0, 0)))
+    assert out.shape[0] is not s       # padded extent is a fresh symbol
+    assert out.shape[1] == 6
+
+
+def test_pad_zero_preserves_symbol(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 6), f32)
+    out = b.pad(x, ((0, 0), (1, 1)))
+    assert out.shape[0] is s
+
+
+def test_pad_rejects_negative(b):
+    x = b.parameter("x", (4,), f32)
+    with pytest.raises(InferenceError):
+        b.pad(x, ((-1, 0),))
+
+
+def test_pad_rejects_wrong_rank(b):
+    x = b.parameter("x", (4, 4), f32)
+    with pytest.raises(InferenceError):
+        b.pad(x, ((1, 1),))
+
+
+def test_pad_semantics(b, rng):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 3), f32)
+    b.outputs(b.pad(x, ((2, 0), (1, 1)), value=9.0))
+    xv = rng.normal(size=(2, 3)).astype(np.float32)
+    (out,) = evaluate(b.graph, {"x": xv})
+    assert out.shape == (4, 5)
+    assert (out[:2] == 9.0).all()
+    assert np.allclose(out[2:, 1:4], xv)
+
+
+def test_argmax_inference(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 8), f32)
+    am = b.argmax(x, axis=1)
+    assert am.shape == (s,)
+    assert am.dtype is i64
+    kept = b.argmin(x, axis=1, keepdims=True)
+    assert kept.shape == (s, 1)
+
+
+def test_argmax_single_axis_only(b):
+    x = b.parameter("x", (4, 8), f32)
+    with pytest.raises(InferenceError):
+        b.graph.add("reduce", (x,), {"kind": "argmax", "axes": (0, 1)})
+
+
+def test_argmax_argmin_semantics(b, rng):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 8), f32)
+    b.outputs(b.argmax(x, axis=1), b.argmin(x, axis=1))
+    xv = rng.normal(size=(5, 8)).astype(np.float32)
+    hi, lo = evaluate(b.graph, {"x": xv})
+    assert np.array_equal(hi, xv.argmax(axis=1))
+    assert np.array_equal(lo, xv.argmin(axis=1))
+
+
+def test_compiled_classification_head(rng):
+    """The realistic use: logits -> argmax, compiled and dynamic."""
+    b = GraphBuilder("head")
+    batch = b.sym("batch")
+    logits = b.parameter("logits", (batch, 16), f32)
+    b.outputs(b.argmax(b.softmax(logits), axis=-1))
+    verify(b.graph)
+    engine = ExecutionEngine(compile_graph(b.graph), A10)
+    for n in (1, 9):
+        x = rng.normal(size=(n, 16)).astype(np.float32)
+        (pred,), __ = engine.run({"logits": x})
+        assert np.array_equal(pred, x.argmax(axis=-1))
+
+
+def test_pad_through_compiler(rng):
+    b = GraphBuilder("padnet")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4), f32)
+    y = b.relu(b.pad(x, ((1, 1), (0, 0))))
+    b.outputs(y)
+    engine = ExecutionEngine(compile_graph(b.graph), A10)
+    xv = rng.normal(size=(3, 4)).astype(np.float32)
+    (got,), __ = engine.run({"x": xv})
+    (want,) = evaluate(b.graph, {"x": xv})
+    assert np.allclose(got, want)

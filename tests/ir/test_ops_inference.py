@@ -1,0 +1,258 @@
+"""Per-op symbolic shape/dtype inference, including rejection cases."""
+
+import numpy as np
+import pytest
+
+from repro.ir import (GraphBuilder, InferenceError, boolean, f32, i64)
+
+
+@pytest.fixture
+def b():
+    return GraphBuilder("t")
+
+
+def test_parameter_shape_dtype(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4), f32)
+    assert x.shape == (s, 4)
+    assert x.dtype is f32
+
+
+def test_constant_infers_from_array(b):
+    c = b.constant(np.zeros((2, 3), dtype=np.int64))
+    assert c.shape == (2, 3)
+    assert c.dtype is i64
+
+
+def test_unary_preserves(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 8), f32)
+    assert b.exp(x).shape == (s, 8)
+    assert b.relu(x).dtype is f32
+
+
+def test_binary_requires_structural_match(b):
+    x = b.parameter("x", (4, 8), f32)
+    y = b.parameter("y", (4, 8), f32)
+    z = b.parameter("z", (8, 4), f32)
+    assert b.add(x, y).shape == (4, 8)
+    with pytest.raises((InferenceError, ValueError)):
+        b.graph.add("add", (x, z))
+
+
+def test_binary_symbolic_same_symbol_ok(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 8), f32)
+    y = b.parameter("y", (s, 8), f32)
+    assert b.add(x, y).shape == (s, 8)
+
+
+def test_binary_different_symbols_rejected_without_broadcast(b):
+    x = b.parameter("x", (b.sym("s1"), 8), f32)
+    y = b.parameter("y", (b.sym("s2"), 8), f32)
+    with pytest.raises((InferenceError, ValueError)):
+        b.graph.add("add", (x, y))
+
+
+def test_compare_yields_bool(b):
+    x = b.parameter("x", (4,), f32)
+    y = b.parameter("y", (4,), f32)
+    assert b.lt(x, y).dtype is boolean
+
+
+def test_select_checks_pred_dtype(b):
+    x = b.parameter("x", (4,), f32)
+    y = b.parameter("y", (4,), f32)
+    with pytest.raises(InferenceError):
+        b.graph.add("select", (x, x, y))
+
+
+def test_broadcast_in_dim(b):
+    s = b.sym("s")
+    v = b.parameter("v", (8,), f32)
+    out = b.broadcast_in_dim(v, (s, 8), (1,))
+    assert out.shape == (s, 8)
+
+
+def test_broadcast_in_dim_rejects_bad_mapping(b):
+    v = b.parameter("v", (8,), f32)
+    with pytest.raises(InferenceError):
+        b.broadcast_in_dim(v, (4, 16), (1,))  # 8 -> 16 illegal
+    with pytest.raises(InferenceError):
+        b.broadcast_in_dim(v, (8, 4), (2,))  # out of range
+
+
+def test_reshape_static_count_checked(b):
+    x = b.parameter("x", (4, 6), f32)
+    assert b.reshape(x, (24,)).shape == (24,)
+    with pytest.raises(InferenceError):
+        b.reshape(x, (25,))
+
+
+def test_reshape_symbolic_accepted(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 6), f32)
+    out = b.reshape(x, (b.sym("t"), 2))
+    assert len(out.shape) == 2
+
+
+def test_transpose(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4, 8), f32)
+    assert b.transpose(x, (2, 0, 1)).shape == (8, s, 4)
+    with pytest.raises(InferenceError):
+        b.transpose(x, (0, 0, 1))
+
+
+def test_slice_static(b):
+    x = b.parameter("x", (10, 4), f32)
+    out = b.slice(x, (2, 0), (8, 4), (2, 1))
+    assert out.shape == (3, 4)
+
+
+def test_slice_symbolic_full_dim_only(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4), f32)
+    assert b.slice(x, (0, 1), (s, 3)).shape == (s, 2)
+    with pytest.raises(InferenceError):
+        b.slice(x, (1, 0), (s, 4))
+
+
+def test_concat_static_axis(b):
+    x = b.parameter("x", (2, 3), f32)
+    y = b.parameter("y", (2, 5), f32)
+    assert b.concat([x, y], axis=1).shape == (2, 8)
+
+
+def test_concat_symbolic_axis_mints_symbol(b):
+    s1, s2 = b.sym("s1"), b.sym("s2")
+    x = b.parameter("x", (s1, 3), f32)
+    y = b.parameter("y", (s2, 3), f32)
+    out = b.concat([x, y], axis=0)
+    assert out.shape[1] == 3
+    assert out.shape[0] not in (s1, s2)
+
+
+def test_concat_rejects_mismatched_other_dims(b):
+    x = b.parameter("x", (2, 3), f32)
+    y = b.parameter("y", (3, 3), f32)
+    with pytest.raises(InferenceError):
+        b.concat([x, y], axis=1)
+
+
+def test_gather(b):
+    s = b.sym("s")
+    table = b.parameter("t", (100, 16), f32)
+    idx = b.parameter("i", (s, 7), i64)
+    assert b.gather(table, idx, axis=0).shape == (s, 7, 16)
+
+
+def test_gather_rejects_float_indices(b):
+    table = b.parameter("t", (100, 16), f32)
+    idx = b.parameter("i", (4,), f32)
+    with pytest.raises(InferenceError):
+        b.gather(table, idx)
+
+
+def test_reduce_shapes(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4, 8), f32)
+    assert b.reduce_sum(x, axes=2).shape == (s, 4)
+    assert b.reduce_max(x, axes=2, keepdims=True).shape == (s, 4, 1)
+    assert b.reduce_mean(x, axes=(1, 2)).shape == (s,)
+
+
+def test_reduce_rejects_bad_axes(b):
+    x = b.parameter("x", (4, 8), f32)
+    with pytest.raises(InferenceError):
+        b.graph.add("reduce", (x,), {"kind": "sum", "axes": (5,)})
+    with pytest.raises(InferenceError):
+        b.graph.add("reduce", (x,), {"kind": "sum", "axes": (0, 0)})
+    with pytest.raises(InferenceError):
+        b.graph.add("reduce", (x,), {"kind": "wat", "axes": (0,)})
+
+
+def test_dot_basic_and_batched(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 32), f32)
+    w = b.parameter("w", (32, 16), f32)
+    assert b.dot(x, w).shape == (s, 16)
+    q = b.parameter("q", (s, 4, 10, 8), f32)
+    k = b.parameter("k", (s, 4, 8, 10), f32)
+    assert b.dot(q, k).shape == (s, 4, 10, 10)
+
+
+def test_dot_broadcast_batch(b):
+    s = b.sym("s")
+    q = b.parameter("q", (s, 4, 10, 8), f32)
+    w = b.parameter("w", (8, 16), f32)
+    assert b.dot(q, w).shape == (s, 4, 10, 16)
+
+
+def test_dot_rejects_contraction_mismatch(b):
+    x = b.parameter("x", (4, 32), f32)
+    w = b.parameter("w", (16, 8), f32)
+    with pytest.raises(InferenceError):
+        b.dot(x, w)
+
+
+def test_conv2d_same_and_valid(b):
+    n = b.sym("n")
+    x = b.parameter("x", (n, 32, 64, 3), f32)
+    w = b.parameter("w", (3, 3, 3, 8), f32)
+    assert b.conv2d(x, w).shape == (n, 32, 64, 8)
+    assert b.conv2d(x, w, strides=(2, 2)).shape == (n, 16, 32, 8)
+    assert b.conv2d(x, w, padding="valid").shape == (n, 30, 62, 8)
+
+
+def test_conv2d_symbolic_width(b):
+    n, wdt = b.sym("n"), b.sym("w")
+    x = b.parameter("x", (n, 32, wdt, 3), f32)
+    k = b.parameter("k", (3, 3, 3, 8), f32)
+    out = b.conv2d(x, k, strides=(2, 2))
+    assert out.shape[0] is n
+    assert out.shape[3] == 8
+
+
+def test_shape_ops(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4), f32)
+    assert b.shape_of(x).shape == (2,)
+    assert b.shape_of(x).dtype is i64
+    assert b.dim_size(x, 1).shape == ()
+
+
+def test_composites(b):
+    s = b.sym("s")
+    x = b.parameter("x", (s, 16), f32)
+    g = b.parameter("g", (16,), f32)
+    beta = b.parameter("bb", (16,), f32)
+    assert b.softmax(x).shape == (s, 16)
+    assert b.layer_norm(x, g, beta).shape == (s, 16)
+    assert b.gelu(x).shape == (s, 16)
+
+
+def test_layer_norm_checks_scale_extent(b):
+    x = b.parameter("x", (4, 16), f32)
+    bad = b.parameter("bad", (8,), f32)
+    good = b.parameter("good", (16,), f32)
+    with pytest.raises(InferenceError):
+        b.layer_norm(x, bad, good)
+
+
+def test_iota(b):
+    s = b.sym("s")
+    out = b.iota((s, s), axis=0)
+    assert out.shape == (s, s)
+    assert out.dtype is i64
+
+
+def test_unknown_op_rejected(b):
+    with pytest.raises(InferenceError):
+        b.graph.add("frobnicate", ())
+
+
+def test_arity_checked(b):
+    x = b.parameter("x", (4,), f32)
+    with pytest.raises(InferenceError):
+        b.graph.add("add", (x,))

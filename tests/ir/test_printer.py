@@ -1,0 +1,33 @@
+"""Textual graph rendering."""
+
+import numpy as np
+
+from repro.ir import GraphBuilder, f32, print_graph
+
+
+def test_print_contains_signature_and_ops():
+    b = GraphBuilder("mynet")
+    s = b.sym("batch")
+    x = b.parameter("x", (s, 8), f32)
+    b.outputs(b.softmax(b.relu(x)))
+    text = print_graph(b.graph)
+    assert "func mynet(" in text
+    assert "x: f32[batch, 8]" in text
+    assert "relu(" in text
+    assert "softmax(" in text
+    assert text.strip().endswith("}")
+
+
+def test_large_constants_elided():
+    b = GraphBuilder("g")
+    c = b.graph.constant(np.zeros((64, 64), dtype=np.float32))
+    b.outputs(b.relu(c))
+    text = print_graph(b.graph)
+    assert "dense<float32[64, 64]>" in text
+
+
+def test_small_constants_inline():
+    b = GraphBuilder("g")
+    c = b.graph.constant(np.asarray([1.0, 2.0], dtype=np.float32))
+    b.outputs(b.relu(c))
+    assert "[1.,2.]" in print_graph(b.graph)

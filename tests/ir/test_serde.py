@@ -1,0 +1,101 @@
+"""Graph JSON round-trips."""
+
+import numpy as np
+import pytest
+
+from repro.interp import evaluate
+from repro.ir import print_graph, verify
+from repro.ir.serde import (graph_from_dict, graph_to_dict, load_graph,
+                            save_graph)
+from repro.models import build_model
+
+from ..conftest import toy_mlp_graph, toy_mlp_inputs
+
+
+def round_trip(graph):
+    return graph_from_dict(graph_to_dict(graph))
+
+
+def test_round_trip_verifies_and_prints_identically():
+    graph = toy_mlp_graph().graph
+    loaded = round_trip(graph)
+    verify(loaded)
+    assert print_graph(loaded) == print_graph(graph)
+
+
+def test_round_trip_numerics(rng):
+    graph = toy_mlp_graph().graph
+    loaded = round_trip(graph)
+    inputs = toy_mlp_inputs(rng, 3, 4)
+    (a,) = evaluate(graph, inputs)
+    (b,) = evaluate(loaded, inputs)
+    assert np.array_equal(a, b)
+
+
+def test_symbols_preserved_with_hints():
+    b = toy_mlp_graph()
+    loaded = round_trip(b.graph)
+    assert loaded.symtab.lookup("batch").hint == 8
+    x = loaded.param_named("x")
+    assert x.shape[0].name == "batch"
+
+
+def test_weights_bit_identical(rng):
+    model = build_model("dien", items=64, embed_dim=8)
+    loaded = round_trip(model.graph)
+    originals = {n.id: n.attrs["value"]
+                 for n in model.graph.by_op("constant")}
+    for node in loaded.by_op("constant"):
+        assert np.array_equal(node.attrs["value"], originals[node.id])
+        assert node.attrs["value"].dtype == originals[node.id].dtype
+
+
+def test_loaded_graph_still_extendable(rng):
+    """New nodes/symbols created after load must not collide."""
+    from repro.ir import GraphBuilder
+    graph = round_trip(toy_mlp_graph().graph)
+    builder = GraphBuilder(graph=graph)
+    fresh = graph.symtab.fresh()
+    assert fresh.name not in {s.name for s in graph.symtab.symbols()
+                              if s is not fresh}
+    new = builder.relu(graph.outputs[0])
+    assert new.id > max(n.id for n in graph.nodes if n is not new)
+
+
+def test_loaded_graph_compiles(rng):
+    from repro import A10, ExecutionEngine, compile_graph
+    model = build_model("bert", layers=1, hidden=64, heads=2, vocab=64)
+    loaded = round_trip(model.graph)
+    engine = ExecutionEngine(compile_graph(loaded), A10)
+    inputs = model.make_inputs(rng, batch=2, seqlen=9)
+    (got,), __ = engine.run(inputs)
+    (want,) = evaluate(model.graph, inputs)
+    assert np.allclose(got, want, atol=1e-4)
+
+
+def test_file_round_trip(tmp_path, rng):
+    graph = toy_mlp_graph().graph
+    path = save_graph(graph, tmp_path / "model.json")
+    loaded = load_graph(path)
+    verify(loaded)
+    inputs = toy_mlp_inputs(rng, 2, 3)
+    (a,) = evaluate(graph, inputs)
+    (b,) = evaluate(loaded, inputs)
+    assert np.array_equal(a, b)
+
+
+def test_version_checked():
+    payload = graph_to_dict(toy_mlp_graph().graph)
+    payload["format_version"] = 999
+    with pytest.raises(ValueError, match="version"):
+        graph_from_dict(payload)
+
+
+def test_full_zoo_round_trips():
+    small = {"layers": 1, "hidden": 64, "heads": 2, "vocab": 64}
+    for name in ("gpt2", "crnn", "fastspeech2"):
+        kwargs = small if name == "gpt2" else {}
+        model = build_model(name, **kwargs)
+        loaded = round_trip(model.graph)
+        verify(loaded)
+        assert len(loaded) == len(model.graph)

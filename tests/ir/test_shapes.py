@@ -1,0 +1,74 @@
+"""Symbolic shapes: symbol table, element counts, substitution."""
+
+import pytest
+
+from repro.ir.shapes import (SymbolTable, SymDim, dims_definitely_equal,
+                             format_shape, is_static, num_elements,
+                             substitute)
+
+
+def test_fresh_symbols_are_distinct():
+    table = SymbolTable()
+    a, b = table.fresh(), table.fresh()
+    assert a != b
+    assert a.name != b.name
+    assert len(table) == 2
+
+
+def test_named_symbols_are_interned():
+    table = SymbolTable()
+    a = table.named("batch", hint=8)
+    b = table.named("batch")
+    assert a is b
+    assert a.hint == 8
+    assert "batch" in table
+
+
+def test_hint_does_not_affect_equality():
+    assert SymDim("s", 4) == SymDim("s", 99)
+    assert hash(SymDim("s", 4)) == hash(SymDim("s", 99))
+
+
+def test_is_static():
+    s = SymDim("s")
+    assert is_static((1, 2, 3))
+    assert not is_static((1, s))
+    assert is_static(())
+
+
+def test_num_elements_static():
+    assert num_elements((2, 3, 4)) == 24
+    assert num_elements(()) == 1
+
+
+def test_num_elements_symbolic_canonical():
+    a, b = SymDim("a"), SymDim("b")
+    assert num_elements((a, 4, b)) == (4, ("a", "b"))
+    # order-independent
+    assert num_elements((b, a, 4)) == num_elements((a, 4, b))
+
+
+def test_substitute_partial_and_full():
+    a, b = SymDim("a"), SymDim("b")
+    shape = (a, 7, b)
+    assert substitute(shape, {"a": 3}) == (3, 7, b)
+    assert substitute(shape, {"a": 3, "b": 2}) == (3, 7, 2)
+
+
+def test_dims_definitely_equal():
+    a = SymDim("a")
+    assert dims_definitely_equal(a, SymDim("a"))
+    assert dims_definitely_equal(4, 4)
+    assert not dims_definitely_equal(a, SymDim("b"))
+    assert not dims_definitely_equal(a, 4)
+
+
+def test_format_shape():
+    a = SymDim("batch")
+    assert format_shape((a, 128)) == "[batch, 128]"
+
+
+def test_lookup_missing_raises():
+    table = SymbolTable()
+    with pytest.raises(KeyError):
+        table.lookup("nope")

@@ -1,0 +1,82 @@
+"""Traversal utilities used by the fusion planner."""
+
+from repro.ir import GraphBuilder, f32
+from repro.ir.traversal import (ancestors, descendants,
+                                has_path_through_external,
+                                induced_subgraph_inputs,
+                                induced_subgraph_outputs,
+                                reverse_topological_order,
+                                topological_order)
+
+
+def chain():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    a = b.relu(x)
+    c = b.exp(a)
+    d = b.neg(c)
+    b.outputs(d)
+    return b, x, a, c, d
+
+
+def test_topological_order_is_node_order():
+    b, *nodes = chain()
+    assert topological_order(b.graph) == b.graph.nodes
+    assert reverse_topological_order(b.graph) == b.graph.nodes[::-1]
+
+
+def test_topological_order_resorts_when_broken():
+    b, *nodes = chain()
+    b.graph.nodes.reverse()
+    order = topological_order(b.graph)
+    position = {n: i for i, n in enumerate(order)}
+    for node in order:
+        assert all(position[i] < position[node] for i in node.inputs)
+
+
+def test_ancestors_descendants():
+    b, x, a, c, d = chain()
+    users = b.graph.users()
+    assert ancestors(d) == {x, a, c}
+    assert ancestors(d, include_self=True) == {x, a, c, d}
+    assert descendants(x, users) == {a, c, d}
+    assert descendants(d, users) == set()
+
+
+def test_induced_io():
+    b, x, a, c, d = chain()
+    users = b.graph.users()
+    members = [a, c]
+    assert induced_subgraph_inputs(members) == [x]
+    assert induced_subgraph_outputs(members, users) == [c]
+    # a value escaping as a graph output counts
+    assert induced_subgraph_outputs([c, d], users, [d]) == [d]
+
+
+def test_multi_output_group():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    a = b.relu(x)
+    u1 = b.exp(a)
+    u2 = b.neg(a)
+    b.outputs(b.add(u1, u2))
+    users = b.graph.users()
+    # group {a, u1}: a escapes (u2 uses it) and u1 escapes (add uses it)
+    outs = induced_subgraph_outputs([a, u1], users)
+    assert set(outs) == {a, u1}
+
+
+def test_path_through_external():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    a = b.relu(x)
+    mid = b.exp(a)      # external bridge
+    z = b.neg(mid)
+    b.outputs(z)
+    users = b.graph.users()
+    # a -> mid -> z where mid outside both groups: merging {a} and {z}
+    # would create a cycle through mid.
+    assert has_path_through_external({a}, {z}, users)
+    assert not has_path_through_external({z}, {a}, users)
+    # direct edge does not count as "through external"
+    assert not has_path_through_external({a}, {mid}, users)

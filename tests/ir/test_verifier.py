@@ -1,0 +1,54 @@
+"""The verifier catches every class of broken invariant."""
+
+import pytest
+
+from repro.ir import GraphBuilder, VerificationError, f32, verify
+
+
+def make():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 8), f32)
+    y = b.relu(x)
+    b.outputs(b.exp(y))
+    return b
+
+
+def test_valid_graph_passes():
+    verify(make().graph)
+
+
+def test_foreign_operand_detected():
+    b1, b2 = make(), make()
+    # graft a node from b2 as an operand in b1
+    b1.graph.nodes[2].inputs[0] = b2.graph.nodes[1]
+    with pytest.raises(VerificationError, match="not owned"):
+        verify(b1.graph)
+
+
+def test_order_violation_detected():
+    b = make()
+    b.graph.nodes.reverse()
+    with pytest.raises(VerificationError):
+        verify(b.graph)
+
+
+def test_foreign_output_detected():
+    b1, b2 = make(), make()
+    b1.graph.outputs = [b2.graph.nodes[-1]]
+    with pytest.raises(VerificationError, match="output"):
+        verify(b1.graph)
+
+
+def test_stale_shape_detected():
+    b = make()
+    b.graph.nodes[1].shape = (99, 99)
+    with pytest.raises(VerificationError, match="inferred|inconsistent"):
+        verify(b.graph)
+
+
+def test_stale_dtype_detected():
+    from repro.ir import f64
+    b = make()
+    b.graph.nodes[2].dtype = f64
+    with pytest.raises(VerificationError):
+        verify(b.graph)

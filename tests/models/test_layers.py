@@ -1,0 +1,157 @@
+"""Layer-builder helpers."""
+
+import numpy as np
+import pytest
+
+from repro.interp import evaluate
+from repro.ir import GraphBuilder, f32, i64, verify
+from repro.models.layers import (Weights, conv_block, embedding,
+                                 feed_forward, linear_layer, mlp,
+                                 multi_head_attention,
+                                 positional_embedding, transformer_layer)
+
+
+@pytest.fixture
+def b():
+    return GraphBuilder("layers")
+
+
+@pytest.fixture
+def w(b):
+    return Weights(b, np.random.default_rng(0))
+
+
+def test_weights_deterministic():
+    b1, b2 = GraphBuilder("a"), GraphBuilder("b")
+    w1 = Weights(b1, np.random.default_rng(5))
+    w2 = Weights(b2, np.random.default_rng(5))
+    c1 = w1.dense(4, 4).attrs["value"]
+    c2 = w2.dense(4, 4).attrs["value"]
+    assert np.array_equal(c1, c2)
+
+
+def test_linear_flattens_high_rank(b, w):
+    batch, seq = b.sym("batch"), b.sym("seq")
+    x = b.parameter("x", (batch, seq, 8), f32)
+    y = linear_layer(b, w, x, 8, 4)
+    assert y.shape == (batch, seq, 4)
+    # the 2-D flatten/unflatten pair exists
+    assert len(b.graph.by_op("reshape")) == 2
+    dots = b.graph.by_op("dot")
+    assert len(dots) == 1
+    assert len(dots[0].inputs[0].shape) == 2
+
+
+def test_linear_2d_no_flatten(b, w):
+    n = b.sym("n")
+    x = b.parameter("x", (n, 8), f32)
+    linear_layer(b, w, x, 8, 4)
+    assert not b.graph.by_op("reshape")
+
+
+def test_linear_numerics(b, w, rng):
+    n = b.sym("n")
+    x = b.parameter("x", (n, 3, 8), f32)
+    y = linear_layer(b, w, x, 8, 4, bias=False)
+    b.outputs(y)
+    xv = rng.normal(size=(2, 3, 8)).astype(np.float32)
+    weight = b.graph.by_op("constant")[0].attrs["value"]
+    (out,) = evaluate(b.graph, {"x": xv})
+    assert np.allclose(out, xv @ weight, atol=1e-5)
+
+
+def test_embedding_and_positions(b, w, rng):
+    s = b.sym("s")
+    table = w.dense(50, 8)
+    ids = b.parameter("ids", (2, s), i64)
+    emb = embedding(b, table, ids)
+    assert emb.shape == (2, s, 8)
+    pos_table = w.dense(64, 8)
+    pos = positional_embedding(b, pos_table, s, emb)
+    b.outputs(b.add(emb, pos))
+    ids_v = rng.integers(0, 50, size=(2, 5)).astype(np.int64)
+    (out,) = evaluate(b.graph, {"ids": ids_v})
+    assert out.shape == (2, 5, 8)
+
+
+def test_attention_shapes(b, w):
+    batch, q_len, kv_len = b.sym("b"), b.sym("q"), b.sym("k")
+    query = b.parameter("query", (batch, q_len, 16), f32)
+    memory = b.parameter("memory", (batch, kv_len, 16), f32)
+    out = multi_head_attention(b, w, query, memory, 16, 4, batch, q_len,
+                               kv_len)
+    assert out.shape == (batch, q_len, 16)
+    verify(b.graph)
+
+
+def test_attention_rejects_indivisible_heads(b, w):
+    batch, s = b.sym("b"), b.sym("s")
+    x = b.parameter("x", (batch, s, 16), f32)
+    with pytest.raises(ValueError):
+        multi_head_attention(b, w, x, x, 16, 3, batch, s, s)
+
+
+def test_attention_probs_normalised(b, w, rng):
+    batch, s = b.sym("b"), b.sym("s")
+    x = b.parameter("x", (batch, s, 16), f32)
+    out = multi_head_attention(b, w, x, x, 16, 2, batch, s, s)
+    b.outputs(out)
+    xv = rng.normal(size=(2, 6, 16)).astype(np.float32)
+    (result,) = evaluate(b.graph, {"x": xv})
+    assert np.isfinite(result).all()
+
+
+def test_feed_forward_activations(b, w):
+    n = b.sym("n")
+    x = b.parameter("x", (n, 8), f32)
+    feed_forward(b, w, x, 8, 32, activation="gelu")
+    assert b.graph.by_op("gelu")
+    feed_forward(b, w, x, 8, 32, activation="relu")
+    assert b.graph.by_op("relu")
+    with pytest.raises(ValueError):
+        feed_forward(b, w, x, 8, 32, activation="swish")
+
+
+def test_transformer_layer_shapes(b, w):
+    batch, s = b.sym("b"), b.sym("s")
+    x = b.parameter("x", (batch, s, 16), f32)
+    out = transformer_layer(b, w, x, 16, 2, 64, batch, s)
+    assert out.shape == (batch, s, 16)
+    assert len(b.graph.by_op("layer_norm")) == 2
+    verify(b.graph)
+
+
+def test_transformer_layer_with_cross_attention(b, w):
+    batch, s, m = b.sym("b"), b.sym("s"), b.sym("m")
+    x = b.parameter("x", (batch, s, 16), f32)
+    mem = b.parameter("mem", (batch, m, 16), f32)
+    out = transformer_layer(b, w, x, 16, 2, 64, batch, s,
+                            memory=mem, memory_len=m)
+    assert out.shape == (batch, s, 16)
+    assert len(b.graph.by_op("layer_norm")) == 3
+
+
+def test_conv_block(b, w, rng):
+    n, wd = b.sym("n"), b.sym("w")
+    x = b.parameter("x", (n, 16, wd, 3), f32)
+    y = conv_block(b, w, x, 3, 8, strides=(2, 2))
+    b.outputs(y)
+    xv = rng.normal(size=(1, 16, 20, 3)).astype(np.float32)
+    (out,) = evaluate(b.graph, {"x": xv})
+    assert out.shape == (1, 8, 10, 8)
+    assert (out >= 0).all()  # relu'd
+
+
+def test_mlp_layer_count(b, w):
+    n = b.sym("n")
+    x = b.parameter("x", (n, 8), f32)
+    mlp(b, w, x, [8, 16, 4, 1])
+    assert len(b.graph.by_op("dot")) == 3
+    assert len(b.graph.by_op("relu")) == 2  # no activation after last
+
+
+def test_mlp_rejects_unknown_activation(b, w):
+    n = b.sym("n")
+    x = b.parameter("x", (n, 8), f32)
+    with pytest.raises(ValueError):
+        mlp(b, w, x, [8, 4, 2], activation="softplus")

@@ -1,0 +1,136 @@
+"""Every zoo model builds, verifies, and runs at multiple dynamic shapes."""
+
+import numpy as np
+import pytest
+
+from repro.interp import evaluate
+from repro.ir import verify
+from repro.models import MODEL_BUILDERS, build_model, zoo
+
+#: small sizes so the whole matrix stays fast
+SMALL = {
+    "bert": {"layers": 1, "hidden": 64, "heads": 2, "vocab": 128},
+    "albert": {"layers": 2, "hidden": 64, "heads": 2, "vocab": 128},
+    "gpt2": {"layers": 1, "hidden": 64, "heads": 2, "vocab": 128},
+    "t5": {"layers": 1, "hidden": 64, "heads": 2, "vocab": 128},
+    "s2t": {"layers": 1, "hidden": 64, "heads": 2, "vocab": 64},
+    "crnn": {"channels": 16, "charset": 32},
+    "fastspeech2": {"layers": 1, "hidden": 64, "heads": 2},
+    "dien": {"items": 256, "embed_dim": 16},
+}
+
+
+def small(name):
+    return build_model(name, **SMALL[name])
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+def test_builds_and_verifies(name):
+    model = small(name)
+    verify(model.graph)
+    assert model.axes, "every model must declare dynamic axes"
+    assert len(model.graph.params) >= 1
+    assert model.graph.outputs
+
+
+@pytest.mark.parametrize("name", sorted(MODEL_BUILDERS))
+def test_runs_at_two_shapes(name, rng):
+    model = small(name)
+    for point in ("low", "high"):
+        values = {}
+        for axis, (lo, hi) in model.axes.items():
+            values[axis] = lo if point == "low" else min(hi, lo * 2 + 8)
+        inputs = model.make_inputs(rng, **values)
+        outputs = evaluate(model.graph, inputs)
+        assert all(np.isfinite(o).all() for o in outputs), \
+            f"{name} produced non-finite values at {values}"
+
+
+def test_bert_output_shape(rng):
+    model = small("bert")
+    inputs = model.make_inputs(rng, batch=3, seqlen=11)
+    (logits,) = evaluate(model.graph, inputs)
+    assert logits.shape == (3, 2)
+
+
+def test_gpt2_causality(rng):
+    """Changing a later token must not affect earlier positions' logits."""
+    model = small("gpt2")
+    inputs = model.make_inputs(rng, batch=1, seqlen=8)
+    (logits_a,) = evaluate(model.graph, inputs)
+    mutated = dict(inputs)
+    ids = inputs["input_ids"].copy()
+    ids[0, -1] = (ids[0, -1] + 1) % 128
+    mutated["input_ids"] = ids
+    (logits_b,) = evaluate(model.graph, mutated)
+    assert np.allclose(logits_a[0, :-1], logits_b[0, :-1], atol=1e-4)
+    assert not np.allclose(logits_a[0, -1], logits_b[0, -1], atol=1e-4)
+
+
+def test_t5_two_independent_axes(rng):
+    model = small("t5")
+    inputs = model.make_inputs(rng, batch=2, src_len=9, tgt_len=5)
+    (logits,) = evaluate(model.graph, inputs)
+    assert logits.shape[:2] == (2, 5)
+
+
+def test_s2t_frame_rounding(rng):
+    model = small("s2t")
+    inputs = model.make_inputs(rng, batch=1, frames=70)  # not /4
+    assert inputs["features"].shape[1] % 4 == 0
+    (probs,) = evaluate(model.graph, inputs)
+    assert np.allclose(probs.sum(axis=-1), 1.0, atol=1e-4)
+
+
+def test_crnn_width_scales_output(rng):
+    model = small("crnn")
+    (probs_a,) = evaluate(model.graph,
+                          model.make_inputs(rng, batch=1, width=64))
+    (probs_b,) = evaluate(model.graph,
+                          model.make_inputs(rng, batch=1, width=128))
+    assert probs_b.shape[1] == 2 * probs_a.shape[1]
+
+
+def test_fastspeech2_two_outputs(rng):
+    model = small("fastspeech2")
+    inputs = model.make_inputs(rng, batch=1, phon_len=12, frames=40)
+    mel, durations = evaluate(model.graph, inputs)
+    assert mel.shape == (1, 40, 80)
+    assert durations.shape == (1, 12, 1)
+    assert (durations >= 0).all()  # relu'd
+
+
+def test_dien_scores_are_probabilities(rng):
+    model = small("dien")
+    inputs = model.make_inputs(rng, batch=5, hist=13)
+    (prob,) = evaluate(model.graph, inputs)
+    assert prob.shape == (5, 1)
+    assert ((prob >= 0) & (prob <= 1)).all()
+
+
+def test_albert_shares_weights():
+    model = small("albert")
+    from repro.passes import CommonSubexpressionElimination, PassManager
+    graph = model.graph.clone()
+    before = len([n for n in graph if n.op == "constant"])
+    PassManager([CommonSubexpressionElimination()]).run(graph)
+    after = len([n for n in graph if n.op == "constant"])
+    assert after < before  # layer weights deduplicate
+
+
+def test_sample_inputs_defaults(rng):
+    model = small("bert")
+    inputs = model.sample_inputs(rng)
+    lo, hi = model.axes["batch"]
+    assert lo <= inputs["input_ids"].shape[0] <= hi
+
+
+def test_zoo_builds_everything():
+    models = zoo(SMALL)
+    assert len(models) == len(MODEL_BUILDERS)
+    assert {m.name for m in models} == set(MODEL_BUILDERS)
+
+
+def test_unknown_model_rejected():
+    with pytest.raises(KeyError):
+        build_model("resnet9000")

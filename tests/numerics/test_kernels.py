@@ -1,0 +1,192 @@
+"""Numpy semantics for each op versus direct numpy computation."""
+
+import math
+
+import numpy as np
+import pytest
+from scipy import special
+
+from repro.ir import dtypes as dt
+from repro.numerics import SemanticsError, apply_op
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(7)
+
+
+def test_unary_ops(rng):
+    x = rng.normal(size=(3, 4)).astype(np.float32)
+    assert np.allclose(apply_op("exp", [x], {}), np.exp(x))
+    assert np.allclose(apply_op("neg", [x], {}), -x)
+    assert np.allclose(apply_op("tanh", [x], {}), np.tanh(x))
+    assert np.allclose(apply_op("relu", [x], {}), np.maximum(x, 0))
+    assert np.allclose(apply_op("erf", [x], {}), special.erf(x),
+                       atol=1e-6)
+    assert np.allclose(apply_op("sigmoid", [x], {}), special.expit(x),
+                       atol=1e-6)
+    positive = np.abs(x) + 0.1
+    assert np.allclose(apply_op("rsqrt", [positive], {}),
+                       1 / np.sqrt(positive), atol=1e-6)
+
+
+def test_binary_ops(rng):
+    a = rng.normal(size=(4,)).astype(np.float32)
+    b = rng.normal(size=(4,)).astype(np.float32) + 2.0
+    assert np.allclose(apply_op("add", [a, b], {}), a + b)
+    assert np.allclose(apply_op("sub", [a, b], {}), a - b)
+    assert np.allclose(apply_op("mul", [a, b], {}), a * b)
+    assert np.allclose(apply_op("div", [a, b], {}), a / b)
+    assert np.allclose(apply_op("maximum", [a, b], {}), np.maximum(a, b))
+
+
+def test_integer_div_floors():
+    a = np.asarray([7, -7], dtype=np.int64)
+    b = np.asarray([2, 2], dtype=np.int64)
+    out = apply_op("div", [a, b], {})
+    assert out.tolist() == [3, -4]
+
+
+def test_compare_and_select(rng):
+    a = rng.normal(size=(5,)).astype(np.float32)
+    b = rng.normal(size=(5,)).astype(np.float32)
+    lt = apply_op("lt", [a, b], {})
+    assert lt.dtype == np.bool_
+    out = apply_op("select", [lt, a, b], {})
+    assert np.allclose(out, np.minimum(a, b))
+
+
+def test_cast():
+    x = np.asarray([1.7, -2.3], dtype=np.float32)
+    out = apply_op("cast", [x], {"dtype": dt.i32})
+    assert out.dtype == np.int32
+
+
+def test_broadcast_in_dim():
+    v = np.arange(3, dtype=np.float32)
+    out = apply_op("broadcast_in_dim", [v], {
+        "broadcast_dims": (1,), "_concrete_out_shape": (2, 3)})
+    assert out.shape == (2, 3)
+    assert np.allclose(out[0], v)
+
+
+def test_reshape():
+    x = np.arange(12, dtype=np.float32).reshape(3, 4)
+    out = apply_op("reshape", [x], {"_concrete_new_shape": (2, 6)})
+    assert out.shape == (2, 6)
+
+
+def test_transpose():
+    x = np.arange(6).reshape(2, 3)
+    out = apply_op("transpose", [x], {"perm": (1, 0)})
+    assert out.shape == (3, 2)
+
+
+def test_slice():
+    x = np.arange(20).reshape(4, 5)
+    out = apply_op("slice", [x], {"starts": (1, 0), "limits": (4, 5),
+                                  "strides": (2, 2)})
+    assert np.array_equal(out, x[1:4:2, 0:5:2])
+
+
+def test_concat():
+    a = np.ones((2, 2)); b = np.zeros((2, 3))
+    out = apply_op("concat", [a, b], {"axis": 1})
+    assert out.shape == (2, 5)
+
+
+def test_gather():
+    table = np.arange(20, dtype=np.float32).reshape(10, 2)
+    idx = np.asarray([[1, 3], [0, 9]], dtype=np.int64)
+    out = apply_op("gather", [table, idx], {"axis": 0})
+    assert out.shape == (2, 2, 2)
+    assert np.allclose(out[1, 1], table[9])
+
+
+@pytest.mark.parametrize("kind", ["sum", "max", "min", "mean", "prod"])
+def test_reduce_kinds(rng, kind):
+    x = rng.normal(size=(3, 4, 5)).astype(np.float32)
+    fn = {"sum": np.sum, "max": np.max, "min": np.min, "mean": np.mean,
+          "prod": np.prod}[kind]
+    out = apply_op("reduce", [x], {"kind": kind, "axes": (1,),
+                                   "keepdims": False})
+    assert np.allclose(out, fn(x, axis=1), atol=1e-5)
+    out2 = apply_op("reduce", [x], {"kind": kind, "axes": (2,),
+                                    "keepdims": True})
+    assert out2.shape == (3, 4, 1)
+
+
+def test_dot(rng):
+    a = rng.normal(size=(2, 3, 4)).astype(np.float32)
+    b = rng.normal(size=(4, 5)).astype(np.float32)
+    assert np.allclose(apply_op("dot", [a, b], {}), a @ b, atol=1e-5)
+
+
+def test_conv2d_matches_manual(rng):
+    x = rng.normal(size=(1, 5, 5, 2)).astype(np.float32)
+    w = rng.normal(size=(3, 3, 2, 4)).astype(np.float32)
+    out = apply_op("conv2d", [x, w], {"strides": (1, 1),
+                                      "padding": "valid"})
+    assert out.shape == (1, 3, 3, 4)
+    # manual dot product at one spatial position
+    patch = x[0, 1:4, 2:5, :]
+    expected = np.tensordot(patch, w, axes=([0, 1, 2], [0, 1, 2]))
+    assert np.allclose(out[0, 1, 2], expected, atol=1e-4)
+
+
+def test_conv2d_same_padding_shape(rng):
+    x = rng.normal(size=(2, 8, 10, 3)).astype(np.float32)
+    w = rng.normal(size=(3, 3, 3, 6)).astype(np.float32)
+    out = apply_op("conv2d", [x, w], {"strides": (2, 2),
+                                      "padding": "same"})
+    assert out.shape == (2, 4, 5, 6)
+
+
+def test_softmax_rows_sum_to_one(rng):
+    x = rng.normal(size=(4, 7)).astype(np.float32) * 10
+    out = apply_op("softmax", [x], {"axis": -1})
+    assert np.allclose(out.sum(axis=-1), 1.0, atol=1e-5)
+    assert (out >= 0).all()
+
+
+def test_softmax_is_shift_invariant(rng):
+    x = rng.normal(size=(3, 5)).astype(np.float64)
+    a = apply_op("softmax", [x], {"axis": -1})
+    b = apply_op("softmax", [x + 1000.0], {"axis": -1})
+    assert np.allclose(a, b, atol=1e-9)
+
+
+def test_layer_norm_standardises(rng):
+    x = rng.normal(size=(6, 16)).astype(np.float64) * 3 + 5
+    scale = np.ones(16); bias = np.zeros(16)
+    out = apply_op("layer_norm", [x, scale, bias], {"eps": 1e-9})
+    assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-7)
+    assert np.allclose(out.std(axis=-1), 1.0, atol=1e-3)
+
+
+def test_gelu_known_values():
+    x = np.asarray([0.0, 1.0, -1.0], dtype=np.float64)
+    out = apply_op("gelu", [x], {})
+    expected = x * 0.5 * (1 + special.erf(x / math.sqrt(2)))
+    assert np.allclose(out, expected)
+
+
+def test_iota():
+    out = apply_op("iota", [], {"shape": (2, 3), "axis": 1, "dtype": None})
+    assert np.array_equal(out, [[0, 1, 2], [0, 1, 2]])
+
+
+def test_shape_ops():
+    x = np.zeros((3, 7))
+    assert np.array_equal(apply_op("shape_of", [x], {}), [3, 7])
+    assert apply_op("dim_size", [x], {"axis": 1}) == 7
+
+
+def test_unknown_op_raises():
+    with pytest.raises(SemanticsError):
+        apply_op("nope", [], {})
+
+
+def test_parameter_has_no_kernel():
+    with pytest.raises(SemanticsError):
+        apply_op("parameter", [], {})

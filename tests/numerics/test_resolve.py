@@ -1,0 +1,135 @@
+"""Symbol binding against concrete arrays."""
+
+import numpy as np
+import pytest
+
+from repro.ir import GraphBuilder, f32
+from repro.ir.shapes import SymDim
+from repro.numerics import (BindingError, bind_inputs, concretize_attrs,
+                            concretize_shape, resolve_all_dims,
+                            solve_reshape_shape, unify_shape)
+
+
+def test_unify_binds_and_checks():
+    s = SymDim("s")
+    bindings = {}
+    unify_shape((s, 4), (7, 4), bindings)
+    assert bindings == {"s": 7}
+    unify_shape((s,), (7,), bindings)  # consistent rebind ok
+    with pytest.raises(BindingError):
+        unify_shape((s,), (9,), bindings)
+
+
+def test_unify_rejects_rank_and_static_mismatch():
+    with pytest.raises(BindingError):
+        unify_shape((4,), (4, 1), {})
+    with pytest.raises(BindingError):
+        unify_shape((4,), (5,), {})
+
+
+def test_bind_inputs():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    b.parameter("x", (s, 4), f32)
+    b.parameter("y", (s,), f32)
+    bindings = bind_inputs(b.graph.params, {
+        "x": np.zeros((3, 4)), "y": np.zeros((3,))})
+    assert bindings == {"s": 3}
+
+
+def test_bind_inputs_detects_inconsistency():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    b.parameter("x", (s,), f32)
+    b.parameter("y", (s,), f32)
+    with pytest.raises(BindingError):
+        bind_inputs(b.graph.params, {
+            "x": np.zeros((3,)), "y": np.zeros((4,))})
+
+
+def test_bind_inputs_missing_param():
+    b = GraphBuilder("g")
+    b.parameter("x", (4,), f32)
+    with pytest.raises(BindingError, match="missing input"):
+        bind_inputs(b.graph.params, {})
+
+
+def test_concretize_shape():
+    s = SymDim("s")
+    assert concretize_shape((s, 4), {"s": 2}) == (2, 4)
+    with pytest.raises(BindingError):
+        concretize_shape((s,), {})
+
+
+def test_solve_reshape_one_unknown():
+    s = SymDim("bs")
+    bindings = {}
+    resolved = solve_reshape_shape((s, 8), 40, bindings)
+    assert resolved == (5, 8)
+    assert bindings == {"bs": 5}
+
+
+def test_solve_reshape_all_known_validates():
+    assert solve_reshape_shape((5, 8), 40, {}) == (5, 8)
+    with pytest.raises(BindingError):
+        solve_reshape_shape((5, 8), 41, {})
+
+
+def test_solve_reshape_two_unknowns_rejected():
+    with pytest.raises(BindingError):
+        solve_reshape_shape((SymDim("a"), SymDim("b")), 40, {})
+
+
+def test_solve_reshape_indivisible_rejected():
+    with pytest.raises(BindingError):
+        solve_reshape_shape((SymDim("a"), 7), 40, {})
+
+
+def test_concretize_attrs_reshape_uses_operand_shape():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 6), f32)
+    node = b.reshape(x, (b.sym("t"), 3))
+    bindings = {"s": 4}
+    attrs = concretize_attrs(node, bindings, [(4, 6)])
+    assert attrs["_concrete_new_shape"] == (8, 3)
+    assert bindings["t"] == 8
+    # original attrs untouched
+    assert "_concrete_new_shape" not in node.attrs
+
+
+def test_resolve_all_dims_reshape_chain():
+    b = GraphBuilder("g")
+    batch, seq = b.sym("batch"), b.sym("seq")
+    x = b.parameter("x", (batch, seq, 8), f32)
+    flat = b.reshape(x, (b.sym("bs"), 8))
+    back = b.reshape(flat, (batch, seq, 8))
+    b.outputs(back)
+    bindings = {"batch": 2, "seq": 5}
+    resolve_all_dims(b.graph.nodes, bindings)
+    assert bindings["bs"] == 10
+
+
+def test_resolve_all_dims_concat():
+    b = GraphBuilder("g")
+    s1, s2 = b.sym("s1"), b.sym("s2")
+    x = b.parameter("x", (s1, 4), f32)
+    y = b.parameter("y", (s2, 4), f32)
+    cat = b.concat([x, y], axis=0)
+    b.outputs(cat)
+    bindings = {"s1": 3, "s2": 5}
+    resolve_all_dims(b.graph.nodes, bindings)
+    out_sym = cat.shape[0]
+    assert bindings[out_sym.name] == 8
+
+
+def test_resolve_all_dims_conv():
+    b = GraphBuilder("g")
+    n, w = b.sym("n"), b.sym("w")
+    x = b.parameter("x", (n, 32, w, 3), f32)
+    k = b.parameter("k", (3, 3, 3, 8), f32)
+    out = b.conv2d(x, k, strides=(2, 2))
+    b.outputs(out)
+    bindings = {"n": 1, "w": 50}
+    resolve_all_dims(b.graph.nodes, bindings)
+    assert bindings[out.shape[2].name] == 25

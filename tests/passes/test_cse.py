@@ -1,0 +1,87 @@
+"""Common subexpression elimination."""
+
+import numpy as np
+
+from repro.interp import evaluate
+from repro.ir import GraphBuilder, f32, verify
+from repro.passes import CommonSubexpressionElimination, PassManager
+
+
+def cse(graph):
+    return PassManager([CommonSubexpressionElimination()],
+                       verify_each=True).run(graph)[0]
+
+
+def test_duplicate_expressions_merged():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    a1 = b.exp(x)
+    a2 = b.exp(x)
+    b.outputs(b.add(a1, a2))
+    result = cse(b.graph)
+    assert result.details["removed"] == 1
+    assert len(b.graph.by_op("exp")) == 1
+
+
+def test_commutative_ops_normalised():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    y = b.parameter("y", (4,), f32)
+    s1 = b.add(x, y)
+    s2 = b.add(y, x)
+    b.outputs(b.mul(s1, s2))
+    cse(b.graph)
+    assert len(b.graph.by_op("add")) == 1
+
+
+def test_noncommutative_order_matters():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    y = b.parameter("y", (4,), f32)
+    d1 = b.sub(x, y)
+    d2 = b.sub(y, x)
+    b.outputs(b.mul(d1, d2))
+    result = cse(b.graph)
+    assert len(b.graph.by_op("sub")) == 2
+
+
+def test_attrs_distinguish():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 8), f32)
+    r1 = b.reduce_sum(x, axes=0)
+    r2 = b.reduce_sum(x, axes=1)
+    b.outputs(b.concat([r1], axis=0), b.concat([r2], axis=0))
+    cse(b.graph)
+    assert len(b.graph.by_op("reduce")) == 2
+
+
+def test_identical_constants_merged():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (2,), f32)
+    c1 = b.constant([5.0, 5.0], f32)
+    c2 = b.constant([5.0, 5.0], f32)
+    b.outputs(b.add(b.add(x, c1), c2))
+    cse(b.graph)
+    assert len(b.graph.by_op("constant")) == 1
+
+
+def test_chained_duplicates_collapse():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    chain1 = b.neg(b.exp(x))
+    chain2 = b.neg(b.exp(x))
+    b.outputs(b.add(chain1, chain2))
+    result = cse(b.graph)
+    assert result.details["removed"] == 2
+
+
+def test_numerics_preserved(rng):
+    b = GraphBuilder("g")
+    x = b.parameter("x", (6,), f32)
+    b.outputs(b.add(b.exp(x), b.exp(x)))
+    inputs = {"x": rng.normal(size=(6,)).astype(np.float32)}
+    (before,) = evaluate(b.graph, inputs)
+    cse(b.graph)
+    (after,) = evaluate(b.graph, inputs)
+    assert np.allclose(before, after)
+    verify(b.graph)

@@ -1,0 +1,25 @@
+"""Dead code elimination."""
+
+from repro.ir import GraphBuilder, f32, verify
+from repro.passes import DeadCodeElimination, PassManager
+
+
+def test_unreachable_removed():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    live = b.relu(x)
+    b.exp(x)  # dead
+    b.neg(live)  # dead
+    b.outputs(live)
+    result = PassManager([DeadCodeElimination()],
+                         verify_each=True).run(b.graph)[0]
+    assert result.details["removed"] == 2
+    assert [n.op for n in b.graph] == ["parameter", "relu"]
+
+
+def test_clean_graph_unchanged():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    b.outputs(b.relu(x))
+    result = PassManager([DeadCodeElimination()]).run(b.graph)[0]
+    assert not result.changed

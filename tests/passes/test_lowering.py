@@ -1,0 +1,88 @@
+"""Composite lowering preserves semantics and removes composites."""
+
+import numpy as np
+
+from repro.interp import evaluate
+from repro.ir import GraphBuilder, f32, verify
+from repro.passes import LowerComposites, PassManager
+
+from ..conftest import toy_mlp_graph, toy_mlp_inputs
+
+
+def run_lowering(graph):
+    (result,) = PassManager([LowerComposites()], verify_each=True).run(
+        graph)
+    return result
+
+
+def test_removes_all_composites():
+    b = toy_mlp_graph()
+    result = run_lowering(b.graph)
+    assert result.changed
+    assert result.details["lowered"] == 3
+    for node in b.graph.nodes:
+        assert node.op not in ("softmax", "layer_norm", "gelu")
+    verify(b.graph)
+
+
+def test_numerics_preserved(rng):
+    b = toy_mlp_graph()
+    inputs = toy_mlp_inputs(rng)
+    (before,) = evaluate(b.graph, inputs)
+    run_lowering(b.graph)
+    (after,) = evaluate(b.graph, inputs)
+    assert np.allclose(before, after, atol=1e-5)
+
+
+def test_softmax_lowering_structure(rng):
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 16), f32)
+    b.outputs(b.softmax(x))
+    run_lowering(b.graph)
+    ops = [n.op for n in b.graph]
+    assert ops.count("reduce") == 2  # max + sum
+    assert "exp" in ops and "div" in ops and "sub" in ops
+
+
+def test_layer_norm_lowering_structure():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 16), f32)
+    g = b.parameter("g", (16,), f32)
+    beta = b.parameter("bb", (16,), f32)
+    b.outputs(b.layer_norm(x, g, beta))
+    run_lowering(b.graph)
+    ops = [n.op for n in b.graph]
+    assert ops.count("reduce") == 2  # mean + var-mean
+    assert "rsqrt" in ops
+
+
+def test_gelu_uses_erf(rng):
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    b.outputs(b.gelu(x))
+    run_lowering(b.graph)
+    assert "erf" in [n.op for n in b.graph]
+    xv = rng.normal(size=(4,)).astype(np.float32)
+    (out,) = evaluate(b.graph, {"x": xv})
+    from scipy import special
+    expected = xv * 0.5 * (1 + special.erf(xv / np.sqrt(2)))
+    assert np.allclose(out, expected, atol=1e-6)
+
+
+def test_idempotent():
+    b = toy_mlp_graph()
+    run_lowering(b.graph)
+    second = run_lowering(b.graph)
+    assert not second.changed
+
+
+def test_dynamic_axis_softmax(rng):
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (4, s, 8), f32)
+    b.outputs(b.softmax(x, axis=1))  # softmax over the symbolic axis
+    run_lowering(b.graph)
+    xv = rng.normal(size=(4, 5, 8)).astype(np.float32)
+    (out,) = evaluate(b.graph, {"x": xv})
+    assert np.allclose(out.sum(axis=1), 1.0, atol=1e-5)

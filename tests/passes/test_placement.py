@@ -1,0 +1,70 @@
+"""Shape-computation placement."""
+
+import numpy as np
+
+from repro.ir import GraphBuilder, f32, i64
+from repro.passes import PassManager, PlaceShapeComputations, \
+    is_host_placed
+
+
+def place(graph):
+    return PassManager([PlaceShapeComputations()],
+                       verify_each=True).run(graph)[0]
+
+
+def test_shape_ops_go_host():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4), f32)
+    size = b.dim_size(x, 0)
+    shape = b.shape_of(x)
+    b.outputs(size, shape)
+    place(b.graph)
+    assert is_host_placed(size)
+    assert is_host_placed(shape)
+
+
+def test_scalar_chain_follows_host():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4), f32)
+    length = b.dim_size(x, 0)
+    doubled = b.mul(length, b.constant(np.asarray(2, dtype=np.int64)))
+    as_float = b.cast(doubled, f32)
+    b.outputs(as_float)
+    place(b.graph)
+    assert is_host_placed(doubled)
+    assert is_host_placed(as_float)
+
+
+def test_tensor_compute_stays_on_device():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4), f32)
+    y = b.exp(x)
+    b.outputs(y)
+    result = place(b.graph)
+    assert not is_host_placed(y)
+    assert not result.changed
+
+
+def test_device_consumer_of_host_value_not_host():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4), f32)
+    length = b.cast(b.dim_size(x, 0), f32)
+    big = b.mul(x, b.broadcast_to(length, x.shape))
+    b.outputs(big)
+    place(b.graph)
+    assert is_host_placed(length)
+    assert not is_host_placed(big)
+
+
+def test_symbolic_shaped_node_never_host():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    ids = b.parameter("ids", (s,), i64)
+    doubled = b.mul(ids, ids)  # int elementwise but symbolic size
+    b.outputs(doubled)
+    place(b.graph)
+    assert not is_host_placed(doubled)

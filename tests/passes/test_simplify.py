@@ -1,0 +1,144 @@
+"""Algebraic simplification and constant folding."""
+
+import numpy as np
+import pytest
+
+from repro.interp import evaluate
+from repro.ir import GraphBuilder, f32, verify
+from repro.passes import AlgebraicSimplify, ConstantFold, PassManager
+
+
+def simplify(graph):
+    return PassManager([AlgebraicSimplify()], verify_each=True).run(
+        graph)[0]
+
+
+def test_add_zero_removed():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4), f32)
+    y = b.add(x, b.scalar(0.0))
+    b.outputs(b.exp(y))
+    result = simplify(b.graph)
+    assert result.changed
+    assert "add" not in [n.op for n in b.graph]
+
+
+def test_mul_one_removed_both_sides():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    y = b.mul(b.scalar(1.0), b.mul(x, b.scalar(1.0)))
+    b.outputs(y)
+    simplify(b.graph)
+    assert "mul" not in [n.op for n in b.graph]
+    assert b.graph.outputs[0] is x
+
+
+def test_mul_by_two_kept():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    b.outputs(b.mul(x, b.scalar(2.0)))
+    result = simplify(b.graph)
+    assert not result.changed
+
+
+def test_double_neg():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    b.outputs(b.neg(b.neg(x)))
+    simplify(b.graph)
+    assert b.graph.outputs[0] is x
+
+
+def test_transpose_involution():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (2, 3, 4), f32)
+    t = b.transpose(b.transpose(x, (2, 0, 1)), (1, 2, 0))
+    b.outputs(t)
+    simplify(b.graph)
+    assert b.graph.outputs[0] is x
+
+
+def test_identity_transpose_removed():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (2, 3), f32)
+    b.outputs(b.transpose(x, (0, 1)))
+    simplify(b.graph)
+    assert b.graph.outputs[0] is x
+
+
+def test_reshape_round_trip_removed():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4), f32)
+    r = b.reshape(b.reshape(x, (b.sym("t"), 2)), (s, 4))
+    b.outputs(r)
+    simplify(b.graph)
+    assert b.graph.outputs[0] is x
+
+
+def test_dynamic_reshape_not_folded_without_proof():
+    """A reshape between *different* symbolic shapes must survive — folding
+    it would need shape values a dynamic compiler does not have."""
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 4), f32)
+    r = b.reshape(x, (b.sym("t"), 2))
+    b.outputs(r)
+    result = simplify(b.graph)
+    assert not result.changed
+    assert b.graph.outputs[0] is r
+
+
+def test_cast_to_same_dtype_removed():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    b.outputs(b.cast(x, f32))
+    simplify(b.graph)
+    assert b.graph.outputs[0] is x
+
+
+def test_numerics_preserved(rng):
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s, 8), f32)
+    y = b.add(b.mul(x, b.scalar(1.0)), b.scalar(0.0))
+    b.outputs(b.neg(b.neg(b.exp(y))))
+    inputs = {"x": rng.normal(size=(3, 8)).astype(np.float32)}
+    (before,) = evaluate(b.graph, inputs)
+    simplify(b.graph)
+    (after,) = evaluate(b.graph, inputs)
+    assert np.allclose(before, after)
+
+
+def fold(graph):
+    return PassManager([ConstantFold()], verify_each=True).run(graph)[0]
+
+
+def test_constant_fold_static_subtree():
+    b = GraphBuilder("g")
+    c = b.add(b.constant([1.0, 2.0], f32), b.constant([3.0, 4.0], f32))
+    x = b.parameter("x", (2,), f32)
+    b.outputs(b.add(x, c))
+    result = fold(b.graph)
+    assert result.changed
+    folded = [n for n in b.graph if n.op == "constant"]
+    values = [n.attrs["value"] for n in folded]
+    assert any(np.allclose(v, [4.0, 6.0]) for v in values)
+
+
+def test_constant_fold_skips_dynamic():
+    b = GraphBuilder("g")
+    s = b.sym("s")
+    x = b.parameter("x", (s,), f32)
+    b.outputs(b.exp(x))
+    result = fold(b.graph)
+    assert not result.changed
+
+
+def test_constant_fold_respects_size_cap():
+    b = GraphBuilder("g")
+    big = b.constant(np.zeros((1 << 9, 1 << 9), dtype=np.float32))
+    b.outputs(b.exp(big))  # 2^18 elements > cap
+    result = fold(b.graph)
+    assert not result.changed

@@ -1,0 +1,66 @@
+"""Cost-model sanity properties over random kernel specs."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.device import A10, T4, KernelSpec, kernel_time_us, occupancy
+
+spec_strategy = st.builds(
+    KernelSpec,
+    name=st.just("k"),
+    bytes_read=st.integers(0, 1 << 26),
+    bytes_written=st.integers(0, 1 << 26),
+    flops=st.floats(0, 1e11, allow_nan=False),
+    parallel_elements=st.integers(1, 1 << 26),
+    efficiency=st.floats(0.05, 1.2),
+    extra_launches=st.integers(0, 2),
+    occupancy_exempt=st.booleans(),
+)
+
+
+@given(spec_strategy)
+@settings(max_examples=200)
+def test_time_is_positive_and_finite(spec):
+    for device in (A10, T4):
+        t = kernel_time_us(spec, device)
+        assert t > 0
+        assert t < 1e12
+
+
+@given(spec_strategy)
+@settings(max_examples=200)
+def test_t4_never_faster(spec):
+    assert kernel_time_us(spec, T4) >= kernel_time_us(spec, A10) - 1e-9
+
+
+@given(spec_strategy, st.integers(2, 10))
+@settings(max_examples=100)
+def test_more_bytes_never_faster(spec, factor):
+    bigger = KernelSpec(
+        name=spec.name, bytes_read=spec.bytes_read * factor,
+        bytes_written=spec.bytes_written * factor, flops=spec.flops,
+        parallel_elements=spec.parallel_elements,
+        efficiency=spec.efficiency, extra_launches=spec.extra_launches,
+        occupancy_exempt=spec.occupancy_exempt)
+    assert kernel_time_us(bigger, A10) >= kernel_time_us(spec, A10) - 1e-9
+
+
+@given(st.integers(0, 1 << 30), st.integers(0, 1 << 30))
+@settings(max_examples=200)
+def test_occupancy_monotone(a, b):
+    lo, hi = min(a, b), max(a, b)
+    assert occupancy(lo, A10) <= occupancy(hi, A10)
+    assert 0 < occupancy(lo, A10) <= 1.0
+
+
+@given(spec_strategy)
+@settings(max_examples=100)
+def test_higher_efficiency_never_slower(spec):
+    better = KernelSpec(
+        name=spec.name, bytes_read=spec.bytes_read,
+        bytes_written=spec.bytes_written, flops=spec.flops,
+        parallel_elements=spec.parallel_elements,
+        efficiency=spec.efficiency * 1.5,
+        extra_launches=spec.extra_launches,
+        occupancy_exempt=spec.occupancy_exempt)
+    assert kernel_time_us(better, A10) <= kernel_time_us(spec, A10) + 1e-9

@@ -1,0 +1,98 @@
+"""Fusion planner invariants over randomly generated graphs.
+
+A random elementwise/reduce/reshape DAG is built over symbolic dims; for
+every fusion configuration the plan must be a total acyclic partition, and
+the compiled executable must agree with the reference interpreter — fusion
+may never change semantics.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core import CompileOptions, compile_graph
+from repro.core.fusion import FusionConfig, plan_fusion
+from repro.core.symbolic import analyze_shapes
+from repro.device import A10
+from repro.interp import evaluate
+from repro.ir import GraphBuilder, f32
+from repro.runtime import ExecutionEngine
+
+UNARY = ("exp", "neg", "tanh", "relu", "abs")
+BINARY = ("add", "sub", "mul", "maximum")
+
+
+def random_graph(draw):
+    b = GraphBuilder("random")
+    s = b.sym("s", hint=8)
+    x = b.parameter("x", (s, 8), f32)
+    values = [x]
+    steps = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(steps):
+        choice = draw(st.integers(0, 9))
+        operand = values[draw(st.integers(0, len(values) - 1))]
+        if choice < 4:
+            op = UNARY[draw(st.integers(0, len(UNARY) - 1))]
+            values.append(getattr(b, op)(operand))
+        elif choice < 7:
+            other = values[draw(st.integers(0, len(values) - 1))]
+            if operand.shape == other.shape:
+                op = BINARY[draw(st.integers(0, len(BINARY) - 1))]
+                values.append(getattr(b, op)(operand, other))
+        elif choice < 8 and operand.shape == (s, 8):
+            values.append(b.reshape(operand, (b.sym("t"), 4)))
+        elif operand.rank >= 1:
+            values.append(b.reduce_max(operand, axes=operand.rank - 1,
+                                       keepdims=True))
+    roots = [v for v in values[1:]] or [b.exp(x)]
+    b.outputs(roots[-1])
+    return b.graph
+
+
+configs = st.sampled_from([
+    FusionConfig.none(), FusionConfig.loop_only(),
+    FusionConfig.loop_and_input(), FusionConfig(),
+    FusionConfig(loop_include_reshape=False),
+    FusionConfig(max_group_size=3),
+])
+
+
+@given(st.data(), configs)
+@settings(max_examples=60, deadline=None)
+def test_plan_partition_invariants(data, config):
+    graph = random_graph(data.draw)
+    plan = plan_fusion(graph, analyze_shapes(graph), config)
+    # totality: every compute node in exactly one group
+    counts = {}
+    for group in plan.groups:
+        for member in group.members:
+            counts[member] = counts.get(member, 0) + 1
+    compute = [n for n in graph.nodes
+               if n.op not in ("parameter", "constant")]
+    assert all(counts.get(n, 0) == 1 for n in compute)
+    # size limit respected
+    assert all(g.size <= config.max_group_size for g in plan.groups)
+    # executable order exists (ordered_groups respects dependencies)
+    position = {}
+    for i, group in enumerate(plan.ordered_groups()):
+        for member in group.members:
+            position[member] = i
+    for node in compute:
+        for operand in node.inputs:
+            if operand in position:
+                assert position[operand] <= position[node]
+
+
+@given(st.data(), configs)
+@settings(max_examples=30, deadline=None)
+def test_fusion_never_changes_semantics(data, config):
+    graph = random_graph(data.draw)
+    exe = compile_graph(graph, CompileOptions(fusion=config))
+    engine = ExecutionEngine(exe, A10)
+    rng = np.random.default_rng(0)
+    for s_value in (1, 5):
+        inputs = {"x": rng.normal(size=(s_value, 8)).astype(np.float32)}
+        expected = evaluate(graph, inputs)
+        actual, __ = engine.run(inputs)
+        for e, a in zip(expected, actual):
+            assert np.allclose(e, a, atol=1e-4, rtol=1e-4)

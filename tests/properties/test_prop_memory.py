@@ -1,0 +1,61 @@
+"""Buffer-planner properties over random interval sets."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.runtime.memory import BufferPlan, Interval
+
+interval_strategy = st.builds(
+    lambda node_id, start, length, size: Interval(
+        node_id=node_id, shape=(size,), dtype_size=4, start=start,
+        end=start + length),
+    node_id=st.integers(0, 1000),
+    start=st.integers(0, 50),
+    length=st.integers(0, 20),
+    size=st.integers(1, 1024),
+)
+
+interval_sets = st.lists(interval_strategy, min_size=0, max_size=40)
+
+
+@given(interval_sets)
+@settings(max_examples=200)
+def test_no_overlapping_intervals_share_a_slot(intervals):
+    plan = BufferPlan(intervals)
+    plan.verify_no_overlap_sharing()
+
+
+@given(interval_sets)
+@settings(max_examples=200)
+def test_peak_never_exceeds_naive(intervals):
+    plan = BufferPlan(intervals)
+    stats = plan.evaluate({})
+    assert stats["peak_bytes"] <= stats["naive_bytes"]
+    assert stats["slots"] <= max(1, len(intervals)) or not intervals
+
+
+@given(interval_sets)
+@settings(max_examples=200)
+def test_peak_lower_bound_is_max_concurrent_usage(intervals):
+    """At any time step, the sum of live values' sizes is a lower bound
+    on the reused peak (each live value must reside somewhere)."""
+    plan = BufferPlan(intervals)
+    stats = plan.evaluate({})
+    for t in range(0, 75):
+        live = sum(iv.bytes_at({}) for iv in intervals
+                   if iv.start <= t <= iv.end)
+        assert stats["peak_bytes"] >= live
+
+
+@given(interval_sets)
+@settings(max_examples=100)
+def test_slot_count_matches_max_concurrency(intervals):
+    """Greedy colouring of an interval graph uses exactly the maximum
+    number of simultaneously-live intervals (interval graphs are
+    perfect)."""
+    plan = BufferPlan(intervals)
+    max_live = 0
+    for t in range(0, 75):
+        live = sum(1 for iv in intervals if iv.start <= t <= iv.end)
+        max_live = max(max_live, live)
+    assert plan.num_slots == max_live

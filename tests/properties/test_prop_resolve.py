@@ -1,0 +1,60 @@
+"""Symbol-resolution properties: binding agrees with real array shapes."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import GraphBuilder, f32
+from repro.numerics import (bind_inputs, resolve_all_dims,
+                            solve_reshape_shape, unify_shape)
+from repro.ir.shapes import SymDim
+
+dims = st.integers(min_value=1, max_value=8)
+
+
+@given(st.lists(dims, min_size=1, max_size=4))
+@settings(max_examples=100)
+def test_unify_binds_every_symbol(shape):
+    syms = tuple(SymDim(f"d{i}") for i in range(len(shape)))
+    bindings = {}
+    unify_shape(syms, shape, bindings)
+    assert bindings == {f"d{i}": v for i, v in enumerate(shape)}
+
+
+@given(dims, dims, dims)
+@settings(max_examples=100)
+def test_solve_reshape_matches_numpy_minus_one(a, b, c):
+    total = a * b * c
+    bindings = {"a": a}
+    resolved = solve_reshape_shape((SymDim("a"), SymDim("x"), c), total,
+                                   bindings)
+    expected = np.zeros(total).reshape(a, -1, c).shape
+    assert resolved == tuple(expected)
+    assert bindings["x"] == expected[1]
+
+
+@given(dims, dims, dims)
+@settings(max_examples=60)
+def test_resolve_all_dims_agrees_with_execution(a, b, c):
+    builder = GraphBuilder("g")
+    s1, s2 = builder.sym("s1"), builder.sym("s2")
+    x = builder.parameter("x", (s1, s2, c), f32)
+    flat = builder.reshape(x, (builder.sym("flat"), c))
+    builder.outputs(flat)
+    bindings = bind_inputs(builder.graph.params, {
+        "x": np.zeros((a, b, c), dtype=np.float32)})
+    resolve_all_dims(builder.graph.nodes, bindings)
+    assert bindings["flat"] == a * b
+
+
+@given(st.lists(dims, min_size=2, max_size=4), st.data())
+@settings(max_examples=60)
+def test_bind_inputs_consistency_is_exact(shape, data):
+    builder = GraphBuilder("g")
+    syms = tuple(builder.sym(f"d{i}") for i in range(len(shape)))
+    builder.parameter("x", syms, f32)
+    builder.parameter("y", (syms[0],), f32)
+    x = np.zeros(tuple(shape), dtype=np.float32)
+    y = np.zeros((shape[0],), dtype=np.float32)
+    bindings = bind_inputs(builder.graph.params, {"x": x, "y": y})
+    assert bindings["d0"] == shape[0]

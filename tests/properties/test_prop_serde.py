@@ -1,0 +1,43 @@
+"""Serialisation round-trips over random graphs."""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.interp import evaluate
+from repro.ir import print_graph, verify
+from repro.ir.serde import graph_from_dict, graph_to_dict
+
+from .test_prop_fusion import random_graph
+
+
+@given(st.data())
+@settings(max_examples=40, deadline=None)
+def test_round_trip_verifies_and_prints_identically(data):
+    graph = random_graph(data.draw)
+    loaded = graph_from_dict(graph_to_dict(graph))
+    verify(loaded)
+    assert print_graph(loaded) == print_graph(graph)
+
+
+@given(st.data(), st.integers(1, 6))
+@settings(max_examples=30, deadline=None)
+def test_round_trip_numerics_bit_identical(data, s_value):
+    graph = random_graph(data.draw)
+    loaded = graph_from_dict(graph_to_dict(graph))
+    rng = np.random.default_rng(0)
+    inputs = {"x": rng.normal(size=(s_value, 8)).astype(np.float32)}
+    original = evaluate(graph, inputs)
+    reloaded = evaluate(loaded, inputs)
+    for a, b in zip(original, reloaded):
+        assert a.dtype == b.dtype
+        assert np.array_equal(a, b, equal_nan=True)
+
+
+@given(st.data())
+@settings(max_examples=20, deadline=None)
+def test_double_round_trip_is_stable(data):
+    graph = random_graph(data.draw)
+    once = graph_to_dict(graph)
+    twice = graph_to_dict(graph_from_dict(once))
+    assert once == twice

@@ -1,0 +1,91 @@
+"""Shape-inference soundness against numpy ground truth.
+
+For randomly generated shapes, symbolic inference followed by substitution
+must agree exactly with what numpy computes on concrete arrays.
+"""
+
+import numpy as np
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.ir import GraphBuilder, f32
+from repro.ir.shapes import num_elements, substitute
+from repro.interp import evaluate
+
+dims = st.integers(min_value=1, max_value=6)
+shapes = st.lists(dims, min_size=1, max_size=4).map(tuple)
+
+
+@given(shapes)
+@settings(max_examples=100)
+def test_num_elements_matches_numpy(shape):
+    assert num_elements(shape) == np.empty(shape).size
+
+
+@given(shapes, st.data())
+@settings(max_examples=100)
+def test_broadcast_inference_matches_numpy(shape, data):
+    # build a broadcastable "from" shape by replacing a suffix's dims
+    # with 1 or keeping them
+    rank = len(shape)
+    keep = data.draw(st.integers(min_value=0, max_value=rank))
+    src = tuple(d if data.draw(st.booleans()) else 1
+                for d in shape[rank - keep:]) if keep else ()
+    b = GraphBuilder("g")
+    x = b.parameter("x", src, f32)
+    y = b.broadcast_to(x, shape)
+    assert y.shape == shape
+    expected = np.broadcast_to(np.zeros(src, np.float32), shape)
+    assert tuple(expected.shape) == y.shape
+
+
+@given(shapes, st.data())
+@settings(max_examples=100)
+def test_transpose_inference_matches_numpy(shape, data):
+    perm = data.draw(st.permutations(range(len(shape)))) \
+        if len(shape) > 1 else [0]
+    b = GraphBuilder("g")
+    x = b.parameter("x", shape, f32)
+    t = b.transpose(x, tuple(perm))
+    expected = np.transpose(np.zeros(shape), perm).shape
+    assert t.shape == tuple(expected)
+
+
+@given(shapes, st.data())
+@settings(max_examples=100)
+def test_reduce_inference_matches_numpy(shape, data):
+    axes = tuple(sorted(data.draw(st.sets(
+        st.integers(0, len(shape) - 1), min_size=1))))
+    keepdims = data.draw(st.booleans())
+    b = GraphBuilder("g")
+    x = b.parameter("x", shape, f32)
+    r = b.reduce(x, "sum", axes, keepdims)
+    expected = np.sum(np.zeros(shape), axis=axes, keepdims=keepdims).shape
+    assert r.shape == tuple(expected)
+
+
+@given(shapes)
+@settings(max_examples=60)
+def test_symbolic_substitution_roundtrip(shape):
+    """Building with symbols then substituting concrete values matches
+    building statically."""
+    b = GraphBuilder("g")
+    syms = tuple(b.sym(f"d{i}") for i in range(len(shape)))
+    x = b.parameter("x", syms, f32)
+    y = b.exp(x)
+    bindings = {f"d{i}": v for i, v in enumerate(shape)}
+    assert substitute(y.shape, bindings) == shape
+
+
+@given(st.integers(1, 5), st.integers(1, 5), st.integers(1, 5))
+@settings(max_examples=60)
+def test_reshape_flatten_roundtrip_executes(a, bdim, c):
+    b = GraphBuilder("g")
+    s1, s2 = b.sym("s1"), b.sym("s2")
+    x = b.parameter("x", (s1, s2, c), f32)
+    flat = b.reshape(x, (b.sym("flat"), c))
+    back = b.reshape(flat, (s1, s2, c))
+    b.outputs(back)
+    xv = np.arange(a * bdim * c, dtype=np.float32).reshape(a, bdim, c)
+    (out,) = evaluate(b.graph, {"x": xv})
+    assert np.array_equal(out, xv)

@@ -1,0 +1,66 @@
+"""Union-find laws under random operation sequences."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.symbolic import ContradictionError, UnionFind
+
+keys = st.sampled_from(list("abcdefgh"))
+ops = st.lists(st.tuples(keys, keys), min_size=0, max_size=30)
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_same_is_equivalence_relation(pairs):
+    uf = UnionFind()
+    for a, b in pairs:
+        uf.union(a, b)
+    universe = list("abcdefgh")
+    # reflexive
+    for k in universe:
+        assert uf.same(k, k)
+    # symmetric + transitive
+    for a in universe:
+        for b in universe:
+            assert uf.same(a, b) == uf.same(b, a)
+            for c in universe:
+                if uf.same(a, b) and uf.same(b, c):
+                    assert uf.same(a, c)
+
+
+@given(ops)
+@settings(max_examples=200)
+def test_union_find_matches_naive_partition(pairs):
+    uf = UnionFind()
+    naive: list[set] = [{k} for k in "abcdefgh"]
+
+    def find_set(key):
+        for group in naive:
+            if key in group:
+                return group
+        raise AssertionError
+
+    for a, b in pairs:
+        uf.union(a, b)
+        ga, gb = find_set(a), find_set(b)
+        if ga is not gb:
+            ga |= gb
+            naive.remove(gb)
+    for a in "abcdefgh":
+        for b in "abcdefgh":
+            assert uf.same(a, b) == (find_set(a) is find_set(b))
+
+
+@given(ops, st.integers(min_value=1, max_value=5))
+@settings(max_examples=100)
+def test_constant_propagates_to_whole_class(pairs, value):
+    uf = UnionFind()
+    try:
+        for a, b in pairs:
+            uf.union(a, b)
+        uf.union("a", value)
+    except ContradictionError:
+        return
+    for key in "abcdefgh":
+        if uf.same(key, "a"):
+            assert uf.constant_of(key) == value

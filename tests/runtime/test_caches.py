@@ -1,0 +1,49 @@
+"""Shape-specialisation cache behaviour."""
+
+import numpy as np
+
+from repro.runtime import ShapeSpecializationCache, shape_signature
+
+
+def test_signature_deterministic_and_order_free():
+    a = {"x": np.zeros((2, 3)), "y": np.zeros((4,))}
+    b = {"y": np.zeros((4,)), "x": np.zeros((2, 3))}
+    assert shape_signature(a) == shape_signature(b)
+
+
+def test_signature_distinguishes_shapes():
+    a = {"x": np.zeros((2, 3))}
+    b = {"x": np.zeros((3, 2))}
+    assert shape_signature(a) != shape_signature(b)
+
+
+def test_hit_miss_accounting():
+    cache = ShapeSpecializationCache()
+    builds = []
+    for key in ("a", "b", "a", "a", "b"):
+        cache.get_or_build(key, lambda: builds.append(key) or key)
+    assert cache.misses == 2
+    assert cache.hits == 3
+    assert builds == ["a", "b"]
+    assert cache.stats()["hit_rate"] == 3 / 5
+
+
+def test_capacity_evicts_fifo():
+    cache = ShapeSpecializationCache(capacity=2)
+    cache.get_or_build("a", lambda: 1)
+    cache.get_or_build("b", lambda: 2)
+    cache.get_or_build("c", lambda: 3)  # evicts "a"
+    assert "a" not in cache
+    assert "b" in cache and "c" in cache
+    cache.get_or_build("a", lambda: 4)
+    assert cache.misses == 4
+
+
+def test_artifact_returned():
+    cache = ShapeSpecializationCache()
+    artifact, hit = cache.get_or_build("k", lambda: {"v": 1})
+    assert artifact == {"v": 1}
+    assert not hit
+    artifact2, hit2 = cache.get_or_build("k", lambda: {"v": 2})
+    assert artifact2 is artifact
+    assert hit2

@@ -1,0 +1,68 @@
+"""Executable metadata and inspection."""
+
+import pytest
+
+from repro.core import CompileOptions, ConstraintLevel, compile_graph
+from repro.core.fusion.kinds import FusionKind
+
+from ..conftest import toy_mlp_graph
+
+
+def test_compile_report_populated():
+    b = toy_mlp_graph()
+    exe = compile_graph(b.graph)
+    report = exe.report
+    assert report.num_nodes == len(exe.graph)
+    assert report.num_kernels > 0
+    assert report.simulated_compile_us > 0
+    assert report.wall_time_s > 0
+    assert report.fusion_stats["kernels"] >= 1
+    assert [r.name for r in report.pass_results][0] == "lower-composites"
+
+
+def test_original_graph_not_mutated():
+    b = toy_mlp_graph()
+    before = [n.op for n in b.graph]
+    compile_graph(b.graph)
+    assert [n.op for n in b.graph] == before
+    assert "softmax" in before  # composites still present
+
+
+def test_kernel_sources_and_lookup():
+    b = toy_mlp_graph()
+    exe = compile_graph(b.graph)
+    sources = exe.kernel_sources()
+    assert len(sources) == len(exe.kernels)
+    name = exe.kernels[0].name
+    assert exe.find_kernel(name) is exe.kernels[0]
+    with pytest.raises(KeyError):
+        exe.find_kernel("missing")
+
+
+def test_constants_collected():
+    b = toy_mlp_graph()
+    exe = compile_graph(b.graph)
+    # lowering introduces scalar constants (eps, 0.5, ...)
+    assert len(exe.constants) >= 1
+    assert exe.constant_bytes() > 0
+
+
+def test_verify_each_pass_option():
+    b = toy_mlp_graph()
+    exe = compile_graph(b.graph, CompileOptions(verify_each_pass=True))
+    assert exe.report.num_kernels > 0
+
+
+def test_constraint_level_recorded():
+    b = toy_mlp_graph()
+    exe = compile_graph(b.graph, CompileOptions(
+        constraint_level=ConstraintLevel.EQUALITY))
+    assert exe.report.analysis_summary["level"] == "equality"
+
+
+def test_kernel_kinds_cover_plan():
+    b = toy_mlp_graph()
+    exe = compile_graph(b.graph)
+    kinds = {k.kind for k in exe.kernels}
+    assert FusionKind.LIBRARY in kinds
+    assert FusionKind.STITCH in kinds

@@ -1,0 +1,60 @@
+"""Union-find over dims with constant resolution."""
+
+import pytest
+
+from repro.core.symbolic import ContradictionError, UnionFind
+
+
+def test_singletons():
+    uf = UnionFind()
+    assert not uf.same("a", "b")
+    assert uf.same("a", "a")
+
+
+def test_union_transitive():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("b", "c")
+    assert uf.same("a", "c")
+    assert not uf.same("a", "d")
+
+
+def test_constant_resolution():
+    uf = UnionFind()
+    uf.union("a", 4)
+    assert uf.constant_of("a") == 4
+    uf.union("b", "a")
+    assert uf.constant_of("b") == 4
+
+
+def test_equal_constants_always_same():
+    uf = UnionFind()
+    assert uf.same(4, 4)
+    assert not uf.same(4, 5)
+
+
+def test_contradiction_raises():
+    uf = UnionFind()
+    uf.union("a", 4)
+    uf.union("b", 5)
+    with pytest.raises(ContradictionError):
+        uf.union("a", "b")
+
+
+def test_classes():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.add("lonely")
+    classes = uf.classes()
+    assert len(classes) == 1
+    assert set(classes[0]) == {"a", "b"}
+
+
+def test_constant_through_merge_chain():
+    uf = UnionFind()
+    uf.union("a", "b")
+    uf.union("c", "d")
+    uf.union("d", 7)
+    uf.union("a", "c")
+    for key in ("a", "b", "c", "d"):
+        assert uf.constant_of(key) == 7

@@ -1,0 +1,59 @@
+"""The public API surface: everything README/examples rely on exists."""
+
+import importlib
+
+import pytest
+
+import repro
+
+
+def test_version():
+    assert repro.__version__
+
+
+def test_top_level_exports():
+    for name in repro.__all__:
+        assert hasattr(repro, name), name
+
+
+ESSENTIALS = [
+    # the quickstart path
+    "GraphBuilder", "f32", "i64", "compile_graph", "ExecutionEngine",
+    "A10", "T4", "evaluate",
+    # evaluation stack
+    "DiscExecutor", "make_baseline", "baseline_names", "build_model",
+    "zoo", "make_trace",
+    # options
+    "CompileOptions", "ConstraintLevel", "FusionConfig", "EngineOptions",
+    # frontend
+    "trace", "TracedTensor",
+]
+
+
+@pytest.mark.parametrize("name", ESSENTIALS)
+def test_essential_symbols(name):
+    assert hasattr(repro, name), f"public API lost {name}"
+
+
+SUBPACKAGES = [
+    "repro.ir", "repro.numerics", "repro.interp", "repro.core",
+    "repro.core.symbolic", "repro.core.fusion", "repro.core.codegen",
+    "repro.passes", "repro.device", "repro.runtime", "repro.baselines",
+    "repro.models", "repro.workloads", "repro.bench", "repro.frontend",
+]
+
+
+@pytest.mark.parametrize("module", SUBPACKAGES)
+def test_subpackages_import_cleanly(module):
+    importlib.import_module(module)
+
+
+def test_every_public_symbol_has_a_docstring():
+    import inspect
+    missing = []
+    for name in repro.__all__:
+        obj = getattr(repro, name)
+        if inspect.isclass(obj) or inspect.isfunction(obj):
+            if not (obj.__doc__ or "").strip():
+                missing.append(name)
+    assert not missing, f"undocumented public symbols: {missing}"

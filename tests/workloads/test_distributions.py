@@ -1,0 +1,59 @@
+"""Axis-value distributions."""
+
+import numpy as np
+import pytest
+
+from repro.workloads import DISTRIBUTIONS, sample_axis
+
+
+@pytest.fixture
+def rng():
+    return np.random.default_rng(3)
+
+
+@pytest.mark.parametrize("dist", DISTRIBUTIONS)
+def test_values_in_range(rng, dist):
+    values = sample_axis(rng, 8, 128, 500, dist)
+    assert values.min() >= 8
+    assert values.max() <= 128
+    assert len(values) == 500
+
+
+def test_fixed_is_constant(rng):
+    values = sample_axis(rng, 10, 20, 50, "fixed")
+    assert (values == 15).all()
+
+
+def test_zipf_skews_short(rng):
+    values = sample_axis(rng, 1, 100, 5000, "zipf")
+    assert np.median(values) < 30
+    assert values.max() > 50  # tail still reached
+
+
+def test_uniform_covers_range(rng):
+    values = sample_axis(rng, 1, 10, 5000, "uniform")
+    assert set(values.tolist()) == set(range(1, 11))
+
+
+def test_bimodal_two_clusters(rng):
+    values = sample_axis(rng, 0, 160, 5000, "bimodal")
+    hist, __ = np.histogram(values, bins=8, range=(0, 160))
+    # mass concentrated in two separated bins
+    top_two = np.sort(hist)[-2:]
+    assert top_two.sum() > 0.6 * len(values)
+
+
+def test_unknown_distribution_rejected(rng):
+    with pytest.raises(ValueError):
+        sample_axis(rng, 1, 10, 5, "gaussian")
+
+
+def test_empty_range_rejected(rng):
+    with pytest.raises(ValueError):
+        sample_axis(rng, 10, 5, 5, "uniform")
+
+
+def test_deterministic_given_seed():
+    a = sample_axis(np.random.default_rng(9), 1, 100, 50, "zipf")
+    b = sample_axis(np.random.default_rng(9), 1, 100, 50, "zipf")
+    assert np.array_equal(a, b)

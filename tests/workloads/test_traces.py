@@ -1,0 +1,55 @@
+"""Serving traces."""
+
+import numpy as np
+
+from repro.models import build_model
+from repro.workloads import make_trace
+
+
+def small_bert():
+    return build_model("bert", layers=1, hidden=64, heads=2, vocab=128)
+
+
+def test_trace_length_and_axes():
+    model = small_bert()
+    trace = make_trace(model, 20, "zipf", seed=0)
+    assert len(trace) == 20
+    for values in trace.axis_values:
+        assert set(values) == {"batch", "seqlen"}
+        lo, hi = model.axes["seqlen"]
+        assert lo <= values["seqlen"] <= hi
+
+
+def test_inputs_materialise_and_cache():
+    model = small_bert()
+    trace = make_trace(model, 5, "uniform", seed=1)
+    first = trace.inputs()
+    second = trace.inputs()
+    assert first is second  # cached
+    for values, inputs in zip(trace.axis_values, first):
+        assert inputs["input_ids"].shape == (values["batch"],
+                                             values["seqlen"])
+
+
+def test_fixed_axes_pinning():
+    model = small_bert()
+    trace = make_trace(model, 10, "zipf", seed=0,
+                       fixed_axes={"batch": 1})
+    assert all(v["batch"] == 1 for v in trace.axis_values)
+
+
+def test_distinct_signatures():
+    model = small_bert()
+    fixed = make_trace(model, 10, "fixed", seed=0)
+    assert fixed.distinct_signatures() == 1
+    varied = make_trace(model, 50, "uniform", seed=0)
+    assert varied.distinct_signatures() > 5
+
+
+def test_trace_replayable_identically():
+    model = small_bert()
+    t1 = make_trace(model, 5, "zipf", seed=7)
+    t2 = make_trace(model, 5, "zipf", seed=7)
+    assert t1.axis_values == t2.axis_values
+    for a, b in zip(t1.inputs(), t2.inputs()):
+        assert np.array_equal(a["input_ids"], b["input_ids"])
