@@ -1,0 +1,61 @@
+"""Fuzz-case serialisation: (graph, bindings, metadata) <-> JSON.
+
+A corpus case is self-contained: the graph goes through
+:mod:`repro.ir.serde` (weights embedded), the dim bindings and a free-form
+metadata dict ride alongside.  Minimized repros from fuzz campaigns are
+written here and checked into ``tests/regressions/corpus``, where the
+regression suite replays them through the differential oracle forever
+after.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+from ..ir.graph import Graph
+from ..ir.serde import graph_from_dict, graph_to_dict
+
+__all__ = ["save_case", "load_case", "iter_corpus", "case_filename"]
+
+_CASE_VERSION = 1
+
+
+def save_case(path, graph: Graph, bindings: dict,
+              meta: dict | None = None) -> Path:
+    """Write one corpus case; returns the path."""
+    payload = {
+        "case_version": _CASE_VERSION,
+        "graph": graph_to_dict(graph),
+        "bindings": {str(k): int(v) for k, v in (bindings or {}).items()},
+        "meta": meta or {},
+    }
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w") as f:
+        json.dump(payload, f, indent=1, sort_keys=True)
+    return path
+
+
+def load_case(path) -> tuple[Graph, dict, dict]:
+    """Read one corpus case: (graph, bindings, meta)."""
+    with open(path) as f:
+        payload = json.load(f)
+    version = payload.get("case_version")
+    if version != _CASE_VERSION:
+        raise ValueError(f"unsupported corpus case version {version!r}")
+    graph = graph_from_dict(payload["graph"])
+    bindings = {k: int(v) for k, v in payload.get("bindings", {}).items()}
+    return graph, bindings, payload.get("meta", {})
+
+
+def iter_corpus(directory) -> list[Path]:
+    """All corpus case files under ``directory``, sorted by name."""
+    directory = Path(directory)
+    if not directory.is_dir():
+        return []
+    return sorted(directory.glob("*.json"))
+
+
+def case_filename(tag: str, index: int) -> str:
+    return f"case_{tag}_{index:03d}.json"

@@ -1,0 +1,96 @@
+"""Deliberate fault injection, for validating the oracle and minimizer.
+
+A fuzzer that has never caught a planted bug proves nothing.  This module
+plants two kinds:
+
+- :func:`corrupt_kernel` perturbs the output of one compiled kernel in an
+  :class:`~repro.runtime.executable.Executable` — a stand-in for a codegen
+  miscompile.  The differential oracle must flag the engine run.
+- :class:`CorruptedInterpreter` mis-executes one op kind (by silently
+  forwarding its input) — a *semantic* fault whose observability depends on
+  the graph's structure, which is exactly what the minimizer needs: the
+  minimal repro is the smallest graph where the bad op still reaches an
+  output.
+"""
+
+from __future__ import annotations
+
+from typing import Mapping
+
+import numpy as np
+
+from ..interp.interpreter import Interpreter
+from ..ir.graph import Graph
+from ..ir.shapes import is_static
+from ..numerics import (apply_op, bind_inputs, concretize_attrs,
+                        concretize_shape, unify_shape)
+from ..runtime.executable import Executable
+
+__all__ = ["corrupt_kernel", "CorruptedInterpreter"]
+
+
+def corrupt_kernel(executable: Executable, kernel_index: int = 0,
+                   delta: float = 1.0) -> Executable:
+    """Wrap one kernel's callable so its first output is off by ``delta``.
+
+    Mutates (and returns) ``executable``.  Non-float outputs are perturbed
+    by casting the delta into their dtype, so even integer kernels corrupt
+    visibly.
+    """
+    kernels = [k for k in executable.kernels if k.members]
+    kernel = kernels[kernel_index % len(kernels)]
+    original = kernel.fn
+
+    def corrupted(args, dims):
+        outputs = list(original(args, dims))
+        first = np.asarray(outputs[0])
+        outputs[0] = first + np.asarray(delta).astype(first.dtype)
+        return tuple(outputs)
+
+    kernel.fn = corrupted
+    return executable
+
+
+class CorruptedInterpreter(Interpreter):
+    """An interpreter that mis-executes every node of one op kind.
+
+    ``bad_op`` nodes forward their first operand unchanged (cast to the
+    node's dtype so the graph still type-checks downstream).  Differential
+    comparison against the true interpreter then fails exactly when a
+    ``bad_op`` node's value reaches an output — the property the
+    minimizer's test predicate uses.
+    """
+
+    def __init__(self, graph: Graph, bad_op: str,
+                 check_shapes: bool = True) -> None:
+        super().__init__(graph, check_shapes)
+        self.bad_op = bad_op
+
+    def run(self, inputs: Mapping[str, np.ndarray]) -> list[np.ndarray]:
+        bindings = bind_inputs(self.graph.params, inputs)
+        env: dict = {}
+        for node in self.graph.nodes:
+            if node.op == "parameter":
+                value = np.ascontiguousarray(
+                    inputs[node.attrs["param_name"]])
+            else:
+                args = [env[operand] for operand in node.inputs]
+                attrs = concretize_attrs(node, bindings,
+                                         [a.shape for a in args])
+                if node.op == self.bad_op:
+                    value = np.asarray(args[0])
+                else:
+                    value = np.asarray(apply_op(node.op, args, attrs))
+            expected_np = node.dtype.to_numpy()
+            if value.dtype != expected_np:
+                value = value.astype(expected_np)
+            if self.check_shapes and node.op != self.bad_op:
+                unify_shape(node.shape, value.shape, bindings)
+                if is_static(node.shape):
+                    expected = concretize_shape(node.shape, bindings)
+                    if tuple(value.shape) != expected:
+                        raise RuntimeError(
+                            f"{node.short()}: computed shape "
+                            f"{value.shape} != inferred {expected}")
+            env[node] = value
+        return [env[out] for out in self.graph.outputs]

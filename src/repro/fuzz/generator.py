@@ -1,0 +1,455 @@
+"""Seeded random graph generation over the ``repro.ir.ops`` registry.
+
+The generator grows a well-formed graph one op at a time through
+:class:`~repro.ir.builder.GraphBuilder`, so every emitted graph has already
+passed symbolic shape inference; ``tests/fuzz`` additionally asserts the
+verifier accepts every generated graph.  The op mix deliberately mirrors
+what the fusion planner must handle: elementwise chains, explicit
+broadcasts, reshape/transpose glue, reduce-rooted subgraphs, matmuls,
+concat/slice/gather data movement and composites (softmax/gelu/layer_norm)
+that the lowering pass decomposes.
+
+Numerical sanity is part of graph generation, not input generation: ops
+that explode (``exp`` of a large value) or leave their domain (``log`` of a
+negative) are guarded by *sanitizer subgraphs built from registry ops* —
+``log`` gets ``abs(x) + c``, a hot ``exp`` gets a ``tanh`` squash, ``div``
+denominators are bounded away from zero.  That keeps the differential
+oracle's comparisons meaningful while the guards themselves widen op
+coverage.
+
+Determinism: one ``seed`` fixes the graph exactly (``random.Random``, whose
+sequence is stable across Python versions for the methods used here).
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from ..ir import dtypes as dt
+from ..ir.builder import GraphBuilder
+from ..ir.graph import Graph
+from ..ir.node import Node
+from ..ir.shapes import SymDim
+
+__all__ = ["GeneratorConfig", "GraphGenerator", "generate_graph"]
+
+
+@dataclass
+class GeneratorConfig:
+    """Knobs for the random graph generator."""
+
+    #: stop growing once the graph holds this many nodes.
+    max_nodes: int = 26
+    #: tensor parameters to seed the value pool with.
+    num_params: int = 2
+    #: symbolic dims shared by the parameter shapes.
+    num_symbols: int = 2
+    #: maximum tensor rank generated.
+    max_rank: int = 3
+    #: static extents drawn for non-symbolic dims.
+    static_dims: tuple = (1, 2, 3, 4, 6, 8)
+    #: element dtypes for parameters.
+    dtypes: tuple = (dt.f32,)
+    #: op families that may be drawn (weight 0 disables one).
+    weights: dict = field(default_factory=lambda: {
+        "unary": 6, "binary": 6, "compare_select": 2, "broadcast": 2,
+        "reshape": 3, "transpose": 2, "reduce": 3, "matmul": 2,
+        "composite": 2, "concat": 1, "slice": 1, "gather": 1,
+        "cast": 1, "iota": 1,
+    })
+    #: magnitude bound above which explosive ops get a tanh squash first.
+    magnitude_cap: float = 60.0
+
+
+# unary ops grouped by numeric behaviour
+_SAFE_UNARY = ("neg", "abs", "tanh", "relu", "sigmoid", "erf", "floor",
+               "sign")
+_POSITIVE_UNARY = ("log", "sqrt", "rsqrt")  # need operand > 0
+_EXPLOSIVE_UNARY = ("exp",)                 # need bounded operand
+_SAFE_BINARY = ("add", "sub", "mul", "maximum", "minimum")
+_REDUCE_KINDS = ("sum", "max", "min", "mean")
+_COMPARES = ("eq", "ne", "lt", "le", "gt", "ge")
+
+
+class GraphGenerator:
+    """Grows one random graph; see :func:`generate_graph`."""
+
+    def __init__(self, seed: int, config: GeneratorConfig | None = None):
+        self.config = config or GeneratorConfig()
+        self.rng = random.Random(seed)
+        self.np_rng = np.random.default_rng(seed ^ 0x5EED)
+        self.builder = GraphBuilder(f"fuzz_{seed}")
+        #: symbols available for parameter shapes.
+        self.symbols: list[SymDim] = []
+        #: pool of values ops may consume.
+        self.pool: list[Node] = []
+        #: crude per-value magnitude bound, used to keep numerics finite.
+        self.mag: dict[Node, float] = {}
+        self._fresh = 0
+
+    # -- helpers ----------------------------------------------------------
+
+    def _remember(self, node: Node, mag: float) -> Node:
+        self.pool.append(node)
+        self.mag[node] = min(mag, 1e30)
+        return node
+
+    def _pick(self, predicate=None) -> Node | None:
+        candidates = [v for v in self.pool
+                      if predicate is None or predicate(v)]
+        if not candidates:
+            return None
+        return self.rng.choice(candidates)
+
+    def _fresh_sym(self, prefix: str) -> SymDim:
+        self._fresh += 1
+        return self.builder.sym(f"{prefix}{self._fresh}")
+
+    def _random_shape(self) -> tuple:
+        rank = self.rng.randint(1, self.config.max_rank)
+        shape = []
+        for axis in range(rank):
+            if self.symbols and self.rng.random() < 0.45:
+                shape.append(self.rng.choice(self.symbols))
+            else:
+                shape.append(self.rng.choice(self.config.static_dims))
+        return tuple(shape)
+
+    def _float(self, node: Node) -> bool:
+        return node.dtype.is_float
+
+    # -- numeric guards ---------------------------------------------------
+
+    def _squash(self, node: Node) -> Node:
+        """Bound a value into [-1, 1] via tanh (a registry op)."""
+        out = self.builder.tanh(node)
+        return self._remember(out, 1.0)
+
+    def _positive(self, node: Node) -> Node:
+        """Rewrite a value to be strictly positive: abs(x) + 0.25."""
+        b = self.builder
+        absd = self._remember(b.abs(node), self.mag[node])
+        out = b.add(absd, b.scalar(0.25, node.dtype))
+        return self._remember(out, self.mag[node] + 0.25)
+
+    # -- op family emitters ------------------------------------------------
+    # Each returns True when it added at least one node.
+
+    def _emit_unary(self) -> bool:
+        operand = self._pick(self._float)
+        if operand is None:
+            return False
+        kind = self.rng.choice(("safe", "positive", "explosive"))
+        if kind == "safe":
+            op = self.rng.choice(_SAFE_UNARY)
+            mag = {"tanh": 1.0, "sigmoid": 1.0, "erf": 1.0,
+                   "sign": 1.0}.get(op, self.mag[operand])
+            self._remember(getattr(self.builder, op)(operand), mag)
+        elif kind == "positive":
+            op = self.rng.choice(_POSITIVE_UNARY)
+            operand = self._positive(operand)
+            self._remember(getattr(self.builder, op)(operand),
+                           max(2.0, self.mag[operand]))
+        else:
+            if self.mag[operand] > self.config.magnitude_cap:
+                operand = self._squash(operand)
+            self._remember(self.builder.exp(operand),
+                           float(np.exp(min(self.mag[operand], 60.0))))
+        return True
+
+    def _emit_binary(self) -> bool:
+        a = self._pick(self._float)
+        if a is None:
+            return False
+        b = self._pick(lambda v: v.dtype is a.dtype
+                       and self._compatible(a, v))
+        if b is None:
+            return False
+        use_div = self.rng.random() < 0.2
+        if use_div:
+            denom = self._positive(b)
+            out = self.builder.div(a, denom)
+            self._remember(out, self.mag[a] * 4.0)
+            return True
+        op = self.rng.choice(_SAFE_BINARY)
+        out = getattr(self.builder, op)(a, b)
+        mag = self.mag[a] * self.mag[b] if op == "mul" \
+            else self.mag[a] + self.mag[b]
+        self._remember(out, mag)
+        return True
+
+    def _compatible(self, a: Node, b: Node) -> bool:
+        """Can the builder coerce ``a`` and ``b`` to one shape?"""
+        if a.shape == b.shape:
+            return True
+        lo, hi = sorted((a, b), key=lambda n: len(n.shape))
+        offset = len(hi.shape) - len(lo.shape)
+        return all(d == 1 or d == hi.shape[i + offset]
+                   for i, d in enumerate(lo.shape))
+
+    def _emit_compare_select(self) -> bool:
+        a = self._pick(self._float)
+        if a is None:
+            return False
+        b = self._pick(lambda v: v.shape == a.shape and v.dtype is a.dtype)
+        if b is None:
+            return False
+        op = self.rng.choice(_COMPARES)
+        pred = self._remember(getattr(self.builder, op)(a, b), 1.0)
+        out = self.builder.select(pred, a, b)
+        self._remember(out, max(self.mag[a], self.mag[b]))
+        return True
+
+    def _emit_broadcast(self) -> bool:
+        operand = self._pick(lambda v: len(v.shape) < self.config.max_rank)
+        if operand is None:
+            return False
+        lead_rank = self.rng.randint(1, self.config.max_rank
+                                     - len(operand.shape))
+        lead = tuple(self.rng.choice(self.symbols)
+                     if self.symbols and self.rng.random() < 0.5
+                     else self.rng.choice(self.config.static_dims)
+                     for _ in range(lead_rank))
+        out = self.builder.broadcast_to(operand, lead + operand.shape)
+        self._remember(out, self.mag[operand])
+        return True
+
+    def _emit_reshape(self) -> bool:
+        operand = self._pick(lambda v: len(v.shape) >= 2)
+        if operand is None:
+            return False
+        shape = operand.shape
+        axis = self.rng.randrange(len(shape) - 1)
+        merged = self._fresh_sym("m")
+        new_shape = shape[:axis] + (merged,) + shape[axis + 2:]
+        out = self.builder.reshape(operand, new_shape)
+        if out is operand:
+            return False
+        self._remember(out, self.mag[operand])
+        if self.rng.random() < 0.4:
+            # unflatten back: products provably equal, any binding valid.
+            back = self.builder.reshape(out, shape)
+            self._remember(back, self.mag[operand])
+        return True
+
+    def _emit_transpose(self) -> bool:
+        operand = self._pick(lambda v: len(v.shape) >= 2)
+        if operand is None:
+            return False
+        perm = list(range(len(operand.shape)))
+        self.rng.shuffle(perm)
+        out = self.builder.transpose(operand, tuple(perm))
+        self._remember(out, self.mag[operand])
+        return True
+
+    def _emit_reduce(self) -> bool:
+        operand = self._pick(self._float)
+        if operand is None or not operand.shape:
+            return False
+        rank = len(operand.shape)
+        axes = tuple(sorted(self.rng.sample(
+            range(rank), self.rng.randint(1, rank))))
+        kind = self.rng.choice(_REDUCE_KINDS)
+        keepdims = self.rng.random() < 0.5
+        out = self.builder.reduce(operand, kind, axes, keepdims)
+        reduced = 1.0
+        for a in axes:
+            d = operand.shape[a]
+            reduced *= d if isinstance(d, int) else 128
+        mag = self.mag[operand] * (reduced if kind == "sum"
+                                   else 1.0)
+        self._remember(out, mag)
+        return True
+
+    def _emit_matmul(self) -> bool:
+        a = self._pick(lambda v: len(v.shape) >= 2 and v.dtype.is_float)
+        if a is None:
+            return False
+        k = a.shape[-1]
+        n = self.rng.choice(self.config.static_dims)
+        w = self.builder.parameter(f"w{self._next_param()}", (k, n),
+                                   a.dtype)
+        self.mag[w] = 1.0
+        out = self.builder.dot(a, w)
+        k_bound = k if isinstance(k, int) else 128
+        self._remember(out, self.mag[a] * k_bound)
+        return True
+
+    def _emit_composite(self) -> bool:
+        operand = self._pick(lambda v: self._float(v) and len(v.shape) >= 1)
+        if operand is None:
+            return False
+        choice = self.rng.choice(("softmax", "gelu", "layer_norm"))
+        if choice == "softmax":
+            out = self.builder.softmax(operand, axis=-1)
+            self._remember(out, 1.0)
+        elif choice == "gelu":
+            if self.mag[operand] > self.config.magnitude_cap:
+                operand = self._squash(operand)
+            out = self.builder.gelu(operand)
+            self._remember(out, self.mag[operand])
+        else:
+            last = operand.shape[-1]
+            scale = self.builder.parameter(
+                f"w{self._next_param()}", (last,), operand.dtype)
+            bias = self.builder.parameter(
+                f"w{self._next_param()}", (last,), operand.dtype)
+            self.mag[scale] = self.mag[bias] = 2.0
+            out = self.builder.layer_norm(operand, scale, bias)
+            self._remember(out, 8.0)
+        return True
+
+    def _emit_concat(self) -> bool:
+        a = self._pick()
+        if a is None or not a.shape:
+            return False
+        b = self._pick(lambda v: v.shape == a.shape and v.dtype is a.dtype)
+        if b is None:
+            return False
+        axis = self.rng.randrange(len(a.shape))
+        out = self.builder.concat((a, b), axis)
+        self._remember(out, max(self.mag[a], self.mag[b]))
+        return True
+
+    def _emit_slice(self) -> bool:
+        operand = self._pick(lambda v: any(
+            isinstance(d, int) and d >= 2 for d in v.shape))
+        if operand is None:
+            return False
+        starts, limits = [], []
+        for d in operand.shape:
+            if isinstance(d, int) and d >= 2 and self.rng.random() < 0.6:
+                lo = self.rng.randrange(d - 1)
+                hi = self.rng.randint(lo + 1, d)
+                starts.append(lo)
+                limits.append(hi)
+            else:
+                starts.append(0)
+                limits.append(d)
+        out = self.builder.slice(operand, starts, limits)
+        self._remember(out, self.mag[operand])
+        return True
+
+    def _emit_gather(self) -> bool:
+        operand = self._pick(lambda v: isinstance(v.shape[0], int)
+                             and v.shape[0] >= 1 if v.shape else False)
+        if operand is None:
+            return False
+        table = int(operand.shape[0])
+        count = self.rng.randint(1, 4)
+        idx = self.builder.constant(
+            self.np_rng.integers(0, table, size=(count,)).astype(np.int64))
+        self.mag[idx] = float(table)
+        out = self.builder.gather(operand, idx, axis=0)
+        self._remember(out, self.mag[operand])
+        return True
+
+    def _emit_cast(self) -> bool:
+        operand = self._pick(self._float)
+        if operand is None:
+            return False
+        # float -> int -> float keeps values exact for |x| < 2**31.
+        bounded = operand
+        if self.mag[operand] > 1e6:
+            bounded = self._squash(operand)
+        floored = self._remember(self.builder.floor(bounded),
+                                 self.mag[bounded])
+        as_int = self._remember(self.builder.cast(floored, dt.i32),
+                                self.mag[bounded])
+        back = self.builder.cast(as_int, operand.dtype)
+        self._remember(back, self.mag[bounded])
+        return True
+
+    def _emit_iota(self) -> bool:
+        shape = self._random_shape()
+        axis = self.rng.randrange(len(shape))
+        out = self.builder.iota(shape, axis=axis, dtype=dt.i64)
+        extent = shape[axis]
+        self._remember(out, float(extent) if isinstance(extent, int)
+                       else 128.0)
+        if self.rng.random() < 0.5:
+            cast = self.builder.cast(out, dt.f32)
+            self._remember(cast, self.mag[out])
+        return True
+
+    # -- driver -----------------------------------------------------------
+
+    _param_counter = 0
+
+    def _next_param(self) -> int:
+        self._param_counter += 1
+        return self._param_counter
+
+    def generate(self) -> Graph:
+        config = self.config
+        for i in range(config.num_symbols):
+            self.symbols.append(self.builder.sym(
+                f"d{i}", hint=self.rng.choice((4, 8, 16, 64))))
+        for i in range(config.num_params):
+            shape = list(self._random_shape())
+            if i == 0 and not any(isinstance(d, SymDim) for d in shape):
+                shape[self.rng.randrange(len(shape))] = \
+                    self.rng.choice(self.symbols)
+            dtype = self.rng.choice(config.dtypes)
+            param = self.builder.parameter(f"p{i}", tuple(shape), dtype)
+            self.mag[param] = 2.0
+            self.pool.append(param)
+        # Interior ops may only reference symbols the inputs bind: a
+        # broadcast/iota dim using an un-anchored symbol would be
+        # unresolvable at run time.
+        anchored = {d.name for p in self.pool
+                    for d in p.shape if isinstance(d, SymDim)}
+        self.symbols = [s for s in self.symbols if s.name in anchored]
+
+        emitters = {
+            "unary": self._emit_unary,
+            "binary": self._emit_binary,
+            "compare_select": self._emit_compare_select,
+            "broadcast": self._emit_broadcast,
+            "reshape": self._emit_reshape,
+            "transpose": self._emit_transpose,
+            "reduce": self._emit_reduce,
+            "matmul": self._emit_matmul,
+            "composite": self._emit_composite,
+            "concat": self._emit_concat,
+            "slice": self._emit_slice,
+            "gather": self._emit_gather,
+            "cast": self._emit_cast,
+            "iota": self._emit_iota,
+        }
+        families = [f for f, w in config.weights.items() if w > 0]
+        weights = [config.weights[f] for f in families]
+        stall = 0
+        while len(self.builder.graph.nodes) < config.max_nodes \
+                and stall < 50:
+            family = self.rng.choices(families, weights)[0]
+            if emitters[family]():
+                stall = 0
+            else:
+                stall += 1
+
+        self._choose_outputs()
+        return self.builder.graph
+
+    def _choose_outputs(self) -> None:
+        graph = self.builder.graph
+        used = {operand for node in graph.nodes for operand in node.inputs}
+        sinks = [v for v in self.pool
+                 if v not in used and v.op != "parameter"]
+        if not sinks:
+            fallback = self._pick(lambda v: v.op != "parameter")
+            if fallback is None:
+                fallback = self._remember(
+                    self.builder.exp(self.pool[0]), 8.0)
+            sinks = [fallback]
+        count = min(len(sinks), self.rng.randint(1, 3))
+        self.builder.outputs(*self.rng.sample(sinks, count))
+
+
+def generate_graph(seed: int,
+                   config: GeneratorConfig | None = None) -> Graph:
+    """One well-formed random graph, fully determined by ``seed``."""
+    return GraphGenerator(seed, config).generate()

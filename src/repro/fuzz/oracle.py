@@ -1,0 +1,268 @@
+"""The differential oracle: every executor against the interpreter.
+
+One *case* is a (graph, dim bindings, input seed) triple.  The oracle
+
+1. synthesizes concrete inputs for the bindings (:func:`make_inputs`);
+2. evaluates the reference interpreter — the source of numerical truth;
+3. compiles the graph through the full optimizing pipeline with
+   per-pass IR verification, asserting the structural invariants (fusion
+   plan is an acyclic total partition, buffer plan never shares a slot
+   between overlapping live ranges);
+4. runs the compiled executable on the runtime engine and all seven
+   simulated baselines, comparing every output against the reference with
+   dtype-aware tolerances.
+
+Any deviation — wrong numbers, an exception in one executor but not the
+reference, or a broken invariant — is recorded as a :class:`Failure`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Mapping
+
+import numpy as np
+
+from ..baselines.systems import baseline_names, make_baseline
+from ..core.pipeline import CompileOptions, compile_graph
+from ..device.profiles import A10, DeviceProfile
+from ..interp.interpreter import evaluate
+from ..ir.graph import Graph
+from ..ir.shapes import substitute
+from ..ir.verifier import verify
+from ..runtime.engine import ExecutionEngine
+
+__all__ = ["Failure", "CaseResult", "DifferentialOracle", "make_inputs",
+           "compare_arrays", "DISC_EXECUTOR"]
+
+#: name under which the optimized pipeline appears in results.
+DISC_EXECUTOR = "DISC"
+
+#: (rtol, atol) per dtype name; ints/bools compare exactly.
+_TOLERANCES = {
+    "f16": (2e-2, 2e-2),
+    "f32": (2e-4, 1e-5),
+    "f64": (1e-8, 1e-10),
+}
+
+
+def make_inputs(graph: Graph, bindings: Mapping[str, int],
+                seed: int = 0) -> dict[str, np.ndarray]:
+    """Deterministic input arrays for every parameter of ``graph``.
+
+    Floats are drawn from a bounded uniform range (the generator's
+    magnitude guards assume |x| <= 2), ints from a small non-negative
+    range, bools fairly.
+    """
+    rng = np.random.default_rng(seed)
+    inputs: dict[str, np.ndarray] = {}
+    for param in graph.params:
+        shape = substitute(param.shape, bindings)
+        concrete = tuple(int(d) for d in shape)
+        dtype = param.dtype
+        if dtype.is_float:
+            value = rng.uniform(-2.0, 2.0, size=concrete)
+        elif dtype.is_bool:
+            value = rng.integers(0, 2, size=concrete)
+        else:
+            value = rng.integers(0, 4, size=concrete)
+        inputs[param.attrs["param_name"]] = value.astype(dtype.to_numpy())
+    return inputs
+
+
+def compare_arrays(reference: np.ndarray, got: np.ndarray,
+                   dtype_name: str) -> str | None:
+    """None when ``got`` matches ``reference``; else a short description."""
+    if reference.shape != got.shape:
+        return f"shape {got.shape} != reference {reference.shape}"
+    if reference.dtype != got.dtype:
+        return f"dtype {got.dtype} != reference {reference.dtype}"
+    tol = _TOLERANCES.get(dtype_name)
+    if tol is None:
+        if not np.array_equal(reference, got):
+            bad = int(np.sum(reference != got))
+            return f"{bad} element(s) differ (exact dtype {dtype_name})"
+        return None
+    rtol, atol = tol
+    ref_finite = np.isfinite(reference)
+    got_finite = np.isfinite(got)
+    if not np.array_equal(ref_finite, got_finite):
+        return "finite/non-finite pattern differs"
+    # Non-finite entries must agree exactly (inf sign, nan-for-nan).
+    if not np.array_equal(reference[~ref_finite], got[~got_finite],
+                          equal_nan=True):
+        return "non-finite values differ"
+    a = reference[ref_finite].astype(np.float64)
+    b = got[got_finite].astype(np.float64)
+    err = np.abs(a - b) - (atol + rtol * np.abs(a))
+    if err.size and float(np.max(err)) > 0:
+        worst = float(np.max(np.abs(a - b)))
+        return f"max abs err {worst:.3e} beyond rtol={rtol}, atol={atol}"
+    return None
+
+
+@dataclass
+class Failure:
+    """One observed deviation for one executor on one case."""
+
+    executor: str
+    kind: str        # "mismatch" | "exception" | "invariant"
+    detail: str
+    output_index: int | None = None
+
+    def __str__(self) -> str:
+        where = "" if self.output_index is None \
+            else f" (output {self.output_index})"
+        return f"[{self.executor}] {self.kind}{where}: {self.detail}"
+
+
+@dataclass
+class CaseResult:
+    """Everything the oracle observed for one (graph, bindings) case."""
+
+    graph: Graph
+    bindings: dict
+    input_seed: int
+    failures: list = field(default_factory=list)
+    executors_checked: list = field(default_factory=list)
+    ops_covered: set = field(default_factory=set)
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def failed_executors(self) -> set:
+        return {f.executor for f in self.failures}
+
+
+class DifferentialOracle:
+    """Checks cases against the interpreter across all executors."""
+
+    def __init__(self, device: DeviceProfile = A10,
+                 baselines: tuple | None = None,
+                 check_invariants: bool = True) -> None:
+        self.device = device
+        self.baselines = tuple(baselines) if baselines is not None \
+            else tuple(baseline_names())
+        self.check_invariants = check_invariants
+
+    # -- single case -------------------------------------------------------
+
+    def check_case(self, graph: Graph, bindings: Mapping[str, int],
+                   input_seed: int = 0) -> CaseResult:
+        result = CaseResult(graph=graph, bindings=dict(bindings),
+                            input_seed=input_seed,
+                            ops_covered={n.op for n in graph.nodes})
+        try:
+            inputs = make_inputs(graph, bindings, input_seed)
+        except Exception as exc:  # noqa: BLE001 - unbindable case
+            result.failures.append(Failure(
+                executor="inputs", kind="exception",
+                detail=f"{type(exc).__name__}: {exc}"))
+            return result
+        try:
+            reference = [np.asarray(v) for v in evaluate(graph, inputs)]
+        except Exception as exc:  # noqa: BLE001 - the fuzzer must survive
+            result.failures.append(Failure(
+                executor="interpreter", kind="exception",
+                detail=f"{type(exc).__name__}: {exc}"))
+            return result
+
+        executable = self._check_pipeline(graph, inputs, reference, result)
+        self._check_baselines(graph, inputs, reference, result)
+        del executable
+        return result
+
+    # -- optimized pipeline ------------------------------------------------
+
+    def _check_pipeline(self, graph: Graph, inputs, reference,
+                        result: CaseResult):
+        result.executors_checked.append(DISC_EXECUTOR)
+        options = CompileOptions(verify_each_pass=self.check_invariants)
+        try:
+            executable = compile_graph(graph, options)
+        except Exception as exc:  # noqa: BLE001
+            result.failures.append(Failure(
+                executor=DISC_EXECUTOR, kind="exception",
+                detail=f"compile: {type(exc).__name__}: {exc}"))
+            return None
+        if self.check_invariants:
+            for failure in self._invariant_failures(executable):
+                result.failures.append(failure)
+        try:
+            engine = ExecutionEngine(executable, self.device)
+            outputs, _stats = engine.run(inputs)
+        except Exception as exc:  # noqa: BLE001
+            result.failures.append(Failure(
+                executor=DISC_EXECUTOR, kind="exception",
+                detail=f"run: {type(exc).__name__}: {exc}"))
+            return executable
+        self._compare(DISC_EXECUTOR, graph, reference, outputs, result)
+        return executable
+
+    def _invariant_failures(self, executable) -> list[Failure]:
+        failures: list[Failure] = []
+        try:
+            verify(executable.graph)
+        except Exception as exc:  # noqa: BLE001
+            failures.append(Failure(
+                executor=DISC_EXECUTOR, kind="invariant",
+                detail=f"post-pipeline verify: {exc}"))
+        try:
+            ordered = executable.plan.ordered_groups()
+            planned = {m for g in ordered for m in g.members}
+            computed = {n for n in executable.graph.nodes
+                        if n.op not in ("parameter", "constant")}
+            missing = computed - planned
+            if missing:
+                failures.append(Failure(
+                    executor=DISC_EXECUTOR, kind="invariant",
+                    detail=f"fusion plan misses nodes: "
+                           f"{sorted(n.short() for n in missing)}"))
+        except Exception as exc:  # noqa: BLE001
+            failures.append(Failure(
+                executor=DISC_EXECUTOR, kind="invariant",
+                detail=f"fusion plan not acyclic: {exc}"))
+        if executable.buffer_plan is not None:
+            try:
+                executable.buffer_plan.verify_no_overlap_sharing()
+            except Exception as exc:  # noqa: BLE001
+                failures.append(Failure(
+                    executor=DISC_EXECUTOR, kind="invariant",
+                    detail=f"buffer plan: {exc}"))
+        return failures
+
+    # -- baselines ---------------------------------------------------------
+
+    def _check_baselines(self, graph: Graph, inputs, reference,
+                         result: CaseResult) -> None:
+        for name in self.baselines:
+            result.executors_checked.append(name)
+            try:
+                executor = make_baseline(name, graph, self.device)
+                outputs, _stats = executor.run(inputs)
+            except Exception as exc:  # noqa: BLE001
+                result.failures.append(Failure(
+                    executor=name, kind="exception",
+                    detail=f"{type(exc).__name__}: {exc}"))
+                continue
+            self._compare(name, graph, reference, outputs, result)
+
+    # -- comparison --------------------------------------------------------
+
+    @staticmethod
+    def _compare(executor: str, graph: Graph, reference, outputs,
+                 result: CaseResult) -> None:
+        if len(outputs) != len(reference):
+            result.failures.append(Failure(
+                executor=executor, kind="mismatch",
+                detail=f"{len(outputs)} outputs != "
+                       f"reference {len(reference)}"))
+            return
+        for index, (ref, got) in enumerate(zip(reference, outputs)):
+            detail = compare_arrays(np.asarray(ref), np.asarray(got),
+                                    graph.outputs[index].dtype.name)
+            if detail is not None:
+                result.failures.append(Failure(
+                    executor=executor, kind="mismatch",
+                    detail=detail, output_index=index))

@@ -1,0 +1,158 @@
+"""Campaign driver: generate -> sample shapes -> check -> minimize -> save.
+
+A campaign is fully determined by ``(seed, iters, config)``: case ``i``
+uses graph seed ``seed * 1_000_003 + i``, its binding suite and input
+seeds derive from the same value.  Failing cases are delta-debugged down
+and written to the output directory as corpus JSON plus a human-readable
+report line.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import Mapping
+
+from ..ir.graph import Graph
+from ..numerics.resolve import resolve_all_dims
+from .corpus import case_filename, save_case
+from .generator import GeneratorConfig, generate_graph
+from .minimizer import minimize
+from .oracle import DifferentialOracle
+from .sampler import binding_suite, free_symbols
+
+__all__ = ["FuzzReport", "run_campaign"]
+
+_CASE_STRIDE = 1_000_003
+
+
+@dataclass
+class FuzzReport:
+    """What a campaign did; ``summary()`` renders the CLI report."""
+
+    seed: int
+    iters: int
+    cases_run: int = 0
+    checks_run: int = 0
+    ops_covered: set = field(default_factory=set)
+    executors: list = field(default_factory=list)
+    failures: list = field(default_factory=list)  # (case_seed, CaseResult)
+    artifacts: list = field(default_factory=list)  # saved corpus paths
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return not self.failures
+
+    def summary(self) -> str:
+        lines = [
+            f"fuzz campaign: seed={self.seed} iters={self.iters}",
+            f"  cases run:       {self.cases_run} graphs, "
+            f"{self.checks_run} (graph, binding) checks",
+            f"  executors:       {', '.join(self.executors)}",
+            f"  ops covered:     {len(self.ops_covered)} "
+            f"({', '.join(sorted(self.ops_covered))})",
+            f"  elapsed:         {self.elapsed_s:.1f}s",
+            f"  failures:        {len(self.failures)}",
+        ]
+        for case_seed, result in self.failures:
+            lines.append(f"    case seed {case_seed} "
+                         f"bindings={result.bindings}:")
+            for failure in result.failures:
+                lines.append(f"      {failure}")
+        for path in self.artifacts:
+            lines.append(f"  minimized repro: {path}")
+        return "\n".join(lines)
+
+
+def full_bindings(graph: Graph,
+                  bindings: Mapping[str, int]) -> dict[str, int]:
+    """Free bindings extended with every derivable symbol of ``graph``.
+
+    Minimizer cuts can promote interior nodes (whose shapes mention
+    *derived* symbols — merged-reshape dims, concat sums) to parameters;
+    input synthesis for the shrunk graph then needs those symbols bound.
+    """
+    resolved = dict(bindings)
+    resolve_all_dims(graph.nodes, resolved)
+    return resolved
+
+
+def _failure_predicate(oracle: DifferentialOracle, bindings: dict,
+                       input_seed: int, executors: set):
+    """A graph "still fails" when any of the original culprits still do."""
+
+    def still_fails(candidate: Graph) -> bool:
+        result = oracle.check_case(candidate, bindings, input_seed)
+        return bool(result.failed_executors() & executors)
+
+    return still_fails
+
+
+def run_campaign(seed: int, iters: int,
+                 config: GeneratorConfig | None = None,
+                 out_dir=None, minimize_failures: bool = True,
+                 oracle: DifferentialOracle | None = None,
+                 bindings_per_graph: int = 3,
+                 log=None) -> FuzzReport:
+    """Run ``iters`` differential cases; returns the :class:`FuzzReport`."""
+    config = config or GeneratorConfig()
+    oracle = oracle or DifferentialOracle()
+    report = FuzzReport(seed=seed, iters=iters)
+    started = time.perf_counter()
+    for i in range(iters):
+        case_seed = seed * _CASE_STRIDE + i
+        graph = generate_graph(case_seed, config)
+        report.cases_run += 1
+        report.ops_covered |= {n.op for n in graph.nodes}
+        suite = binding_suite(graph, limit=bindings_per_graph,
+                              seed=case_seed)
+        for binding_index, bindings in enumerate(suite):
+            input_seed = case_seed * 7 + binding_index
+            result = oracle.check_case(graph, bindings, input_seed)
+            report.checks_run += 1
+            if not report.executors:
+                report.executors = list(result.executors_checked)
+            if result.ok:
+                continue
+            report.failures.append((case_seed, result))
+            if log is not None:
+                log(f"FAIL case seed {case_seed} bindings={bindings}: "
+                    + "; ".join(str(f) for f in result.failures))
+            if minimize_failures and out_dir is not None:
+                path = _minimize_and_save(
+                    graph, bindings, input_seed, result, oracle,
+                    Path(out_dir), case_seed, len(report.failures) - 1)
+                if path is not None:
+                    report.artifacts.append(str(path))
+            break  # further bindings for a broken graph add noise
+    report.elapsed_s = time.perf_counter() - started
+    return report
+
+
+def _minimize_and_save(graph: Graph, bindings: dict, input_seed: int,
+                       result, oracle: DifferentialOracle, out_dir: Path,
+                       case_seed: int, index: int):
+    """Shrink one failing case and persist it as a corpus artifact."""
+    extended = full_bindings(graph, bindings)
+    predicate = _failure_predicate(oracle, extended, input_seed,
+                                   result.failed_executors())
+    try:
+        shrunk = minimize(graph, predicate)
+        minimized, note = shrunk.graph, \
+            f"minimized {shrunk.original_nodes}->{shrunk.minimized_nodes}"
+    except Exception as exc:  # noqa: BLE001 - keep the unshrunk repro
+        minimized, note = graph, f"minimize failed: {exc}"
+    # Only persist the symbols the shrunk graph actually needs.
+    needed = set(free_symbols(minimized))
+    kept = {k: v for k, v in extended.items() if k in needed}
+    meta = {
+        "case_seed": case_seed,
+        "input_seed": input_seed,
+        "note": note,
+        "failures": [str(f) for f in result.failures],
+        "executors": sorted(result.failed_executors()),
+    }
+    return save_case(out_dir / case_filename("fuzz", index),
+                     minimized, kept, meta)

@@ -1,0 +1,102 @@
+"""Adversarial shape sampling: bind symbolic dims to edge values.
+
+A graph's *free* symbols are the ones appearing in parameter shapes — the
+runtime binds them from the input arrays.  Not all of them are independent:
+a merged-reshape dim (``[a, b, c] -> [m, c]``) can leak into a later weight
+parameter's shape, yet its value is determined by ``a * b``.  The sampler
+therefore assigns only the *primary* symbols and derives the rest with
+:func:`repro.numerics.resolve.resolve_all_dims`, so every returned binding
+set is internally consistent by construction.
+
+Primary symbols get the values where dynamic-shape compilers historically
+break:
+
+- ``1`` — broadcast collapse: a dim that suddenly equals a broadcast dim;
+- ``2`` / small primes — defeats vectorised schedules and pow2 buckets;
+- equal-vs-unequal — two symbols that happen to coincide at run time must
+  not be treated as provably equal at compile time (and vice versa);
+- large values — schedule-selector regime changes (row_per_warp vs
+  row_per_block vs two_pass).
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Callable
+
+from ..ir.graph import Graph
+from ..ir.shapes import SymDim
+from ..numerics.resolve import resolve_all_dims
+
+__all__ = ["EDGE_VALUES", "free_symbols", "sample_bindings",
+           "binding_suite"]
+
+#: the adversarial pool: 1, 2, primes, pow2s, odd-large.
+EDGE_VALUES = (1, 2, 3, 5, 7, 13, 17, 31, 64, 97, 128)
+
+
+def free_symbols(graph: Graph) -> list[str]:
+    """Symbol names bound by the inputs (in first-appearance order)."""
+    seen: list[str] = []
+    for param in graph.params:
+        for dim in param.shape:
+            if isinstance(dim, SymDim) and dim.name not in seen:
+                seen.append(dim.name)
+    return seen
+
+
+def _assign(graph: Graph,
+            choose: Callable[[str], int]) -> dict[str, int]:
+    """Bind primary symbols via ``choose``; derive the dependent ones.
+
+    Walks the free symbols in first-appearance order; after each primary
+    assignment the graph's derivable symbols (reshape merges, concat sums)
+    are solved, so a later free symbol that turns out to be derived keeps
+    its consistent value instead of an arbitrary one.
+    """
+    bindings: dict[str, int] = {}
+    for name in free_symbols(graph):
+        if name in bindings:
+            continue  # derived from an earlier assignment
+        bindings[name] = choose(name)
+        resolve_all_dims(graph.nodes, bindings)
+    return bindings
+
+
+def sample_bindings(graph: Graph, rng: random.Random,
+                    values: tuple = EDGE_VALUES) -> dict[str, int]:
+    """One adversarial assignment of the graph's free symbols."""
+    strategy = rng.choice(("independent", "all_equal", "all_ones",
+                           "ones_mixed", "large"))
+    if strategy == "all_equal":
+        v = rng.choice(values)
+        return _assign(graph, lambda _name: v)
+    if strategy == "all_ones":
+        return _assign(graph, lambda _name: 1)
+    if strategy == "ones_mixed":
+        return _assign(graph, lambda _name: 1 if rng.random() < 0.5
+                       else rng.choice(values))
+    if strategy == "large":
+        return _assign(graph, lambda _name: rng.choice(values[-3:]))
+    return _assign(graph, lambda _name: rng.choice(values))
+
+
+def binding_suite(graph: Graph, limit: int = 4,
+                  seed: int = 0) -> list[dict[str, int]]:
+    """A deterministic spread of edge bindings for one graph.
+
+    Always includes the all-ones collapse and an all-equal prime; the rest
+    are seeded samples.  Duplicate assignments are dropped.
+    """
+    rng = random.Random(seed)
+    suite: list[dict[str, int]] = [
+        _assign(graph, lambda _name: 1),
+        _assign(graph, lambda _name: 7),
+    ]
+    while len(suite) < max(limit, 2):
+        suite.append(sample_bindings(graph, rng))
+    unique: list[dict[str, int]] = []
+    for bindings in suite[:limit]:
+        if bindings not in unique:
+            unique.append(bindings)
+    return unique

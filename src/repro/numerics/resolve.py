@@ -231,4 +231,14 @@ def concretize_attrs(node: Node, bindings: MutableMapping[str, int],
             attrs["out_shape"], bindings)
     elif node.op == "iota":
         attrs["shape"] = concretize_shape(attrs["shape"], bindings)
+    elif node.op == "slice":
+        # limits (and in principle starts/strides) may reference symbolic
+        # dims for "take the whole axis"; the generated-code path resolves
+        # them against runtime dims (codegen.support._slice) and the
+        # interpreter must agree.
+        for key in ("starts", "limits", "strides"):
+            spec = attrs.get(key)
+            if spec is not None and any(isinstance(d, SymDim)
+                                        for d in spec):
+                attrs[key] = concretize_shape(spec, bindings)
     return attrs

@@ -1,0 +1,158 @@
+"""Edge shapes end to end: dim=1 collapse and zero-size tensors.
+
+The classic dynamic-shape failure modes: a symbolic dim that is 1 at run
+time (suddenly indistinguishable from a broadcast dim) and a dim that is 0
+(every loop is empty, every buffer zero bytes).  Both must flow through the
+interpreter, the compiled pipeline, schedule selection and the cost model
+without crashing or diverging.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import CompileOptions, compile_graph
+from repro.core.codegen.schedules import (select_elementwise,
+                                          select_reduction)
+from repro.device import A10
+from repro.fuzz import DifferentialOracle
+from repro.fuzz.oracle import make_inputs
+from repro.interp import evaluate
+from repro.ir import GraphBuilder, f32
+from repro.runtime import ExecutionEngine
+
+
+def _elementwise_graph():
+    b = GraphBuilder("edge_ew")
+    s, t = b.sym("s"), b.sym("t")
+    x = b.parameter("x", (s, t, 4), f32)
+    y = b.parameter("y", (t, 4), f32)
+    z = b.mul(b.add(x, y), b.tanh(x))
+    b.outputs(z)
+    return b.graph
+
+
+def _reduce_graph():
+    b = GraphBuilder("edge_red")
+    s, t = b.sym("s"), b.sym("t")
+    x = b.parameter("x", (s, t), f32)
+    b.outputs(b.reduce(x, "sum", (1,), False))
+    return b.graph
+
+
+def _matmul_graph():
+    b = GraphBuilder("edge_mm")
+    s, k = b.sym("s"), b.sym("k")
+    x = b.parameter("x", (s, k), f32)
+    w = b.parameter("w", (k, 3), f32)
+    b.outputs(b.dot(x, w))
+    return b.graph
+
+
+# -- dim = 1 broadcast collapse ---------------------------------------------
+
+
+@pytest.mark.parametrize("bindings", [
+    {"s": 1, "t": 1}, {"s": 1, "t": 5}, {"s": 5, "t": 1},
+])
+def test_dim1_collapse_differential(bindings):
+    oracle = DifferentialOracle()
+    for graph in (_elementwise_graph(), _reduce_graph()):
+        result = oracle.check_case(graph, bindings, input_seed=0)
+        assert result.ok, [str(f) for f in result.failures]
+
+
+def test_dim1_matmul_differential():
+    oracle = DifferentialOracle()
+    for bindings in ({"s": 1, "k": 1}, {"s": 1, "k": 7},
+                     {"s": 7, "k": 1}):
+        result = oracle.check_case(_matmul_graph(), bindings,
+                                   input_seed=1)
+        assert result.ok, [str(f) for f in result.failures]
+
+
+# -- zero-size tensors -------------------------------------------------------
+
+
+@pytest.mark.parametrize("bindings", [
+    {"s": 0, "t": 3}, {"s": 3, "t": 0}, {"s": 0, "t": 0},
+])
+def test_zero_size_elementwise_interpreter_and_engine(bindings):
+    graph = _elementwise_graph()
+    inputs = make_inputs(graph, bindings, 0)
+    reference = evaluate(graph, inputs)
+    assert reference[0].shape == (bindings["s"], bindings["t"], 4)
+    exe = compile_graph(graph, CompileOptions())
+    outputs, stats = ExecutionEngine(exe, A10).run(inputs)
+    assert outputs[0].shape == reference[0].shape
+    assert np.array_equal(outputs[0], reference[0])
+    assert np.isfinite(stats.device_time_us)
+
+
+def test_zero_rows_sum_reduce():
+    """Summing over an empty axis is well-defined (identity 0)."""
+    graph = _reduce_graph()
+    inputs = {"x": np.zeros((4, 0), np.float32)}
+    (reference,) = evaluate(graph, inputs)
+    assert reference.shape == (4,)
+    assert np.array_equal(reference, np.zeros(4, np.float32))
+    exe = compile_graph(graph, CompileOptions())
+    (out,), _stats = ExecutionEngine(exe, A10).run(inputs)
+    assert np.array_equal(np.asarray(out), reference)
+
+
+def test_zero_size_matmul():
+    """k = 0 contracts away to an all-zeros result; s = 0 to no rows."""
+    graph = _matmul_graph()
+    exe = compile_graph(graph, CompileOptions())
+    engine = ExecutionEngine(exe, A10)
+    for s, k in ((0, 4), (4, 0), (0, 0)):
+        inputs = {"x": np.ones((s, k), np.float32),
+                  "w": np.ones((k, 3), np.float32)}
+        (reference,) = evaluate(graph, inputs)
+        (out,), _stats = engine.run(inputs)
+        assert reference.shape == (s, 3)
+        assert np.array_equal(np.asarray(out), reference)
+
+
+def test_zero_size_differential_all_executors():
+    oracle = DifferentialOracle()
+    result = oracle.check_case(_elementwise_graph(), {"s": 0, "t": 2},
+                               input_seed=0)
+    assert result.ok, [str(f) for f in result.failures]
+
+
+# -- schedule selection at the edges ----------------------------------------
+
+
+def test_elementwise_selector_handles_degenerate_extents():
+    # zero elements: nothing to vectorise, flat must come back
+    assert select_elementwise(0, 0).name == "flat"
+    assert select_elementwise(1, 1).name == "flat"
+    # dim-1 innermost blocks float4
+    assert select_elementwise(1024, 1).name == "flat"
+    assert select_elementwise(1024, 4).name == "vectorized4"
+
+
+def test_reduction_selector_handles_degenerate_extents():
+    for rows, cols in ((0, 0), (0, 128), (128, 0), (1, 1)):
+        schedule = select_reduction(rows, cols)
+        assert schedule.name in ("row_per_warp", "row_per_block",
+                                 "two_pass")
+        eff, parallel = schedule.reduction_profile(rows, cols)
+        assert 0 < eff <= 1
+        assert parallel >= 0
+
+
+def test_launch_dims_and_cost_stay_finite_for_zero_shapes():
+    """The runtime cost pipeline (select_schedule -> cost_spec ->
+    kernel_time_us) must survive zero-element launches."""
+    from repro.device.cost import kernel_time_us
+
+    graph = _reduce_graph()
+    exe = compile_graph(graph, CompileOptions())
+    dims = {"s": 0, "t": 0}
+    for kernel in exe.kernels:
+        schedule = kernel.select_schedule(dims)
+        spec = kernel.cost_spec(dims, schedule)
+        t = kernel_time_us(spec, A10)
+        assert np.isfinite(t) and t > 0

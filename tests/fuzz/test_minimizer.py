@@ -1,0 +1,117 @@
+"""Delta-debugging minimizer: shrinks, preserves the failure, terminates."""
+
+import numpy as np
+import pytest
+
+from repro.fuzz import (CorruptedInterpreter, generate_graph, minimize)
+from repro.fuzz.oracle import compare_arrays, make_inputs
+from repro.fuzz.runner import full_bindings
+from repro.fuzz.sampler import free_symbols
+from repro.interp import evaluate
+from repro.ir import GraphBuilder, f32, verify
+
+_ELEMENTWISE = ("tanh", "exp", "abs", "add", "mul", "sub", "div",
+                "maximum", "minimum", "sigmoid", "erf", "relu")
+
+
+def _corruption_predicate(bad_op, bindings, input_seed):
+    """Fails when mis-executing ``bad_op`` changes an output."""
+
+    def still_fails(candidate):
+        if not any(n.op == bad_op for n in candidate.nodes):
+            return False
+        inputs = make_inputs(candidate, bindings, input_seed)
+        try:
+            reference = [np.asarray(v)
+                         for v in evaluate(candidate, inputs)]
+        except Exception:  # noqa: BLE001 - candidate itself is broken
+            return False
+        try:
+            corrupted = [np.asarray(v) for v in
+                         CorruptedInterpreter(candidate, bad_op)
+                         .run(inputs)]
+        except Exception:  # noqa: BLE001 - corruption crashed: observable
+            return True
+        return any(
+            compare_arrays(ref, got, out.dtype.name) is not None
+            for ref, got, out in zip(reference, corrupted,
+                                     candidate.outputs))
+
+    return still_fails
+
+
+def _first_elementwise(graph):
+    for node in graph.nodes:
+        if node.op in _ELEMENTWISE:
+            return node.op
+    return None
+
+
+@pytest.mark.parametrize("seed", range(8))
+def test_minimizer_shrinks_injected_fault_below_quarter(seed):
+    graph = generate_graph(seed)
+    bad_op = _first_elementwise(graph)
+    if bad_op is None:
+        pytest.skip("no elementwise op in this seed")
+    bindings = full_bindings(
+        graph, {name: 5 for name in free_symbols(graph)})
+    predicate = _corruption_predicate(bad_op, bindings, seed)
+    if not predicate(graph):
+        pytest.skip("corruption not observable at the outputs")
+    result = minimize(graph, predicate)
+    verify(result.graph)
+    assert predicate(result.graph), "minimized graph lost the failure"
+    assert result.ratio <= 0.25, (
+        f"{result.original_nodes} -> {result.minimized_nodes} nodes "
+        f"(ratio {result.ratio:.2f})")
+    assert any(n.op == bad_op for n in result.graph.nodes)
+
+
+def test_minimizer_requires_failing_original():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    b.outputs(b.exp(x))
+    with pytest.raises(ValueError):
+        minimize(b.graph, lambda g: False)
+
+
+def test_minimizer_reaches_single_op_on_linear_chain():
+    """On a chain where the predicate is 'contains tanh', everything but
+    one tanh and one parameter must go away."""
+    b = GraphBuilder("g")
+    s = b.sym("s", hint=8)
+    x = b.parameter("x", (s, 4), f32)
+    v = x
+    for _ in range(6):
+        v = b.abs(b.tanh(b.exp(v)))
+    b.outputs(v)
+
+    def has_tanh(g):
+        return any(n.op == "tanh" for n in g.nodes)
+
+    result = minimize(b.graph, has_tanh)
+    assert has_tanh(result.graph)
+    assert result.minimized_nodes <= 2
+
+
+def test_minimizer_never_mutates_the_input_graph():
+    graph = generate_graph(1)
+    from repro.ir import print_graph
+    before = print_graph(graph)
+    minimize(graph, lambda g: True)
+    assert print_graph(graph) == before
+
+
+def test_minimizer_is_deterministic():
+    graph = generate_graph(2)
+
+    def predicate(g):
+        return any(n.op == "add" for n in g.nodes)
+
+    if not predicate(graph):
+        pytest.skip("seed has no add")
+    from repro.ir import print_graph
+    a = minimize(graph, predicate)
+    b = minimize(graph, predicate)
+    assert print_graph(a.graph) == print_graph(b.graph)
+    assert a.steps == b.steps

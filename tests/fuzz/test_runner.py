@@ -1,0 +1,108 @@
+"""Campaign runner and corpus plumbing."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro.fuzz import (DifferentialOracle, FuzzReport, GeneratorConfig,
+                        generate_graph, load_case, run_campaign, save_case)
+from repro.fuzz.corpus import iter_corpus
+from repro.fuzz.oracle import CaseResult, Failure
+from repro.fuzz.runner import full_bindings
+from repro.fuzz.sampler import binding_suite, free_symbols
+from repro.ir import print_graph, verify
+
+SMALL = GeneratorConfig(max_nodes=12)
+
+
+def test_small_campaign_is_clean_and_reports_coverage(tmp_path):
+    report = run_campaign(seed=0, iters=6, config=SMALL,
+                          out_dir=tmp_path)
+    assert report.ok
+    assert report.cases_run == 6
+    assert report.checks_run >= 6
+    assert len(report.executors) == 8  # DISC + 7 baselines
+    assert "parameter" in report.ops_covered
+    text = report.summary()
+    assert "failures:        0" in text
+    assert "seed=0" in text
+
+
+def test_campaign_is_deterministic():
+    a = run_campaign(seed=3, iters=4, config=SMALL)
+    b = run_campaign(seed=3, iters=4, config=SMALL)
+    assert a.checks_run == b.checks_run
+    assert a.ops_covered == b.ops_covered
+    assert len(a.failures) == len(b.failures)
+
+
+class _AlwaysFlagsTanh(DifferentialOracle):
+    """A planted oracle: any graph containing tanh 'fails' on DISC."""
+
+    def check_case(self, graph, bindings, input_seed=0):
+        result = CaseResult(graph=graph, bindings=dict(bindings),
+                            input_seed=input_seed,
+                            ops_covered={n.op for n in graph.nodes})
+        result.executors_checked = ["DISC"]
+        if any(n.op == "tanh" for n in graph.nodes):
+            result.failures.append(Failure(
+                executor="DISC", kind="mismatch", detail="planted"))
+        return result
+
+
+def test_campaign_minimizes_and_saves_failures(tmp_path):
+    report = run_campaign(seed=0, iters=10, config=SMALL,
+                          out_dir=tmp_path, oracle=_AlwaysFlagsTanh())
+    if not report.failures:
+        pytest.skip("no seed in range produced a tanh")
+    assert not report.ok
+    assert report.artifacts
+    for path in report.artifacts:
+        graph, bindings, meta = load_case(path)
+        verify(graph)
+        assert any(n.op == "tanh" for n in graph.nodes)
+        assert "minimized" in meta["note"]
+        assert meta["failures"]
+        # the minimized repro must be small
+        assert len(graph.nodes) <= 4
+
+
+def test_corpus_round_trip(tmp_path):
+    graph = generate_graph(5)
+    bindings = binding_suite(graph, limit=1, seed=0)[0]
+    path = save_case(tmp_path / "case.json", graph, bindings,
+                     {"note": "test"})
+    loaded, loaded_bindings, meta = load_case(path)
+    assert print_graph(loaded) == print_graph(graph)
+    assert loaded_bindings == bindings
+    assert meta["note"] == "test"
+    assert iter_corpus(tmp_path) == [path]
+
+
+def test_corpus_rejects_unknown_version(tmp_path):
+    path = tmp_path / "bad.json"
+    path.write_text(json.dumps({"case_version": 99}))
+    with pytest.raises(ValueError):
+        load_case(path)
+
+
+def test_full_bindings_extend_to_derived_symbols():
+    for seed in range(15):
+        graph = generate_graph(seed)
+        primary = {name: 3 for name in free_symbols(graph)}
+        extended = full_bindings(graph, primary)
+        assert set(primary) <= set(extended)
+
+
+def test_report_summary_lists_failures():
+    report = FuzzReport(seed=1, iters=2)
+    result = CaseResult(graph=generate_graph(0, SMALL), bindings={"s": 1},
+                        input_seed=0)
+    result.failures.append(Failure(executor="TVM", kind="mismatch",
+                                   detail="off by one", output_index=0))
+    report.failures.append((123, result))
+    text = report.summary()
+    assert "TVM" in text
+    assert "off by one" in text
+    assert "123" in text

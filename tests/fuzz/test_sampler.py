@@ -1,0 +1,79 @@
+"""Shape sampler: consistency of adversarial bindings."""
+
+import random
+
+import numpy as np
+
+from repro.fuzz import generate_graph
+from repro.fuzz.oracle import make_inputs
+from repro.fuzz.sampler import (EDGE_VALUES, binding_suite, free_symbols,
+                                sample_bindings)
+from repro.ir.shapes import SymDim
+
+
+def test_free_symbols_come_from_params():
+    graph = generate_graph(0)
+    names = set(free_symbols(graph))
+    from_params = {d.name for p in graph.params
+                   for d in p.shape if isinstance(d, SymDim)}
+    assert names == from_params
+
+
+def test_suite_includes_collapse_and_prime():
+    graph = generate_graph(1)
+    suite = binding_suite(graph, limit=4, seed=0)
+    primary = free_symbols(graph)
+    assert any(all(b[n] == 1 for n in primary if n in b) for b in suite)
+    assert len(suite) >= 2
+    assert all(suite[i] != suite[j]
+               for i in range(len(suite)) for j in range(i))
+
+
+def test_sampled_values_are_edge_values_or_derived():
+    graph = generate_graph(2)
+    rng = random.Random(0)
+    for _ in range(20):
+        bindings = sample_bindings(graph, rng)
+        for name in free_symbols(graph):
+            assert name in bindings
+            assert bindings[name] >= 1
+
+
+def test_bindings_are_consistent_with_derived_symbols():
+    """Weight params whose shapes mention merged-reshape dims must get
+    the derived value, so input synthesis never contradicts the graph."""
+    from repro.interp import evaluate
+
+    for seed in range(25):
+        graph = generate_graph(seed)
+        for bindings in binding_suite(graph, limit=3, seed=seed):
+            inputs = make_inputs(graph, bindings, seed)
+            # evaluation only succeeds when all input shapes cohere
+            outputs = evaluate(graph, inputs)
+            assert len(outputs) == len(graph.outputs)
+
+
+def test_sampling_is_deterministic():
+    graph = generate_graph(3)
+    a = binding_suite(graph, limit=4, seed=11)
+    b = binding_suite(graph, limit=4, seed=11)
+    assert a == b
+
+
+def test_make_inputs_deterministic_and_bounded():
+    graph = generate_graph(4)
+    bindings = binding_suite(graph, limit=1, seed=0)[0]
+    x = make_inputs(graph, bindings, seed=5)
+    y = make_inputs(graph, bindings, seed=5)
+    for name in x:
+        assert np.array_equal(x[name], y[name])
+        if np.issubdtype(x[name].dtype, np.floating):
+            assert np.abs(x[name]).max(initial=0.0) <= 2.0
+
+
+def test_edge_values_cover_the_classic_traps():
+    assert 1 in EDGE_VALUES          # broadcast collapse
+    assert 2 in EDGE_VALUES          # smallest vector width
+    assert any(v > 64 for v in EDGE_VALUES)  # schedule regime change
+    primes = {3, 5, 7, 13, 17, 31, 97}
+    assert primes & set(EDGE_VALUES)

@@ -5,17 +5,7 @@ from hypothesis import strategies as st
 
 from repro.device import A10, T4, KernelSpec, kernel_time_us, occupancy
 
-spec_strategy = st.builds(
-    KernelSpec,
-    name=st.just("k"),
-    bytes_read=st.integers(0, 1 << 26),
-    bytes_written=st.integers(0, 1 << 26),
-    flops=st.floats(0, 1e11, allow_nan=False),
-    parallel_elements=st.integers(1, 1 << 26),
-    efficiency=st.floats(0.05, 1.2),
-    extra_launches=st.integers(0, 2),
-    occupancy_exempt=st.booleans(),
-)
+from ..strategies import kernel_specs as spec_strategy
 
 
 @given(spec_strategy)

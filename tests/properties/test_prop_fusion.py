@@ -15,38 +15,9 @@ from repro.core.fusion import FusionConfig, plan_fusion
 from repro.core.symbolic import analyze_shapes
 from repro.device import A10
 from repro.interp import evaluate
-from repro.ir import GraphBuilder, f32
 from repro.runtime import ExecutionEngine
 
-UNARY = ("exp", "neg", "tanh", "relu", "abs")
-BINARY = ("add", "sub", "mul", "maximum")
-
-
-def random_graph(draw):
-    b = GraphBuilder("random")
-    s = b.sym("s", hint=8)
-    x = b.parameter("x", (s, 8), f32)
-    values = [x]
-    steps = draw(st.integers(min_value=1, max_value=12))
-    for _ in range(steps):
-        choice = draw(st.integers(0, 9))
-        operand = values[draw(st.integers(0, len(values) - 1))]
-        if choice < 4:
-            op = UNARY[draw(st.integers(0, len(UNARY) - 1))]
-            values.append(getattr(b, op)(operand))
-        elif choice < 7:
-            other = values[draw(st.integers(0, len(values) - 1))]
-            if operand.shape == other.shape:
-                op = BINARY[draw(st.integers(0, len(BINARY) - 1))]
-                values.append(getattr(b, op)(operand, other))
-        elif choice < 8 and operand.shape == (s, 8):
-            values.append(b.reshape(operand, (b.sym("t"), 4)))
-        elif operand.rank >= 1:
-            values.append(b.reduce_max(operand, axes=operand.rank - 1,
-                                       keepdims=True))
-    roots = [v for v in values[1:]] or [b.exp(x)]
-    b.outputs(roots[-1])
-    return b.graph
+from ..strategies import random_graph
 
 
 configs = st.sampled_from([

@@ -1,21 +1,10 @@
 """Buffer-planner properties over random interval sets."""
 
 from hypothesis import given, settings
-from hypothesis import strategies as st
 
-from repro.runtime.memory import BufferPlan, Interval
+from repro.runtime.memory import BufferPlan
 
-interval_strategy = st.builds(
-    lambda node_id, start, length, size: Interval(
-        node_id=node_id, shape=(size,), dtype_size=4, start=start,
-        end=start + length),
-    node_id=st.integers(0, 1000),
-    start=st.integers(0, 50),
-    length=st.integers(0, 20),
-    size=st.integers(1, 1024),
-)
-
-interval_sets = st.lists(interval_strategy, min_size=0, max_size=40)
+from ..strategies import interval_sets
 
 
 @given(interval_sets)

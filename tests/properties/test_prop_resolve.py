@@ -9,7 +9,7 @@ from repro.numerics import (bind_inputs, resolve_all_dims,
                             solve_reshape_shape, unify_shape)
 from repro.ir.shapes import SymDim
 
-dims = st.integers(min_value=1, max_value=8)
+from ..strategies import dims
 
 
 @given(st.lists(dims, min_size=1, max_size=4))

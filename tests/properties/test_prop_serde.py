@@ -8,7 +8,7 @@ from repro.interp import evaluate
 from repro.ir import print_graph, verify
 from repro.ir.serde import graph_from_dict, graph_to_dict
 
-from .test_prop_fusion import random_graph
+from ..strategies import fuzz_graphs, random_graph
 
 
 @given(st.data())
@@ -41,3 +41,12 @@ def test_double_round_trip_is_stable(data):
     once = graph_to_dict(graph)
     twice = graph_to_dict(graph_from_dict(once))
     assert once == twice
+
+
+@given(fuzz_graphs())
+@settings(max_examples=20, deadline=None)
+def test_fuzz_generator_graphs_round_trip(graph):
+    """The broader fuzz-generator op mix survives serde unchanged too."""
+    loaded = graph_from_dict(graph_to_dict(graph))
+    verify(loaded)
+    assert print_graph(loaded) == print_graph(graph)

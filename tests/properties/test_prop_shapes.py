@@ -12,8 +12,7 @@ from repro.ir import GraphBuilder, f32
 from repro.ir.shapes import num_elements, substitute
 from repro.interp import evaluate
 
-dims = st.integers(min_value=1, max_value=6)
-shapes = st.lists(dims, min_size=1, max_size=4).map(tuple)
+from ..strategies import shapes
 
 
 @given(shapes)

@@ -5,8 +5,7 @@ from hypothesis import strategies as st
 
 from repro.core.symbolic import ContradictionError, UnionFind
 
-keys = st.sampled_from(list("abcdefgh"))
-ops = st.lists(st.tuples(keys, keys), min_size=0, max_size=30)
+from ..strategies import union_ops as ops
 
 
 @given(ops)

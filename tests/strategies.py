@@ -1,0 +1,122 @@
+"""Shared hypothesis strategies for the property and fuzz test suites.
+
+One home for the generators the ``tests/properties`` files draw from, so
+shapes, kernel specs, liveness intervals and random graphs are grown the
+same way everywhere.  The heavyweight graph generator lives in
+:mod:`repro.fuzz.generator` (it is shipped, not test-only); here it is
+wrapped as a hypothesis strategy so property tests can draw from the same
+distribution the fuzz campaigns explore.
+"""
+
+from hypothesis import strategies as st
+
+from repro.device import KernelSpec
+from repro.fuzz.generator import GeneratorConfig, generate_graph
+from repro.ir import GraphBuilder, f32
+from repro.runtime.memory import Interval
+
+__all__ = [
+    "dims", "shapes", "symbol_keys", "union_ops",
+    "kernel_specs", "intervals", "interval_sets",
+    "random_graph", "fuzz_graphs",
+]
+
+# -- shapes ------------------------------------------------------------------
+
+#: single dim extents, small enough that products stay tractable.
+dims = st.integers(min_value=1, max_value=8)
+
+#: concrete tensor shapes of rank 1..4.
+shapes = st.lists(st.integers(min_value=1, max_value=6),
+                  min_size=1, max_size=4).map(tuple)
+
+# -- union-find --------------------------------------------------------------
+
+#: symbol names for union-find law tests.
+symbol_keys = st.sampled_from(list("abcdefgh"))
+
+#: random union(a, b) sequences.
+union_ops = st.lists(st.tuples(symbol_keys, symbol_keys),
+                     min_size=0, max_size=30)
+
+# -- device cost model -------------------------------------------------------
+
+#: random kernel cost specs covering the whole input domain.
+kernel_specs = st.builds(
+    KernelSpec,
+    name=st.just("k"),
+    bytes_read=st.integers(0, 1 << 26),
+    bytes_written=st.integers(0, 1 << 26),
+    flops=st.floats(0, 1e11, allow_nan=False),
+    parallel_elements=st.integers(1, 1 << 26),
+    efficiency=st.floats(0.05, 1.2),
+    extra_launches=st.integers(0, 2),
+    occupancy_exempt=st.booleans(),
+)
+
+# -- buffer liveness ---------------------------------------------------------
+
+#: one liveness interval with a static 1-D payload.
+intervals = st.builds(
+    lambda node_id, start, length, size: Interval(
+        node_id=node_id, shape=(size,), dtype_size=4, start=start,
+        end=start + length),
+    node_id=st.integers(0, 1000),
+    start=st.integers(0, 50),
+    length=st.integers(0, 20),
+    size=st.integers(1, 1024),
+)
+
+#: random interval sets for the buffer planner.
+interval_sets = st.lists(intervals, min_size=0, max_size=40)
+
+# -- random graphs -----------------------------------------------------------
+
+_UNARY = ("exp", "neg", "tanh", "relu", "abs")
+_BINARY = ("add", "sub", "mul", "maximum")
+
+
+def random_graph(draw):
+    """A small elementwise/reduce/reshape DAG over one symbolic dim.
+
+    Used with ``st.data()``: ``graph = random_graph(data.draw)``.  The graph
+    has one parameter ``x`` of shape ``(s, 8)`` and a single output, which
+    keeps fusion/serde property tests fast; the fuzz campaigns cover the
+    broader op mix via :func:`fuzz_graphs`.
+    """
+    b = GraphBuilder("random")
+    s = b.sym("s", hint=8)
+    x = b.parameter("x", (s, 8), f32)
+    values = [x]
+    steps = draw(st.integers(min_value=1, max_value=12))
+    for _ in range(steps):
+        choice = draw(st.integers(0, 9))
+        operand = values[draw(st.integers(0, len(values) - 1))]
+        if choice < 4:
+            op = _UNARY[draw(st.integers(0, len(_UNARY) - 1))]
+            values.append(getattr(b, op)(operand))
+        elif choice < 7:
+            other = values[draw(st.integers(0, len(values) - 1))]
+            if operand.shape == other.shape:
+                op = _BINARY[draw(st.integers(0, len(_BINARY) - 1))]
+                values.append(getattr(b, op)(operand, other))
+        elif choice < 8 and operand.shape == (s, 8):
+            values.append(b.reshape(operand, (b.sym("t"), 4)))
+        elif operand.rank >= 1:
+            values.append(b.reduce_max(operand, axes=operand.rank - 1,
+                                       keepdims=True))
+    roots = [v for v in values[1:]] or [b.exp(x)]
+    b.outputs(roots[-1])
+    return b.graph
+
+
+def fuzz_graphs(max_nodes: int = 14):
+    """Graphs from the shipped fuzz generator, keyed by a drawn seed.
+
+    Shrinking works on the seed, so hypothesis minimizes towards small
+    seeds rather than structurally — for structural shrinking use the fuzz
+    minimizer.
+    """
+    config = GeneratorConfig(max_nodes=max_nodes)
+    return st.integers(min_value=0, max_value=2**20).map(
+        lambda seed: generate_graph(seed, config))
