@@ -326,6 +326,11 @@ def e6_compile_overhead(models: list | None = None) -> dict:
         executable = compiler.compile(model.graph)
         wall = time.perf_counter() - start
         report = executable.report
+        # Post-compile static-analysis audit (outside the timed region):
+        # the artifact of every zoo model must lint clean, and the bench
+        # table records that it did.
+        from ..lint import lint_executable
+        lint = lint_executable(executable).summary()
         rows.append({
             "model": model_name,
             "nodes": report.num_nodes,
@@ -337,6 +342,8 @@ def e6_compile_overhead(models: list | None = None) -> dict:
             "dim_facts": report.analysis_summary.get("dim_facts", 0),
             "product_facts": report.analysis_summary.get(
                 "product_facts", 0),
+            "lint": "clean" if not lint["diagnostics"]
+                    else ",".join(lint["codes"]),
         })
     return {"experiment": "compile_overhead", "rows": rows}
 
@@ -344,10 +351,11 @@ def e6_compile_overhead(models: list | None = None) -> dict:
 def format_compile_overhead(result: dict) -> str:
     headers = ["model", "nodes", "kernels", "pipeline wall (s)",
                "simulated compile (s)", "analysis (ms)", "dim facts",
-               "product facts"]
+               "product facts", "lint"]
     rows = [[r["model"], r["nodes"], r["kernels"], r["pipeline_wall_s"],
              r["simulated_compile_s"], r["analysis_ms"], r["dim_facts"],
-             r["product_facts"]] for r in result["rows"]]
+             r["product_facts"], r.get("lint", "clean")]
+            for r in result["rows"]]
     return format_table(headers, rows,
                         "Compilation overhead per model (compile once, "
                         "serve every shape)")

@@ -23,6 +23,9 @@ from dataclasses import dataclass, field
 from ..device.compilecost import compile_cost_us
 from ..ir.graph import Graph
 from ..ir.verifier import verify
+from ..lint.blame import BlameRecorder
+from ..lint.diagnostics import LintLevel
+from ..lint.engine import _run_pipeline_lint
 from ..passes import PassManager, default_pipeline
 from ..runtime.executable import CompileReport, Executable
 from ..runtime.memory import plan_buffers
@@ -44,6 +47,12 @@ class CompileOptions:
     verify_each_pass: bool = False
     #: simulated compile-cost grade charged for this compilation.
     compile_grade: str = "jit"
+    #: run the static-analysis suite (repro.lint) during compilation:
+    #: graph + symbolic analyzers after every pass with per-pass blame,
+    #: fusion/memory audits on the results.  Findings land in
+    #: ``report.lint``; failure judgement (errors only vs warnings too)
+    #: follows the level.  OFF keeps benchmarks overhead-free.
+    lint_level: LintLevel = LintLevel.OFF
 
 
 class DiscCompiler:
@@ -59,8 +68,15 @@ class DiscCompiler:
         working = graph.clone()
         verify(working)
 
-        manager = PassManager(default_pipeline(),
-                              verify_each=options.verify_each_pass)
+        linting = options.lint_level is not LintLevel.OFF
+        recorder = None
+        if linting:
+            recorder = BlameRecorder()
+            recorder.prime(working)
+        manager = PassManager(
+            default_pipeline(),
+            verify_each=options.verify_each_pass,
+            after_each=recorder.after_pass if recorder else None)
         pass_results = manager.run(working)
 
         analysis = analyze_shapes(working, options.constraint_level)
@@ -76,6 +92,13 @@ class DiscCompiler:
                 constants[node] = node.attrs["value"].astype(
                     node.dtype.to_numpy(), copy=False)
 
+        buffer_plan = plan_buffers(kernels, working.outputs)
+        lint_sink = None
+        if linting:
+            lint_sink = _run_pipeline_lint(
+                working, recorder, plan, analysis, options.fusion,
+                buffer_plan)
+
         wall = time.perf_counter() - start
         report = CompileReport(
             wall_time_s=wall,
@@ -88,8 +111,8 @@ class DiscCompiler:
                             if k.kind not in (FusionKind.METADATA,
                                               FusionKind.HOST)),
             num_nodes=len(working.nodes),
+            lint=lint_sink,
         )
-        buffer_plan = plan_buffers(kernels, working.outputs)
         return Executable(graph=working, plan=plan, kernels=kernels,
                           constants=constants, report=report,
                           buffer_plan=buffer_plan)

@@ -24,7 +24,8 @@ from ...ir.node import Node
 from ...ir.shapes import Dim, SymDim
 from .constraints import ConstraintStore
 
-__all__ = ["ConstraintLevel", "ShapeAnalysis", "analyze_shapes"]
+__all__ = ["ConstraintLevel", "ShapeAnalysis", "analyze_shapes",
+           "collect_node_facts"]
 
 
 class ConstraintLevel(Enum):
@@ -105,6 +106,17 @@ def analyze_shapes(graph: Graph,
                     store.note_likely_value(dim)
     analysis.analysis_time_s = time.perf_counter() - start
     return analysis
+
+
+def collect_node_facts(node: Node, store: ConstraintStore,
+                       full: bool = True) -> None:
+    """Public entry to per-op fact collection (used by ``repro.lint``).
+
+    The linter re-derives the constraint table from scratch through this
+    same per-op semantics, so a contradiction it finds is a property of the
+    graph, not of the pipeline's cached analysis object.
+    """
+    _collect_node(node, store, full)
 
 
 def _collect_node(node: Node, store: ConstraintStore, full: bool) -> None:

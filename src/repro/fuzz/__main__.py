@@ -5,7 +5,9 @@ from __future__ import annotations
 import argparse
 import sys
 
+from ..lint.diagnostics import LintLevel
 from .generator import GeneratorConfig
+from .oracle import DifferentialOracle
 from .runner import run_campaign
 
 
@@ -26,6 +28,15 @@ def build_parser() -> argparse.ArgumentParser:
                         help="directory for minimized failure repros")
     parser.add_argument("--no-minimize", action="store_true",
                         help="skip delta-debugging of failures")
+    parser.add_argument("--lint", action="store_true",
+                        help="run the repro.lint analyzer suite on every "
+                             "case (generated graph + pipeline artifacts) "
+                             "and treat failing diagnostics as oracle "
+                             "failures")
+    parser.add_argument("--lint-level", choices=["default", "strict"],
+                        default="default",
+                        help="lint strictness when --lint is set "
+                             "(strict also fails on warnings)")
     return parser
 
 
@@ -34,9 +45,13 @@ def main(argv=None) -> int:
     config = GeneratorConfig()
     if args.max_nodes is not None:
         config.max_nodes = args.max_nodes
+    oracle = None
+    if args.lint:
+        oracle = DifferentialOracle(lint_level=LintLevel(args.lint_level))
     report = run_campaign(
         seed=args.seed, iters=args.iters, config=config,
         out_dir=args.out, minimize_failures=not args.no_minimize,
+        oracle=oracle,
         bindings_per_graph=args.bindings_per_graph,
         log=lambda msg: print(msg, file=sys.stderr))
     print(report.summary())

@@ -30,6 +30,8 @@ from ..interp.interpreter import evaluate
 from ..ir.graph import Graph
 from ..ir.shapes import substitute
 from ..ir.verifier import verify
+from ..lint.diagnostics import LintLevel
+from ..lint.engine import lint_graph
 from ..runtime.engine import ExecutionEngine
 
 __all__ = ["Failure", "CaseResult", "DifferentialOracle", "make_inputs",
@@ -140,11 +142,18 @@ class DifferentialOracle:
 
     def __init__(self, device: DeviceProfile = A10,
                  baselines: tuple | None = None,
-                 check_invariants: bool = True) -> None:
+                 check_invariants: bool = True,
+                 lint_level: LintLevel = LintLevel.OFF) -> None:
         self.device = device
         self.baselines = tuple(baselines) if baselines is not None \
             else tuple(baseline_names())
         self.check_invariants = check_invariants
+        #: when not OFF, the static-analysis suite (repro.lint) runs on
+        #: every case — the generated graph before compilation and the
+        #: full pipeline artifacts after — and any failing diagnostic is
+        #: an oracle failure of kind "lint" (a second, independent oracle
+        #: beside the numeric comparison).
+        self.lint_level = lint_level
 
     # -- single case -------------------------------------------------------
 
@@ -153,6 +162,14 @@ class DifferentialOracle:
         result = CaseResult(graph=graph, bindings=dict(bindings),
                             input_seed=input_seed,
                             ops_covered={n.op for n in graph.nodes})
+        if self.lint_level is not LintLevel.OFF:
+            # The raw generated graph legitimately carries dead code (DCE
+            # has not run yet), so only error-severity findings gate here;
+            # the chosen level applies in full to the pipeline artifacts.
+            for diag in lint_graph(graph).failures(LintLevel.DEFAULT):
+                result.failures.append(Failure(
+                    executor="lint", kind="lint",
+                    detail=f"generated graph: {diag}"))
         try:
             inputs = make_inputs(graph, bindings, input_seed)
         except Exception as exc:  # noqa: BLE001 - unbindable case
@@ -178,7 +195,8 @@ class DifferentialOracle:
     def _check_pipeline(self, graph: Graph, inputs, reference,
                         result: CaseResult):
         result.executors_checked.append(DISC_EXECUTOR)
-        options = CompileOptions(verify_each_pass=self.check_invariants)
+        options = CompileOptions(verify_each_pass=self.check_invariants,
+                                 lint_level=self.lint_level)
         try:
             executable = compile_graph(graph, options)
         except Exception as exc:  # noqa: BLE001
@@ -189,6 +207,11 @@ class DifferentialOracle:
         if self.check_invariants:
             for failure in self._invariant_failures(executable):
                 result.failures.append(failure)
+        if executable.report.lint is not None:
+            for diag in executable.report.lint.failures(self.lint_level):
+                result.failures.append(Failure(
+                    executor=DISC_EXECUTOR, kind="lint",
+                    detail=f"pipeline artifacts: {diag}"))
         try:
             engine = ExecutionEngine(executable, self.device)
             outputs, _stats = engine.run(inputs)

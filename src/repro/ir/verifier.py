@@ -1,21 +1,20 @@
-"""Graph well-formedness checks.
+"""Graph well-formedness checks (fail-fast wrapper over ``repro.lint``).
 
-The verifier re-checks the invariants the builder establishes, so that
-passes that mutate graphs in place can be validated cheaply in tests and at
-pipeline stage boundaries:
+The invariants themselves — topological order, operand/output ownership,
+shape-recheck against re-run inference, unique parameter names — live in
+:mod:`repro.lint.graph_checks`, which collects *every* violation.  This
+module keeps the historical gate semantics on top: :func:`verify` raises
+:class:`VerificationError` on the first error-severity finding, which is
+what pipeline stage boundaries and ``verify_each_pass`` want.
 
-- node list is a topological order (operands precede users);
-- every operand of every node (and every output) is owned by the graph;
-- re-running shape inference on each node reproduces its recorded
-  shape/dtype (inference is deterministic, so a pass that forgot to update
-  a shape is caught here);
-- parameters have unique names.
+Warning-severity findings (dead values, unreachable nodes) do **not**
+fail ``verify``: they are legitimate mid-pipeline states before DCE runs.
+Use ``python -m repro.lint`` or :func:`repro.lint.lint_graph` to see them.
 """
 
 from __future__ import annotations
 
 from .graph import Graph
-from .ops import InferContext, op_info
 
 __all__ = ["VerificationError", "verify"]
 
@@ -26,54 +25,11 @@ class VerificationError(RuntimeError):
 
 def verify(graph: Graph) -> None:
     """Raise :class:`VerificationError` on the first broken invariant."""
-    seen: set[int] = set()
-    owned = {id(n) for n in graph.nodes}
+    # Imported lazily: repro.lint depends on repro.ir at module level.
+    from ..lint.diagnostics import DiagnosticSink, Severity
+    from ..lint.graph_checks import check_graph
 
-    for node in graph.nodes:
-        for operand in node.inputs:
-            if id(operand) not in owned:
-                raise VerificationError(
-                    f"{node.short()}: operand {operand.short()} is not "
-                    f"owned by graph {graph.name!r}")
-            if operand.id not in seen:
-                raise VerificationError(
-                    f"{node.short()}: operand {operand.short()} appears "
-                    f"after its user (topological order broken)")
-        seen.add(node.id)
-
-    for out in graph.outputs:
-        if id(out) not in owned:
-            raise VerificationError(
-                f"output {out.short()} is not owned by graph {graph.name!r}")
-
-    names = [p.attrs.get("param_name") for p in graph.params]
-    if len(names) != len(set(names)):
-        raise VerificationError(f"duplicate parameter names: {names}")
-
-    for node in graph.nodes:
-        info = op_info(node.op)
-        if info.arity is not None and len(node.inputs) != info.arity:
-            raise VerificationError(
-                f"{node.short()}: arity {len(node.inputs)} != "
-                f"{info.arity}")
-        ctx = InferContext(
-            shapes=[n.shape for n in node.inputs],
-            in_dtypes=[n.dtype for n in node.inputs],
-            attrs=node.attrs,
-            symtab=graph.symtab,
-        )
-        if node.op in ("concat", "conv2d", "pad"):
-            # These may mint fresh symbols during inference; re-inference
-            # would mint different ones, so only check rank/dtype.
-            shape, dtype = info.infer(ctx)
-            if len(shape) != len(node.shape) or dtype is not node.dtype:
-                raise VerificationError(
-                    f"{node.short()}: recorded type {node.dtype}"
-                    f"{node.shape} inconsistent with inference "
-                    f"{dtype}{shape}")
-            continue
-        shape, dtype = info.infer(ctx)
-        if tuple(shape) != tuple(node.shape) or dtype is not node.dtype:
-            raise VerificationError(
-                f"{node.short()}: recorded type {node.dtype}{node.shape} "
-                f"!= inferred {dtype}{shape}")
+    sink = check_graph(graph, DiagnosticSink())
+    for diag in sink:
+        if diag.severity >= Severity.ERROR:
+            raise VerificationError(str(diag))

@@ -1,0 +1,52 @@
+"""``repro.lint`` — static analysis over graphs, plans, and pipelines.
+
+The verifier (``repro.ir.verifier``) is a fail-fast gate: it raises on the
+first broken structural invariant.  This package is the tooling layer on
+top of the same (and many more) invariants:
+
+- :mod:`diagnostics` — coded findings (``L001``...), severities, the
+  collect-all :class:`DiagnosticSink`, and the code registry;
+- :mod:`graph_checks` — structural well-formedness, re-derived from
+  scratch (the verifier now delegates here);
+- :mod:`symbolic_checks` — constraint-table consistency: contradictions,
+  dangling symbols, lost likely-value hints;
+- :mod:`fusion_checks` — re-validates every planned fusion group against
+  the kLoop/kInput/kStitch legality rules, independent of the planner;
+- :mod:`memory_checks` — live-range overlap/alias detection over buffer
+  plans;
+- :mod:`blame` — per-pass attribution: runs the linter after each pass
+  and names the pass that introduced each new finding;
+- :mod:`engine` / ``__main__`` — suite orchestration and the
+  ``python -m repro.lint`` CLI.
+
+The fuzzer uses the suite as a second oracle (``python -m repro.fuzz
+--lint``) and the pipeline exposes it as ``CompileOptions.lint_level``.
+"""
+
+from .blame import BlameRecord, BlameRecorder
+from .diagnostics import (CODE_REGISTRY, CodeInfo, Diagnostic,
+                          DiagnosticSink, LintLevel, Severity, code_info)
+from .engine import lint_compiled, lint_executable, lint_graph
+from .fusion_checks import check_fusion_plan
+from .graph_checks import check_graph
+from .memory_checks import check_buffer_plan
+from .symbolic_checks import check_symbols
+
+__all__ = [
+    "CODE_REGISTRY",
+    "CodeInfo",
+    "code_info",
+    "Diagnostic",
+    "DiagnosticSink",
+    "LintLevel",
+    "Severity",
+    "BlameRecord",
+    "BlameRecorder",
+    "check_graph",
+    "check_symbols",
+    "check_fusion_plan",
+    "check_buffer_plan",
+    "lint_graph",
+    "lint_executable",
+    "lint_compiled",
+]

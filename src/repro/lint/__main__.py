@@ -1,0 +1,157 @@
+"""CLI: ``python -m repro.lint [paths ...]``.
+
+Lints serialized graph artifacts — raw ``ir.serde`` graph JSON or fuzz
+corpus cases (auto-detected) — and, with ``--models``, the bundled model
+zoo.  Each target runs the graph-level analyzers; unless ``--no-pipeline``
+is given, clean graphs are then compiled through the full pipeline with
+per-pass blame and the fusion/memory audits.
+
+Exit status is non-zero when any target produced a failing diagnostic at
+the chosen level (``default``: errors; ``strict``: warnings too), which is
+what the CI lint job keys on.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+from .diagnostics import CODE_REGISTRY, DiagnosticSink, LintLevel
+from .engine import lint_compiled, lint_graph
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.lint",
+        description="Static analysis of IR graphs, fusion plans and "
+                    "buffer plans with coded diagnostics.")
+    parser.add_argument("paths", nargs="*",
+                        help="graph/corpus JSON files or directories of "
+                             "them")
+    parser.add_argument("--level", choices=["default", "strict"],
+                        default="default",
+                        help="failure threshold: default fails on errors, "
+                             "strict also on warnings")
+    parser.add_argument("--models", action="store_true",
+                        help="also lint every bundled zoo model")
+    parser.add_argument("--no-pipeline", action="store_true",
+                        help="graph-level analyzers only; skip the "
+                             "compile + fusion/memory audit stage")
+    parser.add_argument("--codes", action="store_true",
+                        help="print the diagnostic code registry and exit")
+    parser.add_argument("-q", "--quiet", action="store_true",
+                        help="only print findings and the final summary")
+    return parser
+
+
+def _collect_files(paths: list[str]) -> list[Path]:
+    files: list[Path] = []
+    for raw in paths:
+        path = Path(raw)
+        if path.is_dir():
+            files.extend(sorted(path.glob("*.json")))
+        else:
+            files.append(path)
+    return files
+
+
+def _load_graph(path: Path):
+    """Load a serialized graph or corpus case; returns (graph, kind)."""
+    from ..fuzz.corpus import load_case
+    from ..ir.serde import graph_from_dict
+
+    with open(path) as f:
+        payload = json.load(f)
+    if "case_version" in payload:
+        graph, _bindings, _meta = load_case(path)
+        return graph, "corpus case"
+    if "format_version" in payload:
+        return graph_from_dict(payload), "graph"
+    raise ValueError("neither a serialized graph nor a corpus case")
+
+
+def _lint_one(name: str, graph, level: LintLevel,
+              pipeline: bool) -> DiagnosticSink:
+    sink = lint_graph(graph)
+    # A graph that is structurally broken cannot be compiled; the deep
+    # audit only runs once the graph-level analyzers come back clean.
+    if pipeline and not sink.errors():
+        lint_compiled(graph, sink=sink)
+    return sink
+
+
+def _report(name: str, sink: DiagnosticSink, level: LintLevel,
+            quiet: bool) -> int:
+    failures = sink.failures(level)
+    for diag in sink:
+        print(f"{name}: {diag}")
+    if not quiet and not sink:
+        print(f"{name}: OK")
+    return len(failures)
+
+
+def print_code_registry() -> None:
+    width = max(len(info.title) for info in CODE_REGISTRY.values())
+    print(f"{'code':<6}{'severity':<10}{'analyzer':<10}title")
+    print("-" * (26 + width))
+    for code in sorted(CODE_REGISTRY):
+        info = CODE_REGISTRY[code]
+        print(f"{info.code:<6}{info.severity.name.lower():<10}"
+              f"{info.analyzer:<10}{info.title}")
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    if args.codes:
+        print_code_registry()
+        return 0
+    if not args.paths and not args.models:
+        build_parser().print_usage(sys.stderr)
+        print("error: give at least one path, or --models",
+              file=sys.stderr)
+        return 2
+
+    level = LintLevel(args.level)
+    pipeline = not args.no_pipeline
+    targets = 0
+    diagnostics = 0
+    failing = 0
+
+    for path in _collect_files(args.paths):
+        targets += 1
+        try:
+            graph, _kind = _load_graph(path)
+        except Exception as exc:  # noqa: BLE001 - report, keep linting
+            sink = DiagnosticSink()
+            sink.emit("L000", f"cannot load {path}: "
+                              f"{type(exc).__name__}: {exc}")
+        else:
+            sink = _lint_one(str(path), graph, level, pipeline)
+        diagnostics += len(sink)
+        failing += _report(str(path), sink, level, args.quiet)
+
+    if args.models:
+        from ..models import MODEL_BUILDERS
+        for model_name, builder in MODEL_BUILDERS.items():
+            targets += 1
+            try:
+                graph = builder().graph
+            except Exception as exc:  # noqa: BLE001
+                sink = DiagnosticSink()
+                sink.emit("L000", f"cannot build model {model_name}: "
+                                  f"{type(exc).__name__}: {exc}")
+            else:
+                sink = _lint_one(model_name, graph, level, pipeline)
+            diagnostics += len(sink)
+            failing += _report(f"model:{model_name}", sink, level,
+                               args.quiet)
+
+    print(f"linted {targets} target(s): {diagnostics} diagnostic(s), "
+          f"{failing} failing at level {level.value}")
+    return 1 if failing else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,106 @@
+"""Per-pass blame: which pass introduced each diagnostic?
+
+``verify_each_pass`` tells you *that* a pass broke the graph; blame tells
+you *which* pass, without aborting the pipeline.  A :class:`BlameRecorder`
+plugs into :class:`~repro.passes.base.PassManager` via its ``after_each``
+hook, re-lints the graph after every pass, diffs the finding set against
+the previous snapshot, and attributes every *new* diagnostic to the pass
+that just ran.
+
+The diff is keyed on :meth:`Diagnostic.key` (code + provenance), not on
+the message text, so a shape that legitimately changes across passes does
+not churn the attribution.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from ..ir.graph import Graph
+from .diagnostics import Diagnostic, DiagnosticSink
+from .graph_checks import check_graph
+from .symbolic_checks import check_symbols
+
+__all__ = ["BlameRecord", "BlameRecorder"]
+
+
+def _lint_snapshot(graph: Graph) -> DiagnosticSink:
+    sink = DiagnosticSink()
+    check_graph(graph, sink)
+    check_symbols(graph, sink)
+    return sink
+
+
+@dataclass
+class BlameRecord:
+    """The diagnostics one pass introduced."""
+
+    pass_name: str
+    introduced: list = field(default_factory=list)  # list[Diagnostic]
+
+    @property
+    def clean(self) -> bool:
+        return not self.introduced
+
+
+class BlameRecorder:
+    """Attributes each new lint finding to the pass that introduced it.
+
+    Usage::
+
+        recorder = BlameRecorder()
+        recorder.prime(graph)                       # pre-pipeline baseline
+        manager = PassManager(passes, after_each=recorder.after_pass)
+        manager.run(graph)
+        recorder.blamed        # every Diagnostic with pass_name set
+        recorder.attribution   # Diagnostic.key() -> pass name
+    """
+
+    def __init__(self) -> None:
+        self.records: list[BlameRecord] = []
+        self.blamed: list[Diagnostic] = []
+        self.attribution: dict[tuple, str] = {}
+        self._baseline: set[tuple] = set()
+        self._primed = False
+
+    def prime(self, graph: Graph) -> DiagnosticSink:
+        """Record the pre-pipeline finding set as the baseline.
+
+        Findings already present in the input graph are *not* blamed on
+        any pass; they belong to the producer of the graph.
+        """
+        sink = _lint_snapshot(graph)
+        self._baseline = {d.key() for d in sink}
+        self._primed = True
+        return sink
+
+    def after_pass(self, result, graph: Graph) -> BlameRecord:
+        """PassManager ``after_each`` hook: diff and attribute."""
+        if not self._primed:
+            # Tolerate un-primed use: the first pass then takes the blame
+            # for pre-existing findings, which is the conservative choice.
+            self._baseline = set()
+            self._primed = True
+        sink = _lint_snapshot(graph)
+        current = {d.key() for d in sink}
+        introduced = [d for d in sink if d.key() not in self._baseline]
+        pass_name = getattr(result, "name", str(result))
+        for diag in introduced:
+            diag.pass_name = pass_name
+            self.attribution[diag.key()] = pass_name
+        record = BlameRecord(pass_name, introduced)
+        self.records.append(record)
+        self.blamed.extend(introduced)
+        self._baseline = current
+        return record
+
+    def annotate(self, sink: DiagnosticSink) -> None:
+        """Stamp pass blame onto matching findings of a later lint run."""
+        for diag in sink:
+            blamed = self.attribution.get(diag.key())
+            if blamed is not None and diag.pass_name is None:
+                diag.pass_name = blamed
+
+    def guilty_passes(self) -> list[str]:
+        """Pass names that introduced at least one finding, in run order."""
+        return [r.pass_name for r in self.records if not r.clean]

@@ -1,0 +1,261 @@
+"""The lint diagnostics engine: coded findings collected, not raised.
+
+The IR verifier answers "is this graph broken?" with an exception on the
+first violated invariant.  That is the right interface for a pipeline gate
+but the wrong one for tooling: a multi-defect graph (a minimizer artifact,
+a hand-edited corpus case, a buggy pass) hides every break after the first.
+This module provides the collect-all alternative:
+
+- :class:`Diagnostic` — one finding with a stable code (``L001``),
+  severity, provenance (node, fusion group, blamed pass) and a fix hint;
+- :class:`DiagnosticSink` — accumulates every finding from every analyzer;
+- :data:`CODE_REGISTRY` — the full code table (severity + one-line title),
+  rendered in ``docs/internals.md`` and by ``python -m repro.lint --codes``;
+- :class:`LintLevel` — how strict a consumer wants to be: ``DEFAULT``
+  fails on errors only, ``STRICT`` also fails on warnings.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum, IntEnum
+
+__all__ = [
+    "Severity",
+    "LintLevel",
+    "CodeInfo",
+    "CODE_REGISTRY",
+    "code_info",
+    "Diagnostic",
+    "DiagnosticSink",
+]
+
+
+class Severity(IntEnum):
+    """How bad a finding is.  Ordered so severities compare meaningfully."""
+
+    NOTE = 10       # informational; never fails any level
+    WARNING = 20    # suspicious but not unsound (dead code, lost hints)
+    ERROR = 30      # a violated invariant; the artifact is not trustworthy
+
+
+class LintLevel(Enum):
+    """Strictness knob exposed as ``CompileOptions.lint_level``."""
+
+    OFF = "off"          # do not lint at all
+    DEFAULT = "default"  # collect everything; only errors are failures
+    STRICT = "strict"    # warnings are failures too
+
+    @property
+    def failing_severity(self) -> Severity:
+        if self is LintLevel.STRICT:
+            return Severity.WARNING
+        return Severity.ERROR
+
+
+@dataclass(frozen=True)
+class CodeInfo:
+    """Registry entry for one diagnostic code."""
+
+    code: str
+    severity: Severity
+    analyzer: str
+    title: str
+
+
+#: Every diagnostic code the linter can emit.  Codes are append-only and
+#: stable across releases: tests, corpus metadata and CI logs refer to them.
+CODE_REGISTRY: dict[str, CodeInfo] = {}
+
+
+def _register(code: str, severity: Severity, analyzer: str,
+              title: str) -> None:
+    if code in CODE_REGISTRY:
+        raise ValueError(f"duplicate diagnostic code {code}")
+    CODE_REGISTRY[code] = CodeInfo(code, severity, analyzer, title)
+
+
+# -- L0xx: harness ----------------------------------------------------------
+_register("L000", Severity.ERROR, "harness",
+          "artifact could not be loaded or compiled for linting")
+
+# -- L0xx: graph analyzer ---------------------------------------------------
+_register("L001", Severity.ERROR, "graph",
+          "operand is not owned by the graph")
+_register("L002", Severity.ERROR, "graph",
+          "node list is not a topological order")
+_register("L003", Severity.ERROR, "graph",
+          "graph output is not owned by the graph")
+_register("L004", Severity.ERROR, "graph",
+          "duplicate parameter name")
+_register("L005", Severity.ERROR, "graph",
+          "operand count violates the op signature")
+_register("L006", Severity.ERROR, "graph",
+          "recorded shape/dtype disagrees with re-run inference")
+_register("L007", Severity.WARNING, "graph",
+          "dead value: node result is never used and is not an output")
+_register("L008", Severity.ERROR, "graph",
+          "parameter declaration attrs disagree with the node type")
+_register("L009", Severity.WARNING, "graph",
+          "unreachable node: no path to any graph output")
+_register("L010", Severity.ERROR, "graph",
+          "duplicate node id")
+
+# -- L1xx: symbolic analyzer ------------------------------------------------
+_register("L101", Severity.ERROR, "symbolic",
+          "contradictory dim constraints (unequal constants unified)")
+_register("L102", Severity.ERROR, "symbolic",
+          "dangling symbol: referenced but absent from the symbol table")
+_register("L103", Severity.WARNING, "symbolic",
+          "symbol instance diverges from the symbol table (hint lost)")
+
+# -- L2xx: fusion auditor ---------------------------------------------------
+_register("L201", Severity.ERROR, "fusion",
+          "group member is not eligible for the group's fusion kind")
+_register("L202", Severity.ERROR, "fusion",
+          "kLoop internal edge joins provably different iteration domains")
+_register("L203", Severity.ERROR, "fusion",
+          "kInput group violates the single-reduction-root rule")
+_register("L204", Severity.ERROR, "fusion",
+          "kStitch group violates the shared-row-space rules")
+_register("L205", Severity.WARNING, "fusion",
+          "group exceeds a configured resource bound")
+_register("L206", Severity.ERROR, "fusion",
+          "fusion plan is not executable (group-contracted cycle)")
+_register("L207", Severity.ERROR, "fusion",
+          "fusion plan is not a total partition of the compute nodes")
+
+# -- L3xx: memory-plan analyzer --------------------------------------------
+_register("L301", Severity.ERROR, "memory",
+          "overlapping live ranges share a buffer slot")
+_register("L302", Severity.ERROR, "memory",
+          "malformed liveness interval")
+_register("L303", Severity.ERROR, "memory",
+          "one value is planned into two buffers")
+
+
+def code_info(code: str) -> CodeInfo:
+    try:
+        return CODE_REGISTRY[code]
+    except KeyError:
+        raise KeyError(f"unknown diagnostic code {code!r}") from None
+
+
+@dataclass
+class Diagnostic:
+    """One lint finding."""
+
+    code: str
+    severity: Severity
+    message: str
+    analyzer: str = ""
+    #: ``node.short()`` of the node the finding anchors to, if any.
+    node: str | None = None
+    node_id: int | None = None
+    #: fusion group id, for auditor findings.
+    group: int | None = None
+    #: pass that introduced the finding (set by per-pass blame).
+    pass_name: str | None = None
+    fix_hint: str | None = None
+
+    def key(self) -> tuple:
+        """Identity used for blame diffing and deduplication."""
+        return (self.code, self.node_id, self.node, self.group)
+
+    def __str__(self) -> str:
+        where = []
+        if self.node is not None:
+            where.append(self.node)
+        if self.group is not None:
+            where.append(f"group#{self.group}")
+        location = f" {' '.join(where)}:" if where else ""
+        blame = f" [introduced by pass {self.pass_name!r}]" \
+            if self.pass_name else ""
+        hint = f" (hint: {self.fix_hint})" if self.fix_hint else ""
+        return (f"{self.code} {self.severity.name.lower()}"
+                f"{location} {self.message}{blame}{hint}")
+
+
+class DiagnosticSink:
+    """Collects *all* findings instead of raising on the first."""
+
+    def __init__(self) -> None:
+        self.diagnostics: list[Diagnostic] = []
+
+    # -- emission ---------------------------------------------------------
+
+    def emit(self, code: str, message: str, *, node=None, group=None,
+             fix_hint: str | None = None,
+             pass_name: str | None = None) -> Diagnostic:
+        """Record one finding; severity/analyzer come from the registry.
+
+        ``node`` may be an IR node (provenance is extracted) or ``None``.
+        """
+        info = code_info(code)
+        diag = Diagnostic(
+            code=code,
+            severity=info.severity,
+            message=message,
+            analyzer=info.analyzer,
+            node=node.short() if node is not None else None,
+            node_id=getattr(node, "id", None) if node is not None else None,
+            group=group,
+            pass_name=pass_name,
+            fix_hint=fix_hint,
+        )
+        self.diagnostics.append(diag)
+        return diag
+
+    def extend(self, other: "DiagnosticSink") -> None:
+        self.diagnostics.extend(other.diagnostics)
+
+    # -- queries ----------------------------------------------------------
+
+    def __iter__(self):
+        return iter(self.diagnostics)
+
+    def __len__(self) -> int:
+        return len(self.diagnostics)
+
+    def __bool__(self) -> bool:
+        return bool(self.diagnostics)
+
+    def codes(self) -> set[str]:
+        return {d.code for d in self.diagnostics}
+
+    def by_code(self, code: str) -> list[Diagnostic]:
+        return [d for d in self.diagnostics if d.code == code]
+
+    def errors(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity >= Severity.ERROR]
+
+    def warnings(self) -> list[Diagnostic]:
+        return [d for d in self.diagnostics
+                if d.severity == Severity.WARNING]
+
+    def failures(self, level: LintLevel = LintLevel.DEFAULT) -> list:
+        """Findings that count as failures at ``level``."""
+        if level is LintLevel.OFF:
+            return []
+        threshold = level.failing_severity
+        return [d for d in self.diagnostics if d.severity >= threshold]
+
+    def ok(self, level: LintLevel = LintLevel.DEFAULT) -> bool:
+        return not self.failures(level)
+
+    def summary(self) -> dict:
+        """Counters surfaced in compile reports and bench tables."""
+        return {
+            "diagnostics": len(self.diagnostics),
+            "errors": len(self.errors()),
+            "warnings": len(self.warnings()),
+            "codes": sorted(self.codes()),
+        }
+
+    def render(self) -> str:
+        return "\n".join(str(d) for d in self.diagnostics)
+
+    def __repr__(self) -> str:
+        return (f"DiagnosticSink(errors={len(self.errors())}, "
+                f"warnings={len(self.warnings())})")

@@ -1,0 +1,101 @@
+"""Lint suite orchestration: run the right analyzers over an artifact.
+
+Three granularities:
+
+- :func:`lint_graph` — the graph-level analyzers (structural + symbolic);
+  works on any IR graph, serialized or freshly built;
+- :func:`lint_executable` — everything: graph-level analyzers over the
+  optimized graph, the fusion auditor over the plan, and the memory-plan
+  analyzer over the buffer plan;
+- :func:`lint_compiled` — compile a source graph through the full pipeline
+  (with per-pass blame) and lint the result; the one-call deep lint the
+  CLI uses.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph
+from .blame import BlameRecorder
+from .diagnostics import DiagnosticSink, LintLevel
+from .fusion_checks import check_fusion_plan
+from .graph_checks import check_graph
+from .memory_checks import check_buffer_plan
+from .symbolic_checks import check_symbols
+
+__all__ = ["lint_graph", "lint_executable", "lint_compiled"]
+
+
+def lint_graph(graph: Graph, sink: DiagnosticSink | None = None
+               ) -> DiagnosticSink:
+    """Run the graph-level analyzers (structural + symbolic)."""
+    sink = sink if sink is not None else DiagnosticSink()
+    check_graph(graph, sink)
+    check_symbols(graph, sink)
+    return sink
+
+
+def lint_executable(executable, config=None,
+                    sink: DiagnosticSink | None = None) -> DiagnosticSink:
+    """Run the full analyzer suite over a compiled executable.
+
+    ``config`` is the :class:`FusionConfig` the plan was built under
+    (defaults to the stock bounds).  The fusion audit re-derives its own
+    FULL-level shape analysis, independent of whatever the pipeline used.
+    """
+    sink = sink if sink is not None else DiagnosticSink()
+    lint_graph(executable.graph, sink)
+    check_fusion_plan(executable.plan, config=config, sink=sink)
+    check_buffer_plan(getattr(executable, "buffer_plan", None), sink)
+    return sink
+
+
+def lint_compiled(graph: Graph, options=None,
+                  sink: DiagnosticSink | None = None) -> DiagnosticSink:
+    """Compile ``graph`` and lint every stage of the result.
+
+    Equivalent to ``compile_graph(graph, options)`` with
+    ``options.lint_level`` forced on, except the diagnostics land in the
+    returned sink instead of the compile report.  A pipeline crash is
+    itself reported as ``L000`` rather than raised, so the caller always
+    gets a sink back.
+    """
+    import dataclasses
+
+    from ..core.pipeline import CompileOptions, compile_graph
+
+    sink = sink if sink is not None else DiagnosticSink()
+    options = options or CompileOptions()
+    if options.lint_level is LintLevel.OFF:
+        options = dataclasses.replace(options, lint_level=LintLevel.DEFAULT)
+    try:
+        executable = compile_graph(graph, options)
+    except Exception as exc:  # noqa: BLE001 - surface as a diagnostic
+        sink.emit(
+            "L000",
+            f"pipeline failed to compile graph {graph.name!r}: "
+            f"{type(exc).__name__}: {exc}")
+        return sink
+    if executable.report.lint is not None:
+        sink.extend(executable.report.lint)
+    else:  # lint_level was OFF despite the force above; lint directly
+        lint_executable(executable, config=options.fusion, sink=sink)
+    return sink
+
+
+def _run_pipeline_lint(working: Graph, recorder: BlameRecorder | None,
+                       plan, analysis, config, buffer_plan
+                       ) -> DiagnosticSink:
+    """Post-pipeline lint used by ``DiscCompiler`` (internal).
+
+    Lints the optimized graph, the fusion plan (reusing the pipeline's
+    analysis *plus* an independent FULL re-derivation inside the auditor
+    when none is supplied) and the buffer plan, then stamps per-pass blame
+    onto any finding a pass introduced.
+    """
+    sink = DiagnosticSink()
+    lint_graph(working, sink)
+    check_fusion_plan(plan, analysis=None, config=config, sink=sink)
+    check_buffer_plan(buffer_plan, sink)
+    if recorder is not None:
+        recorder.annotate(sink)
+    return sink

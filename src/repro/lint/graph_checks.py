@@ -1,0 +1,222 @@
+"""Graph analyzer: structural well-formedness, in collect-all form.
+
+Re-derives every invariant from scratch — nothing is trusted from the
+builder or the passes:
+
+- every operand and output is owned by the graph (L001/L003);
+- the node list is a topological order (L002);
+- parameter names are unique (L004) and parameter declaration attrs match
+  the node's recorded type (L008);
+- arity matches the op signature (L005) and re-running shape inference
+  reproduces each node's recorded shape/dtype (L006);
+- node ids are unique (L010) — duplicate ids silently corrupt every
+  id-keyed side table (liveness, serde, users maps);
+- dead values (L007) and unreachable nodes (L009) are flagged as warnings:
+  legitimate mid-pipeline states before DCE, defects after it.
+
+:func:`repro.ir.verifier.verify` delegates here and raises on the first
+error-severity finding, preserving its historical fail-fast contract.
+"""
+
+from __future__ import annotations
+
+from ..ir.graph import Graph
+from ..ir.ops import InferContext, op_info
+from .diagnostics import DiagnosticSink
+
+__all__ = ["check_graph"]
+
+#: Ops whose inference mints fresh symbols; re-inference would mint
+#: different ones, so only rank/dtype are compared (mirrors the verifier).
+_FRESH_SYMBOL_OPS = ("concat", "conv2d", "pad")
+
+
+def check_graph(graph: Graph, sink: DiagnosticSink | None = None
+                ) -> DiagnosticSink:
+    """Run every structural check over ``graph``; returns the sink."""
+    sink = sink if sink is not None else DiagnosticSink()
+    owned = {id(n) for n in graph.nodes}
+    position = {id(n): i for i, n in enumerate(graph.nodes)}
+
+    _check_ownership_and_order(graph, owned, position, sink)
+    _check_outputs(graph, owned, sink)
+    _check_params(graph, sink)
+    _check_node_ids(graph, sink)
+    _check_signatures_and_types(graph, sink)
+    _check_liveness(graph, sink)
+    return sink
+
+
+# ---------------------------------------------------------------------------
+# ownership / ordering
+# ---------------------------------------------------------------------------
+
+def _check_ownership_and_order(graph, owned, position, sink) -> None:
+    for index, node in enumerate(graph.nodes):
+        for operand in node.inputs:
+            if id(operand) not in owned:
+                sink.emit(
+                    "L001",
+                    f"operand {operand.short()} is not owned by graph "
+                    f"{graph.name!r}",
+                    node=node,
+                    fix_hint="rebuild the operand inside this graph or "
+                             "clone it in")
+            elif position[id(operand)] > index:
+                sink.emit(
+                    "L002",
+                    f"operand {operand.short()} appears after its user "
+                    f"(topological order broken)",
+                    node=node,
+                    fix_hint="call Graph.normalize_order() after in-place "
+                             "rewrites")
+
+
+def _check_outputs(graph, owned, sink) -> None:
+    for out in graph.outputs:
+        if id(out) not in owned:
+            sink.emit(
+                "L003",
+                f"output {out.short()} is not owned by graph "
+                f"{graph.name!r}",
+                node=out)
+
+
+def _check_params(graph, sink) -> None:
+    seen: dict[str, object] = {}
+    for param in graph.params:
+        name = param.attrs.get("param_name")
+        if name in seen:
+            sink.emit(
+                "L004",
+                f"duplicate parameter name {name!r} "
+                f"(also declared by {seen[name].short()})",
+                node=param,
+                fix_hint="rename one of the parameters")
+        else:
+            seen[name] = param
+        declared_dtype = param.attrs.get("dtype")
+        declared_shape = param.attrs.get("shape")
+        if declared_dtype is not None and declared_dtype is not param.dtype:
+            sink.emit(
+                "L008",
+                f"declared dtype {declared_dtype} != node dtype "
+                f"{param.dtype}",
+                node=param,
+                fix_hint="a pass retyped the parameter without updating "
+                         "its declaration attrs")
+        if declared_shape is not None \
+                and tuple(declared_shape) != tuple(param.shape):
+            sink.emit(
+                "L008",
+                f"declared shape {tuple(declared_shape)} != node shape "
+                f"{tuple(param.shape)}",
+                node=param)
+
+
+def _check_node_ids(graph, sink) -> None:
+    by_id: dict[int, object] = {}
+    for node in graph.nodes:
+        if node.id in by_id:
+            sink.emit(
+                "L010",
+                f"node id {node.id} already used by "
+                f"{by_id[node.id].short()}",
+                node=node,
+                fix_hint="allocate nodes through Graph.add so ids stay "
+                         "unique")
+        else:
+            by_id[node.id] = node
+
+
+# ---------------------------------------------------------------------------
+# signatures and re-inference
+# ---------------------------------------------------------------------------
+
+def _check_signatures_and_types(graph, sink) -> None:
+    owned = {id(n) for n in graph.nodes}
+    for node in graph.nodes:
+        try:
+            info = op_info(node.op)
+        except Exception as exc:  # noqa: BLE001 - unknown op kind
+            sink.emit("L005", str(exc), node=node)
+            continue
+        if info.arity is not None and len(node.inputs) != info.arity:
+            sink.emit(
+                "L005",
+                f"arity {len(node.inputs)} != {info.arity}",
+                node=node)
+            continue
+        if any(id(operand) not in owned for operand in node.inputs):
+            continue  # foreign operands already reported as L001
+        ctx = InferContext(
+            shapes=[n.shape for n in node.inputs],
+            in_dtypes=[n.dtype for n in node.inputs],
+            attrs=node.attrs,
+            symtab=graph.symtab,
+        )
+        try:
+            shape, dtype = info.infer(ctx)
+        except Exception as exc:  # noqa: BLE001 - operands now incompatible
+            sink.emit(
+                "L006",
+                f"inference failed on recorded operands: {exc}",
+                node=node)
+            continue
+        if node.op in _FRESH_SYMBOL_OPS:
+            if len(shape) != len(node.shape) or dtype is not node.dtype:
+                sink.emit(
+                    "L006",
+                    f"recorded type {node.dtype}{tuple(node.shape)} "
+                    f"inconsistent with inference {dtype}{tuple(shape)}",
+                    node=node)
+            continue
+        if tuple(shape) != tuple(node.shape) or dtype is not node.dtype:
+            sink.emit(
+                "L006",
+                f"recorded type {node.dtype}{tuple(node.shape)} != "
+                f"inferred {dtype}{tuple(shape)}",
+                node=node,
+                fix_hint="the pass that rewrote the operands must re-run "
+                         "inference on the users")
+
+
+# ---------------------------------------------------------------------------
+# liveness (warnings)
+# ---------------------------------------------------------------------------
+
+def _check_liveness(graph, sink) -> None:
+    users = {id(n): [] for n in graph.nodes}
+    for node in graph.nodes:
+        for operand in node.inputs:
+            if id(operand) in users:
+                users[id(operand)].append(node)
+
+    output_ids = {id(out) for out in graph.outputs}
+    live: set[int] = set()
+    stack = [out for out in graph.outputs if id(out) in users]
+    while stack:
+        node = stack.pop()
+        if id(node) in live:
+            continue
+        live.add(id(node))
+        stack.extend(op for op in node.inputs if id(op) in users)
+
+    for node in graph.nodes:
+        if node.op == "parameter":
+            continue  # part of the calling convention even when unused
+        if id(node) in output_ids or id(node) in live:
+            continue
+        if not users[id(node)]:
+            sink.emit(
+                "L007",
+                "node result is never used and is not a graph output",
+                node=node,
+                fix_hint="run DeadCodeElimination or add the node to the "
+                         "outputs")
+        else:
+            sink.emit(
+                "L009",
+                "node only feeds dead computations; no path reaches a "
+                "graph output",
+                node=node)

@@ -1,0 +1,67 @@
+"""Memory-plan analyzer: no buffer aliasing across live values.
+
+``runtime.memory.plan_buffers`` promises that two intermediates share a
+device slot only when their live ranges are disjoint.  Because sizes are
+symbolic the promise cannot be spot-checked numerically — it has to hold
+*structurally* for every shape.  This analyzer re-checks the promise from
+the plan's intervals alone:
+
+- **L301** — two overlapping live ranges were assigned the same slot
+  (aliasing: the later value would overwrite the earlier while it is
+  still live);
+- **L302** — a malformed interval: negative range, unassigned slot, or a
+  slot index beyond the plan's slot count;
+- **L303** — one node id planned into two intervals (double allocation;
+  every id-keyed lookup becomes ambiguous).
+"""
+
+from __future__ import annotations
+
+from .diagnostics import DiagnosticSink
+
+__all__ = ["check_buffer_plan"]
+
+
+def check_buffer_plan(plan, sink: DiagnosticSink | None = None
+                      ) -> DiagnosticSink:
+    """Audit a :class:`~repro.runtime.memory.BufferPlan`."""
+    sink = sink if sink is not None else DiagnosticSink()
+    if plan is None:
+        return sink
+
+    seen_ids: dict[int, object] = {}
+    by_slot: dict[int, list] = {}
+    for interval in plan.intervals:
+        if interval.end < interval.start:
+            sink.emit(
+                "L302",
+                f"interval for node {interval.node_id} ends before it "
+                f"starts ({interval.start}..{interval.end})")
+        if interval.slot < 0 or interval.slot >= plan.num_slots:
+            sink.emit(
+                "L302",
+                f"interval for node {interval.node_id} has slot "
+                f"{interval.slot} outside 0..{plan.num_slots - 1}")
+            continue
+        if interval.node_id in seen_ids:
+            sink.emit(
+                "L303",
+                f"node {interval.node_id} is planned into two buffers "
+                f"(slots {seen_ids[interval.node_id].slot} and "
+                f"{interval.slot})")
+        else:
+            seen_ids[interval.node_id] = interval
+        by_slot.setdefault(interval.slot, []).append(interval)
+
+    for slot, intervals in by_slot.items():
+        ordered = sorted(intervals, key=lambda i: (i.start, i.end))
+        for earlier, later in zip(ordered, ordered[1:]):
+            if earlier.end >= later.start:
+                sink.emit(
+                    "L301",
+                    f"slot {slot} aliases node {earlier.node_id} "
+                    f"(live {earlier.start}..{earlier.end}) with node "
+                    f"{later.node_id} (live {later.start}..{later.end})",
+                    fix_hint="the slot assigner reused a slot before its "
+                             "occupant's last read")
+    return sink

@@ -1,0 +1,111 @@
+"""Symbolic analyzer: is the shape-constraint table still sound?
+
+Every correctness claim downstream — fusion legality, buffer planning,
+shape-generic codegen — assumes the symbolic constraint system is
+consistent.  This analyzer re-derives the constraint table from scratch
+(never trusting the pipeline's cached ``ShapeAnalysis``) and flags:
+
+- **L101** — contradictory dim constraints: collecting the per-op facts
+  merges two union-find classes that resolve to *different* constants
+  (e.g. a mutated graph asserting ``4 == 8`` through an elementwise edge);
+- **L102** — dangling symbols: a :class:`SymDim` referenced by a node's
+  shape or attrs that the graph's symbol table has never heard of;
+- **L103** — symbol instances that diverge from the interned table entry
+  (same name, different object/hint) — the "likely value" hints the
+  schedule selector relies on were silently downgraded by some pass.
+"""
+
+from __future__ import annotations
+
+from ..core.symbolic.analysis import collect_node_facts
+from ..core.symbolic.constraints import ConstraintStore
+from ..core.symbolic.unionfind import ContradictionError
+from ..ir.graph import Graph
+from ..ir.shapes import SymDim
+from .diagnostics import DiagnosticSink
+
+__all__ = ["check_symbols"]
+
+
+def check_symbols(graph: Graph, sink: DiagnosticSink | None = None
+                  ) -> DiagnosticSink:
+    """Run every symbolic-consistency check over ``graph``."""
+    sink = sink if sink is not None else DiagnosticSink()
+    _check_contradictions(graph, sink)
+    _check_symbol_references(graph, sink)
+    return sink
+
+
+def _check_contradictions(graph, sink) -> None:
+    """Re-collect every op's shape facts, recording contradictions.
+
+    Collection continues after a contradiction: the store is never mutated
+    by a failing union (the union-find raises before merging), so later
+    nodes still see a consistent table and independent contradictions all
+    surface.
+    """
+    store = ConstraintStore()
+    for node in graph.nodes:
+        try:
+            collect_node_facts(node, store, full=True)
+        except ContradictionError as exc:
+            sink.emit(
+                "L101",
+                f"shape facts of this op contradict earlier constraints: "
+                f"{exc}",
+                node=node,
+                fix_hint="some pass changed a shape without updating the "
+                         "users; re-run inference along the def-use chain")
+        except Exception as exc:  # noqa: BLE001 - malformed attrs etc.
+            sink.emit(
+                "L101",
+                f"constraint collection failed: "
+                f"{type(exc).__name__}: {exc}",
+                node=node)
+
+
+def _iter_symdims(value):
+    """Yield every SymDim inside a shape/attr value, recursively."""
+    if isinstance(value, SymDim):
+        yield value
+    elif isinstance(value, (tuple, list)):
+        for item in value:
+            yield from _iter_symdims(item)
+
+
+def _check_symbol_references(graph, sink) -> None:
+    symtab = graph.symtab
+    reported: set[tuple] = set()
+    for node in graph.nodes:
+        sources = [("shape", node.shape)]
+        sources.extend(("attr " + key, value)
+                       for key, value in node.attrs.items())
+        for origin, value in sources:
+            for sym in _iter_symdims(value):
+                if sym.name not in symtab:
+                    key = ("L102", node.id, sym.name, origin)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    sink.emit(
+                        "L102",
+                        f"symbol {sym.name!r} ({origin}) is absent from "
+                        f"the symbol table",
+                        node=node,
+                        fix_hint="mint symbols through "
+                                 "graph.symtab.named()/fresh(), never "
+                                 "by constructing SymDim directly")
+                elif symtab.lookup(sym.name) is not sym:
+                    key = ("L103", node.id, sym.name, origin)
+                    if key in reported:
+                        continue
+                    reported.add(key)
+                    interned = symtab.lookup(sym.name)
+                    sink.emit(
+                        "L103",
+                        f"symbol {sym.name!r} ({origin}) is not the "
+                        f"interned instance (hint {sym.hint!r} vs table "
+                        f"hint {interned.hint!r})",
+                        node=node,
+                        fix_hint="reuse the SymDim from the symbol table "
+                                 "so likely-value hints survive passes")

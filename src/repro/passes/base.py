@@ -61,11 +61,20 @@ class FunctionPass(Pass):
 
 
 class PassManager:
-    """Runs a pipeline of passes over a graph."""
+    """Runs a pipeline of passes over a graph.
 
-    def __init__(self, passes: list[Pass], verify_each: bool = False) -> None:
+    ``after_each`` is an observation hook called as ``after_each(result,
+    graph)`` after every pass (before the fail-fast ``verify_each`` gate,
+    so an observer such as :class:`repro.lint.BlameRecorder` sees — and can
+    attribute — the breakage that ``verify`` would abort on).
+    """
+
+    def __init__(self, passes: list[Pass], verify_each: bool = False,
+                 after_each: Callable[[PassResult, Graph], None] | None
+                 = None) -> None:
         self.passes = list(passes)
         self.verify_each = verify_each
+        self.after_each = after_each
         self.results: list[PassResult] = []
 
     def run(self, graph: Graph) -> list[PassResult]:
@@ -73,6 +82,8 @@ class PassManager:
         for pass_ in self.passes:
             result = pass_(graph)
             self.results.append(result)
+            if self.after_each is not None:
+                self.after_each(result, graph)
             if self.verify_each:
                 verify(graph)
         return self.results

@@ -32,6 +32,8 @@ class CompileReport:
     analysis_summary: dict = field(default_factory=dict)
     num_kernels: int = 0
     num_nodes: int = 0
+    #: DiagnosticSink from the lint suite (None when lint_level is OFF).
+    lint: object = None
 
 
 @dataclass

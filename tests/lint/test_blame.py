@@ -1,0 +1,85 @@
+"""Per-pass blame: new findings are attributed to the pass that ran."""
+
+from repro.ir import GraphBuilder, f32
+from repro.lint import BlameRecorder, DiagnosticSink, lint_graph
+from repro.passes.base import FunctionPass, PassManager
+
+
+def make():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 8), f32)
+    b.outputs(b.exp(b.relu(x)))
+    return b.graph
+
+
+def noop(graph):
+    return {"changed": False}
+
+
+def corrupt(graph):
+    graph.nodes[1].shape = (4, 9)  # stale shape: L006 + L101 downstream
+    return {"changed": True}
+
+
+def run_with_blame(graph, passes):
+    recorder = BlameRecorder()
+    recorder.prime(graph)
+    PassManager(passes, after_each=recorder.after_pass).run(graph)
+    return recorder
+
+
+def test_clean_pipeline_blames_nobody():
+    recorder = run_with_blame(make(), [
+        FunctionPass(noop, name="first"),
+        FunctionPass(noop, name="second"),
+    ])
+    assert recorder.guilty_passes() == []
+    assert recorder.blamed == []
+    assert all(r.clean for r in recorder.records)
+
+
+def test_corrupting_pass_is_named():
+    recorder = run_with_blame(make(), [
+        FunctionPass(noop, name="innocent_before"),
+        FunctionPass(corrupt, name="evil_pass"),
+        FunctionPass(noop, name="innocent_after"),
+    ])
+    assert recorder.guilty_passes() == ["evil_pass"]
+    assert recorder.blamed
+    assert all(d.pass_name == "evil_pass" for d in recorder.blamed)
+    codes = {d.code for d in recorder.blamed}
+    assert "L006" in codes
+
+
+def test_preexisting_findings_belong_to_the_producer():
+    graph = make()
+    corrupt(graph)  # broken *before* any pass runs
+    recorder = run_with_blame(graph, [FunctionPass(noop, name="innocent")])
+    assert recorder.guilty_passes() == []
+
+
+def test_annotate_stamps_blame_onto_a_later_lint_run():
+    graph = make()
+    recorder = run_with_blame(graph, [
+        FunctionPass(corrupt, name="evil_pass"),
+    ])
+    sink = lint_graph(graph, DiagnosticSink())
+    assert all(d.pass_name is None for d in sink)
+    recorder.annotate(sink)
+    blamed = [d for d in sink if d.pass_name == "evil_pass"]
+    assert blamed, "annotate found no matching findings"
+    assert any("evil_pass" in str(d) for d in blamed)
+
+
+def test_blame_diff_keyed_on_identity_not_message():
+    """A second run over the same broken graph introduces nothing new."""
+    graph = make()
+    recorder = BlameRecorder()
+    recorder.prime(graph)
+    manager = PassManager([FunctionPass(corrupt, name="evil_pass"),
+                           FunctionPass(noop, name="later")],
+                          after_each=recorder.after_pass)
+    manager.run(graph)
+    by_pass = {r.pass_name: r for r in recorder.records}
+    assert not by_pass["evil_pass"].clean
+    assert by_pass["later"].clean  # same findings, not re-blamed

@@ -1,0 +1,50 @@
+"""Property: every bundled model lints clean, before and after compiling.
+
+This is the linter's false-positive guard.  The analyzers re-derive every
+invariant at FULL strictness, so anything the real pipeline produces must
+audit clean — a finding on a zoo model is a lint bug, not a model bug.
+"""
+
+import pytest
+
+from repro.core.pipeline import CompileOptions, compile_graph
+from repro.lint import LintLevel, lint_executable, lint_graph
+from repro.models import MODEL_BUILDERS
+
+MODELS = sorted(MODEL_BUILDERS)
+
+
+@pytest.mark.parametrize("name", MODELS)
+def test_model_graph_lints_clean(name):
+    graph = MODEL_BUILDERS[name]().graph
+    sink = lint_graph(graph)
+    assert not sink, f"{name}: {sink.render()}"
+
+
+@pytest.mark.parametrize("name", MODELS)
+def test_compiled_model_emits_zero_diagnostics(name):
+    graph = MODEL_BUILDERS[name]().graph
+    options = CompileOptions(lint_level=LintLevel.DEFAULT)
+    executable = compile_graph(graph, options)
+    sink = executable.report.lint
+    assert sink is not None, "lint_level=DEFAULT produced no report"
+    assert sink.ok(LintLevel.DEFAULT), sink.render()
+    # Stronger: the optimized artifacts are clean even of warnings.
+    assert sink.ok(LintLevel.STRICT), sink.render()
+    assert not any(d.pass_name for d in sink), "blame on a clean compile"
+
+
+@pytest.mark.parametrize("name", MODELS[:2])
+def test_lint_executable_matches_report(name):
+    """The standalone deep lint agrees with the in-pipeline one."""
+    graph = MODEL_BUILDERS[name]().graph
+    options = CompileOptions(lint_level=LintLevel.DEFAULT)
+    executable = compile_graph(graph, options)
+    standalone = lint_executable(executable, config=options.fusion)
+    assert not standalone, standalone.render()
+
+
+def test_lint_off_keeps_reports_lint_free():
+    graph = MODEL_BUILDERS[MODELS[0]]().graph
+    executable = compile_graph(graph, CompileOptions())
+    assert executable.report.lint is None

@@ -1,0 +1,70 @@
+"""The ``python -m repro.lint`` CLI: exit codes and reporting."""
+
+from pathlib import Path
+
+from repro.ir import GraphBuilder, f32
+from repro.ir.serde import save_graph
+from repro.lint.__main__ import main
+
+CORPUS_DIR = Path(__file__).resolve().parents[1] / "regressions" / "corpus"
+
+
+def write_graph(tmp_path, name, mutate=None):
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 8), f32)
+    b.outputs(b.exp(b.relu(x)))
+    if mutate is not None:
+        mutate(b.graph)
+    return str(save_graph(b.graph, tmp_path / name))
+
+
+def test_clean_graph_exits_zero(tmp_path, capsys):
+    path = write_graph(tmp_path, "clean.json")
+    assert main([path]) == 0
+    out = capsys.readouterr().out
+    assert "OK" in out
+    assert "0 failing" in out
+
+
+def test_bad_graph_exits_nonzero_with_codes(tmp_path, capsys):
+    path = write_graph(tmp_path, "bad.json",
+                       mutate=lambda g: setattr(g.nodes[1], "shape", (4, 9)))
+    assert main([path]) == 1
+    out = capsys.readouterr().out
+    assert "L006" in out
+    assert "L101" in out  # collect-all: both analyzers report
+
+
+def test_unreadable_file_is_l000(tmp_path, capsys):
+    path = tmp_path / "junk.json"
+    path.write_text("{not json")
+    assert main([str(path)]) == 1
+    assert "L000" in capsys.readouterr().out
+
+
+def test_directory_target_and_corpus_are_clean(capsys):
+    assert main([str(CORPUS_DIR), "--level", "strict"]) == 0
+    out = capsys.readouterr().out
+    assert "0 failing" in out
+
+
+def test_strict_level_fails_on_warnings(tmp_path, capsys):
+    def add_dead_node(graph):
+        graph.add("neg", (graph.nodes[1],))  # never used: L007 warning
+
+    path = write_graph(tmp_path, "warn.json", mutate=add_dead_node)
+    assert main([path, "--no-pipeline"]) == 0          # default: warning ok
+    capsys.readouterr()
+    assert main([path, "--no-pipeline", "--level", "strict"]) == 1
+    assert "L007" in capsys.readouterr().out
+
+
+def test_codes_flag_prints_the_registry(capsys):
+    assert main(["--codes"]) == 0
+    out = capsys.readouterr().out
+    for code in ("L001", "L101", "L201", "L301"):
+        assert code in out
+
+
+def test_no_targets_is_a_usage_error(capsys):
+    assert main([]) == 2

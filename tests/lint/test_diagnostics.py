@@ -1,0 +1,96 @@
+"""The diagnostics engine: registry, sink semantics, level filtering."""
+
+import pytest
+
+from repro.lint import (CODE_REGISTRY, Diagnostic, DiagnosticSink,
+                        LintLevel, Severity, code_info)
+
+
+def test_registry_codes_are_well_formed():
+    assert CODE_REGISTRY, "registry is empty"
+    for code, info in CODE_REGISTRY.items():
+        assert info.code == code
+        assert code.startswith("L") and code[1:].isdigit()
+        assert isinstance(info.severity, Severity)
+        assert info.analyzer
+        assert info.title
+
+
+def test_registry_covers_every_analyzer():
+    analyzers = {info.analyzer for info in CODE_REGISTRY.values()}
+    assert {"graph", "symbolic", "fusion", "memory"} <= analyzers
+
+
+def test_code_info_rejects_unknown_codes():
+    with pytest.raises(KeyError, match="L999"):
+        code_info("L999")
+    with pytest.raises(KeyError):
+        DiagnosticSink().emit("L999", "nope")
+
+
+def test_sink_collects_all_not_just_first():
+    sink = DiagnosticSink()
+    sink.emit("L001", "first")
+    sink.emit("L006", "second")
+    sink.emit("L007", "third (warning)")
+    assert len(sink) == 3
+    assert sink.codes() == {"L001", "L006", "L007"}
+    assert [d.code for d in sink.errors()] == ["L001", "L006"]
+    assert [d.code for d in sink.warnings()] == ["L007"]
+    assert [d.code for d in sink.by_code("L006")] == ["L006"]
+
+
+def test_severity_comes_from_the_registry():
+    sink = DiagnosticSink()
+    assert sink.emit("L001", "x").severity is Severity.ERROR
+    assert sink.emit("L007", "x").severity is Severity.WARNING
+
+
+def test_level_filtering():
+    sink = DiagnosticSink()
+    sink.emit("L006", "an error")
+    sink.emit("L007", "a warning")
+    assert sink.failures(LintLevel.OFF) == []
+    assert [d.code for d in sink.failures(LintLevel.DEFAULT)] == ["L006"]
+    assert {d.code for d in sink.failures(LintLevel.STRICT)} \
+        == {"L006", "L007"}
+    assert sink.ok(LintLevel.OFF)
+    assert not sink.ok(LintLevel.DEFAULT)
+
+    warnings_only = DiagnosticSink()
+    warnings_only.emit("L007", "a warning")
+    assert warnings_only.ok(LintLevel.DEFAULT)
+    assert not warnings_only.ok(LintLevel.STRICT)
+
+
+def test_rendering_carries_code_location_blame_and_hint():
+    diag = Diagnostic(code="L006", severity=Severity.ERROR,
+                      message="stale shape", node="%3:relu", node_id=3,
+                      pass_name="evil", fix_hint="re-run inference")
+    text = str(diag)
+    assert "L006" in text
+    assert "error" in text
+    assert "%3:relu" in text
+    assert "introduced by pass 'evil'" in text
+    assert "re-run inference" in text
+
+
+def test_key_ignores_message_text():
+    a = Diagnostic("L006", Severity.ERROR, "shape (4,)", node="%1:relu",
+                   node_id=1)
+    b = Diagnostic("L006", Severity.ERROR, "shape (8,)", node="%1:relu",
+                   node_id=1)
+    assert a.key() == b.key()
+
+
+def test_extend_and_summary():
+    a, b = DiagnosticSink(), DiagnosticSink()
+    a.emit("L001", "x")
+    b.emit("L007", "y")
+    a.extend(b)
+    summary = a.summary()
+    assert summary["diagnostics"] == 2
+    assert summary["errors"] == 1
+    assert summary["warnings"] == 1
+    assert summary["codes"] == ["L001", "L007"]
+    assert "L001" in a.render() and "L007" in a.render()

@@ -1,0 +1,143 @@
+"""Fusion auditor: hand-built bad plans per diagnostic code (L201-L207)."""
+
+from repro.core.fusion import FusionConfig, FusionGroup, FusionKind, \
+    FusionPlan
+from repro.ir import GraphBuilder, f32
+from repro.lint import LintLevel, check_fusion_plan
+
+
+def loop_chain():
+    """x -> relu -> exp, the minimal legal kLoop group."""
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 3), f32)
+    a = b.relu(x)
+    c = b.exp(a)
+    b.outputs(c)
+    return b.graph, a, c
+
+
+def plan_of(graph, *groups):
+    return FusionPlan(graph, list(groups))
+
+
+def test_clean_loop_group_audits_clean():
+    graph, a, c = loop_chain()
+    plan = plan_of(graph, FusionGroup(0, FusionKind.LOOP, [a, c]))
+    assert not check_fusion_plan(plan)
+
+
+def test_l201_dot_may_not_join_a_loop_kernel():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 3), f32)
+    y = b.parameter("y", (3, 5), f32)
+    d = b.dot(x, y)
+    b.outputs(d)
+    plan = plan_of(b.graph, FusionGroup(0, FusionKind.LOOP, [d]))
+    assert "L201" in check_fusion_plan(plan).codes()
+
+
+def test_l201_library_group_rejects_elementwise_member():
+    graph, a, c = loop_chain()
+    plan = plan_of(graph,
+                   FusionGroup(0, FusionKind.LIBRARY, [a]),
+                   FusionGroup(1, FusionKind.LOOP, [c]))
+    assert "L201" in check_fusion_plan(plan).codes()
+
+
+def test_l201_singleton_group_must_be_single():
+    graph, a, c = loop_chain()
+    plan = plan_of(graph, FusionGroup(0, FusionKind.SINGLETON, [a, c]))
+    assert "L201" in check_fusion_plan(plan).codes()
+
+
+def test_l202_loop_edge_with_unprovable_domains():
+    graph, a, c = loop_chain()
+    c.shape = (5,)  # 12 elements feeding a 5-element consumer
+    plan = plan_of(graph, FusionGroup(0, FusionKind.LOOP, [a, c]))
+    sink = check_fusion_plan(plan)
+    assert "L202" in sink.codes()
+    assert all(d.group == 0 for d in sink.by_code("L202"))
+
+
+def test_l203_input_group_needs_exactly_one_reduction():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 8), f32)
+    r1 = b.reduce_sum(x, axes=1)
+    r2 = b.reduce_max(x, axes=1)
+    e = b.relu(x)
+    b.outputs(r1, r2, e)
+    zero = plan_of(b.graph,
+                   FusionGroup(0, FusionKind.INPUT, [e]),
+                   FusionGroup(1, FusionKind.LOOP, [r1]),
+                   FusionGroup(2, FusionKind.LOOP, [r2]))
+    assert "L203" in check_fusion_plan(zero).codes()
+    two = plan_of(b.graph,
+                  FusionGroup(0, FusionKind.INPUT, [r1, r2]),
+                  FusionGroup(1, FusionKind.LOOP, [e]))
+    assert "L203" in check_fusion_plan(two).codes()
+
+
+def test_l203_input_member_outside_the_root_domain():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 8), f32)
+    y = b.parameter("y", (3, 3), f32)
+    r = b.reduce_sum(x, axes=1)
+    e = b.relu(y)  # 9 elements vs the root's 32-element input domain
+    b.outputs(r, e)
+    plan = plan_of(b.graph, FusionGroup(0, FusionKind.INPUT, [r, e]))
+    sink = check_fusion_plan(plan)
+    assert "L203" in sink.codes()
+
+
+def test_l204_stitch_needs_two_last_axis_reductions():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 8), f32)
+    r = b.reduce_max(x, axes=1)
+    b.outputs(r)
+    plan = plan_of(b.graph, FusionGroup(0, FusionKind.STITCH, [r]))
+    assert "L204" in check_fusion_plan(plan).codes()
+
+
+def test_l204_stitched_reduce_must_be_last_axis():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 8), f32)
+    r1 = b.reduce_max(x, axes=1)
+    r2 = b.reduce_sum(x, axes=1)
+    r3 = b.reduce_sum(x, axes=0)  # wrong axis
+    b.outputs(r1, r2, r3)
+    plan = plan_of(b.graph,
+                   FusionGroup(0, FusionKind.STITCH, [r1, r2, r3]))
+    sink = check_fusion_plan(plan)
+    assert "L204" in sink.codes()
+    assert any(d.node for d in sink.by_code("L204"))
+
+
+def test_l205_resource_bound_is_a_warning():
+    graph, a, c = loop_chain()
+    plan = plan_of(graph, FusionGroup(0, FusionKind.LOOP, [a, c]))
+    config = FusionConfig(max_group_size=1)
+    sink = check_fusion_plan(plan, config=config)
+    assert sink.codes() == {"L205"}
+    assert sink.ok(LintLevel.DEFAULT)
+    assert not sink.ok(LintLevel.STRICT)
+
+
+def test_l206_group_contracted_cycle():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    n1 = b.relu(x)
+    n2 = b.exp(n1)
+    n3 = b.log(n2)
+    b.outputs(n3)
+    # g0 -> g1 (n1 feeds n2) and g1 -> g0 (n2 feeds n3): a 2-cycle.
+    plan = plan_of(b.graph,
+                   FusionGroup(0, FusionKind.LOOP, [n1, n3]),
+                   FusionGroup(1, FusionKind.LOOP, [n2]))
+    assert "L206" in check_fusion_plan(plan).codes()
+
+
+def test_l207_uncovered_compute_nodes():
+    graph, a, c = loop_chain()
+    plan = FusionPlan(graph, [])
+    sink = check_fusion_plan(plan)
+    assert len(sink.by_code("L207")) == 2  # relu and exp; params exempt

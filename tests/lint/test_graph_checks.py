@@ -1,0 +1,108 @@
+"""One hand-built bad graph per structural diagnostic code (L001-L010)."""
+
+from repro.ir import GraphBuilder, f32, f64, verify
+from repro.lint import LintLevel, check_graph
+
+
+def make():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4, 8), f32)
+    y = b.relu(x)
+    b.outputs(b.exp(y))
+    return b
+
+
+def codes_of(graph):
+    return check_graph(graph).codes()
+
+
+def test_clean_graph_has_no_findings():
+    assert not check_graph(make().graph)
+
+
+def test_l001_foreign_operand():
+    b1, b2 = make(), make()
+    b1.graph.nodes[2].inputs[0] = b2.graph.nodes[1]
+    assert "L001" in codes_of(b1.graph)
+
+
+def test_l002_topological_order_broken():
+    b = make()
+    b.graph.nodes.reverse()
+    assert "L002" in codes_of(b.graph)
+
+
+def test_l003_foreign_output():
+    b1, b2 = make(), make()
+    b1.graph.outputs = [b2.graph.nodes[-1]]
+    assert "L003" in codes_of(b1.graph)
+
+
+def test_l004_duplicate_parameter_name():
+    b = make()
+    other = b.parameter("y", (4, 8), f32)
+    other.attrs["param_name"] = "x"
+    assert "L004" in codes_of(b.graph)
+
+
+def test_l005_arity_violation():
+    b = make()
+    relu = b.graph.nodes[1]
+    relu.inputs.append(b.graph.nodes[0])  # relu is unary
+    assert "L005" in codes_of(b.graph)
+
+
+def test_l006_stale_shape():
+    b = make()
+    b.graph.nodes[1].shape = (99, 99)
+    assert "L006" in codes_of(b.graph)
+
+
+def test_l006_stale_dtype():
+    b = make()
+    b.graph.nodes[2].dtype = f64
+    assert "L006" in codes_of(b.graph)
+
+
+def test_l007_dead_value_is_a_warning():
+    b = make()
+    b.mul(b.graph.nodes[0], b.graph.nodes[0])  # never used, not an output
+    sink = check_graph(b.graph)
+    assert {d.code for d in sink} == {"L007"}
+    assert sink.ok(LintLevel.DEFAULT)
+    assert not sink.ok(LintLevel.STRICT)
+    verify(b.graph)  # the fail-fast gate ignores warnings
+
+
+def test_l008_parameter_declaration_mismatch():
+    b = make()
+    b.graph.nodes[0].dtype = f64  # attrs still declare f32
+    assert "L008" in codes_of(b.graph)
+
+
+def test_l009_unreachable_chain():
+    b = make()
+    dead_head = b.abs(b.graph.nodes[0])
+    b.neg(dead_head)  # dead_head has a user, but no path to an output
+    sink = check_graph(b.graph)
+    by_code = {d.code: d for d in sink}
+    assert "L009" in by_code  # dead_head: feeds only dead computation
+    assert "L007" in by_code  # the neg: never used at all
+
+
+def test_l010_duplicate_node_id():
+    b = make()
+    b.graph.nodes[2].id = b.graph.nodes[1].id
+    assert "L010" in codes_of(b.graph)
+
+
+def test_multi_defect_graph_reports_everything_at_once():
+    """The point of the collect-all sink: no finding masks another."""
+    b1, b2 = make(), make()
+    graph = b1.graph
+    graph.nodes[2].inputs[0] = b2.graph.nodes[1]   # L001
+    graph.nodes[1].shape = (4, 9)                  # L006
+    extra = b1.parameter("x2", (4, 8), f32)
+    extra.attrs["param_name"] = "x"                # L004
+    sink = check_graph(graph)
+    assert {"L001", "L004", "L006"} <= sink.codes()

@@ -1,0 +1,56 @@
+"""Memory-plan analyzer: corrupted BufferPlans per code (L301-L303)."""
+
+from repro.lint import check_buffer_plan
+from repro.runtime.memory import BufferPlan, Interval
+
+
+def iv(node_id, start, end):
+    return Interval(node_id=node_id, shape=(4,), dtype_size=4,
+                    start=start, end=end)
+
+
+def test_none_plan_is_fine():
+    assert not check_buffer_plan(None)
+
+
+def test_fresh_plan_audits_clean():
+    plan = BufferPlan([iv(1, 0, 2), iv(2, 1, 3), iv(3, 3, 4)])
+    assert not check_buffer_plan(plan)
+
+
+def test_l301_overlapping_ranges_share_a_slot():
+    intervals = [iv(1, 0, 2), iv(2, 1, 3)]
+    plan = BufferPlan(intervals)
+    assert intervals[0].slot != intervals[1].slot  # sanity: planner is fine
+    intervals[1].slot = intervals[0].slot          # corrupt it
+    sink = check_buffer_plan(plan)
+    assert sink.codes() == {"L301"}
+
+
+def test_l302_negative_range():
+    plan = BufferPlan([iv(1, 0, 1)])
+    plan.intervals[0].start, plan.intervals[0].end = 3, 1
+    assert "L302" in check_buffer_plan(plan).codes()
+
+
+def test_l302_slot_out_of_bounds():
+    plan = BufferPlan([iv(1, 0, 1)])
+    plan.intervals[0].slot = plan.num_slots  # beyond the slot count
+    assert "L302" in check_buffer_plan(plan).codes()
+    plan.intervals[0].slot = -1              # never assigned
+    assert "L302" in check_buffer_plan(plan).codes()
+
+
+def test_l303_double_planned_node():
+    plan = BufferPlan([iv(7, 0, 1), iv(8, 2, 3)])
+    plan.intervals[1].node_id = 7
+    assert "L303" in check_buffer_plan(plan).codes()
+
+
+def test_multi_defect_plan_reports_everything():
+    intervals = [iv(1, 0, 2), iv(2, 1, 3), iv(3, 5, 4)]
+    plan = BufferPlan(intervals)
+    intervals[1].slot = intervals[0].slot  # L301
+    intervals[1].node_id = 1               # L303
+    sink = check_buffer_plan(plan)         # interval 3 is L302 (5..4)
+    assert {"L301", "L302", "L303"} <= sink.codes()

@@ -1,0 +1,69 @@
+"""Symbolic analyzer: contradictions, dangling symbols, lost hints."""
+
+from repro.ir import GraphBuilder, SymDim, f32
+from repro.lint import LintLevel, check_symbols, lint_graph
+
+
+def make_symbolic():
+    b = GraphBuilder("g")
+    n = b.sym("n", hint=64)
+    x = b.parameter("x", (n, 8), f32)
+    b.outputs(b.exp(b.relu(x)))
+    return b
+
+
+def test_clean_graph_has_no_findings():
+    assert not check_symbols(make_symbolic().graph)
+
+
+def test_l101_contradictory_constants():
+    b = make_symbolic()
+    # The relu output claims (n, 9) while its input is (n, 8): collecting
+    # the elementwise equality fact unifies the constants 8 and 9.
+    b.graph.nodes[1].shape = (b.sym("n"), 9)
+    sink = check_symbols(b.graph)
+    assert "L101" in sink.codes()
+    assert any(d.node for d in sink.by_code("L101"))  # anchored to a node
+
+
+def test_l101_does_not_mask_later_contradictions():
+    b = GraphBuilder("g")
+    x = b.parameter("x", (4,), f32)
+    y = b.parameter("y", (6,), f32)
+    r1, r2 = b.relu(x), b.relu(y)
+    b.outputs(r1, r2)
+    b.graph.nodes[2].shape = (5,)  # r1: 4 == 5
+    b.graph.nodes[3].shape = (7,)  # r2: 6 == 7, independent contradiction
+    sink = check_symbols(b.graph)
+    assert len(sink.by_code("L101")) == 2
+
+
+def test_l102_dangling_symbol():
+    b = make_symbolic()
+    b.graph.nodes[1].shape = (SymDim("ghost"), 8)
+    sink = check_symbols(b.graph)
+    assert "L102" in sink.codes()
+
+
+def test_l103_non_interned_symbol_hint_lost():
+    b = make_symbolic()
+    # Same name the table knows, different instance, hint dropped — the
+    # frozen dataclass compares equal by name so only identity catches it.
+    rogue = SymDim("n")
+    b.graph.nodes[0].shape = (rogue, 8)
+    b.graph.nodes[0].attrs["shape"] = (rogue, 8)
+    b.graph.nodes[1].shape = (rogue, 8)
+    b.graph.nodes[2].shape = (rogue, 8)
+    sink = check_symbols(b.graph)
+    assert "L103" in sink.codes()
+    assert sink.ok(LintLevel.DEFAULT)       # warning only
+    assert not sink.ok(LintLevel.STRICT)
+
+
+def test_lint_graph_combines_structural_and_symbolic():
+    b = make_symbolic()
+    b.graph.nodes[1].shape = (b.sym("n"), 9)
+    sink = lint_graph(b.graph)
+    # One mutation, two independent analyzers: the stale shape trips the
+    # re-inference check and the constraint re-derivation.
+    assert {"L006", "L101"} <= sink.codes()

@@ -43,3 +43,52 @@ def test_corpus_case_passes_differential_check(path):
 def test_corpus_case_has_triage_note(path):
     _graph, _bindings, meta = load_case(path)
     assert meta.get("note"), "every corpus case must say why it exists"
+
+
+# ---------------------------------------------------------------------------
+# lint replay: the collect-all analyzers over every corpus case
+# ---------------------------------------------------------------------------
+
+@pytest.mark.parametrize("path", CASES, ids=lambda p: p.stem)
+def test_corpus_case_lints_clean(path):
+    """Every corpus case reports exactly the codes its metadata expects.
+
+    ``verify`` raising on the first defect used to be a blind spot: a case
+    exercising several broken invariants only ever pinned the first one.
+    The lint replay closes it — the full diagnostic set is compared, so a
+    case is a regression both when an expected code disappears *and* when
+    a new one appears.  Most cases expect the empty set (they are fixed
+    bugs); a case may declare ``expected_lint`` in its metadata.
+    """
+    from repro.lint import lint_graph
+
+    graph, _bindings, meta = load_case(path)
+    sink = lint_graph(graph)
+    expected = set(meta.get("expected_lint", []))
+    assert sink.codes() == expected, (
+        f"{path.name}: lint codes {sorted(sink.codes())} != expected "
+        f"{sorted(expected)}:\n{sink.render()}")
+
+
+def test_multi_defect_graph_reports_all_codes_not_just_the_first():
+    """The fail-fast blind spot itself, replayed on a corpus graph.
+
+    Seed three independent defects into one corpus graph; ``verify``
+    stops at one of them, the linter must surface all three.
+    """
+    from repro.ir import f64
+    from repro.lint import lint_graph
+
+    graph, _bindings, _meta = load_case(CASES[0])
+    compute = [n for n in graph.nodes
+               if n.op not in ("parameter", "constant")]
+    compute[0].shape = tuple(99 for _ in compute[0].shape)   # L006 (+L101)
+    compute[1].dtype = f64                                   # L006
+    compute[2].id = compute[1].id                            # L010
+    sink = lint_graph(graph)
+    assert {"L006", "L010"} <= sink.codes()
+    assert len(sink.by_code("L006")) >= 2, (
+        "independent defects must not mask each other:\n" + sink.render())
+
+    with pytest.raises(Exception):
+        verify(graph)  # the fail-fast gate sees (at most) one of them
