@@ -32,7 +32,9 @@ from .ir import (DType, Graph, GraphBuilder, Node, SymDim, boolean, f16,
                  f32, f64, i32, i64, print_graph, verify)
 from .core import (CompileOptions, ConstraintLevel, DiscCompiler,
                    FusionConfig, FusionKind, compile_graph)
-from .runtime import EngineOptions, Executable, ExecutionEngine
+from .runtime import (EngineOptions, Executable, ExecutionEngine,
+                      HostProgram, LaunchPlan, LaunchPlanCache,
+                      LegacyExecutionEngine)
 from .device import A10, T4, DeviceProfile, RunStats, Timeline, device_named
 from .interp import evaluate
 from .frontend import TracedTensor, trace
@@ -48,6 +50,8 @@ __all__ = [
     "CompileOptions", "ConstraintLevel", "DiscCompiler", "FusionConfig",
     "FusionKind", "compile_graph",
     "EngineOptions", "Executable", "ExecutionEngine",
+    "HostProgram", "LaunchPlan", "LaunchPlanCache",
+    "LegacyExecutionEngine",
     "A10", "T4", "DeviceProfile", "RunStats", "Timeline", "device_named",
     "evaluate",
     "TracedTensor", "trace",

@@ -16,6 +16,7 @@ from .experiments import (
     e11_memory_planning, format_memory_planning,
     e12_adaptive_specialization, format_adaptive_specialization,
     e14_serving_tail_latency, format_serving_tail_latency,
+    e15_host_overhead, format_host_overhead,
 )
 from .serving import ServingResult, simulate_serving
 
@@ -34,5 +35,6 @@ __all__ = [
     "e11_memory_planning", "format_memory_planning",
     "e12_adaptive_specialization", "format_adaptive_specialization",
     "e14_serving_tail_latency", "format_serving_tail_latency",
+    "e15_host_overhead", "format_host_overhead",
     "ServingResult", "simulate_serving",
 ]

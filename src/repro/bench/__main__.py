@@ -19,10 +19,12 @@ from . import (e1_end_to_end, e3_fusion_ablation, e4_shape_constraints,
                e7_shape_diversity, e8_kernel_reduction,
                e9_schedule_selection, e10_placement_overhead,
                e11_memory_planning, e12_adaptive_specialization,
-               e14_serving_tail_latency, format_adaptive_specialization,
+               e14_serving_tail_latency, e15_host_overhead,
+               format_adaptive_specialization,
                format_codegen_strategies, format_compile_overhead,
                format_end_to_end, format_fusion_ablation,
-               format_kernel_reduction, format_memory_planning,
+               format_host_overhead, format_kernel_reduction,
+               format_memory_planning,
                format_placement_overhead, format_schedule_selection,
                format_serving_tail_latency, format_shape_constraints,
                format_shape_diversity, print_and_save)
@@ -60,6 +62,8 @@ EXPERIMENTS = {
             format_end_to_end, "cpu_end_to_end"),
     "e14": (lambda device: e14_serving_tail_latency(device),
             format_serving_tail_latency, "serving_tail_latency"),
+    "e15": (lambda device: e15_host_overhead(device),
+            format_host_overhead, "host_overhead"),
 }
 
 

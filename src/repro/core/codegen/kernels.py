@@ -122,6 +122,27 @@ class CompiledKernel:
             return select_reduction(rows, cols)
         return None
 
+    def resolve_schedule(self, dims: dict,
+                         forced: Schedule | None = None
+                         ) -> Schedule | None:
+        """Plan-freezing hook: the variant one launch will actually use.
+
+        With ``forced`` (the E9 ablation) the forced variant is used
+        unless its schedule family does not fit this kernel's iteration
+        domain — a forced elementwise schedule makes no sense on a
+        row-space kernel and vice versa; the selector decides there.
+        Both the legacy per-call engine and the launch-plan recorder go
+        through this method, so a frozen plan can never disagree with
+        what per-call selection would have picked.
+        """
+        if forced is None:
+            return self.select_schedule(dims)
+        if self.recipe.domain is not None:
+            domain_kind = self.recipe.domain[0]
+            if (domain_kind == "rows") != forced.row_space:
+                return self.select_schedule(dims)
+        return forced
+
     def cost_spec(self, dims: dict, schedule: Schedule | None,
                   base_efficiency: float = 1.0) -> KernelSpec:
         """Instantiate the cost-model spec for one launch."""

@@ -38,6 +38,17 @@ class Schedule:
     #: extra kernel launches this schedule needs beyond the first.
     extra_launches: int = 0
 
+    @property
+    def row_space(self) -> bool:
+        """True for schedules over a row space (reduction family).
+
+        The launch planner and the E9 forced-schedule ablation both need
+        to know whether a variant is applicable to a kernel's iteration
+        domain; keying on the family here keeps that decision in one
+        place instead of hard-coded name lists at the call sites.
+        """
+        return self.name in ("row_per_warp", "row_per_block", "two_pass")
+
     # Efficiency / parallelism are functions of the *concrete* iteration
     # space, evaluated at run time when the shapes are known.
 

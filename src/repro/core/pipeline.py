@@ -9,7 +9,9 @@ with symbolic shapes and produces a shape-generic :class:`Executable` —
 3. plan fusion from the propagated shape relationships;
 4. generate one kernel per fusion group (compile-time half) with runtime
    schedule selection hooks (runtime half);
-5. assemble the executable with its compile report.
+5. lower the kernel list into the slot-addressed host program (the
+   compiled host-side instruction stream the engine executes);
+6. assemble the executable with its compile report.
 
 Compilation happens exactly once per model; no step here ever needs a
 concrete shape value.
@@ -28,6 +30,7 @@ from ..lint.diagnostics import LintLevel
 from ..lint.engine import _run_pipeline_lint
 from ..passes import PassManager, default_pipeline
 from ..runtime.executable import CompileReport, Executable
+from ..runtime.hostprog import lower_program
 from ..runtime.memory import plan_buffers
 from .codegen.kernels import compile_group
 from .fusion.kinds import FusionConfig, FusionKind
@@ -93,11 +96,16 @@ class DiscCompiler:
                     node.dtype.to_numpy(), copy=False)
 
         buffer_plan = plan_buffers(kernels, working.outputs)
+        # Host-program lowering: renumber values to dense slots, freeze
+        # per-kernel slot tuples and last-use release, factor the dim
+        # resolver — everything the engine would otherwise re-derive
+        # per call (see runtime.hostprog).
+        host_program = lower_program(working, kernels, constants)
         lint_sink = None
         if linting:
             lint_sink = _run_pipeline_lint(
                 working, recorder, plan, analysis, options.fusion,
-                buffer_plan)
+                buffer_plan, host_program)
 
         wall = time.perf_counter() - start
         report = CompileReport(
@@ -115,7 +123,8 @@ class DiscCompiler:
         )
         return Executable(graph=working, plan=plan, kernels=kernels,
                           constants=constants, report=report,
-                          buffer_plan=buffer_plan)
+                          buffer_plan=buffer_plan,
+                          host_program=host_program)
 
 
 def compile_graph(graph: Graph,

@@ -29,6 +29,7 @@ from .diagnostics import (CODE_REGISTRY, CodeInfo, Diagnostic,
 from .engine import lint_compiled, lint_executable, lint_graph
 from .fusion_checks import check_fusion_plan
 from .graph_checks import check_graph
+from .hostprog_checks import check_host_program
 from .memory_checks import check_buffer_plan
 from .symbolic_checks import check_symbols
 
@@ -46,6 +47,7 @@ __all__ = [
     "check_symbols",
     "check_fusion_plan",
     "check_buffer_plan",
+    "check_host_program",
     "lint_graph",
     "lint_executable",
     "lint_compiled",

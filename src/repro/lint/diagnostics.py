@@ -133,6 +133,16 @@ _register("L302", Severity.ERROR, "memory",
 _register("L303", Severity.ERROR, "memory",
           "one value is planned into two buffers")
 
+# -- L4xx: host-program analyzer -------------------------------------------
+_register("L401", Severity.ERROR, "hostprog",
+          "instruction reads a slot no earlier instruction defines")
+_register("L402", Severity.ERROR, "hostprog",
+          "slot is released before a later instruction reads it")
+_register("L403", Severity.ERROR, "hostprog",
+          "program output slot is released or never defined")
+_register("L404", Severity.ERROR, "hostprog",
+          "slot table is not a dense bijection over program values")
+
 
 def code_info(code: str) -> CodeInfo:
     try:

@@ -19,6 +19,7 @@ from .blame import BlameRecorder
 from .diagnostics import DiagnosticSink, LintLevel
 from .fusion_checks import check_fusion_plan
 from .graph_checks import check_graph
+from .hostprog_checks import check_host_program
 from .memory_checks import check_buffer_plan
 from .symbolic_checks import check_symbols
 
@@ -46,6 +47,7 @@ def lint_executable(executable, config=None,
     lint_graph(executable.graph, sink)
     check_fusion_plan(executable.plan, config=config, sink=sink)
     check_buffer_plan(getattr(executable, "buffer_plan", None), sink)
+    check_host_program(getattr(executable, "host_program", None), sink)
     return sink
 
 
@@ -83,8 +85,8 @@ def lint_compiled(graph: Graph, options=None,
 
 
 def _run_pipeline_lint(working: Graph, recorder: BlameRecorder | None,
-                       plan, analysis, config, buffer_plan
-                       ) -> DiagnosticSink:
+                       plan, analysis, config, buffer_plan,
+                       host_program=None) -> DiagnosticSink:
     """Post-pipeline lint used by ``DiscCompiler`` (internal).
 
     Lints the optimized graph, the fusion plan (reusing the pipeline's
@@ -96,6 +98,7 @@ def _run_pipeline_lint(working: Graph, recorder: BlameRecorder | None,
     lint_graph(working, sink)
     check_fusion_plan(plan, analysis=None, config=config, sink=sink)
     check_buffer_plan(buffer_plan, sink)
+    check_host_program(host_program, sink)
     if recorder is not None:
         recorder.annotate(sink)
     return sink

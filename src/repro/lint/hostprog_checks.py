@@ -1,0 +1,79 @@
+"""Host-program analyzer: the slot-addressed instruction stream is safe.
+
+``runtime.hostprog.lower_program`` turns the compiled kernel list into a
+dense-slot instruction stream with last-use release.  A wrong slot index
+or a premature release silently corrupts results (a released slot reads
+back ``None``; an aliased slot reads another value's array), so the
+lowering is re-audited structurally, independent of the lowerer:
+
+- **L401** — an instruction (or the program epilogue) reads a slot that
+  no parameter, constant or earlier instruction defines;
+- **L402** — a slot is released at one instruction but read again by a
+  later one (the read would observe ``None``);
+- **L403** — a program output slot is released anywhere, or is never
+  defined at all (the caller would receive ``None``);
+- **L404** — the slot table is not a dense 0..n-1 bijection (two values
+  mapped to one slot index, or a hole in the numbering).
+"""
+
+from __future__ import annotations
+
+from .diagnostics import DiagnosticSink
+
+__all__ = ["check_host_program"]
+
+
+def check_host_program(program, sink: DiagnosticSink | None = None
+                       ) -> DiagnosticSink:
+    """Audit a :class:`~repro.runtime.hostprog.HostProgram`."""
+    sink = sink if sink is not None else DiagnosticSink()
+    if program is None:
+        return sink
+
+    num_slots = program.num_slots
+    slots = list(program.slot_of.values())
+    if sorted(slots) != list(range(num_slots)):
+        sink.emit(
+            "L404",
+            f"slot table maps {len(slots)} values onto "
+            f"{len(set(slots))} distinct slots of {num_slots} "
+            f"(expected a dense bijection)")
+
+    defined = {slot for slot, __ in program.param_slots}
+    defined.update(slot for slot, value in
+                   enumerate(program.env_template) if value is not None)
+    released: dict[int, int] = {}  # slot -> instruction that released it
+    outputs = set(program.output_slots)
+
+    for index, instr in enumerate(program.instructions):
+        for slot in instr.in_slots:
+            if slot not in defined:
+                sink.emit(
+                    "L401",
+                    f"instruction {index} ({instr.kernel.name}) reads "
+                    f"slot {slot} before any definition")
+            elif slot in released:
+                sink.emit(
+                    "L402",
+                    f"instruction {index} ({instr.kernel.name}) reads "
+                    f"slot {slot} released after instruction "
+                    f"{released[slot]}",
+                    fix_hint="the lowerer's last-use analysis dropped a "
+                             "read")
+        for slot in instr.out_slots:
+            defined.add(slot)
+            released.pop(slot, None)  # a redefinition revives the slot
+        for slot in instr.release:
+            if slot in outputs:
+                sink.emit(
+                    "L403",
+                    f"instruction {index} ({instr.kernel.name}) "
+                    f"releases program output slot {slot}")
+            released[slot] = index
+
+    for slot in program.output_slots:
+        if slot not in defined:
+            sink.emit(
+                "L403",
+                f"program output slot {slot} is never defined")
+    return sink

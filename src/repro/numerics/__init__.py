@@ -1,7 +1,8 @@
 """Numpy execution semantics and symbolic-shape resolution."""
 
 from .kernels import KERNELS, SemanticsError, apply_op
-from .resolve import (BindingError, bind_inputs, concretize_attrs,
+from .resolve import (BindingError, DimResolutionPlan, bind_inputs,
+                      build_resolution_plan, concretize_attrs,
                       concretize_shape, resolve_all_dims,
                       solve_reshape_shape, unify_shape)
 
@@ -9,4 +10,5 @@ __all__ = [
     "KERNELS", "SemanticsError", "apply_op",
     "BindingError", "bind_inputs", "concretize_attrs", "concretize_shape",
     "resolve_all_dims", "solve_reshape_shape", "unify_shape",
+    "DimResolutionPlan", "build_resolution_plan",
 ]

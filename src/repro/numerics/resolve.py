@@ -26,6 +26,8 @@ __all__ = [
     "concretize_attrs",
     "solve_reshape_shape",
     "resolve_all_dims",
+    "DimResolutionPlan",
+    "build_resolution_plan",
 ]
 
 
@@ -129,6 +131,152 @@ def solve_reshape_shape(new_shape: Sequence[Dim], total_elements: int,
     return tuple(solved if d is unknown else d for d in out)
 
 
+class DimResolutionPlan:
+    """Compile-time factored form of :func:`resolve_all_dims`.
+
+    The legacy resolver walked *every* node of the graph on *every* call,
+    re-discovering which ops mint derived symbols.  The plan does that
+    discovery once: :func:`build_resolution_plan` scans the node list and
+    compiles one small closure per symbol-minting site (reshape targets,
+    concat axes, pad extents, conv2d spatial dims), each closed over
+    exactly the serialized dims it reads.  ``run(bindings)`` then executes
+    only those closures, in the original node order, so the binding
+    sequence — and therefore every solved value — is identical to the
+    legacy walk.
+    """
+
+    __slots__ = ("steps",)
+
+    def __init__(self, steps: list) -> None:
+        self.steps = steps
+
+    def run(self, bindings: MutableMapping[str, int]) -> None:
+        """Solve every derivable symbol into ``bindings``."""
+        for step in self.steps:
+            step(bindings)
+
+    def __len__(self) -> int:
+        return len(self.steps)
+
+
+def _spec(dim) -> object:
+    """Serialize one dim for a step closure: symbol name or plain int."""
+    return dim.name if isinstance(dim, SymDim) else int(dim)
+
+
+def _reshape_step(node: Node):
+    in_dims = tuple(_spec(d) for d in node.inputs[0].shape)
+    new_shape = node.attrs["new_shape"]
+
+    def step(bindings, _in=in_dims, _new=new_shape):
+        total = 1
+        for d in _in:
+            if isinstance(d, str):
+                value = bindings.get(d)
+                if value is None:
+                    return  # input not fully bound yet
+                total *= value
+            else:
+                total *= d
+        try:
+            solve_reshape_shape(_new, total, bindings)
+        except BindingError:
+            pass  # more than one unknown; runtime solves lazily
+    return step
+
+
+def _concat_step(node: Node, out_name: str, axis: int):
+    parts = tuple(_spec(operand.shape[axis]) for operand in node.inputs)
+
+    def step(bindings, _out=out_name, _parts=parts):
+        if _out in bindings:
+            return
+        total = 0
+        for d in _parts:
+            if isinstance(d, str):
+                value = bindings.get(d)
+                if value is None:
+                    return  # an operand extent is still unknown
+                total += value
+            else:
+                total += d
+        bindings[_out] = total
+    return step
+
+
+def _pad_step(out_name: str, in_spec, lo: int, hi: int):
+    def step(bindings, _out=out_name, _in=in_spec, _lo=lo, _hi=hi):
+        if _out in bindings:
+            return
+        if isinstance(_in, str):
+            value = bindings.get(_in)
+            if value is None:
+                return
+        else:
+            value = _in
+        bindings[_out] = value + _lo + _hi
+    return step
+
+
+def _conv_step(node: Node, out_name: str, in_spec, spatial: int,
+               stride: int):
+    same = node.attrs.get("padding", "same") == "same"
+    kernel_dim = node.inputs[1].shape[spatial - 1]
+
+    def step(bindings, _out=out_name, _in=in_spec, _stride=stride,
+             _same=same, _k=kernel_dim):
+        if _out in bindings:
+            return
+        if isinstance(_in, str):
+            value = bindings.get(_in)
+            if value is None:
+                return
+        else:
+            value = _in
+        if _same:
+            bindings[_out] = -(-value // _stride)
+        else:
+            bindings[_out] = (value - int(_k)) // _stride + 1
+    return step
+
+
+def build_resolution_plan(nodes: Sequence[Node]) -> DimResolutionPlan:
+    """Compile the per-node symbol-solving steps for ``nodes``.
+
+    Only nodes that can actually bind a new symbol get a step; a reshape
+    whose target is fully static, or a concat whose output extent is a
+    literal, contributes nothing at run time.
+    """
+    steps: list = []
+    for node in nodes:
+        if node.op == "reshape":
+            if any(isinstance(d, SymDim)
+                   for d in node.attrs["new_shape"]):
+                steps.append(_reshape_step(node))
+        elif node.op == "concat":
+            axis = node.attrs["axis"]
+            out_dim = node.shape[axis]
+            if isinstance(out_dim, SymDim):
+                steps.append(_concat_step(node, out_dim.name, axis))
+        elif node.op == "pad":
+            for axis, (lo, hi) in enumerate(node.attrs["pads"]):
+                out_dim = node.shape[axis]
+                if isinstance(out_dim, SymDim):
+                    steps.append(_pad_step(
+                        out_dim.name, _spec(node.inputs[0].shape[axis]),
+                        lo, hi))
+        elif node.op == "conv2d":
+            strides = node.attrs.get("strides", (1, 1))
+            for spatial, stride in ((1, strides[0]), (2, strides[1])):
+                out_dim = node.shape[spatial]
+                if isinstance(out_dim, SymDim):
+                    steps.append(_conv_step(
+                        node, out_dim.name,
+                        _spec(node.inputs[0].shape[spatial]), spatial,
+                        stride))
+    return DimResolutionPlan(steps)
+
+
 def resolve_all_dims(nodes: Sequence[Node],
                      bindings: MutableMapping[str, int]) -> None:
     """Statically solve every solvable symbol before execution.
@@ -140,72 +288,12 @@ def resolve_all_dims(nodes: Sequence[Node],
     Binding them all up front makes kernel execution order-independent
     (an ``iota`` over a solved symbol may run before the reshape that
     "created" it).
+
+    This is the one-shot form: it builds a :class:`DimResolutionPlan` for
+    ``nodes`` and runs it immediately.  Repeated callers (the execution
+    engine) build the plan once at compile time instead.
     """
-    for node in nodes:
-        if node.op == "reshape":
-            in_shape = node.inputs[0].shape
-            if all(not isinstance(d, SymDim) or d.name in bindings
-                   for d in in_shape):
-                total = 1
-                for d in in_shape:
-                    total *= bindings[d.name] if isinstance(d, SymDim) \
-                        else int(d)
-                try:
-                    solve_reshape_shape(node.attrs["new_shape"], total,
-                                        bindings)
-                except BindingError:
-                    pass  # more than one unknown; runtime solves lazily
-        elif node.op == "concat":
-            axis = node.attrs["axis"]
-            out_dim = node.shape[axis]
-            if isinstance(out_dim, SymDim) and out_dim.name not in bindings:
-                parts = []
-                for operand in node.inputs:
-                    d = operand.shape[axis]
-                    if isinstance(d, SymDim):
-                        if d.name not in bindings:
-                            break
-                        parts.append(bindings[d.name])
-                    else:
-                        parts.append(int(d))
-                else:
-                    bindings[out_dim.name] = sum(parts)
-        elif node.op == "pad":
-            pads = node.attrs["pads"]
-            x = node.inputs[0]
-            for axis, (lo, hi) in enumerate(pads):
-                out_dim = node.shape[axis]
-                in_dim = x.shape[axis]
-                if not isinstance(out_dim, SymDim) or \
-                        out_dim.name in bindings:
-                    continue
-                if isinstance(in_dim, SymDim):
-                    if in_dim.name not in bindings:
-                        continue
-                    in_value = bindings[in_dim.name]
-                else:
-                    in_value = int(in_dim)
-                bindings[out_dim.name] = in_value + lo + hi
-        elif node.op == "conv2d":
-            strides = node.attrs.get("strides", (1, 1))
-            x = node.inputs[0]
-            for spatial, stride in ((1, strides[0]), (2, strides[1])):
-                out_dim = node.shape[spatial]
-                in_dim = x.shape[spatial]
-                if not isinstance(out_dim, SymDim) or \
-                        out_dim.name in bindings:
-                    continue
-                if isinstance(in_dim, SymDim):
-                    if in_dim.name not in bindings:
-                        continue
-                    in_value = bindings[in_dim.name]
-                else:
-                    in_value = int(in_dim)
-                if node.attrs.get("padding", "same") == "same":
-                    bindings[out_dim.name] = -(-in_value // stride)
-                else:
-                    k = int(node.inputs[1].shape[spatial - 1])
-                    bindings[out_dim.name] = (in_value - k) // stride + 1
+    build_resolution_plan(nodes).run(bindings)
 
 
 def concretize_attrs(node: Node, bindings: MutableMapping[str, int],

@@ -1,15 +1,23 @@
-"""Runtime abstraction layer: executables, engine, caches."""
+"""Runtime abstraction layer: executables, host programs, engine, caches."""
 
-from .caches import ShapeSpecializationCache, shape_signature
-from .engine import EngineOptions, ExecutionEngine
+from .caches import (ShapeSpecializationCache, make_signature_fn,
+                     shape_signature)
+from .engine import (EngineOptions, ExecutionEngine,
+                     LegacyExecutionEngine, charge_kernel)
 from .executable import CompileReport, Executable
+from .hostprog import (HostInstruction, HostProgram, lower_executable,
+                       lower_program)
+from .launchplan import LaunchPlan, LaunchPlanCache, format_signature
 from .memory import BufferPlan, Interval, plan_buffers
 from .specialize import AdaptiveEngine, SpecializationOptions
 
 __all__ = [
-    "ShapeSpecializationCache", "shape_signature",
-    "EngineOptions", "ExecutionEngine",
+    "ShapeSpecializationCache", "shape_signature", "make_signature_fn",
+    "EngineOptions", "ExecutionEngine", "LegacyExecutionEngine",
+    "charge_kernel",
     "CompileReport", "Executable",
+    "HostInstruction", "HostProgram", "lower_executable", "lower_program",
+    "LaunchPlan", "LaunchPlanCache", "format_signature",
     "BufferPlan", "Interval", "plan_buffers",
     "AdaptiveEngine", "SpecializationOptions",
 ]

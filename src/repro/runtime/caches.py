@@ -1,51 +1,93 @@
-"""Shape-specialisation cache.
+"""Shape-signature utilities and the shape-specialisation cache.
 
 Compile-per-shape systems (XLA, and per-bucket systems like TVM/TensorRT)
 key their compiled artifacts on a shape signature.  This cache provides
 that behaviour plus the hit/miss accounting the shape-diversity experiment
 (E7) reports.  BladeDISC itself does not need one — its executable is
-shape-generic — which is precisely the point of the comparison.
+shape-generic — which is precisely the point of the comparison.  (The
+shape-generic engine *does* key its per-signature launch plans on the same
+signatures; see :mod:`repro.runtime.launchplan`.)
 """
 
 from __future__ import annotations
 
-from typing import Callable, Hashable, Mapping
+from collections import OrderedDict
+from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
-__all__ = ["shape_signature", "ShapeSpecializationCache"]
+__all__ = ["shape_signature", "make_signature_fn",
+           "ShapeSpecializationCache"]
 
 
 def shape_signature(inputs: Mapping[str, np.ndarray]) -> tuple:
-    """A hashable key identifying the exact input shapes of one call."""
+    """A hashable key identifying the exact input shapes of one call.
+
+    Sorting makes the key independent of the mapping's iteration order,
+    at the cost of an O(n log n) sort per call.  Hot paths that know the
+    program's parameter list should use :func:`make_signature_fn`
+    instead, which fixes the order once at compile time.
+    """
     return tuple(sorted(
         (name, tuple(int(d) for d in array.shape))
         for name, array in inputs.items()))
 
 
+def make_signature_fn(params: Sequence) -> Callable[[Mapping], tuple]:
+    """Precompute a param-order signature function for one executable.
+
+    The returned callable produces a key with the same distinguishing
+    power as :func:`shape_signature` (it covers every parameter's name
+    and concrete shape) but walks the parameters in their fixed program
+    order — no per-call sort, no tuple-of-int conversion.  Extra entries
+    in ``inputs`` are ignored, exactly as ``bind_inputs`` ignores them;
+    a missing parameter raises :class:`~repro.numerics.resolve
+    .BindingError` just as binding would.
+    """
+    from ..numerics.resolve import BindingError
+
+    names = tuple(p.attrs["param_name"] for p in params)
+
+    def signature(inputs: Mapping[str, np.ndarray],
+                  _names=names) -> tuple:
+        try:
+            return tuple((name, inputs[name].shape) for name in _names)
+        except KeyError as exc:
+            raise BindingError(
+                f"missing input for parameter {exc.args[0]!r}") from None
+    return signature
+
+
 class ShapeSpecializationCache:
-    """Maps shape signatures to compiled artifacts, with statistics."""
+    """Maps shape signatures to compiled artifacts, with statistics.
+
+    Eviction is true LRU: a hit refreshes the entry's recency, so under
+    capacity pressure the signature that has gone unused longest leaves
+    first — what a real serving system does.  The ordered dict keeps E7
+    deterministic: identical call sequences produce identical eviction
+    sequences.
+    """
 
     def __init__(self, capacity: int | None = None) -> None:
-        self._entries: dict[Hashable, object] = {}
+        self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self.capacity = capacity
         self.hits = 0
         self.misses = 0
+        self.evictions = 0
 
     def get_or_build(self, key: Hashable,
                      build: Callable[[], object]) -> tuple:
         """Return (artifact, was_hit); builds and inserts on miss."""
         if key in self._entries:
             self.hits += 1
+            self._entries.move_to_end(key)
             return self._entries[key], True
         self.misses += 1
         artifact = build()
         if self.capacity is not None and len(self._entries) >= self.capacity:
-            # FIFO eviction: oldest signature leaves first.  Real systems
-            # use LRU; FIFO keeps the experiment deterministic and the
-            # difference is immaterial for the access patterns tested.
-            oldest = next(iter(self._entries))
-            del self._entries[oldest]
+            # LRU eviction: the least recently touched signature leaves.
+            self._entries.popitem(last=False)
+            self.evictions += 1
         self._entries[key] = artifact
         return artifact, False
 
@@ -61,5 +103,6 @@ class ShapeSpecializationCache:
             "entries": len(self._entries),
             "hits": self.hits,
             "misses": self.misses,
+            "evictions": self.evictions,
             "hit_rate": self.hits / total if total else 0.0,
         }

@@ -1,10 +1,24 @@
 """The execution engine (the paper's Runtime Abstraction Layer, RAL).
 
-Runs an :class:`Executable` on concrete inputs: binds symbolic dims from
-the input shapes, walks the kernel list, executes each generated kernel for
-real (numpy) and charges its simulated device cost.  Per-kernel schedule
-variants are selected here, at run time, from the concrete shapes — the
-runtime half of the combined codegen approach.
+Runs an :class:`Executable` on concrete inputs.  Execution is split the
+way the paper splits codegen:
+
+- **compile time** — the executable is lowered once into a
+  :class:`~repro.runtime.hostprog.HostProgram`: dense value slots,
+  slot-indexed instructions, factored dim resolution, last-use release
+  (see :mod:`repro.runtime.hostprog`);
+- **per signature** — the first call with a given input-shape signature
+  binds the shapes, solves derived symbols, selects every kernel's
+  schedule and evaluates cost recipes + memory plan, freezing all of it
+  into a :class:`~repro.runtime.launchplan.LaunchPlan` in a bounded LRU
+  cache;
+- **per call** — a cache hit executes the instruction stream against the
+  frozen dims (gather slots, run the kernel, scatter slots, drop dead
+  values) and charges the precomputed cost.
+
+Simulated statistics and numeric outputs are bit-identical to
+:class:`LegacyExecutionEngine`, the per-call interpreter-style engine
+kept for the E15 host-overhead comparison and the equivalence suite.
 """
 
 from __future__ import annotations
@@ -21,8 +35,11 @@ from ..device.counters import RunStats
 from ..device.profiles import DeviceProfile
 from ..numerics.resolve import bind_inputs, resolve_all_dims
 from .executable import Executable
+from .hostprog import HostProgram, lower_executable
+from .launchplan import LaunchPlan, LaunchPlanCache
 
-__all__ = ["EngineOptions", "ExecutionEngine"]
+__all__ = ["EngineOptions", "ExecutionEngine", "LegacyExecutionEngine",
+           "charge_kernel"]
 
 
 @dataclass
@@ -40,10 +57,166 @@ class EngineOptions:
     #: charge host-placed ops at host cost instead of kernel launches
     #: (disabled by the E10 ablation to show why placement matters).
     host_placement_enabled: bool = True
+    #: bound on live launch plans (per-signature frozen host state);
+    #: None is unbounded.
+    plan_capacity: int | None = 64
+
+
+def charge_kernel(kernel, dims: dict, stats: RunStats,
+                  forced: Schedule | None, options: EngineOptions,
+                  device: DeviceProfile) -> None:
+    """Account one kernel launch into ``stats`` (simulated cost).
+
+    Shared by the legacy per-call engine and the launch-plan recorder so
+    the two cost paths cannot drift.
+    """
+    kind = kernel.kind
+    if kind is FusionKind.METADATA:
+        # reshape-only: a host-side view adjustment.
+        stats.host_time_us += 0.1 * len(kernel.members)
+        return
+    if kind is FusionKind.HOST:
+        if options.host_placement_enabled:
+            stats.host_time_us += device.host_op_us * len(kernel.members)
+            return
+        # Ablation: shape computation launched as device kernels.
+        spec = kernel.cost_spec(dims, None, options.base_efficiency)
+        stats.device_time_us += kernel_time_us(spec, device)
+        stats.kernels_launched += 1
+        return
+    schedule = kernel.resolve_schedule(dims, forced)
+    spec = kernel.cost_spec(dims, schedule, options.base_efficiency)
+    stats.device_time_us += kernel_time_us(spec, device)
+    stats.kernels_launched += 1 + spec.extra_launches
+    stats.bytes_read += spec.bytes_read
+    stats.bytes_written += spec.bytes_written
+    stats.flops += spec.flops
 
 
 class ExecutionEngine:
-    """Executes a compiled program and accounts its simulated cost."""
+    """Executes a compiled program through its host program.
+
+    ``plan_cache``/``plan_tag`` let several engines share one
+    :class:`LaunchPlanCache` (the adaptive specialiser runs a generic and
+    a specialised engine over the same signature stream); the tag keeps
+    their frozen plans apart while the signature statistics unify.
+    """
+
+    def __init__(self, executable: Executable, device: DeviceProfile,
+                 options: EngineOptions | None = None, *,
+                 plan_cache: LaunchPlanCache | None = None,
+                 plan_tag: str = "main") -> None:
+        self.executable = executable
+        self.device = device
+        self.options = options or EngineOptions()
+        program = getattr(executable, "host_program", None)
+        if program is None:
+            # Hand-assembled executables (tests, serde round-trips) are
+            # lowered on first use; the pipeline lowers at compile time.
+            program = lower_executable(executable)
+            executable.host_program = program
+        self.host_program: HostProgram = program
+        self.plans = plan_cache if plan_cache is not None else \
+            LaunchPlanCache(self.options.plan_capacity)
+        self._plan_tag = plan_tag
+
+    def run(self, inputs: Mapping[str, np.ndarray],
+            signature: tuple | None = None) -> tuple[list, RunStats]:
+        """Execute on concrete inputs; returns (outputs, stats).
+
+        ``signature`` lets a caller that already computed (and noted)
+        the call's signature — the adaptive specialiser — skip the
+        recomputation; plain callers leave it None.
+        """
+        program = self.host_program
+        if signature is None:
+            signature = program.signature(inputs)
+            self.plans.note(signature)
+        plan = self.plans.get((self._plan_tag, signature))
+        if plan is None:
+            outputs, stats, plan = self._record(inputs, signature)
+            self.plans.put((self._plan_tag, signature), plan)
+            return outputs, stats
+        return self._replay(plan, inputs)
+
+    def peek_plan(self, signature: tuple) -> LaunchPlan | None:
+        """The frozen plan for ``signature`` (no stats side effects)."""
+        return self.plans.peek((self._plan_tag, signature))
+
+    # -- cold path: execute while freezing the plan ------------------------
+
+    def _record(self, inputs: Mapping[str, np.ndarray],
+                signature: tuple) -> tuple:
+        """First call of a signature: run, charge, and freeze.
+
+        Mirrors the legacy engine statement for statement — same binding,
+        same execution order, same charge order — so outputs and stats
+        are bit-identical; the only addition is that the results of the
+        shape-generic work are captured for replay.
+        """
+        program = self.host_program
+        options = self.options
+        dims = bind_inputs(program.params, inputs)
+        program.resolution.run(dims)
+        stats = RunStats(cache_hit=True)
+
+        env = program.env_template.copy()
+        for slot, name in program.param_slots:
+            env[slot] = np.ascontiguousarray(inputs[name])
+
+        forced: Schedule | None = None
+        if options.fixed_schedule is not None:
+            forced = schedule_named(options.fixed_schedule)
+        device = self.device
+        for instr in program.instructions:
+            kernel = instr.kernel
+            outputs = kernel.execute([env[s] for s in instr.in_slots],
+                                     dims)
+            for slot, value in zip(instr.out_slots, outputs):
+                env[slot] = value
+            charge_kernel(kernel, dims, stats, forced, options, device)
+            for slot in instr.release:
+                env[slot] = None
+
+        stats.host_time_us += (options.dispatch_us_per_kernel
+                               * stats.kernels_launched)
+        buffer_plan = self.executable.buffer_plan
+        if buffer_plan is not None:
+            stats.details["memory"] = buffer_plan.evaluate(dims)
+        results = [env[slot] for slot in program.output_slots]
+        plan = LaunchPlan.freeze(signature, dims, stats)
+        return results, stats, plan
+
+    # -- warm path: replay against the frozen plan -------------------------
+
+    def _replay(self, plan: LaunchPlan,
+                inputs: Mapping[str, np.ndarray]) -> tuple:
+        """Cache hit: gather slots, run kernels, charge frozen cost."""
+        program = self.host_program
+        dims = plan.dims
+        env = program.env_template.copy()
+        for slot, name in program.param_slots:
+            env[slot] = np.ascontiguousarray(inputs[name])
+        for instr in program.instructions:
+            outputs = instr.kernel.execute(
+                [env[s] for s in instr.in_slots], dims)
+            for slot, value in zip(instr.out_slots, outputs):
+                env[slot] = value
+            for slot in instr.release:
+                env[slot] = None
+        results = [env[slot] for slot in program.output_slots]
+        return results, plan.make_stats()
+
+
+class LegacyExecutionEngine:
+    """The per-call interpreter-style engine the host program replaced.
+
+    Re-derives the shape-generic work — input binding, a whole-graph
+    symbol-resolution walk, dict-of-node-id environment, per-kernel
+    schedule selection and cost evaluation — on every call.  Kept as the
+    bit-exactness reference for the equivalence suite and as the
+    baseline the E15 host-overhead benchmark measures against.
+    """
 
     def __init__(self, executable: Executable, device: DeviceProfile,
                  options: EngineOptions | None = None) -> None:
@@ -76,7 +249,8 @@ class ExecutionEngine:
             outputs = kernel.execute(args, dims)
             for node, value in zip(kernel.output_nodes, outputs):
                 env[node.id] = value
-            self._charge(kernel, dims, stats, forced)
+            charge_kernel(kernel, dims, stats, forced, options,
+                          self.device)
 
         stats.host_time_us += (options.dispatch_us_per_kernel
                                * stats.kernels_launched)
@@ -84,38 +258,3 @@ class ExecutionEngine:
             stats.details["memory"] = executable.buffer_plan.evaluate(dims)
         results = [env[out.id] for out in executable.outputs]
         return results, stats
-
-    def _charge(self, kernel, dims: dict, stats: RunStats,
-                forced: Schedule | None) -> None:
-        options = self.options
-        kind = kernel.kind
-        if kind is FusionKind.METADATA:
-            # reshape-only: a host-side view adjustment.
-            stats.host_time_us += 0.1 * len(kernel.members)
-            return
-        if kind is FusionKind.HOST:
-            if options.host_placement_enabled:
-                stats.host_time_us += (self.device.host_op_us
-                                       * len(kernel.members))
-                return
-            # Ablation: shape computation launched as device kernels.
-            spec = kernel.cost_spec(dims, None, options.base_efficiency)
-            stats.device_time_us += kernel_time_us(spec, self.device)
-            stats.kernels_launched += 1
-            return
-        schedule = forced if forced is not None else \
-            kernel.select_schedule(dims)
-        if forced is not None and kernel.recipe.domain is not None:
-            # A forced elementwise schedule makes no sense on a row-space
-            # kernel and vice versa; fall back to the selector there.
-            domain_kind = kernel.recipe.domain[0]
-            is_row = schedule.name in ("row_per_warp", "row_per_block",
-                                       "two_pass")
-            if (domain_kind == "rows") != is_row:
-                schedule = kernel.select_schedule(dims)
-        spec = kernel.cost_spec(dims, schedule, options.base_efficiency)
-        stats.device_time_us += kernel_time_us(spec, self.device)
-        stats.kernels_launched += 1 + spec.extra_launches
-        stats.bytes_read += spec.bytes_read
-        stats.bytes_written += spec.bytes_written
-        stats.flops += spec.flops

@@ -47,6 +47,9 @@ class Executable:
     report: CompileReport
     #: liveness-based intermediate-buffer reuse plan (see runtime.memory).
     buffer_plan: object = None
+    #: slot-addressed host program (see runtime.hostprog); the pipeline
+    #: lowers it at compile time, the engine lowers lazily if absent.
+    host_program: object = None
 
     @property
     def params(self) -> Sequence[Node]:

@@ -1,0 +1,171 @@
+"""Per-signature launch plans and their bounded LRU cache.
+
+A shape-generic executable still has per-*signature* work: bind the input
+shapes, solve the derived symbols, select every kernel's schedule variant,
+evaluate the cost recipes and the memory plan.  None of it depends on the
+tensor *data*, so the first call of a signature freezes all of it into a
+:class:`LaunchPlan`; every later call with the same signature replays the
+instruction stream against the frozen dims and charges the precomputed
+cost — no binding, no resolution, no selection, no recipe evaluation.
+
+The cache is keyed on the host program's param-order signature plus a
+variant tag (so engines that share a cache — the adaptive specialiser's
+generic/specialised pair — never collide), bounded, and LRU-evicting.
+It also owns the per-signature call counting the adaptive specialiser
+and the E12 report consume, so hit/miss/hot-signature accounting lives
+in exactly one place.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Hashable
+
+from ..device.counters import RunStats
+
+__all__ = ["LaunchPlan", "LaunchPlanCache", "format_signature"]
+
+
+def format_signature(signature: tuple) -> str:
+    """Compact human/JSON-friendly form of a param-order signature."""
+    return ", ".join(
+        f"{name}[{'x'.join(str(d) for d in shape)}]"
+        for name, shape in signature)
+
+
+class LaunchPlan:
+    """Everything one signature's calls share, frozen after the first."""
+
+    __slots__ = ("signature", "dims", "device_time_us", "host_time_us",
+                 "kernels_launched", "bytes_read", "bytes_written",
+                 "flops", "memory")
+
+    def __init__(self, signature: tuple, dims: dict,
+                 device_time_us: float, host_time_us: float,
+                 kernels_launched: int, bytes_read: int,
+                 bytes_written: int, flops: float,
+                 memory: dict | None) -> None:
+        self.signature = signature
+        #: resolved dim bindings (input symbols + every derived symbol).
+        self.dims = dims
+        self.device_time_us = device_time_us
+        self.host_time_us = host_time_us
+        self.kernels_launched = kernels_launched
+        self.bytes_read = bytes_read
+        self.bytes_written = bytes_written
+        self.flops = flops
+        #: frozen ``BufferPlan.evaluate`` result (None without a plan).
+        self.memory = memory
+
+    @classmethod
+    def freeze(cls, signature: tuple, dims: dict,
+               stats: RunStats) -> "LaunchPlan":
+        """Capture a fully-charged first-call ``RunStats`` as a plan.
+
+        The stats were accumulated kernel-by-kernel in execution order,
+        so replaying them wholesale reproduces the exact floating-point
+        sums a per-call walk would have produced.
+        """
+        memory = stats.details.get("memory")
+        return cls(
+            signature=signature,
+            dims=dims,
+            device_time_us=stats.device_time_us,
+            host_time_us=stats.host_time_us,
+            kernels_launched=stats.kernels_launched,
+            bytes_read=stats.bytes_read,
+            bytes_written=stats.bytes_written,
+            flops=stats.flops,
+            memory=dict(memory) if memory is not None else None,
+        )
+
+    def make_stats(self) -> RunStats:
+        """A fresh :class:`RunStats` charging this plan's frozen cost."""
+        stats = RunStats(
+            device_time_us=self.device_time_us,
+            host_time_us=self.host_time_us,
+            kernels_launched=self.kernels_launched,
+            bytes_read=self.bytes_read,
+            bytes_written=self.bytes_written,
+            flops=self.flops,
+            cache_hit=True,
+        )
+        if self.memory is not None:
+            stats.details["memory"] = dict(self.memory)
+        return stats
+
+
+class LaunchPlanCache:
+    """Bounded LRU of launch plans + unified signature statistics."""
+
+    def __init__(self, capacity: int | None = 64) -> None:
+        self._plans: OrderedDict[Hashable, LaunchPlan] = OrderedDict()
+        #: per-signature call counts (ordered: first-seen order).
+        self._seen: OrderedDict[Hashable, int] = OrderedDict()
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+
+    # -- signature accounting ---------------------------------------------
+
+    def note(self, signature: Hashable) -> int:
+        """Count one call of ``signature``; returns its total so far."""
+        count = self._seen.get(signature, 0) + 1
+        self._seen[signature] = count
+        return count
+
+    def seen(self, signature: Hashable) -> int:
+        """How many calls of ``signature`` have been noted."""
+        return self._seen.get(signature, 0)
+
+    @property
+    def signatures_seen(self) -> int:
+        return len(self._seen)
+
+    def hot_signatures(self, n: int = 5) -> list:
+        """The ``n`` most-called signatures as (formatted, count) pairs."""
+        ranked = sorted(self._seen.items(), key=lambda kv: -kv[1])
+        return [(format_signature(sig) if isinstance(sig, tuple) else
+                 str(sig), count) for sig, count in ranked[:n]]
+
+    # -- plan storage ------------------------------------------------------
+
+    def get(self, key: Hashable) -> LaunchPlan | None:
+        """The cached plan for ``key``, refreshing its recency; or None."""
+        plan = self._plans.get(key)
+        if plan is None:
+            self.misses += 1
+            return None
+        self.hits += 1
+        self._plans.move_to_end(key)
+        return plan
+
+    def peek(self, key: Hashable) -> LaunchPlan | None:
+        """Like :meth:`get` but touching neither stats nor recency."""
+        return self._plans.get(key)
+
+    def put(self, key: Hashable, plan: LaunchPlan) -> None:
+        self._plans[key] = plan
+        self._plans.move_to_end(key)
+        if self.capacity is not None and len(self._plans) > self.capacity:
+            self._plans.popitem(last=False)
+            self.evictions += 1
+
+    def __len__(self) -> int:
+        return len(self._plans)
+
+    def __contains__(self, key: Hashable) -> bool:
+        return key in self._plans
+
+    def stats(self) -> dict:
+        total = self.hits + self.misses
+        return {
+            "entries": len(self._plans),
+            "capacity": self.capacity,
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "hit_rate": self.hits / total if total else 0.0,
+            "signatures_seen": len(self._seen),
+        }

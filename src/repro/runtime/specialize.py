@@ -7,10 +7,15 @@ percent a static compiler would get — without ever stalling a request on
 compilation (specialisation happens off the critical path) and without the
 cold-shape cliff of a per-signature JIT.
 
-:class:`AdaptiveEngine` wraps an :class:`ExecutionEngine`: it counts shape
-signatures, and once one has been seen ``threshold`` times it "builds" a
-specialisation (charging the simulated compile cost in the background) and
-serves subsequent calls of that signature at the specialised efficiency.
+:class:`AdaptiveEngine` wraps two :class:`ExecutionEngine` instances
+(generic and specialised efficiency) over one shared
+:class:`~repro.runtime.launchplan.LaunchPlanCache`: the cache owns all
+signature accounting — call counts, hit/miss/eviction statistics, hot
+signatures — so the specialiser no longer keeps a parallel count dict,
+and E12 reports the unified numbers.  Once a signature has been seen
+``threshold`` times a specialisation is "built" (charging the simulated
+compile cost in the background) and subsequent calls of that signature
+are served at the specialised efficiency.
 """
 
 from __future__ import annotations
@@ -23,9 +28,9 @@ import numpy as np
 from ..device.compilecost import compile_cost_us
 from ..device.counters import RunStats
 from ..device.profiles import DeviceProfile
-from .caches import shape_signature
 from .engine import EngineOptions, ExecutionEngine
 from .executable import Executable
+from .launchplan import LaunchPlanCache
 
 __all__ = ["SpecializationOptions", "AdaptiveEngine"]
 
@@ -45,6 +50,8 @@ class SpecializationOptions:
     background: bool = True
     #: cap on live specialisations (memory for compiled artifacts).
     max_specializations: int = 32
+    #: bound on frozen launch plans across both engine variants.
+    plan_capacity: int | None = 128
 
 
 class AdaptiveEngine:
@@ -56,25 +63,32 @@ class AdaptiveEngine:
         self.executable = executable
         self.device = device
         self.options = options or SpecializationOptions()
+        #: one cache for both variants: plans keyed by (tag, signature),
+        #: signature statistics shared.
+        self.plans = LaunchPlanCache(self.options.plan_capacity)
         base = engine_options or EngineOptions()
-        self._generic = ExecutionEngine(executable, device, base)
+        self._generic = ExecutionEngine(executable, device, base,
+                                        plan_cache=self.plans,
+                                        plan_tag="generic")
         specialized = EngineOptions(
             base_efficiency=self.options.specialized_efficiency,
             dispatch_us_per_kernel=base.dispatch_us_per_kernel,
             fixed_schedule=base.fixed_schedule,
-            host_placement_enabled=base.host_placement_enabled)
+            host_placement_enabled=base.host_placement_enabled,
+            plan_capacity=base.plan_capacity)
         self._specialized = ExecutionEngine(executable, device,
-                                            specialized)
-        self._counts: dict = {}
+                                            specialized,
+                                            plan_cache=self.plans,
+                                            plan_tag="specialized")
+        self._signature = self._generic.host_program.signature
         self._live: set = set()
         self.specializations_built = 0
         self.background_compile_us = 0.0
 
     def run(self, inputs: Mapping[str, np.ndarray]
             ) -> tuple[list, RunStats]:
-        signature = shape_signature(inputs)
-        count = self._counts.get(signature, 0) + 1
-        self._counts[signature] = count
+        signature = self._signature(inputs)
+        count = self.plans.note(signature)
 
         hit = signature in self._live
         should_build = (not hit
@@ -95,7 +109,7 @@ class AdaptiveEngine:
                 hit = True
 
         engine = self._specialized if hit else self._generic
-        outputs, stats = engine.run(inputs)
+        outputs, stats = engine.run(inputs, signature=signature)
         stats.compile_time_us += stall_us
         stats.details["specialized"] = hit
         return outputs, stats
@@ -110,8 +124,11 @@ class AdaptiveEngine:
         return timeline
 
     def stats(self) -> dict:
+        cache = self.plans.stats()
         return {
-            "signatures_seen": len(self._counts),
+            "signatures_seen": cache["signatures_seen"],
             "specializations": self.specializations_built,
             "background_compile_us": self.background_compile_us,
+            "launch_plans": cache,
+            "hot_signatures": self.plans.hot_signatures(),
         }

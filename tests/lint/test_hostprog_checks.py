@@ -1,0 +1,85 @@
+"""Host-program analyzer: corrupted instruction streams per code (L401-L404)."""
+
+from types import SimpleNamespace
+
+from repro.core import compile_graph
+from repro.lint import check_host_program
+
+from ..conftest import toy_mlp_graph
+
+
+def instr(in_slots, out_slots, release=()):
+    return SimpleNamespace(kernel=SimpleNamespace(name="k"),
+                           in_slots=tuple(in_slots),
+                           out_slots=tuple(out_slots),
+                           release=tuple(release))
+
+
+def program(instructions, output_slots, num_slots, *,
+            param_slots=((0, "x"),), slot_of=None):
+    """A stub with exactly the attributes the analyzer reads."""
+    if slot_of is None:
+        slot_of = {i: i for i in range(num_slots)}
+    return SimpleNamespace(
+        num_slots=num_slots,
+        slot_of=slot_of,
+        param_slots=tuple(param_slots),
+        env_template=[None] * num_slots,
+        instructions=list(instructions),
+        output_slots=tuple(output_slots),
+    )
+
+
+def test_none_program_is_fine():
+    assert not check_host_program(None)
+
+
+def test_fresh_lowering_audits_clean():
+    exe = compile_graph(toy_mlp_graph().graph)
+    assert not check_host_program(exe.host_program)
+
+
+def test_l401_read_before_define():
+    p = program([instr([2], [1])], output_slots=(1,), num_slots=3)
+    assert check_host_program(p).codes() == {"L401"}
+
+
+def test_l402_release_before_later_read():
+    p = program([instr([0], [1], release=(0,)),
+                 instr([0], [2])],
+                output_slots=(2,), num_slots=3)
+    assert check_host_program(p).codes() == {"L402"}
+
+
+def test_redefinition_revives_a_released_slot():
+    p = program([instr([0], [1], release=(0,)),
+                 instr([1], [0], release=(1,)),
+                 instr([0], [2])],
+                output_slots=(2,), num_slots=3)
+    assert not check_host_program(p)
+
+
+def test_l403_output_slot_released():
+    p = program([instr([0], [1], release=(1,))],
+                output_slots=(1,), num_slots=2)
+    assert "L403" in check_host_program(p).codes()
+
+
+def test_l403_output_slot_never_defined():
+    p = program([instr([0], [1])], output_slots=(2,), num_slots=3)
+    assert "L403" in check_host_program(p).codes()
+
+
+def test_l404_slot_table_not_dense():
+    p = program([instr([0], [1])], output_slots=(1,), num_slots=2,
+                slot_of={10: 0, 11: 0})  # two values share slot 0
+    assert "L404" in check_host_program(p).codes()
+
+
+def test_multi_defect_program_reports_everything():
+    p = program([instr([5], [1], release=(0, 1)),
+                 instr([0], [3])],
+                output_slots=(1, 4), num_slots=5,
+                slot_of={i: 0 for i in range(5)})
+    codes = check_host_program(p).codes()
+    assert {"L401", "L402", "L403", "L404"} <= codes

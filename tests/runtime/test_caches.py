@@ -28,7 +28,7 @@ def test_hit_miss_accounting():
     assert cache.stats()["hit_rate"] == 3 / 5
 
 
-def test_capacity_evicts_fifo():
+def test_capacity_evicts_oldest_when_untouched():
     cache = ShapeSpecializationCache(capacity=2)
     cache.get_or_build("a", lambda: 1)
     cache.get_or_build("b", lambda: 2)
@@ -37,6 +37,18 @@ def test_capacity_evicts_fifo():
     assert "b" in cache and "c" in cache
     cache.get_or_build("a", lambda: 4)
     assert cache.misses == 4
+    assert cache.evictions == 2
+
+
+def test_eviction_is_lru_a_hit_refreshes_recency():
+    cache = ShapeSpecializationCache(capacity=2)
+    cache.get_or_build("a", lambda: 1)
+    cache.get_or_build("b", lambda: 2)
+    cache.get_or_build("a", lambda: 0)  # hit: "b" becomes the LRU entry
+    cache.get_or_build("c", lambda: 3)  # evicts "b", not insertion-order "a"
+    assert "a" in cache and "c" in cache
+    assert "b" not in cache
+    assert cache.stats()["evictions"] == 1
 
 
 def test_artifact_returned():

@@ -85,6 +85,38 @@ def test_max_specializations_cap(executable, rng):
     assert engine.specializations_built == 1
 
 
+def test_stats_unify_launch_plan_accounting(executable, rng):
+    """Signature counting lives in the shared launch-plan cache."""
+    engine = AdaptiveEngine(executable, A10,
+                            SpecializationOptions(threshold=2))
+    inputs = toy_mlp_inputs(rng, 2, 5)
+    for _ in range(4):
+        engine.run(inputs)
+    stats = engine.stats()
+    assert stats["signatures_seen"] == 1
+    assert engine.plans.seen(engine._signature(inputs)) == 4
+    assert stats["hot_signatures"][0][1] == 4
+    plans = stats["launch_plans"]
+    # generic records once, replays once; the specialised variant records
+    # its own plan under a distinct tag and replays it thereafter
+    assert plans["misses"] == 2
+    assert plans["hits"] == 2
+    assert plans["entries"] == 2
+
+
+def test_generic_and_specialized_plans_never_collide(executable, rng):
+    engine = AdaptiveEngine(executable, A10, SpecializationOptions(
+        threshold=1, background=False))
+    inputs = toy_mlp_inputs(rng, 3, 4)
+    __, first = engine.run(inputs)   # specialised immediately (stalls)
+    __, again = engine.run(inputs)   # replayed from the specialised plan
+    assert first.details["specialized"] and again.details["specialized"]
+    assert again.device_time_us == first.device_time_us
+    sig = engine._signature(inputs)
+    assert engine._specialized.peek_plan(sig) is not None
+    assert engine._generic.peek_plan(sig) is None
+
+
 def test_numerics_unchanged_by_specialization(executable, rng):
     from repro.interp import evaluate
     engine = AdaptiveEngine(executable, A10,
