@@ -8,6 +8,8 @@ simulated GPU substrate:
   analysis, shape-propagation-based fusion (kLoop/kInput/kStitch), and
   compile-time/runtime combined code generation;
 - :mod:`repro.runtime` — the runtime abstraction layer (RAL);
+- :mod:`repro.serving` — concurrent serving runtime with background
+  compilation and an interpreter fallback path;
 - :mod:`repro.device` — analytic A10/T4 GPU cost model;
 - :mod:`repro.baselines` — seven simulated baseline systems;
 - :mod:`repro.models` / :mod:`repro.workloads` / :mod:`repro.bench` — the
@@ -41,6 +43,8 @@ from .frontend import TracedTensor, trace
 from .baselines import DiscExecutor, baseline_names, make_baseline
 from .models import Model, build_model, zoo
 from .workloads import make_trace
+from .serving import (ServingEngine, ServingOptions, VirtualClock,
+                      VirtualScheduler)
 
 __version__ = "1.0.0"
 
@@ -58,5 +62,6 @@ __all__ = [
     "DiscExecutor", "baseline_names", "make_baseline",
     "Model", "build_model", "zoo",
     "make_trace",
+    "ServingEngine", "ServingOptions", "VirtualClock", "VirtualScheduler",
     "__version__",
 ]

@@ -17,6 +17,7 @@ from .experiments import (
     e12_adaptive_specialization, format_adaptive_specialization,
     e14_serving_tail_latency, format_serving_tail_latency,
     e15_host_overhead, format_host_overhead,
+    e16_async_serving, format_async_serving,
 )
 from .serving import ServingResult, simulate_serving
 
@@ -36,5 +37,6 @@ __all__ = [
     "e12_adaptive_specialization", "format_adaptive_specialization",
     "e14_serving_tail_latency", "format_serving_tail_latency",
     "e15_host_overhead", "format_host_overhead",
+    "e16_async_serving", "format_async_serving",
     "ServingResult", "simulate_serving",
 ]

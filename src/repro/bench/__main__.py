@@ -20,6 +20,7 @@ from . import (e1_end_to_end, e3_fusion_ablation, e4_shape_constraints,
                e9_schedule_selection, e10_placement_overhead,
                e11_memory_planning, e12_adaptive_specialization,
                e14_serving_tail_latency, e15_host_overhead,
+               e16_async_serving, format_async_serving,
                format_adaptive_specialization,
                format_codegen_strategies, format_compile_overhead,
                format_end_to_end, format_fusion_ablation,
@@ -64,6 +65,8 @@ EXPERIMENTS = {
             format_serving_tail_latency, "serving_tail_latency"),
     "e15": (lambda device: e15_host_overhead(device),
             format_host_overhead, "host_overhead"),
+    "e16": (lambda device: e16_async_serving(device),
+            format_async_serving, "async_serving"),
 }
 
 

@@ -44,6 +44,7 @@ __all__ = [
     "e12_adaptive_specialization", "format_adaptive_specialization",
     "e14_serving_tail_latency", "format_serving_tail_latency",
     "e15_host_overhead", "format_host_overhead",
+    "e16_async_serving", "format_async_serving",
 ]
 
 #: Zoo configurations used by the end-to-end experiments: moderate sizes
@@ -983,3 +984,122 @@ def format_host_overhead(result: dict) -> str:
         f"simulated): legacy interpreter vs compiled host program, "
         f"best of {result['repeats']} repeats; 'overhead x' excludes "
         f"the shared kernel floor")
+
+
+# ---------------------------------------------------------------------------
+# E16 — async serving: background compilation vs synchronous-compile stalls
+# ---------------------------------------------------------------------------
+
+def e16_async_serving(device_name: str = "A10",
+                      model_name: str = "bert",
+                      num_queries: int | None = None,
+                      arrival_rate_qps: float = 600.0,
+                      compile_workers: int = 2,
+                      seed: int = 0) -> dict:
+    """Tail latency through the *runtime* (repro.serving), not the E14
+    offline simulation: the same shape-diverse Poisson trace is replayed
+    through three configurations of one ``ServingEngine``:
+
+    - **sync compile** — every cold signature stalls the server for its
+      compile (the per-shape JIT failure mode the paper targets);
+    - **async + fallback** — cold signatures answer immediately on the
+      interpreter fallback while the background pool produces launch
+      plans; warm signatures replay plans;
+    - **async + injected faults** — same, with every compile failing
+      transiently once and every 4th signature permanently (quarantine);
+      robustness must cost tail latency, never correctness.
+
+    All three share arrivals, inputs and the compiled executable; time
+    is virtual, so the percentiles are exact properties of the schedule,
+    not of the host machine.
+    """
+    from ..core.pipeline import compile_graph
+    from ..fuzz.faults import CompileFaultInjector
+    from ..serving import (ServingEngine, ServingOptions,
+                           SignatureCompileCost, VirtualScheduler)
+
+    device = device_named(device_name)
+    num_queries = num_queries if num_queries is not None \
+        else bench_queries(150)
+    model = _bench_model(model_name)
+    trace = make_trace(model, num_queries, "zipf", seed=seed,
+                       fixed_axes={"batch": 1})
+    inputs = trace.inputs()
+    rng = np.random.default_rng(seed + 1)
+    arrivals = np.cumsum(
+        rng.exponential(1e6 / arrival_rate_qps, size=len(inputs)))
+    executable = compile_graph(model.graph)
+    # Per-signature specialization cost sized so the compile backlog
+    # overlaps a meaningful fraction of the trace with 2 workers.
+    compile_cost = SignatureCompileCost(fixed_us=40_000.0,
+                                        per_kernel_us=800.0)
+
+    modes = [
+        ("sync compile", False, None),
+        ("async + fallback", True, None),
+        ("async + faults", True,
+         CompileFaultInjector(transient_attempts=1, permanent_every=4)),
+    ]
+    rows = []
+    for label, background, fault in modes:
+        scheduler = VirtualScheduler(seed=seed + 2)
+        serving = ServingEngine(
+            device, scheduler,
+            ServingOptions(queue_capacity=len(inputs),
+                           compile_workers=compile_workers,
+                           background_compile=background,
+                           compile_cost=compile_cost),
+            compile_fault=fault)
+        serving.register_model(model_name, executable)
+        tickets = []
+        for at, query in zip(arrivals, inputs):
+            scheduler.call_at(float(at), lambda q=query: tickets.append(
+                serving.submit(model_name, q)))
+        scheduler.run_until_idle()
+        latencies = np.array([t.response.latency_us for t in tickets])
+        errors = sum(1 for t in tickets
+                     if t.response is None or not t.response.ok)
+        counters = serving.counters
+        rows.append({
+            "mode": label,
+            "p50_us": round(float(np.percentile(latencies, 50)), 1),
+            "p95_us": round(float(np.percentile(latencies, 95)), 1),
+            "p99_us": round(float(np.percentile(latencies, 99)), 1),
+            "max_us": round(float(latencies.max()), 1),
+            "fast": counters["fast_served"] + counters["sync_served"],
+            "fallback": (counters["fallback_served"]
+                         + counters["quarantine_served"]),
+            "quarantined": len(serving.quarantined_signatures()),
+            "compile_stalls": counters["sync_compile_stalls"],
+            "errors": errors,
+        })
+    by_mode = {r["mode"]: r for r in rows}
+    return {"experiment": "async_serving", "device": device_name,
+            "model": model_name, "arrival_rate_qps": arrival_rate_qps,
+            "num_queries": num_queries,
+            "distinct_signatures": trace.distinct_signatures(),
+            "compile_workers": compile_workers,
+            "compile_cost_us": compile_cost.duration_us(
+                len(executable.kernels)),
+            "rows": rows,
+            "p99_improvement": round(
+                by_mode["sync compile"]["p99_us"]
+                / by_mode["async + fallback"]["p99_us"], 2)}
+
+
+def format_async_serving(result: dict) -> str:
+    headers = ["mode", "p50 us", "p95 us", "p99 us", "max us", "fast",
+               "fallback", "quar", "stalls", "errors"]
+    rows = [[r["mode"], r["p50_us"], r["p95_us"], r["p99_us"],
+             r["max_us"], r["fast"], r["fallback"], r["quarantined"],
+             r["compile_stalls"], r["errors"]]
+            for r in result["rows"]]
+    return format_table(
+        headers, rows,
+        f"[{result['device']}] Serving-runtime latency on "
+        f"{result['model']} at {result['arrival_rate_qps']:.0f} qps "
+        f"({result['num_queries']} queries, "
+        f"{result['distinct_signatures']} signatures, "
+        f"{result['compile_cost_us'] / 1e3:.0f} ms/compile, "
+        f"{result['compile_workers']} workers); async p99 is "
+        f"{result['p99_improvement']}x below sync")

@@ -27,7 +27,8 @@ hand-built cases:
 """
 
 from .corpus import load_case, save_case
-from .faults import CorruptedInterpreter, corrupt_kernel
+from .faults import CompileFaultInjector, CorruptedInterpreter, \
+    corrupt_kernel
 from .generator import GeneratorConfig, generate_graph
 from .minimizer import MinimizeResult, minimize
 from .oracle import CaseResult, DifferentialOracle, Failure, make_inputs
@@ -48,6 +49,7 @@ __all__ = [
     "MinimizeResult",
     "corrupt_kernel",
     "CorruptedInterpreter",
+    "CompileFaultInjector",
     "save_case",
     "load_case",
     "run_campaign",

@@ -37,6 +37,12 @@ def build_parser() -> argparse.ArgumentParser:
                         default="default",
                         help="lint strictness when --lint is set "
                              "(strict also fails on warnings)")
+    parser.add_argument("--serving", action="store_true",
+                        help="additionally replay every case through the "
+                             "serving runtime (virtual scheduler seeded "
+                             "from the case, injected compile faults); "
+                             "responses must be OK and bit-identical to "
+                             "a direct engine run")
     return parser
 
 
@@ -46,8 +52,11 @@ def main(argv=None) -> int:
     if args.max_nodes is not None:
         config.max_nodes = args.max_nodes
     oracle = None
-    if args.lint:
-        oracle = DifferentialOracle(lint_level=LintLevel(args.lint_level))
+    if args.lint or args.serving:
+        oracle = DifferentialOracle(
+            lint_level=LintLevel(args.lint_level) if args.lint
+            else LintLevel.OFF,
+            serving=args.serving)
     report = run_campaign(
         seed=args.seed, iters=args.iters, config=config,
         out_dir=args.out, minimize_failures=not args.no_minimize,

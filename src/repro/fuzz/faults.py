@@ -11,6 +11,10 @@ plants two kinds:
   the graph's structure, which is exactly what the minimizer needs: the
   minimal repro is the smallest graph where the bad op still reaches an
   output.
+- :class:`CompileFaultInjector` fails *background compiles* in the serving
+  runtime on a deterministic schedule — transient failures that must be
+  retried away and permanent failures that must quarantine the signature
+  to the interpreter fallback, never surfacing to a response.
 """
 
 from __future__ import annotations
@@ -25,8 +29,11 @@ from ..ir.shapes import is_static
 from ..numerics import (apply_op, bind_inputs, concretize_attrs,
                         concretize_shape, unify_shape)
 from ..runtime.executable import Executable
+from ..serving.compilepool import (PermanentCompileError,
+                                   TransientCompileError)
 
-__all__ = ["corrupt_kernel", "CorruptedInterpreter"]
+__all__ = ["CompileFaultInjector", "corrupt_kernel",
+           "CorruptedInterpreter"]
 
 
 def corrupt_kernel(executable: Executable, kernel_index: int = 0,
@@ -49,6 +56,52 @@ def corrupt_kernel(executable: Executable, kernel_index: int = 0,
 
     kernel.fn = corrupted
     return executable
+
+
+class CompileFaultInjector:
+    """Deterministic compile-fault schedule for serving-runtime runs.
+
+    Plugs into ``ServingEngine(compile_fault=...)``; called once per
+    compile attempt with ``(model, signature, attempt)``:
+
+    - the first ``transient_attempts`` attempts of every signature raise
+      :class:`TransientCompileError` (the pool must retry with backoff
+      and eventually succeed);
+    - if ``permanent`` is True — or the signature is the Nth distinct
+      one with ``permanent_every=N`` (1-based) — every attempt raises
+      :class:`PermanentCompileError` (the pool must quarantine).
+
+    The schedule depends only on submission order, so it is exactly as
+    deterministic as the virtual scheduler driving it.  ``calls`` logs
+    every attempt for assertions.
+    """
+
+    def __init__(self, transient_attempts: int = 0,
+                 permanent: bool = False,
+                 permanent_every: int | None = None) -> None:
+        self.transient_attempts = transient_attempts
+        self.permanent = permanent
+        self.permanent_every = permanent_every
+        #: distinct (model, signature) keys in first-seen order.
+        self.seen: dict = {}
+        #: log of (model, signature, attempt) per invocation.
+        self.calls: list[tuple] = []
+
+    def __call__(self, model: str, signature: tuple,
+                 attempt: int) -> None:
+        key = (model, signature)
+        if key not in self.seen:
+            self.seen[key] = len(self.seen) + 1
+        self.calls.append((model, signature, attempt))
+        index = self.seen[key]
+        if self.permanent or (self.permanent_every is not None
+                              and index % self.permanent_every == 0):
+            raise PermanentCompileError(
+                f"injected permanent fault for {model} sig#{index}")
+        if attempt < self.transient_attempts:
+            raise TransientCompileError(
+                f"injected transient fault for {model} sig#{index} "
+                f"attempt {attempt}")
 
 
 class CorruptedInterpreter(Interpreter):

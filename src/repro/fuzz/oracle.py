@@ -35,10 +35,12 @@ from ..lint.engine import lint_graph
 from ..runtime.engine import ExecutionEngine
 
 __all__ = ["Failure", "CaseResult", "DifferentialOracle", "make_inputs",
-           "compare_arrays", "DISC_EXECUTOR"]
+           "compare_arrays", "DISC_EXECUTOR", "SERVING_EXECUTOR"]
 
 #: name under which the optimized pipeline appears in results.
 DISC_EXECUTOR = "DISC"
+#: name under which the serving-runtime replay appears in results.
+SERVING_EXECUTOR = "SERVING"
 
 #: (rtol, atol) per dtype name; ints/bools compare exactly.
 _TOLERANCES = {
@@ -143,11 +145,18 @@ class DifferentialOracle:
     def __init__(self, device: DeviceProfile = A10,
                  baselines: tuple | None = None,
                  check_invariants: bool = True,
-                 lint_level: LintLevel = LintLevel.OFF) -> None:
+                 lint_level: LintLevel = LintLevel.OFF,
+                 serving: bool = False) -> None:
         self.device = device
         self.baselines = tuple(baselines) if baselines is not None \
             else tuple(baseline_names())
         self.check_invariants = check_invariants
+        #: when True, every case is additionally replayed through the
+        #: serving runtime (repro.serving) under a virtual scheduler
+        #: seeded from the case, with injected compile faults; every
+        #: response must arrive OK and be *bit-identical* to a direct
+        #: ExecutionEngine run of the same inputs.
+        self.serving = serving
         #: when not OFF, the static-analysis suite (repro.lint) runs on
         #: every case — the generated graph before compilation and the
         #: full pipeline artifacts after — and any failing diagnostic is
@@ -186,6 +195,8 @@ class DifferentialOracle:
             return result
 
         executable = self._check_pipeline(graph, inputs, reference, result)
+        if self.serving and executable is not None:
+            self._check_serving(inputs, executable, result)
         self._check_baselines(graph, inputs, reference, result)
         del executable
         return result
@@ -254,6 +265,75 @@ class DifferentialOracle:
                     executor=DISC_EXECUTOR, kind="invariant",
                     detail=f"buffer plan: {exc}"))
         return failures
+
+    # -- serving runtime ---------------------------------------------------
+
+    def _check_serving(self, inputs, executable,
+                       result: CaseResult) -> None:
+        """Replay the case through the serving runtime with faults.
+
+        The fault schedule varies deterministically with the input seed
+        (every third case quarantines permanently, every other one eats
+        a transient retry first), so the campaign exercises the fast,
+        fallback and quarantined paths.  The contract is strict: every
+        response is OK and bit-identical to a direct engine run.
+        """
+        from ..serving import (ServingEngine, ServingOptions,
+                               SignatureCompileCost, VirtualScheduler)
+        from .faults import CompileFaultInjector
+
+        result.executors_checked.append(SERVING_EXECUTOR)
+        seed = result.input_seed
+        try:
+            expected, _ = ExecutionEngine(executable, self.device).run(
+                inputs)
+            fault = CompileFaultInjector(
+                transient_attempts=1 if seed % 2 == 0 else 0,
+                permanent=seed % 3 == 2)
+            scheduler = VirtualScheduler(seed=seed)
+            serving = ServingEngine(
+                self.device, scheduler,
+                ServingOptions(
+                    compile_workers=1,
+                    compile_backoff_us=1_000.0,
+                    compile_cost=SignatureCompileCost(
+                        fixed_us=5_000.0, per_kernel_us=100.0)),
+                compile_fault=fault)
+            serving.register_model("case", executable)
+            tickets: list = []
+            # A cold-start burst (fallback + in-flight coalescing), then
+            # a late request once compiles settled (fast or quarantined).
+            scheduler.call_at(0.0, lambda: tickets.extend(
+                serving.submit("case", inputs) for _ in range(2)))
+            scheduler.call_at(1e8, lambda: tickets.append(
+                serving.submit("case", inputs)))
+            scheduler.run_until_idle()
+        except Exception as exc:  # noqa: BLE001
+            result.failures.append(Failure(
+                executor=SERVING_EXECUTOR, kind="exception",
+                detail=f"{type(exc).__name__}: {exc}"))
+            return
+        for ticket in tickets:
+            response = ticket.response
+            if response is None or not response.ok:
+                status = "unresolved" if response is None \
+                    else response.status.value
+                result.failures.append(Failure(
+                    executor=SERVING_EXECUTOR, kind="exception",
+                    detail=f"request {ticket.request.id} ended "
+                           f"{status}, expected ok"))
+                continue
+            for index, (ref, got) in enumerate(zip(expected,
+                                                   response.outputs)):
+                ref = np.asarray(ref)
+                got = np.asarray(got)
+                if (ref.shape != got.shape or ref.dtype != got.dtype
+                        or ref.tobytes() != got.tobytes()):
+                    result.failures.append(Failure(
+                        executor=SERVING_EXECUTOR, kind="mismatch",
+                        detail=f"path {response.path!r} not "
+                               f"bit-identical to direct engine run",
+                        output_index=index))
 
     # -- baselines ---------------------------------------------------------
 

@@ -143,6 +143,44 @@ class ExecutionEngine:
         """The frozen plan for ``signature`` (no stats side effects)."""
         return self.plans.peek((self._plan_tag, signature))
 
+    def prepare(self, inputs: Mapping[str, np.ndarray],
+                signature: tuple | None = None) -> LaunchPlan:
+        """Freeze and install the signature's plan without executing data.
+
+        This is the background-compilation entry point of the serving
+        runtime (:mod:`repro.serving`): all the shape-generic work of a
+        first call — binding, derived-symbol resolution, schedule
+        selection, cost-recipe and memory-plan evaluation — runs here in
+        the exact order :meth:`_record` charges it, so the frozen plan is
+        bit-identical to one recorded by a data-carrying first call, and
+        a later :meth:`run` of the signature replays it as a warm hit.
+        """
+        program = self.host_program
+        if signature is None:
+            signature = program.signature(inputs)
+        existing = self.plans.peek((self._plan_tag, signature))
+        if existing is not None:
+            return existing
+        options = self.options
+        dims = bind_inputs(program.params, inputs)
+        program.resolution.run(dims)
+        stats = RunStats(cache_hit=True)
+        forced: Schedule | None = None
+        if options.fixed_schedule is not None:
+            forced = schedule_named(options.fixed_schedule)
+        device = self.device
+        for instr in program.instructions:
+            charge_kernel(instr.kernel, dims, stats, forced, options,
+                          device)
+        stats.host_time_us += (options.dispatch_us_per_kernel
+                               * stats.kernels_launched)
+        buffer_plan = self.executable.buffer_plan
+        if buffer_plan is not None:
+            stats.details["memory"] = buffer_plan.evaluate(dims)
+        plan = LaunchPlan.freeze(signature, dims, stats)
+        self.plans.put((self._plan_tag, signature), plan)
+        return plan
+
     # -- cold path: execute while freezing the plan ------------------------
 
     def _record(self, inputs: Mapping[str, np.ndarray],

@@ -1,0 +1,50 @@
+"""Concurrent serving runtime over the compiled stack.
+
+The paper's serving claim — compile-once dynamic-shape execution stays
+flat under shape-diverse traffic while per-shape JITs stall behind the
+request queue — needs a *runtime*, not just the offline E14 simulation.
+This package provides it:
+
+- :class:`ServingEngine` — request intake, admission control, deadline
+  timers, and per-request path selection (warm launch-plan replay /
+  interpreter fallback / synchronous-compile baseline);
+- :class:`BackgroundCompilePool` — deduplicated, coalescing, bounded
+  background compilation with retry-backoff and quarantine;
+- :class:`InterpreterFallback` — bit-identical interpreter serving with
+  an eager (PyTorch-style) cost model;
+- :class:`VirtualScheduler` / :class:`VirtualClock` — the injectable
+  time seam that makes every interleaving deterministic and seedable.
+
+See internals.md §10 for the architecture and tests/serving for the
+deterministic concurrency suite.
+"""
+
+from .clock import Clock, SystemClock, VirtualClock
+from .compilepool import (BackgroundCompilePool, CompileState,
+                          PermanentCompileError, SignatureCompileCost,
+                          TransientCompileError)
+from .engine import (Request, Response, ResponseStatus, ServingEngine,
+                     ServingOptions, Ticket)
+from .fallback import FallbackOptions, InterpreterFallback
+from .scheduler import EventHandle, VirtualScheduler
+
+__all__ = [
+    "BackgroundCompilePool",
+    "Clock",
+    "CompileState",
+    "EventHandle",
+    "FallbackOptions",
+    "InterpreterFallback",
+    "PermanentCompileError",
+    "Request",
+    "Response",
+    "ResponseStatus",
+    "ServingEngine",
+    "ServingOptions",
+    "SignatureCompileCost",
+    "SystemClock",
+    "Ticket",
+    "TransientCompileError",
+    "VirtualClock",
+    "VirtualScheduler",
+]

@@ -1,0 +1,53 @@
+"""The time seam of the serving runtime.
+
+Every component of :mod:`repro.serving` reads time through a
+:class:`Clock` handed to it at construction — nothing in the runtime
+touches the wall clock directly.  Production wiring would pass a
+:class:`SystemClock`; every test and every benchmark passes the
+:class:`VirtualClock` owned by a
+:class:`~repro.serving.scheduler.VirtualScheduler`, which advances time
+only when the event loop dispatches an event.  That seam is what makes
+the concurrency suite deterministic: no sleeps, no races, identical
+timelines on every run.
+"""
+
+from __future__ import annotations
+
+import time
+
+__all__ = ["Clock", "SystemClock", "VirtualClock"]
+
+
+class Clock:
+    """Minimal time source: microseconds since an arbitrary epoch."""
+
+    def now_us(self) -> float:
+        raise NotImplementedError
+
+
+class SystemClock(Clock):
+    """Wall-clock time from the monotonic clock."""
+
+    def __init__(self) -> None:
+        self._epoch = time.monotonic()
+
+    def now_us(self) -> float:
+        return (time.monotonic() - self._epoch) * 1e6
+
+
+class VirtualClock(Clock):
+    """Simulated time, advanced explicitly by the scheduler.
+
+    Never moves backwards; ``advance_to`` with a past timestamp is a
+    no-op, so event handlers can re-arm timers without care.
+    """
+
+    def __init__(self, start_us: float = 0.0) -> None:
+        self._now_us = float(start_us)
+
+    def now_us(self) -> float:
+        return self._now_us
+
+    def advance_to(self, time_us: float) -> None:
+        if time_us > self._now_us:
+            self._now_us = float(time_us)

@@ -1,0 +1,197 @@
+"""Background compilation pool with dedup, retry and quarantine.
+
+Compilation in the serving runtime is asynchronous: the first request of
+a cold ``(model, signature)`` submits a compile job and is answered on
+the interpreter fallback; when the job completes it installs the launch
+plan into the engine's :class:`LaunchPlanCache` and later requests take
+the fast path.  The pool provides the robustness half of that story:
+
+- **dedup / in-flight coalescing** — one job per key, ever; concurrent
+  requests for a signature already compiling are coalesced (counted,
+  not resubmitted);
+- **bounded workers** — ``workers`` simulated compile slots; a job waits
+  for the earliest-free slot, so a burst of cold signatures serializes
+  exactly as a real compile pool would;
+- **retry with exponential backoff** — :class:`TransientCompileError`
+  re-queues the job after ``backoff_us * multiplier**attempt``;
+- **quarantine** — :class:`PermanentCompileError`, or exhausting the
+  retry budget, pins the key to the fallback path *forever*: the pool
+  refuses further submissions for it and the engine stops trying.
+  Compile errors degrade service; they never surface to a request.
+
+The pool runs entirely on the injected scheduler — job completion is a
+scheduled event at ``start + duration`` — so its interleavings are as
+deterministic as everything else in :mod:`repro.serving`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Hashable
+
+from .scheduler import VirtualScheduler
+
+__all__ = ["BackgroundCompilePool", "CompileState", "PermanentCompileError",
+           "SignatureCompileCost", "TransientCompileError"]
+
+
+class TransientCompileError(RuntimeError):
+    """A compile failure worth retrying (flaky tooling, resource blips)."""
+
+
+class PermanentCompileError(RuntimeError):
+    """A compile failure retrying cannot fix (codegen rejects the case)."""
+
+
+@dataclass
+class SignatureCompileCost:
+    """Simulated duration of one per-signature compile.
+
+    Models a per-shape specializing JIT: a fixed front-end cost plus a
+    per-kernel codegen cost.  The defaults land in the hundreds of
+    milliseconds for the bench models — the scale at which the paper's
+    compilation-stall problem actually bites.
+    """
+
+    fixed_us: float = 200_000.0
+    per_kernel_us: float = 4_000.0
+
+    def duration_us(self, num_kernels: int) -> float:
+        return self.fixed_us + self.per_kernel_us * num_kernels
+
+
+class CompileState(Enum):
+    COLD = "cold"
+    COMPILING = "compiling"
+    READY = "ready"
+    QUARANTINED = "quarantined"
+
+
+@dataclass
+class _Record:
+    state: CompileState
+    attempts: int = 0
+    coalesced: int = 0
+    finished_at_us: float | None = None
+
+
+@dataclass
+class PoolStats:
+    jobs_submitted: int = 0
+    jobs_coalesced: int = 0
+    compiles_succeeded: int = 0
+    transient_failures: int = 0
+    permanent_failures: int = 0
+    quarantined: int = 0
+
+    def as_dict(self) -> dict:
+        return dict(self.__dict__)
+
+
+class BackgroundCompilePool:
+    """``workers`` simulated compile slots behind a dedup table.
+
+    ``run`` callbacks receive the attempt index (0-based) and either
+    return normally (the plan is installed by the callback itself) or
+    raise one of the compile errors above.
+    """
+
+    def __init__(self, scheduler: VirtualScheduler, workers: int = 2,
+                 max_retries: int = 2, backoff_us: float = 50_000.0,
+                 backoff_multiplier: float = 2.0) -> None:
+        if workers < 1:
+            raise ValueError("compile pool needs at least one worker")
+        self.scheduler = scheduler
+        self.max_retries = max_retries
+        self.backoff_us = backoff_us
+        self.backoff_multiplier = backoff_multiplier
+        #: per-worker timestamp at which the slot frees up.
+        self._free_at_us = [0.0] * workers
+        self._records: dict[Hashable, _Record] = {}
+        self.stats = PoolStats()
+
+    # -- queries -----------------------------------------------------------
+
+    def state(self, key: Hashable) -> CompileState:
+        record = self._records.get(key)
+        return record.state if record is not None else CompileState.COLD
+
+    def record(self, key: Hashable) -> _Record | None:
+        return self._records.get(key)
+
+    # -- submission --------------------------------------------------------
+
+    def ensure(self, key: Hashable, run: Callable[[int], None],
+               duration_us: float,
+               on_quarantine: Callable[[], None] | None = None) -> bool:
+        """Make sure a compile for ``key`` is running or finished.
+
+        Returns True if this call started a job; False if it coalesced
+        onto an in-flight one, the key is already ready, or the key is
+        quarantined.  A READY key whose plan was since evicted from the
+        engine's LRU may be resubmitted — the record resets to COMPILING.
+        """
+        record = self._records.get(key)
+        if record is not None:
+            if record.state is CompileState.COMPILING:
+                record.coalesced += 1
+                self.stats.jobs_coalesced += 1
+                return False
+            if record.state is CompileState.QUARANTINED:
+                return False
+            # READY here means the engine lost the plan (LRU eviction)
+            # and wants it re-frozen: fall through and resubmit.
+        self._records[key] = record = _Record(CompileState.COMPILING)
+        self.stats.jobs_submitted += 1
+        self._start_attempt(key, record, run, duration_us, on_quarantine)
+        return True
+
+    # -- internals ---------------------------------------------------------
+
+    def _start_attempt(self, key, record, run, duration_us,
+                       on_quarantine) -> None:
+        now = self.scheduler.now_us()
+        worker = min(range(len(self._free_at_us)),
+                     key=lambda i: self._free_at_us[i])
+        start = max(now, self._free_at_us[worker])
+        finish = start + duration_us
+        self._free_at_us[worker] = finish
+        self.scheduler.call_at(
+            finish,
+            lambda: self._finish_attempt(key, record, run, duration_us,
+                                         on_quarantine))
+
+    def _finish_attempt(self, key, record, run, duration_us,
+                        on_quarantine) -> None:
+        attempt = record.attempts
+        record.attempts += 1
+        try:
+            run(attempt)
+        except TransientCompileError:
+            self.stats.transient_failures += 1
+            if record.attempts > self.max_retries:
+                self._quarantine(record, on_quarantine)
+                return
+            backoff = (self.backoff_us
+                       * self.backoff_multiplier ** attempt)
+            self.scheduler.call_after(
+                backoff,
+                lambda: self._start_attempt(key, record, run, duration_us,
+                                            on_quarantine))
+            return
+        except PermanentCompileError:
+            self.stats.permanent_failures += 1
+            self._quarantine(record, on_quarantine)
+            return
+        record.state = CompileState.READY
+        record.finished_at_us = self.scheduler.now_us()
+        self.stats.compiles_succeeded += 1
+
+    def _quarantine(self, record: _Record,
+                    on_quarantine: Callable[[], None] | None) -> None:
+        record.state = CompileState.QUARANTINED
+        record.finished_at_us = self.scheduler.now_us()
+        self.stats.quarantined += 1
+        if on_quarantine is not None:
+            on_quarantine()

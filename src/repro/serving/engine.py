@@ -1,0 +1,400 @@
+"""The serving engine: async compilation behind a live request path.
+
+``ServingEngine`` fronts the compiled stack for named models.  Its
+request lifecycle (see internals.md §10):
+
+- **submit** computes the request's shape signature, applies admission
+  control (a bounded waiting queue; overflow is *shed* immediately), and
+  arms the per-request deadline timer;
+- **dispatch** pulls the next request when the (single, simulated)
+  device server frees up and picks its path *at service start*:
+
+  - warm signature → the :class:`ExecutionEngine` launch-plan replay
+    path (fast);
+  - cold signature → answered on the interpreter fallback *now*, while
+    the background pool compiles the launch plan (submit or coalesce);
+    a quarantined signature skips the pool and stays on the fallback;
+  - cold with ``background_compile=False`` → the synchronous-compile
+    baseline E16 measures against: the server stalls for the compile,
+    then serves the (now warm) plan;
+
+- **complete** responds OK unless the deadline expired mid-service, in
+  which case the timeout response already went out at the deadline.
+
+Every response that carries outputs is bit-identical to a direct
+single-threaded ``ExecutionEngine`` run of the same request, whichever
+path served it.  Compile faults — injected or real — retry with backoff
+and at worst quarantine a signature to the fallback; they are invisible
+in the response stream.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Callable, Mapping
+
+import numpy as np
+
+from ..core.pipeline import CompileOptions, compile_graph
+from ..device.counters import RunStats
+from ..device.profiles import DeviceProfile
+from ..ir.graph import Graph
+from ..lint import LintLevel, lint_executable
+from ..runtime.engine import EngineOptions, ExecutionEngine
+from ..runtime.executable import Executable
+from .compilepool import (BackgroundCompilePool, CompileState,
+                          PermanentCompileError, SignatureCompileCost,
+                          TransientCompileError)
+from .fallback import FallbackOptions, InterpreterFallback
+from .scheduler import VirtualScheduler
+
+__all__ = ["Request", "Response", "ResponseStatus", "ServingEngine",
+           "ServingOptions", "Ticket"]
+
+#: fault injector signature: (model, signature, attempt) -> None, raising
+#: TransientCompileError / PermanentCompileError to fail the attempt.
+CompileFault = Callable[[str, tuple, int], None]
+
+
+class ResponseStatus(Enum):
+    OK = "ok"
+    TIMEOUT = "timeout"
+    SHED = "shed"
+
+
+@dataclass
+class ServingOptions:
+    """Policy knobs of the serving runtime."""
+
+    #: bound on *waiting* requests; arrivals beyond it are shed.
+    queue_capacity: int = 64
+    #: simulated background compile slots.
+    compile_workers: int = 2
+    #: transient-failure retries before a signature is quarantined.
+    max_compile_retries: int = 2
+    #: first retry delay; grows by ``backoff_multiplier`` per attempt.
+    compile_backoff_us: float = 50_000.0
+    backoff_multiplier: float = 2.0
+    #: deadline applied to requests that don't carry one (None = none).
+    default_deadline_us: float | None = None
+    #: False = synchronous-compile baseline (cold signatures stall).
+    background_compile: bool = True
+    compile_cost: SignatureCompileCost = field(
+        default_factory=SignatureCompileCost)
+    fallback: FallbackOptions = field(default_factory=FallbackOptions)
+    engine: EngineOptions = field(default_factory=EngineOptions)
+    #: lint gate applied when registering a model (OFF = skip).
+    lint_level: LintLevel = LintLevel.OFF
+
+
+@dataclass
+class Request:
+    id: int
+    model: str
+    inputs: Mapping[str, np.ndarray]
+    signature: tuple
+    arrival_us: float
+    deadline_us: float | None  # absolute virtual time, or None
+    done: bool = False
+    deadline_handle: object = None
+
+
+@dataclass
+class Response:
+    request_id: int
+    model: str
+    status: ResponseStatus
+    #: which path produced the outputs: "fast", "fallback",
+    #: "quarantined", "sync_compile"; None for shed/timeout responses.
+    path: str | None
+    outputs: list | None
+    stats: RunStats | None
+    signature: tuple
+    arrival_us: float
+    finish_us: float
+
+    @property
+    def latency_us(self) -> float:
+        return self.finish_us - self.arrival_us
+
+    @property
+    def ok(self) -> bool:
+        return self.status is ResponseStatus.OK
+
+
+class Ticket:
+    """Handed back by ``submit``; resolves when the response lands."""
+
+    __slots__ = ("request", "response")
+
+    def __init__(self, request: Request) -> None:
+        self.request = request
+        self.response: Response | None = None
+
+    @property
+    def done(self) -> bool:
+        return self.response is not None
+
+
+class _ModelEntry:
+    __slots__ = ("name", "executable", "engine", "fallback",
+                 "compile_duration_us")
+
+    def __init__(self, name, executable, engine, fallback,
+                 compile_duration_us) -> None:
+        self.name = name
+        self.executable = executable
+        self.engine = engine
+        self.fallback = fallback
+        self.compile_duration_us = compile_duration_us
+
+
+class ServingEngine:
+    """Serves named models over one simulated device server.
+
+    ``compile_fault`` injects compile failures (the fuzz oracle and the
+    robustness tests use :class:`repro.fuzz.faults.CompileFaultInjector`);
+    production wiring leaves it None.
+    """
+
+    def __init__(self, device: DeviceProfile,
+                 scheduler: VirtualScheduler,
+                 options: ServingOptions | None = None,
+                 compile_fault: CompileFault | None = None) -> None:
+        self.device = device
+        self.scheduler = scheduler
+        self.options = options or ServingOptions()
+        self.pool = BackgroundCompilePool(
+            scheduler,
+            workers=self.options.compile_workers,
+            max_retries=self.options.max_compile_retries,
+            backoff_us=self.options.compile_backoff_us,
+            backoff_multiplier=self.options.backoff_multiplier)
+        self._compile_fault = compile_fault
+        self._models: dict[str, _ModelEntry] = {}
+        self._queue: deque[Request] = deque()
+        self._current: Request | None = None
+        self._tickets: dict[int, Ticket] = {}
+        self._next_id = 0
+        #: every response, in the order they went out (OK + timeout + shed).
+        self.completed: list[Response] = []
+        self._quarantined: set[tuple] = set()
+        self.counters = {
+            "submitted": 0, "ok": 0, "shed": 0, "timeouts": 0,
+            "fast_served": 0, "fallback_served": 0,
+            "quarantine_served": 0, "sync_served": 0,
+            "sync_compile_stalls": 0, "sync_stall_us": 0.0,
+        }
+
+    # -- registration ------------------------------------------------------
+
+    def register_model(self, name: str,
+                       model: Graph | Executable,
+                       compile_options: CompileOptions | None = None
+                       ) -> _ModelEntry:
+        """Compile (if needed), lint-gate, and install a model."""
+        if name in self._models:
+            raise ValueError(f"model {name!r} already registered")
+        if isinstance(model, Graph):
+            executable = compile_graph(model, compile_options)
+        else:
+            executable = model
+        if self.options.lint_level is not LintLevel.OFF:
+            sink = lint_executable(executable)
+            failures = sink.failures(self.options.lint_level)
+            if failures:
+                rendered = "; ".join(str(d) for d in failures[:3])
+                raise ValueError(
+                    f"model {name!r} fails lint at "
+                    f"{self.options.lint_level.value}: {rendered}")
+        engine = ExecutionEngine(executable, self.device,
+                                 self.options.engine)
+        fallback = InterpreterFallback(executable, self.device,
+                                       self.options.fallback)
+        duration = self.options.compile_cost.duration_us(
+            len(executable.kernels))
+        entry = _ModelEntry(name, executable, engine, fallback, duration)
+        self._models[name] = entry
+        return entry
+
+    def model(self, name: str) -> _ModelEntry:
+        return self._models[name]
+
+    # -- request intake ----------------------------------------------------
+
+    def submit(self, model: str, inputs: Mapping[str, np.ndarray],
+               deadline_us: float | None = None) -> Ticket:
+        """Admit one request; returns a :class:`Ticket`.
+
+        ``deadline_us`` is relative to now; None falls back to
+        ``options.default_deadline_us``.
+        """
+        entry = self._models[model]
+        now = self.scheduler.now_us()
+        signature = entry.engine.host_program.signature(inputs)
+        relative = (deadline_us if deadline_us is not None
+                    else self.options.default_deadline_us)
+        request = Request(
+            id=self._next_id, model=model, inputs=inputs,
+            signature=signature, arrival_us=now,
+            deadline_us=now + relative if relative is not None else None)
+        self._next_id += 1
+        ticket = Ticket(request)
+        self._tickets[request.id] = ticket
+        self.counters["submitted"] += 1
+
+        waiting = len(self._queue)
+        if self._current is not None and \
+                waiting >= self.options.queue_capacity:
+            self.counters["shed"] += 1
+            self._respond(request, ResponseStatus.SHED, None, None, None)
+            return ticket
+
+        if request.deadline_us is not None:
+            request.deadline_handle = self.scheduler.call_at(
+                request.deadline_us, lambda: self._expire(request))
+        self._queue.append(request)
+        if self._current is None:
+            self._dispatch_next()
+        return ticket
+
+    # -- dispatch / service ------------------------------------------------
+
+    def _dispatch_next(self) -> None:
+        if not self._queue:
+            self._current = None
+            return
+        request = self._queue.popleft()
+        self._current = request
+        path, outputs, stats, service_us = self._serve(request)
+        finish = self.scheduler.now_us() + service_us
+        self.scheduler.call_at(
+            finish,
+            lambda: self._complete(request, path, outputs, stats))
+
+    def _serve(self, request: Request) -> tuple:
+        """Pick the path and produce outputs; returns service duration."""
+        entry = self._models[request.model]
+        key = (request.model, request.signature)
+        plan = entry.engine.peek_plan(request.signature)
+        if plan is not None:
+            outputs, stats = entry.engine.run(request.inputs)
+            return "fast", outputs, stats, stats.total_time_us
+
+        if key in self._quarantined:
+            outputs, stats = entry.fallback.run(request.inputs)
+            return "quarantined", outputs, stats, stats.total_time_us
+
+        if not self.options.background_compile:
+            return self._serve_sync_compile(entry, request, key)
+
+        self._ensure_compile(entry, request, key)
+        outputs, stats = entry.fallback.run(request.inputs)
+        return "fallback", outputs, stats, stats.total_time_us
+
+    def _serve_sync_compile(self, entry: _ModelEntry, request: Request,
+                            key: tuple) -> tuple:
+        """Synchronous-compile baseline: the compile stalls the server.
+
+        Faults behave as in the async path — transient failures retry
+        (each attempt stalls another compile duration), permanent or
+        exhausted ones quarantine and the request is served eagerly —
+        so errors never reach the response in either mode.
+        """
+        stall_us = 0.0
+        attempt = 0
+        while True:
+            stall_us += entry.compile_duration_us
+            try:
+                if self._compile_fault is not None:
+                    self._compile_fault(request.model, request.signature,
+                                        attempt)
+                break
+            except TransientCompileError:
+                attempt += 1
+                if attempt > self.options.max_compile_retries:
+                    self._quarantined.add(key)
+                    outputs, stats = entry.fallback.run(request.inputs)
+                    return ("quarantined", outputs, stats,
+                            stall_us + stats.total_time_us)
+            except PermanentCompileError:
+                self._quarantined.add(key)
+                outputs, stats = entry.fallback.run(request.inputs)
+                return ("quarantined", outputs, stats,
+                        stall_us + stats.total_time_us)
+        self.counters["sync_compile_stalls"] += 1
+        self.counters["sync_stall_us"] += stall_us
+        outputs, stats = entry.engine.run(request.inputs)
+        stats.compile_time_us += stall_us
+        return "sync_compile", outputs, stats, stats.total_time_us
+
+    def _ensure_compile(self, entry: _ModelEntry, request: Request,
+                        key: tuple) -> None:
+        """Submit (or coalesce onto) the background compile for ``key``."""
+        inputs = request.inputs
+        model, signature = key
+
+        def run(attempt: int) -> None:
+            if self._compile_fault is not None:
+                self._compile_fault(model, signature, attempt)
+            entry.engine.prepare(inputs, signature)
+
+        self.pool.ensure(key, run, entry.compile_duration_us,
+                         on_quarantine=lambda: self._quarantined.add(key))
+
+    # -- completion / expiry -----------------------------------------------
+
+    def _complete(self, request: Request, path: str | None,
+                  outputs, stats) -> None:
+        if not request.done:
+            served = {"fast": "fast_served",
+                      "fallback": "fallback_served",
+                      "quarantined": "quarantine_served",
+                      "sync_compile": "sync_served"}
+            self.counters["ok"] += 1
+            self.counters[served[path]] += 1
+            self._respond(request, ResponseStatus.OK, path, outputs,
+                          stats)
+        self._dispatch_next()
+
+    def _expire(self, request: Request) -> None:
+        if request.done:
+            return
+        self.counters["timeouts"] += 1
+        if request is not self._current:
+            self._queue.remove(request)
+        self._respond(request, ResponseStatus.TIMEOUT, None, None, None)
+
+    def _respond(self, request: Request, status: ResponseStatus,
+                 path: str | None, outputs, stats) -> None:
+        request.done = True
+        if request.deadline_handle is not None:
+            request.deadline_handle.cancel()
+        response = Response(
+            request_id=request.id, model=request.model, status=status,
+            path=path, outputs=outputs, stats=stats,
+            signature=request.signature, arrival_us=request.arrival_us,
+            finish_us=self.scheduler.now_us())
+        self.completed.append(response)
+        ticket = self._tickets.pop(request.id, None)
+        if ticket is not None:
+            ticket.response = response
+
+    # -- reporting ---------------------------------------------------------
+
+    def quarantined_signatures(self) -> set[tuple]:
+        return set(self._quarantined)
+
+    def compile_state(self, model: str, signature: tuple) -> CompileState:
+        return self.pool.state((model, signature))
+
+    def stats(self) -> dict:
+        return {
+            "requests": dict(self.counters),
+            "pool": self.pool.stats.as_dict(),
+            "quarantined_signatures": len(self._quarantined),
+            "models": {name: entry.engine.plans.stats()
+                       for name, entry in self._models.items()},
+        }

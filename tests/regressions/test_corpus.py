@@ -70,6 +70,66 @@ def test_corpus_case_lints_clean(path):
         f"{sorted(expected)}:\n{sink.render()}")
 
 
+# ---------------------------------------------------------------------------
+# serving replay: compile-failure -> interpreter-quarantine, forever
+# ---------------------------------------------------------------------------
+
+SERVING_CASES = [p for p in CASES
+                 if load_case(p)[2].get("serving_fault")]
+
+
+def test_serving_quarantine_case_is_checked_in():
+    assert SERVING_CASES, "the serving quarantine corpus case went missing"
+
+
+@pytest.mark.parametrize("path", SERVING_CASES, ids=lambda p: p.stem)
+def test_serving_quarantine_path_replays(path):
+    """A permanently failing compile degrades to the fallback, never to
+    an error — and quarantine means the pool stops trying.
+
+    The case is hand-minimized to a transpose→matmul pair: the layout-
+    sensitive core where a careless fallback diverges bitwise from the
+    compiled engine.
+    """
+    from repro.core import compile_graph
+    from repro.device import A10
+    from repro.fuzz import CompileFaultInjector, make_inputs
+    from repro.runtime import ExecutionEngine
+    from repro.serving import (CompileState, ServingEngine, ServingOptions,
+                               SignatureCompileCost, VirtualScheduler)
+
+    graph, bindings, meta = load_case(path)
+    assert meta["serving_fault"] == "permanent"
+    inputs = make_inputs(graph, bindings,
+                         seed=int(meta.get("input_seed", 0)))
+    executable = compile_graph(graph)
+    expected, _ = ExecutionEngine(executable, A10).run(inputs)
+
+    scheduler = VirtualScheduler(seed=0)
+    serving = ServingEngine(
+        A10, scheduler,
+        ServingOptions(compile_cost=SignatureCompileCost(
+            fixed_us=1_000.0, per_kernel_us=10.0)),
+        compile_fault=CompileFaultInjector(permanent=True))
+    serving.register_model("case", executable)
+    cold = serving.submit("case", inputs)
+    scheduler.run_until_idle()
+    pinned = serving.submit("case", inputs)
+    scheduler.run_until_idle()
+
+    assert cold.response.ok and cold.response.path == "fallback"
+    assert pinned.response.ok and pinned.response.path == "quarantined"
+    assert serving.compile_state(
+        "case", cold.request.signature) is CompileState.QUARANTINED
+    assert serving.pool.stats.jobs_submitted == 1, \
+        "quarantine must stop recompilation"
+    for response in (cold.response, pinned.response):
+        for exp, got in zip(expected, response.outputs):
+            assert exp.dtype == got.dtype and exp.shape == got.shape
+            assert exp.tobytes() == got.tobytes(), \
+                "fallback output not bit-identical to the engine"
+
+
 def test_multi_defect_graph_reports_all_codes_not_just_the_first():
     """The fail-fast blind spot itself, replayed on a corpus graph.
 

@@ -7,7 +7,7 @@ the full acceptance campaign (``--seed 0 --iters 200``) starts with.
 
 import pytest
 
-from repro.fuzz import run_campaign
+from repro.fuzz import DifferentialOracle, run_campaign
 
 pytestmark = pytest.mark.fuzz
 
@@ -20,3 +20,13 @@ def test_bounded_campaign_seed0_is_clean(tmp_path):
     assert len(report.executors) == 8
     # the generator's op mix shows up even in a short run
     assert len(report.ops_covered) >= 15
+
+
+def test_bounded_serving_campaign_seed0_is_clean(tmp_path):
+    """The serving oracle rides the same campaign: every case replayed
+    through the runtime (seeded scheduler, injected compile faults) with
+    bit-identical OK responses demanded throughout."""
+    report = run_campaign(seed=0, iters=15, out_dir=tmp_path,
+                          oracle=DifferentialOracle(serving=True))
+    assert report.ok, report.summary()
+    assert "SERVING" in report.executors

@@ -138,3 +138,46 @@ def test_capacity_evicts_and_rerecords_identically(exe, rng):
     assert engine.plans.stats()["evictions"] == 2
     assert engine.plans.stats()["misses"] == 3
     assert again == first
+
+
+# -- background preparation (serving's compile entry point) ------------------
+
+def test_prepare_freezes_the_same_plan_a_first_call_would(exe, rng):
+    inputs = toy_mlp_inputs(rng, 3, 5)
+    sig = exe.host_program.signature(inputs)
+
+    prepared_engine = ExecutionEngine(exe, A10)
+    prepared = prepared_engine.prepare(inputs)
+
+    recorded_engine = ExecutionEngine(exe, A10)
+    _, recorded_stats = recorded_engine.run(inputs)
+    recorded = recorded_engine.peek_plan(sig)
+
+    assert prepared.signature == recorded.signature == sig
+    assert prepared.dims == recorded.dims
+    for field in ("device_time_us", "host_time_us", "kernels_launched",
+                  "bytes_read", "bytes_written", "flops", "memory"):
+        assert getattr(prepared, field) == getattr(recorded, field), field
+    assert prepared.make_stats() == recorded_stats
+
+
+def test_run_after_prepare_is_a_warm_replay(exe, rng):
+    inputs = toy_mlp_inputs(rng, 3, 5)
+    engine = ExecutionEngine(exe, A10)
+    engine.prepare(inputs)
+    outputs, stats = engine.run(inputs)
+    assert engine.plans.stats()["hits"] == 1
+    assert engine.plans.stats()["misses"] == 0
+    direct_outputs, direct_stats = ExecutionEngine(exe, A10).run(inputs)
+    assert stats == direct_stats
+    for a, b in zip(outputs, direct_outputs):
+        assert a.tobytes() == b.tobytes()
+
+
+def test_prepare_is_idempotent(exe, rng):
+    inputs = toy_mlp_inputs(rng, 3, 5)
+    engine = ExecutionEngine(exe, A10)
+    first = engine.prepare(inputs)
+    second = engine.prepare(inputs)
+    assert second is first
+    assert engine.plans.stats()["entries"] == 1

@@ -1,0 +1,52 @@
+"""Shared fixtures for the serving-runtime suite.
+
+Everything here runs under the virtual clock — no test in this directory
+may sleep or read wall time.  The compiled toy model is session-scoped
+because compilation cost dominates these tests and the executable is
+immutable.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compile_graph
+from repro.device import A10
+from repro.serving import (ServingEngine, ServingOptions,
+                           SignatureCompileCost, VirtualScheduler)
+
+from ..conftest import toy_mlp_graph
+
+#: small compile cost so tests exercise ordering, not magnitude.
+FAST_COMPILE = SignatureCompileCost(fixed_us=10_000.0, per_kernel_us=100.0)
+
+
+@pytest.fixture(scope="session")
+def toy_exe():
+    return compile_graph(toy_mlp_graph().graph)
+
+
+@pytest.fixture
+def device():
+    return A10
+
+
+def make_serving(exe, seed=0, compile_fault=None, **option_overrides):
+    """A (scheduler, engine) pair with the toy model registered."""
+    option_overrides.setdefault("compile_cost", FAST_COMPILE)
+    options = ServingOptions(**option_overrides)
+    scheduler = VirtualScheduler(seed=seed)
+    engine = ServingEngine(A10, scheduler, options,
+                           compile_fault=compile_fault)
+    engine.register_model("mlp", exe)
+    return scheduler, engine
+
+
+def bit_identical(expected, got) -> bool:
+    if len(expected) != len(got):
+        return False
+    for e, g in zip(expected, got):
+        if e.shape != g.shape or e.dtype != g.dtype or \
+                e.tobytes() != g.tobytes():
+            return False
+    return True

@@ -1,0 +1,117 @@
+"""Path selection: cold-start fallback, warm handoff, coalescing."""
+
+import numpy as np
+
+from repro.device import A10
+from repro.runtime import ExecutionEngine
+from repro.serving import CompileState, SignatureCompileCost
+
+from ..conftest import toy_mlp_inputs
+from .conftest import bit_identical, make_serving
+
+
+def test_cold_start_serves_on_fallback(toy_exe, rng):
+    scheduler, serving = make_serving(toy_exe, seed=1)
+    inputs = toy_mlp_inputs(rng, 3, 5)
+    ticket = serving.submit("mlp", inputs)
+    scheduler.run_until_idle()
+    response = ticket.response
+    assert response.ok and response.path == "fallback"
+    assert serving.pool.stats.jobs_submitted == 1
+    expected, _ = ExecutionEngine(toy_exe, A10).run(inputs)
+    assert bit_identical(expected, response.outputs)
+
+
+def test_background_compile_installs_the_plan(toy_exe, rng):
+    scheduler, serving = make_serving(toy_exe, seed=1)
+    inputs = toy_mlp_inputs(rng, 3, 5)
+    ticket = serving.submit("mlp", inputs)
+    signature = ticket.request.signature
+    entry = serving.model("mlp")
+    assert entry.engine.peek_plan(signature) is None
+    scheduler.run_until_idle()
+    assert entry.engine.peek_plan(signature) is not None
+    assert serving.compile_state("mlp", signature) is CompileState.READY
+
+
+def test_warm_signature_takes_the_fast_path(toy_exe, rng):
+    scheduler, serving = make_serving(toy_exe, seed=1)
+    inputs = toy_mlp_inputs(rng, 3, 5)
+    serving.submit("mlp", inputs)
+    scheduler.run_until_idle()
+    ticket = serving.submit("mlp", inputs)
+    scheduler.run_until_idle()
+    assert ticket.response.path == "fast"
+    # The fast path replays the frozen plan: far cheaper than eager.
+    fallback_latency = serving.completed[0].latency_us
+    assert ticket.response.latency_us < fallback_latency / 5
+
+
+def test_in_flight_compiles_coalesce(toy_exe, rng):
+    scheduler, serving = make_serving(toy_exe, seed=1)
+    inputs = toy_mlp_inputs(rng, 3, 5)
+    for _ in range(3):
+        serving.submit("mlp", inputs)
+    scheduler.run_until_idle()
+    stats = serving.pool.stats
+    assert stats.jobs_submitted == 1
+    assert stats.jobs_coalesced == 2
+    assert stats.compiles_succeeded == 1
+
+
+def test_distinct_signatures_compile_independently(toy_exe, rng):
+    scheduler, serving = make_serving(toy_exe, seed=1)
+    serving.submit("mlp", toy_mlp_inputs(rng, 3, 5))
+    serving.submit("mlp", toy_mlp_inputs(rng, 4, 7))
+    scheduler.run_until_idle()
+    assert serving.pool.stats.jobs_submitted == 2
+    assert serving.pool.stats.compiles_succeeded == 2
+
+
+def test_handoff_mid_queue_when_compile_finishes_first(toy_exe, rng):
+    """A request queued behind a slow fallback service finds the plan
+    already installed by the time it is dispatched → fast path."""
+    scheduler, serving = make_serving(
+        toy_exe, seed=1,
+        compile_cost=SignatureCompileCost(fixed_us=50.0,
+                                          per_kernel_us=1.0))
+    inputs = toy_mlp_inputs(rng, 3, 5)
+    first = serving.submit("mlp", inputs)
+    second = serving.submit("mlp", inputs)
+    scheduler.run_until_idle()
+    assert first.response.path == "fallback"
+    assert second.response.path == "fast"
+
+
+def test_bounded_workers_serialize_compiles(toy_exe, rng):
+    """One worker: three distinct signatures finish compilation at
+    duration, 2*duration, 3*duration — never in parallel."""
+    scheduler, serving = make_serving(toy_exe, seed=1, compile_workers=1)
+    duration = serving.model("mlp").compile_duration_us
+    signatures = []
+    for batch in (2, 3, 4):
+        ticket = serving.submit("mlp", toy_mlp_inputs(rng, batch, 5))
+        signatures.append(ticket.request.signature)
+    scheduler.run_until_idle()
+    finishes = sorted(
+        serving.pool.record(("mlp", sig)).finished_at_us
+        for sig in signatures)
+    assert finishes == [
+        duration, 2 * duration, 3 * duration]
+
+
+def test_evicted_plan_resubmits_compile(toy_exe, rng):
+    from repro.runtime import EngineOptions
+    scheduler, serving = make_serving(
+        toy_exe, seed=1, engine=EngineOptions(plan_capacity=1))
+    inputs_a = toy_mlp_inputs(rng, 3, 5)
+    inputs_b = toy_mlp_inputs(rng, 4, 7)
+    serving.submit("mlp", inputs_a)
+    scheduler.run_until_idle()
+    serving.submit("mlp", inputs_b)  # evicts A's plan (capacity 1)
+    scheduler.run_until_idle()
+    ticket = serving.submit("mlp", inputs_a)  # cold again
+    scheduler.run_until_idle()
+    assert ticket.response.path == "fallback"
+    assert serving.pool.stats.jobs_submitted == 3
+    assert ticket.response.ok

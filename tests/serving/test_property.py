@@ -1,0 +1,66 @@
+"""Property: every served response == a direct single-threaded run.
+
+For any generated graph, any shape bindings, any interleaving seed and
+any compile-fault schedule, every OK response out of the serving runtime
+is *bit-identical* to running the same inputs through an
+``ExecutionEngine`` directly — a request cannot observe which path
+(fast, fallback, quarantined) served it.
+"""
+
+from hypothesis import HealthCheck, given, settings
+from hypothesis import strategies as st
+
+from repro.core import compile_graph
+from repro.device import A10
+from repro.fuzz import CompileFaultInjector, make_inputs
+from repro.fuzz.sampler import binding_suite
+from repro.runtime import ExecutionEngine
+from repro.serving import (ServingEngine, ServingOptions,
+                           SignatureCompileCost, VirtualScheduler)
+
+from ..strategies import fuzz_graphs
+from .conftest import bit_identical
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=fuzz_graphs(max_nodes=10),
+       seed=st.integers(min_value=0, max_value=2**16),
+       transient=st.integers(min_value=0, max_value=2),
+       permanent_every=st.sampled_from([None, 2]))
+def test_responses_bit_identical_to_direct_engine(graph, seed, transient,
+                                                  permanent_every):
+    executable = compile_graph(graph)
+    reference = ExecutionEngine(executable, A10)
+    fault = CompileFaultInjector(transient_attempts=transient,
+                                 permanent_every=permanent_every)
+    scheduler = VirtualScheduler(seed=seed)
+    serving = ServingEngine(
+        A10, scheduler,
+        ServingOptions(
+            compile_workers=1 + seed % 3,
+            compile_backoff_us=500.0,
+            compile_cost=SignatureCompileCost(fixed_us=2_000.0,
+                                              per_kernel_us=50.0)),
+        compile_fault=fault)
+    serving.register_model("m", executable)
+
+    cases = [make_inputs(graph, bindings, seed=7)
+             for bindings in binding_suite(graph, limit=2)]
+    tickets = []
+    for index, inputs in enumerate(cases):
+        # A cold burst (simultaneous with the other signatures) and a
+        # warm revisit long after the compiles settled.
+        scheduler.call_at(0.0, lambda i=inputs: tickets.append(
+            (i, serving.submit("m", i))))
+        scheduler.call_at(1e7 + index, lambda i=inputs: tickets.append(
+            (i, serving.submit("m", i))))
+    scheduler.run_until_idle()
+
+    assert len(tickets) == 2 * len(cases)
+    for inputs, ticket in tickets:
+        response = ticket.response
+        assert response is not None and response.ok
+        expected, _ = reference.run(inputs)
+        assert bit_identical(expected, response.outputs), \
+            f"path {response.path!r} diverged from direct engine run"

@@ -1,0 +1,111 @@
+"""The virtual clock and the seeded discrete-event scheduler.
+
+These are the foundation of every other serving test: if dispatch order
+were not deterministic per seed, the whole suite would flake.
+"""
+
+import pytest
+
+from repro.serving import VirtualClock, VirtualScheduler
+
+
+def record_simultaneous(seed, n=6):
+    """Dispatch order of ``n`` events all scheduled for t=100."""
+    scheduler = VirtualScheduler(seed=seed)
+    order = []
+    for i in range(n):
+        scheduler.call_at(100.0, lambda i=i: order.append(i))
+    scheduler.run_until_idle()
+    return order
+
+
+def test_clock_never_goes_backwards():
+    clock = VirtualClock(start_us=50.0)
+    clock.advance_to(10.0)
+    assert clock.now_us() == 50.0
+    clock.advance_to(80.0)
+    assert clock.now_us() == 80.0
+
+
+def test_time_order_beats_submission_order():
+    scheduler = VirtualScheduler(seed=3)
+    order = []
+    scheduler.call_at(300.0, lambda: order.append("late"))
+    scheduler.call_at(100.0, lambda: order.append("early"))
+    scheduler.call_after(200.0, lambda: order.append("mid"))
+    scheduler.run_until_idle()
+    assert order == ["early", "mid", "late"]
+    assert scheduler.now_us() == 300.0
+
+
+def test_unseeded_ties_dispatch_fifo():
+    scheduler = VirtualScheduler(seed=None)
+    order = []
+    for i in range(5):
+        scheduler.call_at(10.0, lambda i=i: order.append(i))
+    scheduler.run_until_idle()
+    assert order == [0, 1, 2, 3, 4]
+
+
+def test_same_seed_same_interleaving():
+    assert record_simultaneous(seed=11) == record_simultaneous(seed=11)
+
+
+def test_distinct_seeds_explore_distinct_interleavings():
+    orders = {tuple(record_simultaneous(seed=s)) for s in range(20)}
+    assert len(orders) > 1, "seeds never permuted simultaneous events"
+
+
+def test_cancelled_event_never_fires():
+    scheduler = VirtualScheduler(seed=0)
+    fired = []
+    handle = scheduler.call_at(50.0, lambda: fired.append("cancelled"))
+    scheduler.call_at(20.0, handle.cancel)
+    scheduler.call_at(60.0, lambda: fired.append("kept"))
+    scheduler.run_until_idle()
+    assert fired == ["kept"]
+
+
+def test_past_timestamp_clamps_to_now():
+    scheduler = VirtualScheduler(seed=0)
+    order = []
+    def at_200():
+        order.append("200")
+        scheduler.call_at(5.0, lambda: order.append("clamped"))
+    scheduler.call_at(200.0, at_200)
+    scheduler.run_until_idle()
+    assert order == ["200", "clamped"]
+    assert scheduler.now_us() == 200.0
+
+
+def test_run_until_stops_at_boundary():
+    scheduler = VirtualScheduler(seed=0)
+    order = []
+    scheduler.call_at(100.0, lambda: order.append("a"))
+    scheduler.call_at(500.0, lambda: order.append("b"))
+    dispatched = scheduler.run_until(250.0)
+    assert dispatched == 1 and order == ["a"]
+    assert scheduler.now_us() == 250.0
+    scheduler.run_until_idle()
+    assert order == ["a", "b"]
+
+
+def test_handlers_can_chain_events():
+    scheduler = VirtualScheduler(seed=4)
+    ticks = []
+    def tick():
+        ticks.append(scheduler.now_us())
+        if len(ticks) < 4:
+            scheduler.call_after(10.0, tick)
+    scheduler.call_at(0.0, tick)
+    scheduler.run_until_idle()
+    assert ticks == [0.0, 10.0, 20.0, 30.0]
+
+
+def test_runaway_loop_raises_instead_of_spinning():
+    scheduler = VirtualScheduler(seed=0)
+    def rearm():
+        scheduler.call_after(1.0, rearm)
+    scheduler.call_at(0.0, rearm)
+    with pytest.raises(RuntimeError, match="did not go idle"):
+        scheduler.run_until_idle(max_events=100)

@@ -27,6 +27,8 @@ ESSENTIALS = [
     "CompileOptions", "ConstraintLevel", "FusionConfig", "EngineOptions",
     # frontend
     "trace", "TracedTensor",
+    # serving runtime
+    "ServingEngine", "ServingOptions", "VirtualScheduler",
 ]
 
 
@@ -40,6 +42,7 @@ SUBPACKAGES = [
     "repro.core.symbolic", "repro.core.fusion", "repro.core.codegen",
     "repro.passes", "repro.device", "repro.runtime", "repro.baselines",
     "repro.models", "repro.workloads", "repro.bench", "repro.frontend",
+    "repro.serving", "repro.fuzz", "repro.lint",
 ]
 
 
