@@ -84,6 +84,15 @@ def main(argv=None) -> int:
             print(f"FAIL: warm host overhead speedup {speedup:.2f}x "
                   f"< required {REQUIRED_SPEEDUP}x")
             return 1
+        # Timing now runs through obs tracer spans: every row of the
+        # JSON artifact must carry the span breakdown, and the cold
+        # recording pass must appear in it.
+        for row in result["rows"]:
+            breakdown = row.get("span_breakdown")
+            if not breakdown or "bench:cold" not in breakdown:
+                print(f"FAIL: {row['model']} row is missing its tracer "
+                      f"span_breakdown")
+                return 1
         print(f"OK: warm host overhead {speedup:.2f}x below legacy "
               f"(gate {REQUIRED_SPEEDUP}x)")
     return 0

@@ -105,6 +105,17 @@ def main(argv=None) -> int:
             print(f"FAIL: async p99 only {improvement:.2f}x below sync "
                   f"(need >= {REQUIRED_P99_IMPROVEMENT}x)")
             return 1
+        # Each mode serves through a traced ServingEngine on the virtual
+        # clock; the JSON artifact must carry per-mode span breakdowns
+        # that saw every request.
+        for row in result["rows"]:
+            breakdown = row.get("span_breakdown", {})
+            requests = breakdown.get("request", {}).get("count", 0)
+            if requests != result["num_queries"]:
+                print(f"FAIL: {row['mode']}: span_breakdown saw "
+                      f"{requests} request spans, expected "
+                      f"{result['num_queries']}")
+                return 1
         print(f"OK: async p99 {improvement:.2f}x below sync, 0 errors "
               f"(gate {REQUIRED_P99_IMPROVEMENT}x)")
     return 0

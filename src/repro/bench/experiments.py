@@ -25,6 +25,7 @@ from ..device import Timeline, device_named
 from ..ir import f32
 from ..ir.builder import GraphBuilder
 from ..models import build_model
+from ..obs.tracer import Tracer
 from ..runtime.engine import EngineOptions, ExecutionEngine
 from ..workloads import make_trace
 from .reporting import format_table
@@ -842,23 +843,30 @@ def _bare_replay_fn(executable, inputs_list: list):
     return once
 
 
-def _time_runners(runners: dict, repeats: int, calls: int) -> dict:
+def _time_runners(runners: dict, repeats: int, calls: int,
+                  tracer: Tracer | None = None) -> dict:
     """Best-of-``repeats`` us/call per runner, measured *interleaved*.
 
     Every repeat times each runner once, back to back, so CPU-frequency
     and cache drift hits all of them alike — timing one runner's repeats
     in a block would systematically favour whichever ran last.  Each
     runner gets one untimed warmup call first.
+
+    Timing goes through :class:`repro.obs.Tracer` spans (one
+    ``bench:<name>`` span per timed repeat) rather than an ad-hoc
+    perf_counter pair, so callers that pass a ``tracer`` get the full
+    span record — the E15 span breakdown — for free.
     """
+    tracer = tracer if tracer is not None else Tracer()
     for run in runners.values():
         run()
     best = {name: float("inf") for name in runners}
     for _ in range(repeats):
         for name, run in runners.items():
-            start = time.perf_counter()
-            run()
-            best[name] = min(best[name], time.perf_counter() - start)
-    return {name: value * 1e6 / calls for name, value in best.items()}
+            with tracer.span(f"bench:{name}") as span:
+                run()
+            best[name] = min(best[name], span.duration_us)
+    return {name: value / calls for name, value in best.items()}
 
 
 def _geomean(values: list) -> float:
@@ -904,11 +912,12 @@ def e15_host_overhead(device_name: str = "A10",
                        for values in _shape_points(model,
                                                    shapes_per_model)]
 
+        tracer = Tracer()
         cold_engine = ExecutionEngine(executable, device)
-        start = time.perf_counter()
-        for inputs in inputs_list:
-            cold_engine.run(inputs)            # records every plan
-        cold_us = (time.perf_counter() - start) * 1e6 / len(inputs_list)
+        with tracer.span("bench:cold") as cold_span:
+            for inputs in inputs_list:
+                cold_engine.run(inputs)        # records every plan
+        cold_us = cold_span.duration_us / len(inputs_list)
 
         legacy = LegacyExecutionEngine(executable, device)
         hosted = cold_engine                   # plans are now warm
@@ -929,7 +938,7 @@ def e15_host_overhead(device_name: str = "A10",
         timed = _time_runners(
             {"floor": _bare_replay_fn(executable, inputs_list),
              "legacy": cycle(legacy), "warm": cycle(hosted)},
-            repeats, len(inputs_list))
+            repeats, len(inputs_list), tracer=tracer)
         floor_us = timed["floor"]
         legacy_us = timed["legacy"]
         warm_us = timed["warm"]
@@ -952,6 +961,9 @@ def e15_host_overhead(device_name: str = "A10",
             "overhead_speedup": legacy_overhead / warm_overhead,
             "wall_speedup": legacy_us / warm_us,
             "bit_identical": identical,
+            # Full per-span accounting (bench:cold + every timed repeat)
+            # for the JSON artifact; the table above ignores it.
+            "span_breakdown": tracer.spans.summary(),
         })
 
     aggregate = {
@@ -1043,13 +1055,17 @@ def e16_async_serving(device_name: str = "A10",
     rows = []
     for label, background, fault in modes:
         scheduler = VirtualScheduler(seed=seed + 2)
+        # Virtual clock in, virtual clock out: span timestamps in the
+        # breakdown are exact properties of the schedule too.
+        tracer = Tracer(clock=scheduler.clock)
         serving = ServingEngine(
             device, scheduler,
             ServingOptions(queue_capacity=len(inputs),
                            compile_workers=compile_workers,
                            background_compile=background,
                            compile_cost=compile_cost),
-            compile_fault=fault)
+            compile_fault=fault,
+            tracer=tracer)
         serving.register_model(model_name, executable)
         tickets = []
         for at, query in zip(arrivals, inputs):
@@ -1072,6 +1088,7 @@ def e16_async_serving(device_name: str = "A10",
             "quarantined": len(serving.quarantined_signatures()),
             "compile_stalls": counters["sync_compile_stalls"],
             "errors": errors,
+            "span_breakdown": tracer.spans.summary(),
         })
     by_mode = {r["mode"]: r for r in rows}
     return {"experiment": "async_serving", "device": device_name,

@@ -28,6 +28,7 @@ from ..ir.verifier import verify
 from ..lint.blame import BlameRecorder
 from ..lint.diagnostics import LintLevel
 from ..lint.engine import _run_pipeline_lint
+from ..obs.tracer import resolve_tracer
 from ..passes import PassManager, default_pipeline
 from ..runtime.executable import CompileReport, Executable
 from ..runtime.hostprog import lower_program
@@ -56,6 +57,11 @@ class CompileOptions:
     #: ``report.lint``; failure judgement (errors only vs warnings too)
     #: follows the level.  OFF keeps benchmarks overhead-free.
     lint_level: LintLevel = LintLevel.OFF
+    #: observability tracer (:class:`repro.obs.Tracer`).  None — the
+    #: default — resolves to the shared no-op tracer; when set, the
+    #: compile emits a ``compile:<graph>`` root span with ``stage:*``
+    #: children and one ``pass:<name>`` span per pipeline pass.
+    tracer: object | None = None
 
 
 class DiscCompiler:
@@ -67,46 +73,63 @@ class DiscCompiler:
     def compile(self, graph: Graph) -> Executable:
         """Compile ``graph`` (a clone is optimised; the input is kept)."""
         options = self.options
+        tracer = resolve_tracer(options.tracer)
         start = time.perf_counter()
-        working = graph.clone()
-        verify(working)
+        with tracer.span(f"compile:{graph.name}",
+                         grade=options.compile_grade) as root:
+            working = graph.clone()
+            verify(working)
 
-        linting = options.lint_level is not LintLevel.OFF
-        recorder = None
-        if linting:
-            recorder = BlameRecorder()
-            recorder.prime(working)
-        manager = PassManager(
-            default_pipeline(),
-            verify_each=options.verify_each_pass,
-            after_each=recorder.after_pass if recorder else None)
-        pass_results = manager.run(working)
+            linting = options.lint_level is not LintLevel.OFF
+            recorder = None
+            if linting:
+                recorder = BlameRecorder()
+                recorder.prime(working)
+            manager = PassManager(
+                default_pipeline(),
+                verify_each=options.verify_each_pass,
+                after_each=recorder.after_pass if recorder else None,
+                tracer=options.tracer)
+            pass_results = manager.run(working)
 
-        analysis = analyze_shapes(working, options.constraint_level)
-        plan = plan_fusion(working, analysis, options.fusion)
+            with tracer.span("stage:analysis"):
+                analysis = analyze_shapes(working,
+                                          options.constraint_level)
+            with tracer.span("stage:fusion") as s:
+                plan = plan_fusion(working, analysis, options.fusion)
+                s.set(groups=len(plan.ordered_groups()))
 
-        users = working.users()
-        kernels = []
-        constants = {}
-        for group in plan.ordered_groups():
-            kernels.append(compile_group(group, users, working.outputs))
-        for node in working.nodes:
-            if node.op == "constant":
-                constants[node] = node.attrs["value"].astype(
-                    node.dtype.to_numpy(), copy=False)
+            with tracer.span("stage:codegen") as s:
+                users = working.users()
+                kernels = []
+                constants = {}
+                for group in plan.ordered_groups():
+                    kernels.append(
+                        compile_group(group, users, working.outputs))
+                for node in working.nodes:
+                    if node.op == "constant":
+                        constants[node] = node.attrs["value"].astype(
+                            node.dtype.to_numpy(), copy=False)
+                s.set(kernels=len(kernels))
 
-        buffer_plan = plan_buffers(kernels, working.outputs)
-        # Host-program lowering: renumber values to dense slots, freeze
-        # per-kernel slot tuples and last-use release, factor the dim
-        # resolver — everything the engine would otherwise re-derive
-        # per call (see runtime.hostprog).
-        host_program = lower_program(working, kernels, constants)
-        lint_sink = None
-        if linting:
-            lint_sink = _run_pipeline_lint(
-                working, recorder, plan, analysis, options.fusion,
-                buffer_plan, host_program)
+            with tracer.span("stage:memory"):
+                buffer_plan = plan_buffers(kernels, working.outputs)
+            # Host-program lowering: renumber values to dense slots, freeze
+            # per-kernel slot tuples and last-use release, factor the dim
+            # resolver — everything the engine would otherwise re-derive
+            # per call (see runtime.hostprog).
+            with tracer.span("stage:hostprog") as s:
+                host_program = lower_program(working, kernels, constants)
+                s.set(slots=host_program.num_slots)
+            lint_sink = None
+            if linting:
+                with tracer.span("stage:lint") as s:
+                    lint_sink = _run_pipeline_lint(
+                        working, recorder, plan, analysis, options.fusion,
+                        buffer_plan, host_program)
+                    s.set(findings=len(lint_sink.diagnostics))
 
+            root.set(nodes=len(working.nodes), kernels=len(kernels))
         wall = time.perf_counter() - start
         report = CompileReport(
             wall_time_s=wall,

@@ -43,6 +43,12 @@ def build_parser() -> argparse.ArgumentParser:
                              "from the case, injected compile faults); "
                              "responses must be OK and bit-identical to "
                              "a direct engine run")
+    parser.add_argument("--obs", action="store_true",
+                        help="additionally recompile and re-run every "
+                             "case under a CapturingTracer: outputs and "
+                             "RunStats must be bit-identical to the "
+                             "untraced run and the recorded trace must "
+                             "satisfy the structural trace invariants")
     return parser
 
 
@@ -52,11 +58,11 @@ def main(argv=None) -> int:
     if args.max_nodes is not None:
         config.max_nodes = args.max_nodes
     oracle = None
-    if args.lint or args.serving:
+    if args.lint or args.serving or args.obs:
         oracle = DifferentialOracle(
             lint_level=LintLevel(args.lint_level) if args.lint
             else LintLevel.OFF,
-            serving=args.serving)
+            serving=args.serving, obs=args.obs)
     report = run_campaign(
         seed=args.seed, iters=args.iters, config=config,
         out_dir=args.out, minimize_failures=not args.no_minimize,

@@ -35,12 +35,15 @@ from ..lint.engine import lint_graph
 from ..runtime.engine import ExecutionEngine
 
 __all__ = ["Failure", "CaseResult", "DifferentialOracle", "make_inputs",
-           "compare_arrays", "DISC_EXECUTOR", "SERVING_EXECUTOR"]
+           "compare_arrays", "DISC_EXECUTOR", "SERVING_EXECUTOR",
+           "OBS_EXECUTOR"]
 
 #: name under which the optimized pipeline appears in results.
 DISC_EXECUTOR = "DISC"
 #: name under which the serving-runtime replay appears in results.
 SERVING_EXECUTOR = "SERVING"
+#: name under which the tracing (observability) oracle appears.
+OBS_EXECUTOR = "OBS"
 
 #: (rtol, atol) per dtype name; ints/bools compare exactly.
 _TOLERANCES = {
@@ -146,7 +149,8 @@ class DifferentialOracle:
                  baselines: tuple | None = None,
                  check_invariants: bool = True,
                  lint_level: LintLevel = LintLevel.OFF,
-                 serving: bool = False) -> None:
+                 serving: bool = False,
+                 obs: bool = False) -> None:
         self.device = device
         self.baselines = tuple(baselines) if baselines is not None \
             else tuple(baseline_names())
@@ -163,6 +167,13 @@ class DifferentialOracle:
         #: an oracle failure of kind "lint" (a second, independent oracle
         #: beside the numeric comparison).
         self.lint_level = lint_level
+        #: when True, every case additionally recompiles and re-runs the
+        #: pipeline under a CapturingTracer: outputs and RunStats must be
+        #: bit-identical to the untraced run, and the recorded trace must
+        #: satisfy the structural invariants (balanced spans, parent
+        #: containment, pass coverage, kernel accounting) — a third
+        #: oracle asserting on system *behavior*, not just numbers.
+        self.obs = obs
 
     # -- single case -------------------------------------------------------
 
@@ -197,6 +208,8 @@ class DifferentialOracle:
         executable = self._check_pipeline(graph, inputs, reference, result)
         if self.serving and executable is not None:
             self._check_serving(inputs, executable, result)
+        if self.obs:
+            self._check_obs(graph, inputs, executable, result)
         self._check_baselines(graph, inputs, reference, result)
         del executable
         return result
@@ -334,6 +347,72 @@ class DifferentialOracle:
                         detail=f"path {response.path!r} not "
                                f"bit-identical to direct engine run",
                         output_index=index))
+
+    # -- tracing oracle ----------------------------------------------------
+
+    def _check_obs(self, graph: Graph, inputs, executable,
+                   result: CaseResult) -> None:
+        """Re-run compile + record + replay under a CapturingTracer.
+
+        Three contracts: (1) outputs are bit-identical to an untraced
+        engine run; (2) the simulated ``RunStats`` are equal field for
+        field on both the record and the replay call; (3) the recorded
+        trace satisfies the structural invariants in
+        :mod:`repro.obs.invariants`.
+        """
+        from ..obs import CapturingTracer, trace_failures
+
+        result.executors_checked.append(OBS_EXECUTOR)
+        try:
+            if executable is None:
+                # The untraced compile failed; the traced one must too.
+                tracer = CapturingTracer()
+                try:
+                    compile_graph(graph, CompileOptions(
+                        verify_each_pass=self.check_invariants,
+                        tracer=tracer))
+                except Exception:  # noqa: BLE001 - expected parity
+                    return
+                result.failures.append(Failure(
+                    executor=OBS_EXECUTOR, kind="trace",
+                    detail="compile succeeded under tracing but failed "
+                           "untraced"))
+                return
+            baseline = ExecutionEngine(executable, self.device)
+            plain = [baseline.run(inputs), baseline.run(inputs)]
+
+            tracer = CapturingTracer()
+            traced_exe = compile_graph(graph, CompileOptions(
+                verify_each_pass=self.check_invariants, tracer=tracer))
+            engine = ExecutionEngine(traced_exe, self.device,
+                                     tracer=tracer)
+            traced = [engine.run(inputs), engine.run(inputs)]
+        except Exception as exc:  # noqa: BLE001
+            result.failures.append(Failure(
+                executor=OBS_EXECUTOR, kind="exception",
+                detail=f"{type(exc).__name__}: {exc}"))
+            return
+
+        for call, ((ref_out, ref_stats), (got_out, got_stats)) in \
+                enumerate(zip(plain, traced)):
+            for index, (ref, got) in enumerate(zip(ref_out, got_out)):
+                ref = np.asarray(ref)
+                got = np.asarray(got)
+                if (ref.shape != got.shape or ref.dtype != got.dtype
+                        or ref.tobytes() != got.tobytes()):
+                    result.failures.append(Failure(
+                        executor=OBS_EXECUTOR, kind="mismatch",
+                        detail=f"call {call}: traced output not "
+                               f"bit-identical to untraced run",
+                        output_index=index))
+            if ref_stats != got_stats:
+                result.failures.append(Failure(
+                    executor=OBS_EXECUTOR, kind="mismatch",
+                    detail=f"call {call}: traced RunStats differ from "
+                           f"untraced ({got_stats} != {ref_stats})"))
+        for detail in trace_failures(tracer):
+            result.failures.append(Failure(
+                executor=OBS_EXECUTOR, kind="trace", detail=detail))
 
     # -- baselines ---------------------------------------------------------
 

@@ -31,6 +31,7 @@ from .fusion_checks import check_fusion_plan
 from .graph_checks import check_graph
 from .hostprog_checks import check_host_program
 from .memory_checks import check_buffer_plan
+from .obs_checks import check_pass_spans
 from .symbolic_checks import check_symbols
 
 __all__ = [
@@ -48,6 +49,7 @@ __all__ = [
     "check_fusion_plan",
     "check_buffer_plan",
     "check_host_program",
+    "check_pass_spans",
     "lint_graph",
     "lint_executable",
     "lint_compiled",

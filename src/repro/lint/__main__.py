@@ -41,6 +41,10 @@ def build_parser() -> argparse.ArgumentParser:
                              "compile + fusion/memory audit stage")
     parser.add_argument("--codes", action="store_true",
                         help="print the diagnostic code registry and exit")
+    parser.add_argument("--pass-spans", action="store_true",
+                        help="also lint the registered pipeline passes' "
+                             "trace span names (L5xx): every pass must "
+                             "carry a present, unique, lower-kebab name")
     parser.add_argument("-q", "--quiet", action="store_true",
                         help="only print findings and the final summary")
     return parser
@@ -107,9 +111,9 @@ def main(argv=None) -> int:
     if args.codes:
         print_code_registry()
         return 0
-    if not args.paths and not args.models:
+    if not args.paths and not args.models and not args.pass_spans:
         build_parser().print_usage(sys.stderr)
-        print("error: give at least one path, or --models",
+        print("error: give at least one path, --models, or --pass-spans",
               file=sys.stderr)
         return 2
 
@@ -131,6 +135,13 @@ def main(argv=None) -> int:
             sink = _lint_one(str(path), graph, level, pipeline)
         diagnostics += len(sink)
         failing += _report(str(path), sink, level, args.quiet)
+
+    if args.pass_spans:
+        from .obs_checks import check_pass_spans
+        targets += 1
+        sink = check_pass_spans()
+        diagnostics += len(sink)
+        failing += _report("pipeline:pass-spans", sink, level, args.quiet)
 
     if args.models:
         from ..models import MODEL_BUILDERS

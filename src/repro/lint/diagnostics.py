@@ -143,6 +143,14 @@ _register("L403", Severity.ERROR, "hostprog",
 _register("L404", Severity.ERROR, "hostprog",
           "slot table is not a dense bijection over program values")
 
+# -- L5xx: observability (trace span hygiene) -------------------------------
+_register("L501", Severity.ERROR, "obs",
+          "pipeline pass has no span name")
+_register("L502", Severity.ERROR, "obs",
+          "two pipeline passes share one span name")
+_register("L503", Severity.WARNING, "obs",
+          "pass span name is not lower-kebab ([a-z][a-z0-9_-]*)")
+
 
 def code_info(code: str) -> CodeInfo:
     try:

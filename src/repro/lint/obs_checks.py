@@ -1,0 +1,63 @@
+"""Observability lint: span-name hygiene for pipeline passes.
+
+``PassManager`` derives each pass's trace span name from ``pass_.name``
+(``pass:<name>``), so the trace contract of :mod:`repro.obs` — every
+registered pass appears exactly once under a stable, queryable name —
+only holds if the registered pipeline keeps those names present, unique
+and well-formed.  This module is the CI gate for that contract (run via
+``python -m repro.lint --pass-spans``): a newly added pass that forgets
+to set ``name``, or reuses an existing one, fails the lint job with an
+L5xx diagnostic instead of silently corrupting every future trace.
+"""
+
+from __future__ import annotations
+
+import re
+
+from .diagnostics import DiagnosticSink
+
+__all__ = ["check_pass_spans"]
+
+#: lower-kebab (dashes/underscores/digits after a leading letter): the
+#: shape every existing pass name follows and globs match cleanly.
+_NAME_RE = re.compile(r"^[a-z][a-z0-9_-]*$")
+
+
+def check_pass_spans(passes=None,
+                     sink: DiagnosticSink | None = None) -> DiagnosticSink:
+    """Lint the span names of ``passes`` (default: the full pipeline).
+
+    Emits L501 when a pass carries no usable name (empty, or the
+    ``Pass`` base-class placeholder left unset), L502 when two passes
+    would collide on one span name, and L503 when a name falls outside
+    the lower-kebab shape the span taxonomy uses.
+    """
+    from ..passes import default_pipeline
+    from ..passes.base import Pass
+
+    if passes is None:
+        passes = default_pipeline()
+    sink = sink if sink is not None else DiagnosticSink()
+    seen: dict[str, str] = {}
+    for index, pass_ in enumerate(passes):
+        kind = type(pass_).__name__
+        where = f"pass #{index} ({kind})"
+        name = getattr(pass_, "name", None)
+        if not name or name == Pass.name:
+            sink.emit("L501",
+                      f"{where} has no span name: set a class-level "
+                      f"'name' so its trace span is identifiable")
+            continue
+        if name in seen:
+            sink.emit("L502",
+                      f"{where} reuses span name {name!r} already taken "
+                      f"by {seen[name]}; spans of the two passes would "
+                      f"be indistinguishable")
+        else:
+            seen[name] = where
+        if not _NAME_RE.match(name):
+            sink.emit("L503",
+                      f"{where} span name {name!r} is not lower-kebab; "
+                      f"globs like spans.named('pass:*') rely on the "
+                      f"uniform shape")
+    return sink

@@ -1,0 +1,126 @@
+"""Trace exporters: Chrome ``trace_event`` JSON, text tree, JSONL.
+
+Three renderings of the same span forest:
+
+- :func:`to_chrome_trace` — the Chrome/Perfetto ``trace_event`` format
+  (open ``ui.perfetto.dev`` and drop the file in).  Interval spans become
+  complete (``"ph": "X"``) events, instants become ``"ph": "i"``;
+  attributes ride in ``args``.
+- :func:`render_tree` — a human indentation tree for terminals and test
+  failure messages.
+- :func:`to_jsonl` — one JSON object per span (creation order) with
+  explicit parent ids; the archival/scripting format, loss-free and
+  greppable.
+
+:func:`write_artifacts` is the one-call writer the CLI and benches use.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+__all__ = ["to_chrome_trace", "render_tree", "to_jsonl",
+           "write_artifacts"]
+
+
+def _json_safe(value):
+    """Attribute values as JSON scalars (repr anything exotic)."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return repr(value)
+
+
+def _safe_attrs(attrs: dict) -> dict:
+    return {str(k): _json_safe(v) for k, v in attrs.items()}
+
+
+def to_chrome_trace(spans, process_name: str = "repro") -> dict:
+    """Render a span iterable as a Chrome ``trace_event`` payload."""
+    events = [{
+        "name": "process_name", "ph": "M", "pid": 1, "tid": 1,
+        "args": {"name": process_name},
+    }]
+    for span in spans:
+        if span.kind == "event":
+            events.append({
+                "name": span.name, "ph": "i", "s": "t",
+                "ts": span.start_us, "pid": 1, "tid": 1,
+                "args": _safe_attrs(span.attrs),
+            })
+            continue
+        end_us = span.end_us if span.end_us is not None else span.start_us
+        events.append({
+            "name": span.name, "ph": "X",
+            "ts": span.start_us, "dur": max(0.0, end_us - span.start_us),
+            "pid": 1, "tid": 1,
+            "args": _safe_attrs(span.attrs),
+        })
+    return {"traceEvents": events, "displayTimeUnit": "ms"}
+
+
+def render_tree(roots) -> str:
+    """Indented text rendering of a span forest."""
+    lines: list[str] = []
+
+    def render(span, indent: int) -> None:
+        pad = "  " * indent
+        if span.kind == "event":
+            head = f"{pad}* {span.name} @{span.start_us:.1f}us"
+        else:
+            state = (f"{span.duration_us:.1f}us" if span.finished
+                     else "OPEN")
+            head = f"{pad}{span.name} [{state}]"
+        if span.attrs:
+            rendered = ", ".join(f"{k}={_json_safe(v)}"
+                                 for k, v in span.attrs.items())
+            head += f" {{{rendered}}}"
+        lines.append(head)
+        for child in span.children:
+            render(child, indent + 1)
+
+    for root in roots:
+        render(root, 0)
+    return "\n".join(lines)
+
+
+def to_jsonl(spans) -> str:
+    """One JSON object per span, creation order, newline-separated."""
+    lines = []
+    for span in spans:
+        payload = span.to_dict()
+        payload["attrs"] = _safe_attrs(payload["attrs"])
+        lines.append(json.dumps(payload, sort_keys=True))
+    return "\n".join(lines)
+
+
+def write_artifacts(tracer, out_dir, formats=("chrome", "tree", "jsonl"),
+                    metrics=None, prefix: str = "trace") -> dict:
+    """Write the requested export formats; returns {format: path}.
+
+    ``metrics`` (a :class:`~repro.obs.metrics.MetricsRegistry`) adds a
+    ``<prefix>_metrics.json`` snapshot when given.
+    """
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    spans = tracer.spans
+    written: dict[str, str] = {}
+    if "chrome" in formats:
+        path = out_dir / f"{prefix}_chrome.json"
+        with open(path, "w") as f:
+            json.dump(to_chrome_trace(spans), f, indent=1, sort_keys=True)
+        written["chrome"] = str(path)
+    if "tree" in formats:
+        path = out_dir / f"{prefix}_tree.txt"
+        path.write_text(render_tree(spans.roots()) + "\n")
+        written["tree"] = str(path)
+    if "jsonl" in formats:
+        path = out_dir / f"{prefix}_spans.jsonl"
+        path.write_text(to_jsonl(spans) + "\n")
+        written["jsonl"] = str(path)
+    if metrics is not None:
+        path = out_dir / f"{prefix}_metrics.json"
+        with open(path, "w") as f:
+            json.dump(metrics.snapshot(), f, indent=1, sort_keys=True)
+        written["metrics"] = str(path)
+    return written

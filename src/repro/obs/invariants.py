@@ -1,0 +1,99 @@
+"""Trace invariants: what every well-formed trace must satisfy.
+
+The fuzzer's third oracle (``python -m repro.fuzz --obs``) and the
+trace-based test suite share these checks:
+
+- **balanced** — every interval span was closed (no leaked ``begin``);
+- **containment** — no span starts before or outlives its parent;
+- **pass coverage** — each compile span contains every registered
+  pipeline pass exactly once, in registration order;
+- **kernel accounting** — within an ``engine:record`` span, the summed
+  ``launches`` attributes of the ``kernel:*`` child spans equal the
+  span's ``kernels_launched`` attribute (which the engine stamps from
+  the returned :class:`~repro.device.counters.RunStats`).
+
+Each check returns human-readable failure strings instead of raising, so
+the fuzz oracle can collect all of them as coded failures.
+"""
+
+from __future__ import annotations
+
+__all__ = ["trace_failures", "check_balanced", "check_containment",
+           "check_pass_coverage", "check_kernel_accounting"]
+
+
+def check_balanced(spans) -> list[str]:
+    """Every interval span must be finished."""
+    return [f"unbalanced span {span.name!r} (sid {span.sid}) never closed"
+            for span in spans if span.kind == "span" and not span.finished]
+
+
+def check_containment(spans) -> list[str]:
+    """No span may start before or end after its (finished) parent."""
+    failures = []
+    for span in spans:
+        parent = span.parent
+        if parent is None:
+            continue
+        if span.start_us < parent.start_us:
+            failures.append(
+                f"span {span.name!r} starts at {span.start_us} before "
+                f"parent {parent.name!r} at {parent.start_us}")
+        if (span.finished and parent.finished
+                and span.end_us > parent.end_us):
+            failures.append(
+                f"span {span.name!r} outlives parent {parent.name!r} "
+                f"({span.end_us} > {parent.end_us})")
+    return failures
+
+
+def check_pass_coverage(spans, pass_names: list | None = None
+                        ) -> list[str]:
+    """Each compile span holds every registered pass once, in order."""
+    if pass_names is None:
+        from ..passes import default_pipeline
+        pass_names = [p.name for p in default_pipeline()]
+    expected = [f"pass:{name}" for name in pass_names]
+    failures = []
+    # compile:* also matches the compile pool's attempt spans and
+    # ready/coalesced/quarantine events; only pipeline roots (interval
+    # spans holding pass children) are under test here.
+    for compile_span in spans.named("compile:*").intervals():
+        if compile_span.name == "compile:attempt":
+            continue
+        got = [s.name for s in compile_span.walk()
+               if s.name.startswith("pass:")]
+        if got != expected:
+            failures.append(
+                f"{compile_span.name}: pass spans {got} != registered "
+                f"pipeline {expected}")
+    return failures
+
+
+def check_kernel_accounting(spans) -> list[str]:
+    """Record spans: per-kernel launch attrs must sum to the stats."""
+    failures = []
+    for record in spans.named("engine:record"):
+        declared = record.attrs.get("kernels_launched")
+        if declared is None:
+            failures.append(
+                f"engine:record (sid {record.sid}) lacks the "
+                f"kernels_launched attribute")
+            continue
+        launched = sum(s.attrs.get("launches", 0) for s in record.walk()
+                       if s.name.startswith("kernel:"))
+        if launched != declared:
+            failures.append(
+                f"engine:record kernel spans sum to {launched} launches "
+                f"but RunStats.kernels_launched is {declared}")
+    return failures
+
+
+def trace_failures(tracer, pass_names: list | None = None) -> list[str]:
+    """Run every invariant over a tracer's spans; [] means healthy."""
+    spans = tracer.spans
+    failures = check_balanced(spans)
+    failures += check_containment(spans)
+    failures += check_pass_coverage(spans, pass_names)
+    failures += check_kernel_accounting(spans)
+    return failures

@@ -1,0 +1,425 @@
+"""Hierarchical tracing: spans, the recording tracer, and the null path.
+
+Everything the pipeline, runtime and serving layers want to tell an
+observer flows through one seam — a *tracer* handed in at construction,
+exactly the way :mod:`repro.serving` injects its clock:
+
+- :class:`NullTracer` is the production default.  It is stateless and
+  allocation-free; an instrumented hot loop pays one attribute lookup
+  (``tracer.enabled``) and nothing else, which the overhead smoke test
+  in ``tests/obs`` bounds below 2% on the host-bound E15 configs.
+- :class:`Tracer` records :class:`Span` trees.  Time comes from an
+  injected :class:`~repro.serving.clock.Clock` (real by default, the
+  scheduler's :class:`~repro.serving.clock.VirtualClock` in tests), so
+  traces taken under a :class:`~repro.serving.scheduler.VirtualScheduler`
+  carry exact virtual timestamps and are deterministic run to run.
+- :class:`CapturingTracer` is the test harness: the same recorder plus a
+  queryable view (``tracer.spans.named("pass:*")``, ``.tree()``) the
+  trace-based test suite and the fuzz oracle assert against.
+
+Spans nest two ways.  ``with tracer.span(name, **attrs):`` uses a
+thread-local context stack — right for straight-line code like the
+compile pipeline and the engines.  Event-driven code (serving, the
+compile pool), where one logical operation spans many scheduler
+callbacks, uses the explicit ``begin``/``end`` pair and re-enters a
+span's context with ``tracer.attach(span)``.
+
+Span completion feeds the tracer's optional
+:class:`~repro.obs.metrics.MetricsRegistry`; see :mod:`repro.obs.metrics`.
+"""
+
+from __future__ import annotations
+
+import threading
+from fnmatch import fnmatchcase
+from typing import TYPE_CHECKING, Iterator
+
+if TYPE_CHECKING:  # the runtime import is deferred to Tracer.__init__:
+    # serving's package init pulls in the engine stack, which itself
+    # imports repro.obs — importing it here would make the cycle
+    # import-order dependent.
+    from ..serving.clock import Clock
+
+__all__ = ["Span", "SpanSet", "NullTracer", "NULL_TRACER", "Tracer",
+           "CapturingTracer", "resolve_tracer", "ROOT"]
+
+#: pass as ``parent`` to force a root span regardless of the context
+#: stack — for work that outlives whatever span is current (the compile
+#: pool's attempts outlive the request that triggered them).
+ROOT = object()
+
+
+class Span:
+    """One named, timed, attributed interval (or instant) in a trace."""
+
+    __slots__ = ("sid", "name", "kind", "start_us", "end_us", "attrs",
+                 "parent", "children")
+
+    def __init__(self, sid: int, name: str, kind: str, start_us: float,
+                 attrs: dict, parent: "Span | None") -> None:
+        self.sid = sid
+        self.name = name
+        #: "span" (an interval) or "event" (an instant; end == start).
+        self.kind = kind
+        self.start_us = start_us
+        self.end_us: float | None = None if kind == "span" else start_us
+        self.attrs = attrs
+        self.parent = parent
+        self.children: list[Span] = []
+
+    # -- state -------------------------------------------------------------
+
+    @property
+    def finished(self) -> bool:
+        return self.end_us is not None
+
+    @property
+    def duration_us(self) -> float:
+        return (self.end_us - self.start_us) if self.finished else 0.0
+
+    def set(self, **attrs) -> "Span":
+        """Merge attributes into the span; returns it for chaining."""
+        self.attrs.update(attrs)
+        return self
+
+    @property
+    def depth(self) -> int:
+        depth, node = 0, self.parent
+        while node is not None:
+            depth, node = depth + 1, node.parent
+        return depth
+
+    # -- traversal / rendering ---------------------------------------------
+
+    def walk(self) -> Iterator["Span"]:
+        """This span and every descendant, depth-first, creation order."""
+        yield self
+        for child in self.children:
+            yield from child.walk()
+
+    def to_dict(self) -> dict:
+        return {
+            "sid": self.sid,
+            "parent": self.parent.sid if self.parent else None,
+            "name": self.name,
+            "kind": self.kind,
+            "start_us": self.start_us,
+            "end_us": self.end_us,
+            "attrs": dict(self.attrs),
+        }
+
+    def __repr__(self) -> str:
+        state = f"{self.duration_us:.1f}us" if self.finished else "open"
+        return f"Span({self.name!r}, {state}, attrs={self.attrs})"
+
+
+class SpanSet:
+    """An ordered, filterable collection of spans (creation order)."""
+
+    def __init__(self, spans: list) -> None:
+        self._spans = list(spans)
+
+    def __iter__(self) -> Iterator[Span]:
+        return iter(self._spans)
+
+    def __len__(self) -> int:
+        return len(self._spans)
+
+    def __bool__(self) -> bool:
+        return bool(self._spans)
+
+    def __getitem__(self, index):
+        got = self._spans[index]
+        return SpanSet(got) if isinstance(index, slice) else got
+
+    # -- filters -----------------------------------------------------------
+
+    def named(self, pattern: str) -> "SpanSet":
+        """Spans whose name matches the glob ``pattern`` (fnmatch)."""
+        return SpanSet([s for s in self._spans
+                        if fnmatchcase(s.name, pattern)])
+
+    def events(self) -> "SpanSet":
+        return SpanSet([s for s in self._spans if s.kind == "event"])
+
+    def intervals(self) -> "SpanSet":
+        return SpanSet([s for s in self._spans if s.kind == "span"])
+
+    def within(self, parent: Span) -> "SpanSet":
+        """Spans strictly inside ``parent``'s subtree."""
+        members = set(id(s) for s in parent.walk()) - {id(parent)}
+        return SpanSet([s for s in self._spans if id(s) in members])
+
+    def roots(self) -> "SpanSet":
+        return SpanSet([s for s in self._spans if s.parent is None])
+
+    # -- accessors ---------------------------------------------------------
+
+    def names(self) -> list[str]:
+        return [s.name for s in self._spans]
+
+    def first(self, pattern: str | None = None) -> Span | None:
+        candidates = self.named(pattern) if pattern else self
+        return candidates._spans[0] if candidates._spans else None
+
+    def one(self, pattern: str) -> Span:
+        """The unique span matching ``pattern``; raises otherwise."""
+        got = self.named(pattern)
+        if len(got) != 1:
+            raise AssertionError(
+                f"expected exactly one span matching {pattern!r}, got "
+                f"{got.names()}")
+        return got[0]
+
+    def attr_values(self, key: str) -> list:
+        return [s.attrs[key] for s in self._spans if key in s.attrs]
+
+    def summary(self) -> dict:
+        """Per-name count and total duration (bench span breakdowns)."""
+        out: dict[str, dict] = {}
+        for span in self._spans:
+            entry = out.setdefault(span.name,
+                                   {"count": 0, "total_us": 0.0})
+            entry["count"] += 1
+            entry["total_us"] += span.duration_us
+        return out
+
+    def tree(self) -> str:
+        """Human-readable indented rendering of the span forest."""
+        from .export import render_tree
+        return render_tree(self.roots())
+
+
+class _NullContext:
+    """Reusable no-op context manager; also a no-op span handle."""
+
+    __slots__ = ()
+
+    def __enter__(self) -> "_NullContext":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+    def set(self, **attrs) -> "_NullContext":
+        return self
+
+    # a handful of Span-reads so off-path code never branches on type
+    attrs: dict = {}
+    name = ""
+    duration_us = 0.0
+    finished = True
+
+
+_NULL_CONTEXT = _NullContext()
+
+
+class NullTracer:
+    """The off path: every operation is a no-op returning a singleton.
+
+    Stateless by construction, so one instance (:data:`NULL_TRACER`) is
+    shared by every uninstrumented component and hot loops can check
+    ``tracer.enabled`` — one attribute lookup — and skip everything else.
+    """
+
+    enabled = False
+
+    def span(self, name: str, **attrs) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def attach(self, span) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def begin(self, name: str, parent=None, **attrs) -> _NullContext:
+        return _NULL_CONTEXT
+
+    def end(self, span, **attrs) -> None:
+        return None
+
+    def event(self, name: str, parent=None, **attrs) -> None:
+        return None
+
+    def now_us(self) -> float:
+        return 0.0
+
+
+#: the shared default tracer; ``tracer or NULL_TRACER`` is the idiom.
+NULL_TRACER = NullTracer()
+
+
+def resolve_tracer(tracer) -> "Tracer | NullTracer":
+    """``None`` -> the shared :data:`NULL_TRACER`; else pass-through."""
+    return tracer if tracer is not None else NULL_TRACER
+
+
+class _SpanContext:
+    """Context manager backing ``Tracer.span`` and ``Tracer.attach``."""
+
+    __slots__ = ("_tracer", "_span", "_owns")
+
+    def __init__(self, tracer: "Tracer", span: Span, owns: bool) -> None:
+        self._tracer = tracer
+        self._span = span
+        self._owns = owns
+
+    def __enter__(self) -> Span:
+        self._tracer._push(self._span)
+        return self._span
+
+    def __exit__(self, exc_type, exc, tb) -> bool:
+        self._tracer._pop(self._span)
+        if self._owns:
+            if exc_type is not None:
+                self._span.attrs.setdefault("error", exc_type.__name__)
+            self._tracer.end(self._span)
+        return False
+
+
+class Tracer:
+    """Records hierarchical spans against an injected clock.
+
+    Thread-safe: the context stack is thread-local (each thread builds
+    its own subtree) while span storage and id assignment share one
+    lock.  ``metrics`` is an optional
+    :class:`~repro.obs.metrics.MetricsRegistry` fed on span completion.
+    """
+
+    enabled = True
+
+    def __init__(self, clock: "Clock | None" = None, metrics=None) -> None:
+        if clock is None:
+            from ..serving.clock import SystemClock
+            clock = SystemClock()
+        self.clock = clock
+        self.metrics = metrics
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._next_sid = 0
+        #: every span and event, in creation order (the deterministic
+        #: order queries and exporters use).
+        self._all: list[Span] = []
+
+    # -- clock -------------------------------------------------------------
+
+    def now_us(self) -> float:
+        return self.clock.now_us()
+
+    # -- context stack (thread-local) ---------------------------------------
+
+    def _stack(self) -> list:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+
+    def current(self) -> Span | None:
+        """The innermost open span on this thread's context stack."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- recording ---------------------------------------------------------
+
+    def _make(self, name: str, kind: str, parent,
+              attrs: dict) -> Span:
+        if parent is ROOT:
+            parent = None
+        elif parent is None:
+            parent = self.current()
+        with self._lock:
+            sid = self._next_sid
+            self._next_sid += 1
+            span = Span(sid, name, kind, self.now_us(), attrs, parent)
+            if parent is not None:
+                parent.children.append(span)
+            self._all.append(span)
+        return span
+
+    def begin(self, name: str, parent: Span | None = None,
+              **attrs) -> Span:
+        """Open a span explicitly (event-driven code closes it later).
+
+        ``parent`` overrides the context stack; with None the span nests
+        under the current stack top (or becomes a root).
+        """
+        return self._make(name, "span", parent, attrs)
+
+    def end(self, span: Span | None, **attrs) -> None:
+        """Close an explicitly-begun span; merges final attributes."""
+        if span is None or not isinstance(span, Span):
+            return  # a NullTracer handle or an untracked request
+        if attrs:
+            span.attrs.update(attrs)
+        if span.end_us is None:
+            span.end_us = self.now_us()
+            if self.metrics is not None:
+                self.metrics.record_span(span)
+
+    def event(self, name: str, parent: Span | None = None,
+              **attrs) -> Span:
+        """Record an instant (cache hit, route decision, quarantine)."""
+        span = self._make(name, "event", parent, attrs)
+        if self.metrics is not None:
+            self.metrics.record_span(span)
+        return span
+
+    def span(self, name: str, **attrs) -> _SpanContext:
+        """``with tracer.span("stage:fusion") as s:`` — stack-nested."""
+        return _SpanContext(self, self.begin(name, **attrs), owns=True)
+
+    def attach(self, span: Span | None) -> _SpanContext:
+        """Re-enter an open span's context without owning its lifetime.
+
+        Serving uses this to nest engine/fallback work under the request
+        span from inside scheduler callbacks.  ``attach(None)`` is a
+        harmless no-op context.
+        """
+        if span is None or not isinstance(span, Span):
+            return _NULL_CONTEXT
+        return _SpanContext(self, span, owns=False)
+
+    # -- views -------------------------------------------------------------
+
+    @property
+    def spans(self) -> SpanSet:
+        """Every recorded span/event, creation order, as a query set."""
+        with self._lock:
+            return SpanSet(self._all)
+
+    def roots(self) -> SpanSet:
+        return self.spans.roots()
+
+    def reset(self) -> None:
+        with self._lock:
+            self._all = []
+            self._next_sid = 0
+        self._local = threading.local()
+
+
+class CapturingTracer(Tracer):
+    """The in-memory test harness tracer.
+
+    Identical recording semantics to :class:`Tracer`; the subclass exists
+    as the named seam tests and the fuzzer reach for, and adds the
+    convenience pass-throughs the suites lean on.  Under a
+    :class:`~repro.serving.scheduler.VirtualScheduler` (pass
+    ``clock=scheduler.clock``) span ordering and timestamps are exact and
+    deterministic.
+    """
+
+    def named(self, pattern: str) -> SpanSet:
+        return self.spans.named(pattern)
+
+    def tree(self) -> str:
+        return self.spans.tree()
+
+    def sequence(self) -> list[str]:
+        """Creation-order span/event names — the exact-sequence oracle."""
+        return self.spans.names()

@@ -14,6 +14,7 @@ from typing import Callable
 
 from ..ir.graph import Graph
 from ..ir.verifier import verify
+from ..obs.tracer import resolve_tracer
 
 __all__ = ["Pass", "PassResult", "PassManager"]
 
@@ -67,25 +68,38 @@ class PassManager:
     graph)`` after every pass (before the fail-fast ``verify_each`` gate,
     so an observer such as :class:`repro.lint.BlameRecorder` sees — and can
     attribute — the breakage that ``verify`` would abort on).
+
+    ``tracer`` (a :class:`repro.obs.Tracer`; None means off) gets one
+    ``pass:<name>`` span per pass covering the pass body, the
+    ``after_each`` hook and the ``verify_each`` gate, attributed with the
+    node delta the pass produced.
     """
 
     def __init__(self, passes: list[Pass], verify_each: bool = False,
                  after_each: Callable[[PassResult, Graph], None] | None
-                 = None) -> None:
+                 = None, tracer=None) -> None:
         self.passes = list(passes)
         self.verify_each = verify_each
         self.after_each = after_each
+        self.tracer = resolve_tracer(tracer)
         self.results: list[PassResult] = []
 
     def run(self, graph: Graph) -> list[PassResult]:
         self.results = []
+        tracer = self.tracer
         for pass_ in self.passes:
-            result = pass_(graph)
-            self.results.append(result)
-            if self.after_each is not None:
-                self.after_each(result, graph)
-            if self.verify_each:
-                verify(graph)
+            with tracer.span(f"pass:{pass_.name}") as span:
+                nodes_before = len(graph.nodes)
+                result = pass_(graph)
+                self.results.append(result)
+                if self.after_each is not None:
+                    self.after_each(result, graph)
+                if self.verify_each:
+                    verify(graph)
+                span.set(changed=result.changed,
+                         nodes_before=nodes_before,
+                         nodes_after=len(graph.nodes),
+                         node_delta=len(graph.nodes) - nodes_before)
         return self.results
 
     def total_time_s(self) -> float:

@@ -16,6 +16,8 @@ from typing import Callable, Hashable, Mapping, Sequence
 
 import numpy as np
 
+from ..obs.tracer import resolve_tracer
+
 __all__ = ["shape_signature", "make_signature_fn",
            "ShapeSpecializationCache"]
 
@@ -68,9 +70,10 @@ class ShapeSpecializationCache:
     sequences.
     """
 
-    def __init__(self, capacity: int | None = None) -> None:
+    def __init__(self, capacity: int | None = None, tracer=None) -> None:
         self._entries: OrderedDict[Hashable, object] = OrderedDict()
         self.capacity = capacity
+        self.tracer = resolve_tracer(tracer)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -78,16 +81,23 @@ class ShapeSpecializationCache:
     def get_or_build(self, key: Hashable,
                      build: Callable[[], object]) -> tuple:
         """Return (artifact, was_hit); builds and inserts on miss."""
+        tracer = self.tracer
         if key in self._entries:
             self.hits += 1
+            if tracer.enabled:
+                tracer.event("cache:shape:hit", key=str(key))
             self._entries.move_to_end(key)
             return self._entries[key], True
         self.misses += 1
+        if tracer.enabled:
+            tracer.event("cache:shape:miss", key=str(key))
         artifact = build()
         if self.capacity is not None and len(self._entries) >= self.capacity:
             # LRU eviction: the least recently touched signature leaves.
-            self._entries.popitem(last=False)
+            evicted, _ = self._entries.popitem(last=False)
             self.evictions += 1
+            if tracer.enabled:
+                tracer.event("cache:shape:evict", key=str(evicted))
         self._entries[key] = artifact
         return artifact, False
 

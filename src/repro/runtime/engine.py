@@ -34,9 +34,10 @@ from ..device.cost import kernel_time_us
 from ..device.counters import RunStats
 from ..device.profiles import DeviceProfile
 from ..numerics.resolve import bind_inputs, resolve_all_dims
+from ..obs.tracer import resolve_tracer
 from .executable import Executable
 from .hostprog import HostProgram, lower_executable
-from .launchplan import LaunchPlan, LaunchPlanCache
+from .launchplan import LaunchPlan, LaunchPlanCache, format_signature
 
 __all__ = ["EngineOptions", "ExecutionEngine", "LegacyExecutionEngine",
            "charge_kernel"]
@@ -100,15 +101,21 @@ class ExecutionEngine:
     :class:`LaunchPlanCache` (the adaptive specialiser runs a generic and
     a specialised engine over the same signature stream); the tag keeps
     their frozen plans apart while the signature statistics unify.
+
+    ``tracer`` (None = off) wraps every call in an ``engine:run`` span
+    holding an ``engine:record`` or ``engine:replay`` child with
+    per-kernel launch spans.  The untraced replay loop is kept entirely
+    branch-free: ``run`` dispatches once on ``tracer.enabled``.
     """
 
     def __init__(self, executable: Executable, device: DeviceProfile,
                  options: EngineOptions | None = None, *,
                  plan_cache: LaunchPlanCache | None = None,
-                 plan_tag: str = "main") -> None:
+                 plan_tag: str = "main", tracer=None) -> None:
         self.executable = executable
         self.device = device
         self.options = options or EngineOptions()
+        self.tracer = resolve_tracer(tracer)
         program = getattr(executable, "host_program", None)
         if program is None:
             # Hand-assembled executables (tests, serde round-trips) are
@@ -117,7 +124,8 @@ class ExecutionEngine:
             executable.host_program = program
         self.host_program: HostProgram = program
         self.plans = plan_cache if plan_cache is not None else \
-            LaunchPlanCache(self.options.plan_capacity)
+            LaunchPlanCache(self.options.plan_capacity,
+                            tracer=tracer)
         self._plan_tag = plan_tag
 
     def run(self, inputs: Mapping[str, np.ndarray],
@@ -128,6 +136,8 @@ class ExecutionEngine:
         the call's signature — the adaptive specialiser — skip the
         recomputation; plain callers leave it None.
         """
+        if self.tracer.enabled:
+            return self._run_traced(inputs, signature)
         program = self.host_program
         if signature is None:
             signature = program.signature(inputs)
@@ -138,6 +148,30 @@ class ExecutionEngine:
             self.plans.put((self._plan_tag, signature), plan)
             return outputs, stats
         return self._replay(plan, inputs)
+
+    def _run_traced(self, inputs: Mapping[str, np.ndarray],
+                    signature: tuple | None) -> tuple[list, RunStats]:
+        """The traced twin of :meth:`run`; same order, same charges."""
+        tracer = self.tracer
+        program = self.host_program
+        with tracer.span("engine:run", tag=self._plan_tag) as span:
+            if signature is None:
+                signature = program.signature(inputs)
+                self.plans.note(signature)
+            span.set(signature=format_signature(signature))
+            plan = self.plans.get((self._plan_tag, signature))
+            if plan is None:
+                with tracer.span("engine:record") as rec:
+                    outputs, stats, plan = self._record(inputs, signature)
+                    rec.set(kernels_launched=stats.kernels_launched)
+                self.plans.put((self._plan_tag, signature), plan)
+                span.set(path="record", cache_hit=False)
+                return outputs, stats
+            with tracer.span("engine:replay") as rep:
+                outputs, stats = self._replay_traced(plan, inputs)
+                rep.set(kernels_launched=stats.kernels_launched)
+            span.set(path="replay", cache_hit=True)
+            return outputs, stats
 
     def peek_plan(self, signature: tuple) -> LaunchPlan | None:
         """The frozen plan for ``signature`` (no stats side effects)."""
@@ -161,24 +195,29 @@ class ExecutionEngine:
         existing = self.plans.peek((self._plan_tag, signature))
         if existing is not None:
             return existing
-        options = self.options
-        dims = bind_inputs(program.params, inputs)
-        program.resolution.run(dims)
-        stats = RunStats(cache_hit=True)
-        forced: Schedule | None = None
-        if options.fixed_schedule is not None:
-            forced = schedule_named(options.fixed_schedule)
-        device = self.device
-        for instr in program.instructions:
-            charge_kernel(instr.kernel, dims, stats, forced, options,
-                          device)
-        stats.host_time_us += (options.dispatch_us_per_kernel
-                               * stats.kernels_launched)
-        buffer_plan = self.executable.buffer_plan
-        if buffer_plan is not None:
-            stats.details["memory"] = buffer_plan.evaluate(dims)
-        plan = LaunchPlan.freeze(signature, dims, stats)
-        self.plans.put((self._plan_tag, signature), plan)
+        tracer = self.tracer
+        with tracer.span("engine:prepare", tag=self._plan_tag) as span:
+            options = self.options
+            dims = bind_inputs(program.params, inputs)
+            program.resolution.run(dims)
+            stats = RunStats(cache_hit=True)
+            forced: Schedule | None = None
+            if options.fixed_schedule is not None:
+                forced = schedule_named(options.fixed_schedule)
+            device = self.device
+            for instr in program.instructions:
+                charge_kernel(instr.kernel, dims, stats, forced, options,
+                              device)
+            stats.host_time_us += (options.dispatch_us_per_kernel
+                                   * stats.kernels_launched)
+            buffer_plan = self.executable.buffer_plan
+            if buffer_plan is not None:
+                stats.details["memory"] = buffer_plan.evaluate(dims)
+            plan = LaunchPlan.freeze(signature, dims, stats)
+            self.plans.put((self._plan_tag, signature), plan)
+            if tracer.enabled:
+                span.set(signature=format_signature(signature),
+                         kernels_launched=stats.kernels_launched)
         return plan
 
     # -- cold path: execute while freezing the plan ------------------------
@@ -206,13 +245,22 @@ class ExecutionEngine:
         if options.fixed_schedule is not None:
             forced = schedule_named(options.fixed_schedule)
         device = self.device
+        tracer = self.tracer
+        traced = tracer.enabled
         for instr in program.instructions:
             kernel = instr.kernel
+            if traced:
+                span = tracer.begin(f"kernel:{kernel.name}",
+                                    slots=list(instr.out_slots))
             outputs = kernel.execute([env[s] for s in instr.in_slots],
                                      dims)
             for slot, value in zip(instr.out_slots, outputs):
                 env[slot] = value
+            before = stats.kernels_launched
             charge_kernel(kernel, dims, stats, forced, options, device)
+            if traced:
+                tracer.end(span,
+                           launches=stats.kernels_launched - before)
             for slot in instr.release:
                 env[slot] = None
 
@@ -245,6 +293,32 @@ class ExecutionEngine:
         results = [env[slot] for slot in program.output_slots]
         return results, plan.make_stats()
 
+    def _replay_traced(self, plan: LaunchPlan,
+                       inputs: Mapping[str, np.ndarray]) -> tuple:
+        """Traced twin of :meth:`_replay` (which stays branch-free).
+
+        Replay charges the plan's frozen aggregate cost rather than
+        re-charging kernel by kernel, so the per-kernel spans here carry
+        no ``launches`` attribute — the plan-level count lives on the
+        enclosing ``engine:replay`` span.
+        """
+        tracer = self.tracer
+        program = self.host_program
+        dims = plan.dims
+        env = program.env_template.copy()
+        for slot, name in program.param_slots:
+            env[slot] = np.ascontiguousarray(inputs[name])
+        for instr in program.instructions:
+            with tracer.span(f"kernel:{instr.kernel.name}"):
+                outputs = instr.kernel.execute(
+                    [env[s] for s in instr.in_slots], dims)
+            for slot, value in zip(instr.out_slots, outputs):
+                env[slot] = value
+            for slot in instr.release:
+                env[slot] = None
+        results = [env[slot] for slot in program.output_slots]
+        return results, plan.make_stats()
+
 
 class LegacyExecutionEngine:
     """The per-call interpreter-style engine the host program replaced.
@@ -257,14 +331,25 @@ class LegacyExecutionEngine:
     """
 
     def __init__(self, executable: Executable, device: DeviceProfile,
-                 options: EngineOptions | None = None) -> None:
+                 options: EngineOptions | None = None,
+                 tracer=None) -> None:
         self.executable = executable
         self.device = device
         self.options = options or EngineOptions()
+        self.tracer = resolve_tracer(tracer)
 
     def run(self, inputs: Mapping[str, np.ndarray]
             ) -> tuple[list, RunStats]:
         """Execute on concrete inputs; returns (outputs, stats)."""
+        if self.tracer.enabled:
+            with self.tracer.span("engine:legacy_run") as span:
+                results, stats = self._run(inputs, self.tracer)
+                span.set(kernels_launched=stats.kernels_launched)
+            return results, stats
+        return self._run(inputs, self.tracer)
+
+    def _run(self, inputs: Mapping[str, np.ndarray], tracer
+             ) -> tuple[list, RunStats]:
         executable = self.executable
         options = self.options
         dims = bind_inputs(executable.params, inputs)
@@ -282,13 +367,20 @@ class LegacyExecutionEngine:
         if options.fixed_schedule is not None:
             forced = schedule_named(options.fixed_schedule)
 
+        traced = tracer.enabled
         for kernel in executable.kernels:
+            if traced:
+                span = tracer.begin(f"kernel:{kernel.name}")
             args = [env[n.id] for n in kernel.input_nodes]
             outputs = kernel.execute(args, dims)
             for node, value in zip(kernel.output_nodes, outputs):
                 env[node.id] = value
+            before = stats.kernels_launched
             charge_kernel(kernel, dims, stats, forced, options,
                           self.device)
+            if traced:
+                tracer.end(span,
+                           launches=stats.kernels_launched - before)
 
         stats.host_time_us += (options.dispatch_us_per_kernel
                                * stats.kernels_launched)

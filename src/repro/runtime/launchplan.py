@@ -22,6 +22,7 @@ from collections import OrderedDict
 from typing import Hashable
 
 from ..device.counters import RunStats
+from ..obs.tracer import resolve_tracer
 
 __all__ = ["LaunchPlan", "LaunchPlanCache", "format_signature"]
 
@@ -31,6 +32,18 @@ def format_signature(signature: tuple) -> str:
     return ", ".join(
         f"{name}[{'x'.join(str(d) for d in shape)}]"
         for name, shape in signature)
+
+
+def _key_label(key) -> str:
+    """Human form of a cache key for trace-event attributes."""
+    if isinstance(key, tuple) and len(key) == 2 \
+            and isinstance(key[1], tuple):
+        tag, signature = key
+        try:
+            return f"{tag}:{format_signature(signature)}"
+        except (TypeError, ValueError):
+            pass
+    return str(key)
 
 
 class LaunchPlan:
@@ -96,13 +109,18 @@ class LaunchPlan:
 
 
 class LaunchPlanCache:
-    """Bounded LRU of launch plans + unified signature statistics."""
+    """Bounded LRU of launch plans + unified signature statistics.
 
-    def __init__(self, capacity: int | None = 64) -> None:
+    ``tracer`` (None = off) turns hits, misses and evictions into
+    ``cache:plan:*`` trace events carrying the formatted key.
+    """
+
+    def __init__(self, capacity: int | None = 64, tracer=None) -> None:
         self._plans: OrderedDict[Hashable, LaunchPlan] = OrderedDict()
         #: per-signature call counts (ordered: first-seen order).
         self._seen: OrderedDict[Hashable, int] = OrderedDict()
         self.capacity = capacity
+        self.tracer = resolve_tracer(tracer)
         self.hits = 0
         self.misses = 0
         self.evictions = 0
@@ -136,8 +154,12 @@ class LaunchPlanCache:
         plan = self._plans.get(key)
         if plan is None:
             self.misses += 1
+            if self.tracer.enabled:
+                self.tracer.event("cache:plan:miss", key=_key_label(key))
             return None
         self.hits += 1
+        if self.tracer.enabled:
+            self.tracer.event("cache:plan:hit", key=_key_label(key))
         self._plans.move_to_end(key)
         return plan
 
@@ -149,8 +171,11 @@ class LaunchPlanCache:
         self._plans[key] = plan
         self._plans.move_to_end(key)
         if self.capacity is not None and len(self._plans) > self.capacity:
-            self._plans.popitem(last=False)
+            evicted, _ = self._plans.popitem(last=False)
             self.evictions += 1
+            if self.tracer.enabled:
+                self.tracer.event("cache:plan:evict",
+                                  key=_key_label(evicted))
 
     def __len__(self) -> int:
         return len(self._plans)

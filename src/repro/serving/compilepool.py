@@ -30,6 +30,8 @@ from dataclasses import dataclass, field
 from enum import Enum
 from typing import Callable, Hashable
 
+from ..obs.tracer import ROOT, resolve_tracer
+from ..runtime.launchplan import _key_label
 from .scheduler import VirtualScheduler
 
 __all__ = ["BackgroundCompilePool", "CompileState", "PermanentCompileError",
@@ -99,13 +101,17 @@ class BackgroundCompilePool:
 
     def __init__(self, scheduler: VirtualScheduler, workers: int = 2,
                  max_retries: int = 2, backoff_us: float = 50_000.0,
-                 backoff_multiplier: float = 2.0) -> None:
+                 backoff_multiplier: float = 2.0, tracer=None) -> None:
         if workers < 1:
             raise ValueError("compile pool needs at least one worker")
         self.scheduler = scheduler
         self.max_retries = max_retries
         self.backoff_us = backoff_us
         self.backoff_multiplier = backoff_multiplier
+        #: ``compile:attempt`` spans and ``compile:*`` events (None = off).
+        #: Attempt spans are forced to trace roots: they outlive the
+        #: request span that happened to trigger them.
+        self.tracer = resolve_tracer(tracer)
         #: per-worker timestamp at which the slot frees up.
         self._free_at_us = [0.0] * workers
         self._records: dict[Hashable, _Record] = {}
@@ -137,6 +143,9 @@ class BackgroundCompilePool:
             if record.state is CompileState.COMPILING:
                 record.coalesced += 1
                 self.stats.jobs_coalesced += 1
+                if self.tracer.enabled:
+                    self.tracer.event("compile:coalesced",
+                                      key=_key_label(key))
                 return False
             if record.state is CompileState.QUARANTINED:
                 return False
@@ -157,21 +166,28 @@ class BackgroundCompilePool:
         start = max(now, self._free_at_us[worker])
         finish = start + duration_us
         self._free_at_us[worker] = finish
+        span = None
+        if self.tracer.enabled:
+            span = self.tracer.begin(
+                "compile:attempt", parent=ROOT, key=_key_label(key),
+                attempt=record.attempts + 1, worker=worker,
+                slot_start_us=start)
         self.scheduler.call_at(
             finish,
             lambda: self._finish_attempt(key, record, run, duration_us,
-                                         on_quarantine))
+                                         on_quarantine, span))
 
     def _finish_attempt(self, key, record, run, duration_us,
-                        on_quarantine) -> None:
+                        on_quarantine, span=None) -> None:
         attempt = record.attempts
         record.attempts += 1
         try:
             run(attempt)
         except TransientCompileError:
             self.stats.transient_failures += 1
+            self.tracer.end(span, outcome="transient_failure")
             if record.attempts > self.max_retries:
-                self._quarantine(record, on_quarantine)
+                self._quarantine(key, record, on_quarantine)
                 return
             backoff = (self.backoff_us
                        * self.backoff_multiplier ** attempt)
@@ -182,16 +198,24 @@ class BackgroundCompilePool:
             return
         except PermanentCompileError:
             self.stats.permanent_failures += 1
-            self._quarantine(record, on_quarantine)
+            self.tracer.end(span, outcome="permanent_failure")
+            self._quarantine(key, record, on_quarantine)
             return
         record.state = CompileState.READY
         record.finished_at_us = self.scheduler.now_us()
         self.stats.compiles_succeeded += 1
+        self.tracer.end(span, outcome="ready")
+        if self.tracer.enabled:
+            self.tracer.event("compile:ready", parent=ROOT,
+                              key=_key_label(key))
 
-    def _quarantine(self, record: _Record,
+    def _quarantine(self, key, record: _Record,
                     on_quarantine: Callable[[], None] | None) -> None:
         record.state = CompileState.QUARANTINED
         record.finished_at_us = self.scheduler.now_us()
         self.stats.quarantined += 1
+        if self.tracer.enabled:
+            self.tracer.event("compile:quarantine", parent=ROOT,
+                              key=_key_label(key))
         if on_quarantine is not None:
             on_quarantine()

@@ -42,8 +42,10 @@ from ..device.counters import RunStats
 from ..device.profiles import DeviceProfile
 from ..ir.graph import Graph
 from ..lint import LintLevel, lint_executable
+from ..obs.tracer import resolve_tracer
 from ..runtime.engine import EngineOptions, ExecutionEngine
 from ..runtime.executable import Executable
+from ..runtime.launchplan import format_signature
 from .compilepool import (BackgroundCompilePool, CompileState,
                           PermanentCompileError, SignatureCompileCost,
                           TransientCompileError)
@@ -99,6 +101,8 @@ class Request:
     deadline_us: float | None  # absolute virtual time, or None
     done: bool = False
     deadline_handle: object = None
+    #: open ``request`` trace span (None when tracing is off).
+    span: object = None
 
 
 @dataclass
@@ -162,16 +166,23 @@ class ServingEngine:
     def __init__(self, device: DeviceProfile,
                  scheduler: VirtualScheduler,
                  options: ServingOptions | None = None,
-                 compile_fault: CompileFault | None = None) -> None:
+                 compile_fault: CompileFault | None = None,
+                 tracer=None) -> None:
         self.device = device
         self.scheduler = scheduler
         self.options = options or ServingOptions()
+        #: request-lifecycle spans + ``serving:*`` events (None = off).
+        #: Handed down to the compile pool and to every registered
+        #: model's engine so one trace covers the whole request path.
+        self.tracer = resolve_tracer(tracer)
+        self._raw_tracer = tracer
         self.pool = BackgroundCompilePool(
             scheduler,
             workers=self.options.compile_workers,
             max_retries=self.options.max_compile_retries,
             backoff_us=self.options.compile_backoff_us,
-            backoff_multiplier=self.options.backoff_multiplier)
+            backoff_multiplier=self.options.backoff_multiplier,
+            tracer=tracer)
         self._compile_fault = compile_fault
         self._models: dict[str, _ModelEntry] = {}
         self._queue: deque[Request] = deque()
@@ -210,7 +221,8 @@ class ServingEngine:
                     f"model {name!r} fails lint at "
                     f"{self.options.lint_level.value}: {rendered}")
         engine = ExecutionEngine(executable, self.device,
-                                 self.options.engine)
+                                 self.options.engine,
+                                 tracer=self._raw_tracer)
         fallback = InterpreterFallback(executable, self.device,
                                        self.options.fallback)
         duration = self.options.compile_cost.duration_us(
@@ -244,11 +256,19 @@ class ServingEngine:
         ticket = Ticket(request)
         self._tickets[request.id] = ticket
         self.counters["submitted"] += 1
+        tracer = self.tracer
+        if tracer.enabled:
+            request.span = tracer.begin(
+                "request", id=request.id, model=model,
+                signature=format_signature(signature))
+            tracer.event("serving:admit", parent=request.span)
 
         waiting = len(self._queue)
         if self._current is not None and \
                 waiting >= self.options.queue_capacity:
             self.counters["shed"] += 1
+            if tracer.enabled:
+                tracer.event("serving:shed", parent=request.span)
             self._respond(request, ResponseStatus.SHED, None, None, None)
             return ticket
 
@@ -268,7 +288,8 @@ class ServingEngine:
             return
         request = self._queue.popleft()
         self._current = request
-        path, outputs, stats, service_us = self._serve(request)
+        with self.tracer.attach(request.span):
+            path, outputs, stats, service_us = self._serve(request)
         finish = self.scheduler.now_us() + service_us
         self.scheduler.call_at(
             finish,
@@ -278,20 +299,31 @@ class ServingEngine:
         """Pick the path and produce outputs; returns service duration."""
         entry = self._models[request.model]
         key = (request.model, request.signature)
+        tracer = self.tracer
         plan = entry.engine.peek_plan(request.signature)
         if plan is not None:
+            if tracer.enabled:
+                tracer.event("serving:route", path="fast")
             outputs, stats = entry.engine.run(request.inputs)
             return "fast", outputs, stats, stats.total_time_us
 
         if key in self._quarantined:
-            outputs, stats = entry.fallback.run(request.inputs)
+            if tracer.enabled:
+                tracer.event("serving:route", path="quarantined")
+            with tracer.span("fallback:run"):
+                outputs, stats = entry.fallback.run(request.inputs)
             return "quarantined", outputs, stats, stats.total_time_us
 
         if not self.options.background_compile:
+            if tracer.enabled:
+                tracer.event("serving:route", path="sync_compile")
             return self._serve_sync_compile(entry, request, key)
 
+        if tracer.enabled:
+            tracer.event("serving:route", path="fallback")
         self._ensure_compile(entry, request, key)
-        outputs, stats = entry.fallback.run(request.inputs)
+        with tracer.span("fallback:run"):
+            outputs, stats = entry.fallback.run(request.inputs)
         return "fallback", outputs, stats, stats.total_time_us
 
     def _serve_sync_compile(self, entry: _ModelEntry, request: Request,
@@ -365,6 +397,8 @@ class ServingEngine:
         self.counters["timeouts"] += 1
         if request is not self._current:
             self._queue.remove(request)
+        if self.tracer.enabled:
+            self.tracer.event("serving:timeout", parent=request.span)
         self._respond(request, ResponseStatus.TIMEOUT, None, None, None)
 
     def _respond(self, request: Request, status: ResponseStatus,
@@ -378,6 +412,10 @@ class ServingEngine:
             signature=request.signature, arrival_us=request.arrival_us,
             finish_us=self.scheduler.now_us())
         self.completed.append(response)
+        if self.tracer.enabled:
+            self.tracer.event("serving:respond", parent=request.span,
+                              status=status.value)
+            self.tracer.end(request.span, status=status.value, path=path)
         ticket = self._tickets.pop(request.id, None)
         if ticket is not None:
             ticket.response = response

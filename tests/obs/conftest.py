@@ -1,0 +1,71 @@
+"""Shared fixtures for the trace-based observability suite.
+
+The deterministic backbone: a manually stepped clock for unit tests (so
+durations are exact), the compiled toy model for engine traces, and a
+traced serving constructor mirroring ``tests/serving/conftest.py`` —
+every serving trace here runs under the virtual clock, so span
+timestamps are exact properties of the schedule.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core import compile_graph
+from repro.device import A10
+from repro.obs import CapturingTracer
+from repro.serving import (ServingEngine, ServingOptions,
+                           SignatureCompileCost, VirtualScheduler)
+
+from ..conftest import toy_mlp_graph
+
+#: small compile cost so tests exercise ordering, not magnitude.
+FAST_COMPILE = SignatureCompileCost(fixed_us=10_000.0, per_kernel_us=100.0)
+
+
+class StepClock:
+    """now_us() returns 0, 1, 2, ... — one tick per read.
+
+    Every span gets a distinct start and end, and durations count the
+    clock reads in between; unit tests assert exact numbers against it.
+    """
+
+    def __init__(self) -> None:
+        self.ticks = 0
+
+    def now_us(self) -> float:
+        now = self.ticks
+        self.ticks += 1
+        return float(now)
+
+
+@pytest.fixture
+def step_tracer() -> CapturingTracer:
+    return CapturingTracer(clock=StepClock())
+
+
+@pytest.fixture(scope="session")
+def toy_exe():
+    return compile_graph(toy_mlp_graph().graph)
+
+
+@pytest.fixture
+def device():
+    return A10
+
+
+def make_traced_serving(exe, seed=0, compile_fault=None,
+                        **option_overrides):
+    """(scheduler, tracer, engine) with the toy model registered.
+
+    The tracer runs on the scheduler's virtual clock, so every span
+    start/end is an exact virtual timestamp.
+    """
+    option_overrides.setdefault("compile_cost", FAST_COMPILE)
+    options = ServingOptions(**option_overrides)
+    scheduler = VirtualScheduler(seed=seed)
+    tracer = CapturingTracer(clock=scheduler.clock)
+    engine = ServingEngine(A10, scheduler, options,
+                           compile_fault=compile_fault, tracer=tracer)
+    engine.register_model("mlp", exe)
+    return scheduler, tracer, engine

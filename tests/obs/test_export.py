@@ -1,0 +1,92 @@
+"""Exporters: Chrome trace_event payloads, the text tree, JSONL."""
+
+import json
+
+from repro.obs import (CapturingTracer, MetricsRegistry, render_tree,
+                       to_chrome_trace, to_jsonl, write_artifacts)
+
+from .conftest import StepClock
+
+
+def traced() -> CapturingTracer:
+    tracer = CapturingTracer(clock=StepClock())
+    with tracer.span("compile:g", grade="full"):
+        with tracer.span("pass:dce", node_delta=-2):
+            pass
+        tracer.event("cache:plan:miss", key=("main", "b=3"))
+    return tracer
+
+
+def test_chrome_trace_structure():
+    payload = to_chrome_trace(traced().spans)
+    events = payload["traceEvents"]
+    # one metadata record naming the process, then the spans.
+    assert events[0] == {"name": "process_name", "ph": "M", "pid": 1,
+                        "tid": 1, "args": {"name": "repro"}}
+    by_name = {e["name"]: e for e in events[1:]}
+    root = by_name["compile:g"]
+    assert root["ph"] == "X"
+    assert root["ts"] == 0.0 and root["dur"] == 4.0
+    assert root["args"] == {"grade": "full"}
+    instant = by_name["cache:plan:miss"]
+    assert instant["ph"] == "i" and instant["s"] == "t"
+    # non-scalar attr values are repr'd into JSON-safe strings
+    assert instant["args"]["key"] == repr(("main", "b=3"))
+    # Perfetto-loadable means, at minimum, valid JSON end to end:
+    assert json.loads(json.dumps(payload)) == payload
+
+
+def test_chrome_trace_handles_open_spans():
+    tracer = CapturingTracer(clock=StepClock())
+    tracer.begin("leaked")
+    events = to_chrome_trace(tracer.spans)["traceEvents"]
+    assert events[1]["dur"] == 0.0
+
+
+def test_render_tree_indents_by_depth():
+    text = traced().tree()
+    lines = text.splitlines()
+    assert lines[0].startswith("compile:g [4.0us]")
+    assert lines[1].startswith("  pass:dce [")
+    assert lines[2].startswith("  * cache:plan:miss @")
+    assert "{grade=full}" in lines[0]
+
+
+def test_jsonl_is_lossless_and_ordered():
+    tracer = traced()
+    lines = [json.loads(line) for line in
+             to_jsonl(tracer.spans).splitlines()]
+    assert [row["sid"] for row in lines] == [0, 1, 2]
+    assert [row["name"] for row in lines] == \
+        ["compile:g", "pass:dce", "cache:plan:miss"]
+    assert lines[1]["parent"] == 0 and lines[0]["parent"] is None
+    assert lines[2]["kind"] == "event"
+    assert lines[1]["attrs"] == {"node_delta": -2}
+
+
+def test_write_artifacts_writes_every_requested_format(tmp_path):
+    registry = MetricsRegistry()
+    tracer = CapturingTracer(clock=StepClock(), metrics=registry)
+    with tracer.span("s"):
+        pass
+    written = write_artifacts(tracer, tmp_path, prefix="case",
+                              metrics=registry)
+    assert set(written) == {"chrome", "tree", "jsonl", "metrics"}
+    chrome = json.loads((tmp_path / "case_chrome.json").read_text())
+    assert any(e["name"] == "s" for e in chrome["traceEvents"])
+    assert "s [" in (tmp_path / "case_tree.txt").read_text()
+    assert json.loads((tmp_path / "case_spans.jsonl").read_text())
+    metrics = json.loads((tmp_path / "case_metrics.json").read_text())
+    assert metrics["counters"]["spans.s"] == 1
+
+
+def test_write_artifacts_respects_format_subset(tmp_path):
+    tracer = traced()
+    written = write_artifacts(tracer, tmp_path, formats=("chrome",))
+    assert set(written) == {"chrome"}
+    assert list(tmp_path.iterdir()) == [tmp_path / "trace_chrome.json"]
+
+
+def test_render_tree_standalone_entry_point():
+    tracer = traced()
+    assert render_tree(tracer.roots()) == tracer.tree()

@@ -1,0 +1,128 @@
+"""The trace invariants shared by the test suite and the fuzz oracle."""
+
+from repro.obs import (CapturingTracer, ROOT, check_balanced,
+                       check_containment, check_kernel_accounting,
+                       check_pass_coverage, trace_failures)
+
+from .conftest import StepClock
+
+
+def tracer() -> CapturingTracer:
+    return CapturingTracer(clock=StepClock())
+
+
+def well_formed() -> CapturingTracer:
+    t = tracer()
+    with t.span("compile:g"):
+        with t.span("pass:a"):
+            pass
+        with t.span("pass:b"):
+            pass
+    with t.span("engine:run"):
+        with t.span("engine:record") as rec:
+            with t.span("kernel:k0") as k0:
+                k0.set(launches=2)
+            with t.span("kernel:k1") as k1:
+                k1.set(launches=1)
+            rec.set(kernels_launched=3)
+    return t
+
+
+def test_clean_trace_has_no_failures():
+    assert trace_failures(well_formed(), pass_names=["a", "b"]) == []
+
+
+def test_balanced_flags_a_leaked_begin():
+    t = tracer()
+    t.begin("leaked")
+    with t.span("fine"):
+        pass
+    failures = check_balanced(t.spans)
+    assert len(failures) == 1
+    assert "leaked" in failures[0]
+
+
+def test_events_are_never_unbalanced():
+    t = tracer()
+    t.event("cache:plan:hit")
+    assert check_balanced(t.spans) == []
+
+
+def test_containment_flags_a_child_outliving_its_parent():
+    t = tracer()
+    parent = t.begin("parent")
+    child = t.begin("child", parent=parent)
+    t.end(parent)
+    t.end(child)                       # ends after the parent ended
+    failures = check_containment(t.spans)
+    assert len(failures) == 1
+    assert "outlives" in failures[0]
+
+
+def test_containment_flags_a_child_starting_early():
+    t = tracer()
+    early = t.begin("early", parent=ROOT)
+    parent = t.begin("parent", parent=ROOT)
+    early.parent = parent              # craft the broken edge directly
+    parent.children.append(early)
+    t.end(early)
+    t.end(parent)
+    failures = check_containment(t.spans)
+    assert any("starts at" in f for f in failures)
+
+
+def test_pass_coverage_demands_every_pass_once_in_order():
+    t = tracer()
+    with t.span("compile:g"):
+        with t.span("pass:b"):         # out of order, and 'a' missing
+            pass
+    failures = check_pass_coverage(t.spans, pass_names=["a", "b"])
+    assert len(failures) == 1
+    assert "compile:g" in failures[0]
+
+
+def test_pass_coverage_defaults_to_the_registered_pipeline():
+    from repro.passes import default_pipeline
+
+    t = tracer()
+    with t.span("compile:g"):
+        for p in default_pipeline():
+            with t.span(f"pass:{p.name}"):
+                pass
+    assert check_pass_coverage(t.spans) == []
+
+
+def test_pass_coverage_skips_compile_pool_spans_and_events():
+    t = tracer()
+    t.event("compile:ready", parent=ROOT)
+    with t.span("compile:attempt"):
+        pass
+    # neither the pool's attempt spans nor its events are pipelines
+    assert check_pass_coverage(t.spans, pass_names=["a"]) == []
+
+
+def test_kernel_accounting_sums_launch_attrs():
+    t = well_formed()
+    assert check_kernel_accounting(t.spans) == []
+    t.spans.one("kernel:k1").set(launches=5)   # break the ledger
+    failures = check_kernel_accounting(t.spans)
+    assert len(failures) == 1
+    assert "sum to 7" in failures[0]
+
+
+def test_kernel_accounting_requires_the_declared_total():
+    t = tracer()
+    with t.span("engine:record"):
+        pass
+    failures = check_kernel_accounting(t.spans)
+    assert len(failures) == 1
+    assert "kernels_launched" in failures[0]
+
+
+def test_trace_failures_aggregates_every_check():
+    t = tracer()
+    t.begin("leaked")
+    with t.span("engine:record"):
+        pass
+    failures = trace_failures(t, pass_names=[])
+    assert len(failures) == 2

@@ -1,0 +1,55 @@
+"""L5xx lint: span-name hygiene of the registered pass pipeline."""
+
+from repro.lint import CODE_REGISTRY, check_pass_spans
+from repro.lint.__main__ import main
+from repro.passes.base import Pass
+
+
+class _Named(Pass):
+    def __init__(self, name: str) -> None:
+        self.name = name
+
+    def run(self, graph):
+        return {}
+
+
+def test_registered_pipeline_is_clean():
+    sink = check_pass_spans()
+    assert not sink.diagnostics, sink.render()
+
+
+def test_missing_name_is_L501():
+    unset = Pass()                      # base-class placeholder name
+    sink = check_pass_spans(passes=[_Named(""), unset])
+    assert [d.code for d in sink] == ["L501", "L501"]
+    assert all(d.severity.name == "ERROR" for d in sink)
+
+
+def test_duplicate_name_is_L502():
+    sink = check_pass_spans(passes=[_Named("dce"), _Named("dce")])
+    assert sink.codes() == {"L502"}
+    assert "dce" in sink.by_code("L502")[0].message
+
+
+def test_malformed_name_is_L503():
+    sink = check_pass_spans(
+        passes=[_Named("DeadCode"), _Named("has space"),
+                _Named("9starts-with-digit"), _Named("fine-name_2")])
+    assert [d.code for d in sink] == ["L503"] * 3
+
+
+def test_l5xx_codes_are_registered():
+    for code in ("L501", "L502", "L503"):
+        info = CODE_REGISTRY[code]
+        assert info.analyzer == "obs"
+
+
+def test_cli_pass_spans_gate_is_green(capsys):
+    assert main(["--pass-spans"]) == 0
+    out = capsys.readouterr().out
+    assert "pipeline:pass-spans: OK" in out
+
+
+def test_cli_pass_spans_counts_as_a_target(capsys):
+    main(["--pass-spans", "-q"])
+    assert "linted 1 target(s)" in capsys.readouterr().out

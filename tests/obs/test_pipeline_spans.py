@@ -1,0 +1,113 @@
+"""Trace-based pipeline tests: every registered pass, once, in order.
+
+Compiles three zoo models (small configs) under a ``CapturingTracer``
+and asserts the span tree — not logs, not pass-manager internals — shows
+the full pipeline ran exactly as registered, with the stage spans and
+attribute schema the observability contract promises.
+"""
+
+import pytest
+
+from repro.core.pipeline import CompileOptions, compile_graph
+from repro.models import build_model
+from repro.obs import CapturingTracer, trace_failures
+from repro.passes import default_pipeline
+
+#: small configs — the point is the trace shape, not the model scale.
+MODELS = {
+    "bert": {"layers": 1, "hidden": 64, "heads": 2, "vocab": 128},
+    "crnn": {"channels": 16, "charset": 32},
+    "dien": {"items": 256, "embed_dim": 16},
+}
+
+STAGES = ["stage:analysis", "stage:fusion", "stage:codegen",
+          "stage:memory", "stage:hostprog"]
+
+
+@pytest.fixture(scope="module", params=sorted(MODELS),
+                ids=sorted(MODELS))
+def compiled(request):
+    name = request.param
+    tracer = CapturingTracer()
+    graph = build_model(name, **MODELS[name]).graph
+    executable = compile_graph(graph, CompileOptions(tracer=tracer))
+    return name, tracer, executable
+
+
+def test_one_compile_root_span(compiled):
+    _name, tracer, _exe = compiled
+    roots = tracer.roots()
+    assert len(roots) == 1
+    root = roots[0]
+    assert root.name.startswith("compile:")
+    assert root.finished
+
+
+def test_every_registered_pass_exactly_once_in_order(compiled):
+    _name, tracer, _exe = compiled
+    expected = [f"pass:{p.name}" for p in default_pipeline()]
+    assert tracer.named("pass:*").names() == expected
+
+
+def test_stages_follow_the_passes_in_order(compiled):
+    _name, tracer, _exe = compiled
+    sequence = tracer.sequence()
+    stage_positions = [sequence.index(stage) for stage in STAGES]
+    assert stage_positions == sorted(stage_positions)
+    last_pass = max(i for i, name in enumerate(sequence)
+                    if name.startswith("pass:"))
+    assert last_pass < stage_positions[0]
+
+
+def test_pass_spans_carry_node_deltas(compiled):
+    _name, tracer, _exe = compiled
+    for span in tracer.named("pass:*"):
+        attrs = span.attrs
+        assert set(attrs) >= {"changed", "nodes_before", "nodes_after",
+                              "node_delta"}
+        assert attrs["node_delta"] == \
+            attrs["nodes_after"] - attrs["nodes_before"]
+    # the node count ledger chains: pass N ends where N+1 begins
+    passes = list(tracer.named("pass:*"))
+    for prev, nxt in zip(passes, passes[1:]):
+        assert prev.attrs["nodes_after"] == nxt.attrs["nodes_before"]
+
+
+def test_root_attrs_describe_the_artifact(compiled):
+    _name, tracer, executable = compiled
+    root = tracer.roots()[0]
+    assert root.attrs["grade"] == "jit"
+    assert root.attrs["kernels"] == len(executable.kernels)
+    assert root.attrs["nodes"] > 0
+
+
+def test_stage_spans_carry_their_headline_numbers(compiled):
+    _name, tracer, executable = compiled
+    codegen = tracer.spans.one("stage:codegen")
+    assert codegen.attrs["kernels"] == len(executable.kernels)
+    hostprog = tracer.spans.one("stage:hostprog")
+    assert hostprog.attrs["slots"] == executable.host_program.num_slots
+
+
+def test_trace_satisfies_every_invariant(compiled):
+    _name, tracer, _exe = compiled
+    assert trace_failures(tracer) == []
+
+
+def test_pass_spans_compose_with_the_lint_blame_hook():
+    """Tracing and per-pass lint blame share the pass loop: with
+    ``lint_level`` on, each ``pass:*`` span also covers the blame
+    snapshot, and the trace additionally carries ``stage:lint``."""
+    from repro.lint import LintLevel
+
+    tracer = CapturingTracer()
+    graph = build_model("crnn", **MODELS["crnn"]).graph
+    executable = compile_graph(
+        graph, CompileOptions(tracer=tracer,
+                              lint_level=LintLevel.DEFAULT))
+    expected = [f"pass:{p.name}" for p in default_pipeline()]
+    assert tracer.named("pass:*").names() == expected
+    lint_stage = tracer.spans.one("stage:lint")
+    assert lint_stage.attrs["findings"] == \
+        len(executable.report.lint.diagnostics)
+    assert trace_failures(tracer) == []

@@ -1,0 +1,243 @@
+"""Tracer unit tests: nesting, clocks, the null path, SpanSet queries."""
+
+import threading
+
+import pytest
+
+from repro.obs import (NULL_TRACER, CapturingTracer, NullTracer, ROOT,
+                       Tracer, resolve_tracer)
+from repro.obs.tracer import _NULL_CONTEXT
+
+from .conftest import StepClock
+
+
+# ---------------------------------------------------------------------------
+# context-manager nesting
+# ---------------------------------------------------------------------------
+
+def test_spans_nest_on_the_context_stack(step_tracer):
+    with step_tracer.span("outer") as outer:
+        with step_tracer.span("inner") as inner:
+            pass
+    assert inner.parent is outer
+    assert outer.children == [inner]
+    assert outer.parent is None
+    assert step_tracer.sequence() == ["outer", "inner"]
+
+
+def test_durations_come_from_the_injected_clock():
+    tracer = Tracer(clock=StepClock())
+    with tracer.span("a") as a:        # start at 0
+        with tracer.span("b") as b:    # start at 1, end at 2
+            pass
+    # a ends at 3: strictly after its child, exactly as many clock
+    # reads as span boundaries.
+    assert (a.start_us, a.end_us) == (0.0, 3.0)
+    assert (b.start_us, b.end_us) == (1.0, 2.0)
+    assert b.duration_us == 1.0
+
+
+def test_attrs_merge_at_open_and_via_set(step_tracer):
+    with step_tracer.span("s", grade="full") as span:
+        span.set(nodes=7)
+    assert span.attrs == {"grade": "full", "nodes": 7}
+
+
+def test_exception_closes_the_span_and_stamps_error(step_tracer):
+    with pytest.raises(ValueError):
+        with step_tracer.span("doomed"):
+            raise ValueError("boom")
+    span = step_tracer.spans.one("doomed")
+    assert span.finished
+    assert span.attrs["error"] == "ValueError"
+
+
+def test_events_are_instants_under_the_current_span(step_tracer):
+    with step_tracer.span("op") as op:
+        step_tracer.event("tick", key="k")
+    event = step_tracer.spans.one("tick")
+    assert event.kind == "event"
+    assert event.parent is op
+    assert event.end_us == event.start_us
+    assert event.attrs == {"key": "k"}
+
+
+# ---------------------------------------------------------------------------
+# explicit begin/end + attach (event-driven nesting)
+# ---------------------------------------------------------------------------
+
+def test_begin_end_with_final_attrs(step_tracer):
+    span = step_tracer.begin("request", id=1)
+    step_tracer.end(span, status="ok")
+    assert span.finished
+    assert span.attrs == {"id": 1, "status": "ok"}
+
+
+def test_end_is_idempotent(step_tracer):
+    span = step_tracer.begin("once")
+    step_tracer.end(span)
+    first_end = span.end_us
+    step_tracer.end(span, late=True)
+    assert span.end_us == first_end
+    assert span.attrs["late"] is True  # attrs still merge
+
+
+def test_end_ignores_null_handles_and_none(step_tracer):
+    step_tracer.end(None)
+    step_tracer.end(_NULL_CONTEXT)     # a NullTracer-begun handle
+    assert len(step_tracer.spans) == 0
+
+
+def test_attach_reenters_an_open_span(step_tracer):
+    request = step_tracer.begin("request")
+    # ... later, from a scheduler callback:
+    with step_tracer.attach(request):
+        with step_tracer.span("work") as work:
+            pass
+    step_tracer.end(request)
+    assert work.parent is request
+    assert step_tracer.attach(None) is _NULL_CONTEXT
+
+
+def test_root_sentinel_escapes_the_context_stack(step_tracer):
+    with step_tracer.span("request"):
+        attempt = step_tracer.begin("compile:attempt", parent=ROOT)
+        event = step_tracer.event("compile:ready", parent=ROOT)
+    step_tracer.end(attempt)
+    assert attempt.parent is None
+    assert event.parent is None
+    assert len(step_tracer.roots()) == 3
+
+
+def test_explicit_parent_overrides_the_stack(step_tracer):
+    request = step_tracer.begin("request")
+    with step_tracer.span("other"):
+        event = step_tracer.event("respond", parent=request)
+    assert event.parent is request
+
+
+# ---------------------------------------------------------------------------
+# the null path
+# ---------------------------------------------------------------------------
+
+def test_null_tracer_is_disabled_and_allocation_free():
+    tracer = NullTracer()
+    assert tracer.enabled is False
+    assert tracer.span("x") is _NULL_CONTEXT
+    assert tracer.begin("x") is _NULL_CONTEXT
+    assert tracer.attach(object()) is _NULL_CONTEXT
+    assert tracer.event("x") is None
+    assert tracer.end(_NULL_CONTEXT) is None
+
+
+def test_null_context_quacks_like_a_span():
+    with NULL_TRACER.span("x", a=1) as handle:
+        assert handle.set(b=2) is handle
+    assert handle.attrs == {}
+    assert handle.duration_us == 0.0
+    assert handle.finished
+
+
+def test_resolve_tracer():
+    assert resolve_tracer(None) is NULL_TRACER
+    tracer = Tracer(clock=StepClock())
+    assert resolve_tracer(tracer) is tracer
+    assert tracer.enabled is True
+
+
+# ---------------------------------------------------------------------------
+# SpanSet queries
+# ---------------------------------------------------------------------------
+
+def _sample(tracer):
+    with tracer.span("compile:g"):
+        with tracer.span("pass:dce", changed=False):
+            pass
+        with tracer.span("pass:cse", changed=True):
+            pass
+        tracer.event("cache:plan:miss")
+    return tracer.spans
+
+
+def test_spanset_filters(step_tracer):
+    spans = _sample(step_tracer)
+    assert spans.named("pass:*").names() == ["pass:dce", "pass:cse"]
+    assert spans.events().names() == ["cache:plan:miss"]
+    assert len(spans.intervals()) == 3
+    assert spans.roots().names() == ["compile:g"]
+    root = spans.one("compile:g")
+    assert spans.within(root).names() == \
+        ["pass:dce", "pass:cse", "cache:plan:miss"]
+
+
+def test_spanset_one_raises_on_ambiguity(step_tracer):
+    spans = _sample(step_tracer)
+    with pytest.raises(AssertionError):
+        spans.one("pass:*")
+    with pytest.raises(AssertionError):
+        spans.one("missing")
+    assert spans.first("pass:*").name == "pass:dce"
+    assert spans.first("missing") is None
+
+
+def test_spanset_attr_values_and_summary(step_tracer):
+    spans = _sample(step_tracer)
+    assert spans.named("pass:*").attr_values("changed") == [False, True]
+    summary = spans.summary()
+    assert summary["pass:dce"]["count"] == 1
+    assert summary["cache:plan:miss"] == {"count": 1, "total_us": 0.0}
+
+
+def test_reset_clears_everything(step_tracer):
+    _sample(step_tracer)
+    step_tracer.reset()
+    assert len(step_tracer.spans) == 0
+    with step_tracer.span("fresh") as span:
+        pass
+    assert span.sid == 0
+
+
+# ---------------------------------------------------------------------------
+# threads
+# ---------------------------------------------------------------------------
+
+def test_threads_build_independent_subtrees():
+    tracer = Tracer()
+    barrier = threading.Barrier(2)
+
+    def work(label: str) -> None:
+        barrier.wait()
+        with tracer.span(f"root:{label}"):
+            for i in range(50):
+                with tracer.span(f"{label}:{i}"):
+                    pass
+
+    threads = [threading.Thread(target=work, args=(name,))
+               for name in ("a", "b")]
+    for t in threads:
+        t.start()
+    for t in threads:
+        t.join()
+    # Each thread's context stack is its own: both roots are roots and
+    # every child hangs under its own thread's root.
+    roots = tracer.roots()
+    assert sorted(roots.names()) == ["root:a", "root:b"]
+    for label in ("a", "b"):
+        root = tracer.spans.one(f"root:{label}")
+        children = tracer.spans.within(root)
+        assert len(children) == 50
+        assert all(name.startswith(f"{label}:")
+                   for name in children.names())
+    # ids are unique despite concurrent assignment
+    sids = [s.sid for s in tracer.spans]
+    assert len(set(sids)) == len(sids) == 102
+
+
+def test_capturing_tracer_conveniences(step_tracer):
+    _sample(step_tracer)
+    assert isinstance(step_tracer, CapturingTracer)
+    assert step_tracer.named("pass:*").names() == \
+        ["pass:dce", "pass:cse"]
+    assert step_tracer.sequence()[0] == "compile:g"
+    tree = step_tracer.tree()
+    assert "compile:g" in tree and "  pass:dce" in tree

@@ -152,3 +152,40 @@ def test_multi_defect_graph_reports_all_codes_not_just_the_first():
 
     with pytest.raises(Exception):
         verify(graph)  # the fail-fast gate sees (at most) one of them
+
+
+# ---------------------------------------------------------------------------
+# obs replay: pinned engine-level trace (record -> replay taxonomy)
+# ---------------------------------------------------------------------------
+
+OBS_CASES = [p for p in CASES
+             if load_case(p)[2].get("expected_trace")]
+
+
+def test_obs_trace_case_is_checked_in():
+    assert OBS_CASES, "the obs expected-trace corpus case went missing"
+
+
+@pytest.mark.parametrize("path", OBS_CASES, ids=lambda p: p.stem)
+def test_expected_trace_replays_exactly(path):
+    """The span/event sequence of a record->replay pair is part of the
+    case's contract: a renamed span, a dropped cache event or a changed
+    kernel decomposition on this pinned graph is a regression the
+    numeric outputs alone would never catch."""
+    from repro.core import compile_graph
+    from repro.device import A10
+    from repro.fuzz import make_inputs
+    from repro.obs import CapturingTracer, trace_failures
+    from repro.runtime import ExecutionEngine
+
+    graph, bindings, meta = load_case(path)
+    inputs = make_inputs(graph, bindings,
+                         seed=int(meta.get("input_seed", 0)))
+    tracer = CapturingTracer()
+    engine = ExecutionEngine(compile_graph(graph), A10, tracer=tracer)
+    engine.run(inputs)
+    engine.run(inputs)
+    assert tracer.sequence() == meta["expected_trace"], (
+        f"{path.name}: trace drifted from the pinned sequence "
+        f"({meta.get('expected_trace_scope', '')})")
+    assert trace_failures(tracer, pass_names=[]) == []

@@ -30,3 +30,14 @@ def test_bounded_serving_campaign_seed0_is_clean(tmp_path):
                           oracle=DifferentialOracle(serving=True))
     assert report.ok, report.summary()
     assert "SERVING" in report.executors
+
+
+def test_bounded_obs_campaign_seed0_is_clean(tmp_path):
+    """The trace oracle rides the same campaign: every case recompiled
+    and re-run under a CapturingTracer with bit-identical outputs/stats
+    demanded against the untraced engine, plus the trace invariants
+    (balance, containment, pass coverage, kernel accounting)."""
+    report = run_campaign(seed=0, iters=10, out_dir=tmp_path,
+                          oracle=DifferentialOracle(obs=True))
+    assert report.ok, report.summary()
+    assert "OBS" in report.executors
