@@ -43,7 +43,8 @@ from .frontend import TracedTensor, trace
 from .baselines import DiscExecutor, baseline_names, make_baseline
 from .models import Model, build_model, zoo
 from .workloads import make_trace
-from .serving import (ServingEngine, ServingOptions, VirtualClock,
+from .serving import (BatchingOptions, BatchingServingEngine,
+                      ServingEngine, ServingOptions, VirtualClock,
                       VirtualScheduler)
 
 __version__ = "1.0.0"
@@ -62,6 +63,7 @@ __all__ = [
     "DiscExecutor", "baseline_names", "make_baseline",
     "Model", "build_model", "zoo",
     "make_trace",
+    "BatchingOptions", "BatchingServingEngine",
     "ServingEngine", "ServingOptions", "VirtualClock", "VirtualScheduler",
     "__version__",
 ]

@@ -18,6 +18,7 @@ from .experiments import (
     e14_serving_tail_latency, format_serving_tail_latency,
     e15_host_overhead, format_host_overhead,
     e16_async_serving, format_async_serving,
+    e17_dynamic_batching, format_dynamic_batching,
 )
 from .serving import ServingResult, simulate_serving
 
@@ -38,5 +39,6 @@ __all__ = [
     "e14_serving_tail_latency", "format_serving_tail_latency",
     "e15_host_overhead", "format_host_overhead",
     "e16_async_serving", "format_async_serving",
+    "e17_dynamic_batching", "format_dynamic_batching",
     "ServingResult", "simulate_serving",
 ]

@@ -21,6 +21,7 @@ from . import (e1_end_to_end, e3_fusion_ablation, e4_shape_constraints,
                e11_memory_planning, e12_adaptive_specialization,
                e14_serving_tail_latency, e15_host_overhead,
                e16_async_serving, format_async_serving,
+               e17_dynamic_batching, format_dynamic_batching,
                format_adaptive_specialization,
                format_codegen_strategies, format_compile_overhead,
                format_end_to_end, format_fusion_ablation,
@@ -67,6 +68,8 @@ EXPERIMENTS = {
             format_host_overhead, "host_overhead"),
     "e16": (lambda device: e16_async_serving(device),
             format_async_serving, "async_serving"),
+    "e17": (lambda device: e17_dynamic_batching(device),
+            format_dynamic_batching, "dynamic_batching"),
 }
 
 

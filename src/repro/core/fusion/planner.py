@@ -24,7 +24,6 @@ from __future__ import annotations
 from ...ir.graph import Graph
 from ...ir.node import Node
 from ...ir.ops import OpCategory
-from ...ir.traversal import has_path_through_external
 from ..symbolic import ShapeAnalysis
 from .kinds import FusionConfig, FusionGroup, FusionKind, FusionPlan
 from .legality import (is_last_axis_reduce, is_loop_fusible,
@@ -73,9 +72,36 @@ class _Planner:
         del self.kinds[other]
 
     def _would_cycle(self, a_members: set, b_members: set) -> bool:
-        return (has_path_through_external(a_members, b_members, self.users)
-                or has_path_through_external(b_members, a_members,
-                                             self.users))
+        """True iff fusing ``a_members | b_members`` into one group would
+        cycle the group-contracted graph: some path leaves the union and
+        re-enters it.  Intermediate nodes already assigned to a group
+        are expanded to their whole group — two co-members are mutually
+        reachable in the contracted graph without any edge between them,
+        which a plain node-level reachability check cannot see.
+        """
+        union = a_members | b_members
+        stack: list = []
+        for node in union:
+            for user in self.users.get(node, ()):
+                if user not in union:
+                    stack.append(user)
+        seen: set = set()
+        while stack:
+            node = stack.pop()
+            if node in union:
+                return True
+            if node in seen:
+                continue
+            gid = self.assigned.get(node)
+            group = self.members[gid] if gid is not None else (node,)
+            for peer in group:
+                if peer in union:
+                    return True
+                if peer in seen:
+                    continue
+                seen.add(peer)
+                stack.extend(self.users.get(peer, ()))
+        return False
 
     # -- driver ------------------------------------------------------------
 

@@ -43,6 +43,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "from the case, injected compile faults); "
                              "responses must be OK and bit-identical to "
                              "a direct engine run")
+    parser.add_argument("--batching", action="store_true",
+                        help="additionally replay every case through the "
+                             "dynamic-batching serving engine (cold burst "
+                             "explodes, warm burst batches, lone request "
+                             "serves solo; injected compile faults hit the "
+                             "batched plan key); responses must be OK and "
+                             "bit-identical to a direct engine run, and a "
+                             "permanent fault must quarantine the batched "
+                             "key to solo service")
     parser.add_argument("--obs", action="store_true",
                         help="additionally recompile and re-run every "
                              "case under a CapturingTracer: outputs and "
@@ -58,11 +67,11 @@ def main(argv=None) -> int:
     if args.max_nodes is not None:
         config.max_nodes = args.max_nodes
     oracle = None
-    if args.lint or args.serving or args.obs:
+    if args.lint or args.serving or args.batching or args.obs:
         oracle = DifferentialOracle(
             lint_level=LintLevel(args.lint_level) if args.lint
             else LintLevel.OFF,
-            serving=args.serving, obs=args.obs)
+            serving=args.serving, batching=args.batching, obs=args.obs)
     report = run_campaign(
         seed=args.seed, iters=args.iters, config=config,
         out_dir=args.out, minimize_failures=not args.no_minimize,

@@ -36,12 +36,14 @@ from ..runtime.engine import ExecutionEngine
 
 __all__ = ["Failure", "CaseResult", "DifferentialOracle", "make_inputs",
            "compare_arrays", "DISC_EXECUTOR", "SERVING_EXECUTOR",
-           "OBS_EXECUTOR"]
+           "BATCHING_EXECUTOR", "OBS_EXECUTOR"]
 
 #: name under which the optimized pipeline appears in results.
 DISC_EXECUTOR = "DISC"
 #: name under which the serving-runtime replay appears in results.
 SERVING_EXECUTOR = "SERVING"
+#: name under which the dynamic-batching serving replay appears.
+BATCHING_EXECUTOR = "BATCHING"
 #: name under which the tracing (observability) oracle appears.
 OBS_EXECUTOR = "OBS"
 
@@ -150,6 +152,7 @@ class DifferentialOracle:
                  check_invariants: bool = True,
                  lint_level: LintLevel = LintLevel.OFF,
                  serving: bool = False,
+                 batching: bool = False,
                  obs: bool = False) -> None:
         self.device = device
         self.baselines = tuple(baselines) if baselines is not None \
@@ -161,6 +164,14 @@ class DifferentialOracle:
         #: response must arrive OK and be *bit-identical* to a direct
         #: ExecutionEngine run of the same inputs.
         self.serving = serving
+        #: when True, every case is additionally replayed through the
+        #: *dynamic-batching* serving engine: bursts that co-bucket and
+        #: batch, a late lone request that serves solo, and injected
+        #: compile faults against the batched plan key.  Every response
+        #: must arrive OK and bit-identical to a direct engine run (no
+        #: cross-member contamination inside a batch), and a permanent
+        #: fault must pin the bucket to solo service via quarantine.
+        self.batching = batching
         #: when not OFF, the static-analysis suite (repro.lint) runs on
         #: every case — the generated graph before compilation and the
         #: full pipeline artifacts after — and any failing diagnostic is
@@ -208,6 +219,8 @@ class DifferentialOracle:
         executable = self._check_pipeline(graph, inputs, reference, result)
         if self.serving and executable is not None:
             self._check_serving(inputs, executable, result)
+        if self.batching and executable is not None:
+            self._check_batching(inputs, executable, result)
         if self.obs:
             self._check_obs(graph, inputs, executable, result)
         self._check_baselines(graph, inputs, reference, result)
@@ -347,6 +360,113 @@ class DifferentialOracle:
                         detail=f"path {response.path!r} not "
                                f"bit-identical to direct engine run",
                         output_index=index))
+
+    # -- dynamic batching --------------------------------------------------
+
+    def _check_batching(self, inputs, executable,
+                        result: CaseResult) -> None:
+        """Replay the case through the batching engine with faults.
+
+        Three waves on the virtual clock: a cold burst (the batch
+        explodes to solo fallbacks while the batched plan compiles in
+        the background), a warm burst (served by one batched launch —
+        unless a permanent fault quarantined the batched key, which must
+        pin the bucket to solo service), and a late lone request (a
+        single-member flush takes the ordinary solo path).  The contract
+        is strict: every response is OK and bit-identical to a direct
+        engine run — and because each member carries *distinct* float
+        payloads of the same signature, any cross-member contamination
+        inside a batch shows up here as a bit mismatch (identical
+        members would hide it).
+        """
+        from ..serving import (BatchingOptions, BatchingServingEngine,
+                               ServingOptions, SignatureCompileCost,
+                               VirtualScheduler)
+        from .faults import CompileFaultInjector
+
+        result.executors_checked.append(BATCHING_EXECUTOR)
+        seed = result.input_seed
+        permanent = seed % 3 == 2
+
+        def variant(index: int) -> dict:
+            # Same signature (co-buckets with the others), different
+            # float payloads; integer tensors (gather indices, masks)
+            # stay untouched so they remain valid.
+            if index == 0:
+                return inputs
+            shifted = {}
+            for name, value in inputs.items():
+                array = np.asarray(value)
+                if np.issubdtype(array.dtype, np.floating):
+                    array = (array + array.dtype.type(0.125) * index)
+                shifted[name] = array
+            return shifted
+
+        try:
+            reference = ExecutionEngine(executable, self.device)
+            members = [variant(i) for i in range(7)]
+            expected_by_id = {id(m): reference.run(m)[0] for m in members}
+            fault = CompileFaultInjector(
+                transient_attempts=1 if seed % 2 == 0 else 0,
+                permanent=permanent)
+            scheduler = VirtualScheduler(seed=seed)
+            serving = BatchingServingEngine(
+                self.device, scheduler,
+                ServingOptions(
+                    compile_workers=1,
+                    compile_backoff_us=1_000.0,
+                    compile_cost=SignatureCompileCost(
+                        fixed_us=5_000.0, per_kernel_us=100.0)),
+                batching=BatchingOptions(max_batch_size=4,
+                                         max_queue_delay_us=2_000.0),
+                compile_fault=fault)
+            serving.register_model("case", executable)
+            tickets: list = []
+            scheduler.call_at(0.0, lambda: tickets.extend(
+                serving.submit("case", m) for m in members[0:3]))
+            scheduler.call_at(1e8, lambda: tickets.extend(
+                serving.submit("case", m) for m in members[3:6]))
+            scheduler.call_at(2e8, lambda: tickets.append(
+                serving.submit("case", members[6])))
+            scheduler.run_until_idle()
+        except Exception as exc:  # noqa: BLE001
+            result.failures.append(Failure(
+                executor=BATCHING_EXECUTOR, kind="exception",
+                detail=f"{type(exc).__name__}: {exc}"))
+            return
+        for ticket in tickets:
+            response = ticket.response
+            if response is None or not response.ok:
+                status = "unresolved" if response is None \
+                    else response.status.value
+                result.failures.append(Failure(
+                    executor=BATCHING_EXECUTOR, kind="exception",
+                    detail=f"request {ticket.request.id} ended "
+                           f"{status}, expected ok"))
+                continue
+            expected = expected_by_id[id(ticket.request.inputs)]
+            for index, (ref, got) in enumerate(zip(expected,
+                                                   response.outputs)):
+                ref = np.asarray(ref)
+                got = np.asarray(got)
+                if (ref.shape != got.shape or ref.dtype != got.dtype
+                        or ref.tobytes() != got.tobytes()):
+                    result.failures.append(Failure(
+                        executor=BATCHING_EXECUTOR, kind="mismatch",
+                        detail=f"path {response.path!r} not "
+                               f"bit-identical to direct engine run",
+                        output_index=index))
+        batched = serving.counters["batched_served"]
+        if permanent and batched:
+            result.failures.append(Failure(
+                executor=BATCHING_EXECUTOR, kind="invariant",
+                detail=f"{batched} batched response(s) despite a "
+                       f"permanent compile fault — quarantine must pin "
+                       f"the bucket to solo service"))
+        if not permanent and not batched:
+            result.failures.append(Failure(
+                executor=BATCHING_EXECUTOR, kind="invariant",
+                detail="warm burst never took the batched path"))
 
     # -- tracing oracle ----------------------------------------------------
 

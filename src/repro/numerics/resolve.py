@@ -22,6 +22,7 @@ __all__ = [
     "BindingError",
     "unify_shape",
     "bind_inputs",
+    "bind_signature",
     "concretize_shape",
     "concretize_attrs",
     "solve_reshape_shape",
@@ -73,6 +74,25 @@ def bind_inputs(params: Sequence[Node],
         if pname not in inputs:
             raise BindingError(f"missing input for parameter {pname!r}")
         unify_shape(param.shape, inputs[pname].shape, bindings)
+    return bindings
+
+
+def bind_signature(params: Sequence[Node],
+                   signature: Sequence[tuple]) -> dict[str, int]:
+    """Derive dim bindings from a ``(name, shape)`` signature — no arrays.
+
+    The serving batcher freezes launch plans for *padded* signatures that
+    no concrete request carries, so per-signature binding must work from
+    shapes alone.  Extra signature entries are ignored, exactly as
+    :func:`bind_inputs` ignores extra inputs.
+    """
+    shapes = {name: shape for name, shape in signature}
+    bindings: dict[str, int] = {}
+    for param in params:
+        pname = param.attrs["param_name"]
+        if pname not in shapes:
+            raise BindingError(f"signature misses parameter {pname!r}")
+        unify_shape(param.shape, shapes[pname], bindings)
     return bindings
 
 

@@ -3,21 +3,23 @@
 from .caches import (ShapeSpecializationCache, make_signature_fn,
                      shape_signature)
 from .engine import (EngineOptions, ExecutionEngine,
-                     LegacyExecutionEngine, charge_kernel)
+                     LegacyExecutionEngine, charge_batched_kernel,
+                     charge_kernel)
 from .executable import CompileReport, Executable
 from .hostprog import (HostInstruction, HostProgram, lower_executable,
                        lower_program)
-from .launchplan import LaunchPlan, LaunchPlanCache, format_signature
+from .launchplan import (BatchLaunchPlan, LaunchPlan, LaunchPlanCache,
+                         format_signature)
 from .memory import BufferPlan, Interval, plan_buffers
 from .specialize import AdaptiveEngine, SpecializationOptions
 
 __all__ = [
     "ShapeSpecializationCache", "shape_signature", "make_signature_fn",
     "EngineOptions", "ExecutionEngine", "LegacyExecutionEngine",
-    "charge_kernel",
+    "charge_batched_kernel", "charge_kernel",
     "CompileReport", "Executable",
     "HostInstruction", "HostProgram", "lower_executable", "lower_program",
-    "LaunchPlan", "LaunchPlanCache", "format_signature",
+    "BatchLaunchPlan", "LaunchPlan", "LaunchPlanCache", "format_signature",
     "BufferPlan", "Interval", "plan_buffers",
     "AdaptiveEngine", "SpecializationOptions",
 ]

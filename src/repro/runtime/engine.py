@@ -23,24 +23,25 @@ kept for the E15 host-overhead comparison and the equivalence suite.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Mapping
+from dataclasses import dataclass, replace
+from typing import Mapping, Sequence
 
 import numpy as np
 
 from ..core.codegen.schedules import Schedule, schedule_named
 from ..core.fusion.kinds import FusionKind
-from ..device.cost import kernel_time_us
+from ..device.cost import KernelSpec, kernel_time_us
 from ..device.counters import RunStats
 from ..device.profiles import DeviceProfile
 from ..numerics.resolve import bind_inputs, resolve_all_dims
 from ..obs.tracer import resolve_tracer
 from .executable import Executable
 from .hostprog import HostProgram, lower_executable
-from .launchplan import LaunchPlan, LaunchPlanCache, format_signature
+from .launchplan import (BatchLaunchPlan, LaunchPlan, LaunchPlanCache,
+                         format_signature)
 
 __all__ = ["EngineOptions", "ExecutionEngine", "LegacyExecutionEngine",
-           "charge_kernel"]
+           "charge_batched_kernel", "charge_kernel"]
 
 
 @dataclass
@@ -87,6 +88,52 @@ def charge_kernel(kernel, dims: dict, stats: RunStats,
         return
     schedule = kernel.resolve_schedule(dims, forced)
     spec = kernel.cost_spec(dims, schedule, options.base_efficiency)
+    stats.device_time_us += kernel_time_us(spec, device)
+    stats.kernels_launched += 1 + spec.extra_launches
+    stats.bytes_read += spec.bytes_read
+    stats.bytes_written += spec.bytes_written
+    stats.flops += spec.flops
+
+
+def _batch_spec(spec: KernelSpec, batch: int) -> KernelSpec:
+    """Scale one member's cost spec to a batched launch of ``batch``."""
+    if batch == 1:
+        return spec
+    return replace(
+        spec,
+        bytes_read=spec.bytes_read * batch,
+        bytes_written=spec.bytes_written * batch,
+        flops=spec.flops * batch,
+        parallel_elements=spec.parallel_elements * batch)
+
+
+def charge_batched_kernel(kernel, dims: dict, batch: int, stats: RunStats,
+                          forced: Schedule | None, options: EngineOptions,
+                          device: DeviceProfile) -> None:
+    """Account one *batched* kernel launch (``batch`` stacked members).
+
+    The batch rides a leading dim through a single launch: bytes, flops
+    and parallel elements scale with ``batch`` while the launch overhead
+    is paid once — the whole point of batching on a launch-bound device.
+    Metadata and host-placed work is per launch, not per member (a
+    batched reshape is still one view fix), so it is charged once.
+    """
+    kind = kernel.kind
+    if kind is FusionKind.METADATA:
+        stats.host_time_us += 0.1 * len(kernel.members)
+        return
+    if kind is FusionKind.HOST:
+        if options.host_placement_enabled:
+            stats.host_time_us += device.host_op_us * len(kernel.members)
+            return
+        spec = _batch_spec(
+            kernel.cost_spec(dims, None, options.base_efficiency), batch)
+        stats.device_time_us += kernel_time_us(spec, device)
+        stats.kernels_launched += 1
+        return
+    schedule = kernel.resolve_schedule(dims, forced)
+    spec = _batch_spec(
+        kernel.cost_spec(dims, schedule, options.base_efficiency), batch)
     stats.device_time_us += kernel_time_us(spec, device)
     stats.kernels_launched += 1 + spec.extra_launches
     stats.bytes_read += spec.bytes_read
@@ -219,6 +266,98 @@ class ExecutionEngine:
                 span.set(signature=format_signature(signature),
                          kernels_launched=stats.kernels_launched)
         return plan
+
+    # -- batched launches (the serving batcher's entry points) -------------
+
+    def _batched_key(self, signature: tuple, batch_size: int) -> tuple:
+        """Plan-cache key of a batched launch: the batch dim is part of
+        the signature (leading dim), the tag keeps a ``@batch`` marker so
+        diagnostics can tell the plan populations apart."""
+        return (f"{self._plan_tag}@batch",
+                HostProgram.batched_signature(signature, batch_size))
+
+    def peek_batched(self, signature: tuple,
+                     batch_size: int) -> BatchLaunchPlan | None:
+        """The frozen batched plan, or None (no stats side effects)."""
+        return self.plans.peek(self._batched_key(signature, batch_size))
+
+    def prepare_batched(self, signature: tuple,
+                        batch_size: int) -> BatchLaunchPlan:
+        """Freeze the launch plan for ``batch_size`` stacked members.
+
+        ``signature`` is the bucket's *padded* per-member signature; the
+        frozen cost charges every kernel once with bytes/flops/parallel
+        elements scaled by ``batch_size`` (padding waste included — the
+        padded dims, not the members' true dims, drive the recipes).
+        Like :meth:`prepare`, no tensor data is touched; this is the
+        background-compilation entry for batched plans.
+        """
+        key = self._batched_key(signature, batch_size)
+        existing = self.plans.peek(key)
+        if existing is not None:
+            return existing
+        tracer = self.tracer
+        with tracer.span("engine:prepare_batched",
+                         tag=self._plan_tag) as span:
+            options = self.options
+            program = self.host_program
+            dims = program.bind_signature(signature)
+            stats = RunStats(cache_hit=True)
+            forced: Schedule | None = None
+            if options.fixed_schedule is not None:
+                forced = schedule_named(options.fixed_schedule)
+            device = self.device
+            for instr in program.instructions:
+                charge_batched_kernel(instr.kernel, dims, batch_size,
+                                      stats, forced, options, device)
+            stats.host_time_us += (options.dispatch_us_per_kernel
+                                   * stats.kernels_launched)
+            buffer_plan = self.executable.buffer_plan
+            if buffer_plan is not None:
+                memory = buffer_plan.evaluate(dims)
+                stats.details["memory"] = {
+                    k: v * batch_size if isinstance(v, (int, float))
+                    else v
+                    for k, v in memory.items()}
+            plan = BatchLaunchPlan.freeze_batched(
+                key[1], dims, stats, batch_size, signature)
+            self.plans.put(key, plan)
+            if tracer.enabled:
+                span.set(signature=format_signature(key[1]),
+                         batch=batch_size,
+                         kernels_launched=stats.kernels_launched)
+        return plan
+
+    def run_batched(self, inputs_list: Sequence[Mapping[str, np.ndarray]],
+                    signature: tuple, batch_size: int) -> tuple:
+        """Serve ``inputs_list`` members with one batched launch.
+
+        Numeric execution is per member against its *true* dims —
+        padding is a cost concept, never a numeric one — so each
+        member's outputs are bit-identical to a solo run of the same
+        inputs.  The simulated cost is the frozen batched plan's,
+        charged once for the whole launch; returns
+        ``(per_member_outputs, stats)``.
+        """
+        plan = self.plans.get(self._batched_key(signature, batch_size))
+        if plan is None:
+            plan = self.prepare_batched(signature, batch_size)
+        program = self.host_program
+        results = []
+        for inputs in inputs_list:
+            dims = program.bind(inputs)
+            env = program.env_template.copy()
+            for slot, name in program.param_slots:
+                env[slot] = np.ascontiguousarray(inputs[name])
+            for instr in program.instructions:
+                outputs = instr.kernel.execute(
+                    [env[s] for s in instr.in_slots], dims)
+                for slot, value in zip(instr.out_slots, outputs):
+                    env[slot] = value
+                for slot in instr.release:
+                    env[slot] = None
+            results.append([env[slot] for slot in program.output_slots])
+        return results, plan.make_stats()
 
     # -- cold path: execute while freezing the plan ------------------------
 

@@ -37,7 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from ..numerics.resolve import (DimResolutionPlan, bind_inputs,
-                                build_resolution_plan)
+                                bind_signature, build_resolution_plan)
 from .caches import make_signature_fn
 
 __all__ = ["HostInstruction", "HostProgram", "lower_program",
@@ -96,6 +96,30 @@ class HostProgram:
         dims = bind_inputs(self.params, inputs)
         self.resolution.run(dims)
         return dims
+
+    def bind_signature(self, signature) -> dict:
+        """Dim bindings straight from a ``(name, shape)`` signature.
+
+        The array-free twin of :meth:`bind`, for callers that have a
+        signature but no data — the batcher freezes plans for *padded*
+        signatures no single request ever materializes.
+        """
+        dims = bind_signature(self.params, signature)
+        self.resolution.run(dims)
+        return dims
+
+    @staticmethod
+    def batched_signature(signature, batch_size: int) -> tuple:
+        """``batch_size`` stacked members: a leading batch dim on every
+        parameter shape.
+
+        This is the signature a batched launch plan is keyed and
+        formatted under, so batched and solo plans can never collide in a
+        shared :class:`~repro.runtime.launchplan.LaunchPlanCache` — the
+        ranks differ.
+        """
+        return tuple((name, (batch_size,) + tuple(shape))
+                     for name, shape in signature)
 
     def describe(self) -> str:
         """Human-readable listing, for debugging and docs."""

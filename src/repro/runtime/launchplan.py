@@ -24,7 +24,8 @@ from typing import Hashable
 from ..device.counters import RunStats
 from ..obs.tracer import resolve_tracer
 
-__all__ = ["LaunchPlan", "LaunchPlanCache", "format_signature"]
+__all__ = ["BatchLaunchPlan", "LaunchPlan", "LaunchPlanCache",
+           "format_signature"]
 
 
 def format_signature(signature: tuple) -> str:
@@ -105,6 +106,37 @@ class LaunchPlan:
         )
         if self.memory is not None:
             stats.details["memory"] = dict(self.memory)
+        return stats
+
+
+class BatchLaunchPlan(LaunchPlan):
+    """A frozen plan for one *batched* launch of several bucket members.
+
+    ``signature`` is the batched signature (leading batch dim on every
+    parameter); ``member_signature`` is the padded per-member signature
+    the batcher lowered, and ``batch_size`` the (rounded) member count
+    the cost was charged for.  The stats it mints carry a ``batch``
+    detail block so every unbatched response can say which launch served
+    it and how much padding it paid for.
+    """
+
+    __slots__ = ("batch_size", "member_signature")
+
+    @classmethod
+    def freeze_batched(cls, signature: tuple, dims: dict, stats: RunStats,
+                       batch_size: int,
+                       member_signature: tuple) -> "BatchLaunchPlan":
+        plan = cls.freeze(signature, dims, stats)
+        plan.batch_size = batch_size
+        plan.member_signature = member_signature
+        return plan
+
+    def make_stats(self) -> RunStats:
+        stats = super().make_stats()
+        stats.details["batch"] = {
+            "size": self.batch_size,
+            "padded_signature": format_signature(self.member_signature),
+        }
         return stats
 
 

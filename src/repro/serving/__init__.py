@@ -8,6 +8,9 @@ This package provides it:
 - :class:`ServingEngine` — request intake, admission control, deadline
   timers, and per-request path selection (warm launch-plan replay /
   interpreter fallback / synchronous-compile baseline);
+- :class:`BatchingServingEngine` — dynamic batching over
+  constraint-compatible shape buckets (pad within a bucket, never
+  across; one batched launch plan per bucket; bit-identical unbatching);
 - :class:`BackgroundCompilePool` — deduplicated, coalescing, bounded
   background compilation with retry-backoff and quarantine;
 - :class:`InterpreterFallback` — bit-identical interpreter serving with
@@ -19,30 +22,37 @@ See internals.md §10 for the architecture and tests/serving for the
 deterministic concurrency suite.
 """
 
+from .batching import (BatchingOptions, BatchingServingEngine,
+                       ShapeBucketer, round_up_pow2)
 from .clock import Clock, SystemClock, VirtualClock
 from .compilepool import (BackgroundCompilePool, CompileState,
                           PermanentCompileError, SignatureCompileCost,
                           TransientCompileError)
-from .engine import (Request, Response, ResponseStatus, ServingEngine,
-                     ServingOptions, Ticket)
+from .engine import (PathRouter, Request, Response, ResponseStatus,
+                     ServingEngine, ServingOptions, Ticket)
 from .fallback import FallbackOptions, InterpreterFallback
 from .scheduler import EventHandle, VirtualScheduler
 
 __all__ = [
     "BackgroundCompilePool",
+    "BatchingOptions",
+    "BatchingServingEngine",
     "Clock",
     "CompileState",
     "EventHandle",
     "FallbackOptions",
     "InterpreterFallback",
+    "PathRouter",
     "PermanentCompileError",
     "Request",
     "Response",
     "ResponseStatus",
     "ServingEngine",
     "ServingOptions",
+    "ShapeBucketer",
     "SignatureCompileCost",
     "SystemClock",
+    "round_up_pow2",
     "Ticket",
     "TransientCompileError",
     "VirtualClock",

@@ -52,8 +52,8 @@ from .compilepool import (BackgroundCompilePool, CompileState,
 from .fallback import FallbackOptions, InterpreterFallback
 from .scheduler import VirtualScheduler
 
-__all__ = ["Request", "Response", "ResponseStatus", "ServingEngine",
-           "ServingOptions", "Ticket"]
+__all__ = ["PathRouter", "Request", "Response", "ResponseStatus",
+           "ServingEngine", "ServingOptions", "Ticket"]
 
 #: fault injector signature: (model, signature, attempt) -> None, raising
 #: TransientCompileError / PermanentCompileError to fail the attempt.
@@ -155,6 +155,108 @@ class _ModelEntry:
         self.compile_duration_us = compile_duration_us
 
 
+class PathRouter:
+    """Chooses and executes the service path for one dispatched request.
+
+    Split out of :class:`ServingEngine` so the three serving concerns
+    live behind separable seams — *admission* (``submit``: shed + deadline
+    decisions, always per request), *scheduling* (``_dispatch_next`` /
+    ``_complete``: the single simulated device server), and *routing*
+    (this class: warm plan / fallback / sync-compile / quarantine).  The
+    batching engine reuses admission and scheduling unchanged and adds
+    its own batched route in front of this one.
+
+    ``route`` returns ``(path, outputs, stats, service_us)``.
+    """
+
+    def __init__(self, engine: "ServingEngine") -> None:
+        self.engine = engine
+
+    def route(self, request: Request) -> tuple:
+        engine = self.engine
+        entry = engine._models[request.model]
+        key = (request.model, request.signature)
+        tracer = engine.tracer
+        plan = entry.engine.peek_plan(request.signature)
+        if plan is not None:
+            if tracer.enabled:
+                tracer.event("serving:route", path="fast")
+            outputs, stats = entry.engine.run(request.inputs)
+            return "fast", outputs, stats, stats.total_time_us
+
+        if key in engine._quarantined:
+            if tracer.enabled:
+                tracer.event("serving:route", path="quarantined")
+            with tracer.span("fallback:run"):
+                outputs, stats = entry.fallback.run(request.inputs)
+            return "quarantined", outputs, stats, stats.total_time_us
+
+        if not engine.options.background_compile:
+            if tracer.enabled:
+                tracer.event("serving:route", path="sync_compile")
+            return self._route_sync_compile(entry, request, key)
+
+        if tracer.enabled:
+            tracer.event("serving:route", path="fallback")
+        self.ensure_compile(entry, request, key)
+        with tracer.span("fallback:run"):
+            outputs, stats = entry.fallback.run(request.inputs)
+        return "fallback", outputs, stats, stats.total_time_us
+
+    def _route_sync_compile(self, entry: _ModelEntry, request: Request,
+                            key: tuple) -> tuple:
+        """Synchronous-compile baseline: the compile stalls the server.
+
+        Faults behave as in the async path — transient failures retry
+        (each attempt stalls another compile duration), permanent or
+        exhausted ones quarantine and the request is served eagerly —
+        so errors never reach the response in either mode.
+        """
+        engine = self.engine
+        stall_us = 0.0
+        attempt = 0
+        while True:
+            stall_us += entry.compile_duration_us
+            try:
+                if engine._compile_fault is not None:
+                    engine._compile_fault(request.model, request.signature,
+                                          attempt)
+                break
+            except TransientCompileError:
+                attempt += 1
+                if attempt > engine.options.max_compile_retries:
+                    engine._quarantined.add(key)
+                    outputs, stats = entry.fallback.run(request.inputs)
+                    return ("quarantined", outputs, stats,
+                            stall_us + stats.total_time_us)
+            except PermanentCompileError:
+                engine._quarantined.add(key)
+                outputs, stats = entry.fallback.run(request.inputs)
+                return ("quarantined", outputs, stats,
+                        stall_us + stats.total_time_us)
+        engine.counters["sync_compile_stalls"] += 1
+        engine.counters["sync_stall_us"] += stall_us
+        outputs, stats = entry.engine.run(request.inputs)
+        stats.compile_time_us += stall_us
+        return "sync_compile", outputs, stats, stats.total_time_us
+
+    def ensure_compile(self, entry: _ModelEntry, request: Request,
+                       key: tuple) -> None:
+        """Submit (or coalesce onto) the background compile for ``key``."""
+        engine = self.engine
+        inputs = request.inputs
+        model, signature = key
+
+        def run(attempt: int) -> None:
+            if engine._compile_fault is not None:
+                engine._compile_fault(model, signature, attempt)
+            entry.engine.prepare(inputs, signature)
+
+        engine.pool.ensure(
+            key, run, entry.compile_duration_us,
+            on_quarantine=lambda: engine._quarantined.add(key))
+
+
 class ServingEngine:
     """Serves named models over one simulated device server.
 
@@ -162,6 +264,15 @@ class ServingEngine:
     robustness tests use :class:`repro.fuzz.faults.CompileFaultInjector`);
     production wiring leaves it None.
     """
+
+    #: response path -> served counter; subclasses extend (the batching
+    #: engine adds its ``batched`` path).
+    PATH_COUNTERS = {
+        "fast": "fast_served",
+        "fallback": "fallback_served",
+        "quarantined": "quarantine_served",
+        "sync_compile": "sync_served",
+    }
 
     def __init__(self, device: DeviceProfile,
                  scheduler: VirtualScheduler,
@@ -198,6 +309,11 @@ class ServingEngine:
             "quarantine_served": 0, "sync_served": 0,
             "sync_compile_stalls": 0, "sync_stall_us": 0.0,
         }
+        self.router = self._make_router()
+
+    def _make_router(self) -> PathRouter:
+        """Factory seam: subclasses may install a richer router."""
+        return PathRouter(self)
 
     # -- registration ------------------------------------------------------
 
@@ -241,9 +357,31 @@ class ServingEngine:
         """Admit one request; returns a :class:`Ticket`.
 
         ``deadline_us`` is relative to now; None falls back to
-        ``options.default_deadline_us``.
+        ``options.default_deadline_us``.  Admission control — the shed
+        decision and the deadline timer — is strictly per request and
+        happens *here*, before the request reaches any queue or batching
+        bucket; no later placement step may shed or re-deadline it.
         """
         entry = self._models[model]
+        request, ticket = self._admit(model, entry, inputs, deadline_us)
+
+        if self._should_shed(request):
+            self.counters["shed"] += 1
+            if self.tracer.enabled:
+                self.tracer.event("serving:shed", parent=request.span)
+            self._respond(request, ResponseStatus.SHED, None, None, None)
+            return ticket
+
+        if request.deadline_us is not None:
+            request.deadline_handle = self.scheduler.call_at(
+                request.deadline_us, lambda: self._expire(request))
+        self._enqueue(request)
+        return ticket
+
+    def _admit(self, model: str, entry: _ModelEntry,
+               inputs: Mapping[str, np.ndarray],
+               deadline_us: float | None) -> tuple[Request, Ticket]:
+        """Mint the request + ticket and account the arrival."""
         now = self.scheduler.now_us()
         signature = entry.engine.host_program.signature(inputs)
         relative = (deadline_us if deadline_us is not None
@@ -256,29 +394,29 @@ class ServingEngine:
         ticket = Ticket(request)
         self._tickets[request.id] = ticket
         self.counters["submitted"] += 1
-        tracer = self.tracer
-        if tracer.enabled:
-            request.span = tracer.begin(
+        if self.tracer.enabled:
+            request.span = self.tracer.begin(
                 "request", id=request.id, model=model,
                 signature=format_signature(signature))
-            tracer.event("serving:admit", parent=request.span)
+            self.tracer.event("serving:admit", parent=request.span)
+        return request, ticket
 
-        waiting = len(self._queue)
-        if self._current is not None and \
-                waiting >= self.options.queue_capacity:
-            self.counters["shed"] += 1
-            if tracer.enabled:
-                tracer.event("serving:shed", parent=request.span)
-            self._respond(request, ResponseStatus.SHED, None, None, None)
-            return ticket
+    def _waiting(self) -> int:
+        """Requests admitted but not yet in service (the shed input).
 
-        if request.deadline_us is not None:
-            request.deadline_handle = self.scheduler.call_at(
-                request.deadline_us, lambda: self._expire(request))
+        Overridable: the batching engine also counts bucketed members.
+        """
+        return len(self._queue)
+
+    def _should_shed(self, request: Request) -> bool:
+        return self._current is not None and \
+            self._waiting() >= self.options.queue_capacity
+
+    def _enqueue(self, request: Request) -> None:
+        """Place one admitted request; overridable (batching buckets)."""
         self._queue.append(request)
         if self._current is None:
             self._dispatch_next()
-        return ticket
 
     # -- dispatch / service ------------------------------------------------
 
@@ -286,107 +424,30 @@ class ServingEngine:
         if not self._queue:
             self._current = None
             return
-        request = self._queue.popleft()
-        self._current = request
+        item = self._queue.popleft()
+        self._current = item
+        self._begin_service(item)
+
+    def _begin_service(self, request: Request) -> None:
+        """Route the dispatched item and schedule its completion.
+
+        Overridable: the batching engine intercepts batch work items
+        here; plain requests fall through to the router.
+        """
         with self.tracer.attach(request.span):
-            path, outputs, stats, service_us = self._serve(request)
+            path, outputs, stats, service_us = self.router.route(request)
         finish = self.scheduler.now_us() + service_us
         self.scheduler.call_at(
             finish,
             lambda: self._complete(request, path, outputs, stats))
-
-    def _serve(self, request: Request) -> tuple:
-        """Pick the path and produce outputs; returns service duration."""
-        entry = self._models[request.model]
-        key = (request.model, request.signature)
-        tracer = self.tracer
-        plan = entry.engine.peek_plan(request.signature)
-        if plan is not None:
-            if tracer.enabled:
-                tracer.event("serving:route", path="fast")
-            outputs, stats = entry.engine.run(request.inputs)
-            return "fast", outputs, stats, stats.total_time_us
-
-        if key in self._quarantined:
-            if tracer.enabled:
-                tracer.event("serving:route", path="quarantined")
-            with tracer.span("fallback:run"):
-                outputs, stats = entry.fallback.run(request.inputs)
-            return "quarantined", outputs, stats, stats.total_time_us
-
-        if not self.options.background_compile:
-            if tracer.enabled:
-                tracer.event("serving:route", path="sync_compile")
-            return self._serve_sync_compile(entry, request, key)
-
-        if tracer.enabled:
-            tracer.event("serving:route", path="fallback")
-        self._ensure_compile(entry, request, key)
-        with tracer.span("fallback:run"):
-            outputs, stats = entry.fallback.run(request.inputs)
-        return "fallback", outputs, stats, stats.total_time_us
-
-    def _serve_sync_compile(self, entry: _ModelEntry, request: Request,
-                            key: tuple) -> tuple:
-        """Synchronous-compile baseline: the compile stalls the server.
-
-        Faults behave as in the async path — transient failures retry
-        (each attempt stalls another compile duration), permanent or
-        exhausted ones quarantine and the request is served eagerly —
-        so errors never reach the response in either mode.
-        """
-        stall_us = 0.0
-        attempt = 0
-        while True:
-            stall_us += entry.compile_duration_us
-            try:
-                if self._compile_fault is not None:
-                    self._compile_fault(request.model, request.signature,
-                                        attempt)
-                break
-            except TransientCompileError:
-                attempt += 1
-                if attempt > self.options.max_compile_retries:
-                    self._quarantined.add(key)
-                    outputs, stats = entry.fallback.run(request.inputs)
-                    return ("quarantined", outputs, stats,
-                            stall_us + stats.total_time_us)
-            except PermanentCompileError:
-                self._quarantined.add(key)
-                outputs, stats = entry.fallback.run(request.inputs)
-                return ("quarantined", outputs, stats,
-                        stall_us + stats.total_time_us)
-        self.counters["sync_compile_stalls"] += 1
-        self.counters["sync_stall_us"] += stall_us
-        outputs, stats = entry.engine.run(request.inputs)
-        stats.compile_time_us += stall_us
-        return "sync_compile", outputs, stats, stats.total_time_us
-
-    def _ensure_compile(self, entry: _ModelEntry, request: Request,
-                        key: tuple) -> None:
-        """Submit (or coalesce onto) the background compile for ``key``."""
-        inputs = request.inputs
-        model, signature = key
-
-        def run(attempt: int) -> None:
-            if self._compile_fault is not None:
-                self._compile_fault(model, signature, attempt)
-            entry.engine.prepare(inputs, signature)
-
-        self.pool.ensure(key, run, entry.compile_duration_us,
-                         on_quarantine=lambda: self._quarantined.add(key))
 
     # -- completion / expiry -----------------------------------------------
 
     def _complete(self, request: Request, path: str | None,
                   outputs, stats) -> None:
         if not request.done:
-            served = {"fast": "fast_served",
-                      "fallback": "fallback_served",
-                      "quarantined": "quarantine_served",
-                      "sync_compile": "sync_served"}
             self.counters["ok"] += 1
-            self.counters[served[path]] += 1
+            self.counters[self.PATH_COUNTERS[path]] += 1
             self._respond(request, ResponseStatus.OK, path, outputs,
                           stats)
         self._dispatch_next()

@@ -1,6 +1,7 @@
 """Dynamic-shape workload generation."""
 
-from .distributions import DISTRIBUTIONS, sample_axis
+from .distributions import DISTRIBUTIONS, sample_axes, sample_axis
 from .traces import Trace, make_trace
 
-__all__ = ["DISTRIBUTIONS", "sample_axis", "Trace", "make_trace"]
+__all__ = ["DISTRIBUTIONS", "sample_axes", "sample_axis", "Trace",
+           "make_trace"]

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 import numpy as np
 
-__all__ = ["sample_axis", "DISTRIBUTIONS"]
+__all__ = ["sample_axes", "sample_axis", "DISTRIBUTIONS"]
 
 DISTRIBUTIONS = ("uniform", "zipf", "bimodal", "fixed")
 
@@ -47,3 +47,25 @@ def sample_axis(rng: np.random.Generator, lo: int, hi: int, n: int,
         return np.clip(centers + jitter, lo, hi).astype(np.int64)
     raise ValueError(f"unknown distribution {distribution!r}; "
                      f"available: {DISTRIBUTIONS}")
+
+
+def sample_axes(rng: np.random.Generator, axes: dict, n: int,
+                distribution: str = "zipf",
+                axis_distributions: dict | None = None,
+                axis_ranges: dict | None = None) -> dict:
+    """Sample every axis of ``axes`` (a ``{name: (lo, hi)}`` map) at once.
+
+    Real traffic mixes shapes *per axis* — batch sizes zipf-heavy while
+    sequence lengths cluster bimodally — so ``axis_distributions`` and
+    ``axis_ranges`` override the shared ``distribution`` and the declared
+    range for chosen axes.  Axes are sampled in ``axes`` iteration order,
+    one draw stream, so a model's seeded traces stay reproducible.
+    """
+    axis_distributions = axis_distributions or {}
+    axis_ranges = axis_ranges or {}
+    out: dict[str, np.ndarray] = {}
+    for axis, declared in axes.items():
+        lo, hi = axis_ranges.get(axis, declared)
+        out[axis] = sample_axis(rng, lo, hi, n,
+                                axis_distributions.get(axis, distribution))
+    return out

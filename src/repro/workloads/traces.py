@@ -50,22 +50,32 @@ class Trace:
 
 
 def make_trace(model: Model, num_queries: int, distribution: str = "zipf",
-               seed: int = 0, fixed_axes: dict | None = None) -> Trace:
+               seed: int = 0, fixed_axes: dict | None = None,
+               axis_distributions: dict | None = None,
+               axis_ranges: dict | None = None) -> Trace:
     """Sample a trace over the model's dynamic axes.
 
     ``fixed_axes`` pins chosen axes to constants (e.g. ``{"batch": 1}``
-    for latency-oriented serving).
+    for latency-oriented serving).  ``axis_distributions`` /
+    ``axis_ranges`` override the shared distribution and the declared
+    range per axis (e.g. zipf batch sizes over a serving-realistic
+    ``(1, 8)`` against bimodal sequence lengths) — traces that don't use
+    them sample exactly as before, seed for seed.
     """
     rng = np.random.default_rng(seed)
     fixed_axes = fixed_axes or {}
+    axis_distributions = axis_distributions or {}
+    axis_ranges = axis_ranges or {}
     per_axis: dict[str, np.ndarray] = {}
-    for axis, (lo, hi) in model.axes.items():
+    for axis, declared in model.axes.items():
         if axis in fixed_axes:
             per_axis[axis] = np.full(num_queries, fixed_axes[axis],
                                      dtype=np.int64)
         else:
-            per_axis[axis] = sample_axis(rng, lo, hi, num_queries,
-                                         distribution)
+            lo, hi = axis_ranges.get(axis, declared)
+            per_axis[axis] = sample_axis(
+                rng, lo, hi, num_queries,
+                axis_distributions.get(axis, distribution))
     axis_values = [
         {axis: int(values[i]) for axis, values in per_axis.items()}
         for i in range(num_queries)

@@ -139,9 +139,12 @@ def test_multi_defect_graph_reports_all_codes_not_just_the_first():
     from repro.ir import f64
     from repro.lint import lint_graph
 
-    graph, _bindings, _meta = load_case(CASES[0])
-    compute = [n for n in graph.nodes
-               if n.op not in ("parameter", "constant")]
+    for path in CASES:
+        graph, _bindings, _meta = load_case(path)
+        compute = [n for n in graph.nodes
+                   if n.op not in ("parameter", "constant")]
+        if len(compute) >= 3:
+            break
     compute[0].shape = tuple(99 for _ in compute[0].shape)   # L006 (+L101)
     compute[1].dtype = f64                                   # L006
     compute[2].id = compute[1].id                            # L010
@@ -152,6 +155,121 @@ def test_multi_defect_graph_reports_all_codes_not_just_the_first():
 
     with pytest.raises(Exception):
         verify(graph)  # the fail-fast gate sees (at most) one of them
+
+
+# ---------------------------------------------------------------------------
+# batching replay: pad-compatible members batch bit-identically; a faulty
+# batched plan quarantines the bucket to solo service
+# ---------------------------------------------------------------------------
+
+BATCHING_CASES = [p for p in CASES
+                  if load_case(p)[2].get("batching_fault")]
+
+
+def test_batching_corpus_case_is_checked_in():
+    assert BATCHING_CASES, "the batching corpus case went missing"
+
+
+@pytest.mark.parametrize("path", BATCHING_CASES, ids=lambda p: p.stem)
+def test_batched_members_replay_bit_identically(path):
+    """Two pad-compatible members (m=3 and m=4 co-bucket at ceiling 4)
+    must serve from one batched launch plan with outputs bit-identical
+    to direct solo engine runs — softmax over the padded rows makes any
+    cross-member slot mixup corrupt visibly."""
+    from repro.core import compile_graph
+    from repro.device import A10
+    from repro.fuzz import make_inputs
+    from repro.runtime import ExecutionEngine
+    from repro.serving import (BatchingOptions, BatchingServingEngine,
+                               ServingOptions, SignatureCompileCost,
+                               VirtualScheduler)
+
+    graph, bindings, meta = load_case(path)
+    seed = int(meta.get("input_seed", 0))
+    small = make_inputs(graph, bindings, seed=seed)
+    big = make_inputs(graph, {**bindings, "m": bindings["m"] + 1},
+                      seed=seed + 1)
+    executable = compile_graph(graph)
+    expected = [ExecutionEngine(executable, A10).run(inp)[0]
+                for inp in (small, big)]
+
+    scheduler = VirtualScheduler(seed=0)
+    serving = BatchingServingEngine(
+        A10, scheduler,
+        ServingOptions(compile_cost=SignatureCompileCost(
+            fixed_us=1_000.0, per_kernel_us=10.0)),
+        batching=BatchingOptions(max_batch_size=2,
+                                 max_queue_delay_us=500.0))
+    entry = serving.register_model("case", executable)
+    bucketer = serving.bucketer("case")
+    sig = entry.engine.host_program.signature(small)
+    assert bucketer.bucket_key(sig) == \
+        bucketer.bucket_key(entry.engine.host_program.signature(big))
+    entry.engine.prepare_batched(bucketer.padded_signature(sig), 2)
+
+    tickets = [serving.submit("case", small), serving.submit("case", big)]
+    scheduler.run_until_idle()
+    for ticket, exp in zip(tickets, expected):
+        response = ticket.response
+        assert response.ok and response.path == "batched"
+        assert response.stats.details["batch"]["size"] == 2
+        for ref, got in zip(exp, response.outputs):
+            assert ref.dtype == got.dtype and ref.shape == got.shape
+            assert ref.tobytes() == got.tobytes(), \
+                "batched output not bit-identical to the solo engine"
+
+
+@pytest.mark.parametrize("path", BATCHING_CASES, ids=lambda p: p.stem)
+def test_faulty_batched_plan_quarantines_bucket_to_solo(path):
+    """A permanent compile fault on the *batched* plan key (solo
+    compiles succeed — the fault only fires for signatures carrying the
+    extra leading batch dim) must pin the bucket to solo service: no
+    batched response ever, no error ever."""
+    from repro.core import compile_graph
+    from repro.device import A10
+    from repro.fuzz import make_inputs
+    from repro.runtime import ExecutionEngine
+    from repro.serving import (BatchingOptions, BatchingServingEngine,
+                               PermanentCompileError, ServingOptions,
+                               SignatureCompileCost, VirtualScheduler)
+
+    graph, bindings, meta = load_case(path)
+    assert meta["batching_fault"] == "permanent"
+    seed = int(meta.get("input_seed", 0))
+    inputs = make_inputs(graph, bindings, seed=seed)
+    executable = compile_graph(graph)
+    expected, _ = ExecutionEngine(executable, A10).run(inputs)
+    param_rank = len(executable.graph.params[0].shape)
+
+    def batched_only_fault(model, signature, attempt):
+        if len(signature[0][1]) == param_rank + 1:
+            raise PermanentCompileError("injected batched-plan fault")
+
+    scheduler = VirtualScheduler(seed=0)
+    serving = BatchingServingEngine(
+        A10, scheduler,
+        ServingOptions(compile_cost=SignatureCompileCost(
+            fixed_us=1_000.0, per_kernel_us=10.0)),
+        batching=BatchingOptions(max_batch_size=2,
+                                 max_queue_delay_us=500.0),
+        compile_fault=batched_only_fault)
+    serving.register_model("case", executable)
+
+    waves = []
+    for start in (0.0, 1e8, 2e8):
+        scheduler.call_at(start, lambda: waves.append(
+            [serving.submit("case", inputs) for _ in range(2)]))
+    scheduler.run_until_idle()
+
+    assert serving.counters["batched_served"] == 0, \
+        "quarantined batched key must pin the bucket to solo service"
+    assert serving.counters["batches_exploded"] >= 2
+    for wave in waves:
+        for ticket in wave:
+            response = ticket.response
+            assert response.ok and response.path != "batched"
+            for ref, got in zip(expected, response.outputs):
+                assert ref.tobytes() == got.tobytes()
 
 
 # ---------------------------------------------------------------------------

@@ -32,6 +32,19 @@ def test_bounded_serving_campaign_seed0_is_clean(tmp_path):
     assert "SERVING" in report.executors
 
 
+def test_bounded_batching_campaign_seed0_is_clean(tmp_path):
+    """The batching oracle rides the same campaign: every case replayed
+    through the dynamic-batching engine (cold burst explodes to solo
+    fallbacks, warm burst serves from one batched launch, a lone late
+    request flushes solo) with compile faults injected against the
+    batched plan key — every response bit-identical and OK, permanent
+    faults quarantining the batched key to solo service."""
+    report = run_campaign(seed=0, iters=15, out_dir=tmp_path,
+                          oracle=DifferentialOracle(batching=True))
+    assert report.ok, report.summary()
+    assert "BATCHING" in report.executors
+
+
 def test_bounded_obs_campaign_seed0_is_clean(tmp_path):
     """The trace oracle rides the same campaign: every case recompiled
     and re-run under a CapturingTracer with bit-identical outputs/stats

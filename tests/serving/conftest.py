@@ -12,8 +12,9 @@ import pytest
 
 from repro.core import compile_graph
 from repro.device import A10
-from repro.serving import (ServingEngine, ServingOptions,
-                           SignatureCompileCost, VirtualScheduler)
+from repro.serving import (BatchingServingEngine, ServingEngine,
+                           ServingOptions, SignatureCompileCost,
+                           VirtualScheduler)
 
 from ..conftest import toy_mlp_graph
 
@@ -38,6 +39,20 @@ def make_serving(exe, seed=0, compile_fault=None, **option_overrides):
     scheduler = VirtualScheduler(seed=seed)
     engine = ServingEngine(A10, scheduler, options,
                            compile_fault=compile_fault)
+    engine.register_model("mlp", exe)
+    return scheduler, engine
+
+
+def make_batching(exe, seed=0, compile_fault=None, batching=None,
+                  tracer=None, **option_overrides):
+    """A (scheduler, engine) pair with dynamic batching in front."""
+    option_overrides.setdefault("compile_cost", FAST_COMPILE)
+    options = ServingOptions(**option_overrides)
+    scheduler = VirtualScheduler(seed=seed)
+    engine = BatchingServingEngine(A10, scheduler, options,
+                                   batching=batching,
+                                   compile_fault=compile_fault,
+                                   tracer=tracer)
     engine.register_model("mlp", exe)
     return scheduler, engine
 

@@ -15,10 +15,11 @@ from repro.device import A10
 from repro.fuzz import CompileFaultInjector, make_inputs
 from repro.fuzz.sampler import binding_suite
 from repro.runtime import ExecutionEngine
-from repro.serving import (ServingEngine, ServingOptions,
+from repro.serving import (BatchingOptions, BatchingServingEngine,
+                           ResponseStatus, ServingEngine, ServingOptions,
                            SignatureCompileCost, VirtualScheduler)
 
-from ..strategies import fuzz_graphs
+from ..strategies import batched_request_mixes, fuzz_graphs
 from .conftest import bit_identical
 
 
@@ -64,3 +65,57 @@ def test_responses_bit_identical_to_direct_engine(graph, seed, transient,
         expected, _ = reference.run(inputs)
         assert bit_identical(expected, response.outputs), \
             f"path {response.path!r} diverged from direct engine run"
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=fuzz_graphs(max_nodes=10),
+       mix=batched_request_mixes(),
+       seed=st.integers(min_value=0, max_value=2**16),
+       transient=st.integers(min_value=0, max_value=1),
+       permanent_every=st.sampled_from([None, 2]))
+def test_batched_responses_bit_identical_to_direct_engine(
+        graph, mix, seed, transient, permanent_every):
+    """The batching property: for any graph, any request mix (arrival
+    waves, shared and distinct signatures, tight deadlines), any seed
+    and any compile-fault schedule, every OK response out of the
+    batching engine — batched or solo, padded or not — is bit-identical
+    to a direct ``ExecutionEngine`` run of the same inputs."""
+    executable = compile_graph(graph)
+    reference = ExecutionEngine(executable, A10)
+    fault = CompileFaultInjector(transient_attempts=transient,
+                                 permanent_every=permanent_every)
+    scheduler = VirtualScheduler(seed=seed)
+    serving = BatchingServingEngine(
+        A10, scheduler,
+        ServingOptions(
+            compile_workers=1 + seed % 2,
+            compile_backoff_us=500.0,
+            compile_cost=SignatureCompileCost(fixed_us=2_000.0,
+                                              per_kernel_us=50.0)),
+        batching=BatchingOptions(max_batch_size=4,
+                                 max_queue_delay_us=1_500.0),
+        compile_fault=fault)
+    serving.register_model("m", executable)
+
+    cases = [make_inputs(graph, bindings, seed=7)
+             for bindings in binding_suite(graph, limit=3)]
+    tickets = []
+    for index, (case_index, arrival_us, tight) in enumerate(mix):
+        inputs = cases[case_index % len(cases)]
+        deadline = 1_000.0 if tight else None
+        scheduler.call_at(arrival_us, lambda i=inputs, d=deadline:
+                          tickets.append((i, serving.submit("m", i, d))))
+    scheduler.run_until_idle()
+
+    assert len(tickets) == len(mix)
+    for inputs, ticket in tickets:
+        response = ticket.response
+        assert response is not None
+        assert response.status in (ResponseStatus.OK,
+                                   ResponseStatus.TIMEOUT,
+                                   ResponseStatus.SHED)
+        if response.ok:
+            expected, _ = reference.run(inputs)
+            assert bit_identical(expected, response.outputs), \
+                f"path {response.path!r} diverged from direct engine run"

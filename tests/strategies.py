@@ -18,7 +18,7 @@ from repro.runtime.memory import Interval
 __all__ = [
     "dims", "shapes", "symbol_keys", "union_ops",
     "kernel_specs", "intervals", "interval_sets",
-    "random_graph", "fuzz_graphs",
+    "random_graph", "fuzz_graphs", "batched_request_mixes",
 ]
 
 # -- shapes ------------------------------------------------------------------
@@ -120,3 +120,22 @@ def fuzz_graphs(max_nodes: int = 14):
     config = GeneratorConfig(max_nodes=max_nodes)
     return st.integers(min_value=0, max_value=2**20).map(
         lambda seed: generate_graph(seed, config))
+
+
+# -- serving / batching ------------------------------------------------------
+
+def batched_request_mixes(max_signatures: int = 3):
+    """Request mixes for the dynamic-batching property suite.
+
+    Each request is ``(signature_index, arrival_us, tight_deadline)``:
+    which of the case's shape bindings it uses, which arrival wave it
+    joins (simultaneous cold burst, a mid-flush straggler, or a warm
+    late wave), and whether it carries a deadline shorter than the
+    batcher's flush delay — the mix that exercises co-bucketing, lone
+    flushes, explode-on-cold and in-bucket expiry together.
+    """
+    request = st.tuples(
+        st.integers(min_value=0, max_value=max_signatures - 1),
+        st.sampled_from([0.0, 700.0, 1e7]),
+        st.booleans())
+    return st.lists(request, min_size=2, max_size=8)
