@@ -57,6 +57,12 @@ class CompileOptions:
     #: ``report.lint``; failure judgement (errors only vs warnings too)
     #: follows the level.  OFF keeps benchmarks overhead-free.
     lint_level: LintLevel = LintLevel.OFF
+    #: proven deployment bounds, symbol name -> ``(lo, hi)`` (either end
+    #: may be None).  Fed as ``assume_range`` facts into the interval
+    #: analyzers (L6xx) when linting: a bound here retires hazards the
+    #: class alone cannot exclude (e.g. a possible zero extent).  Zoo
+    #: models supply their ``Model.axes`` ranges.
+    assume_ranges: dict | None = None
     #: observability tracer (:class:`repro.obs.Tracer`).  None — the
     #: default — resolves to the shared no-op tracer; when set, the
     #: compile emits a ``compile:<graph>`` root span with ``stage:*``
@@ -126,7 +132,8 @@ class DiscCompiler:
                 with tracer.span("stage:lint") as s:
                     lint_sink = _run_pipeline_lint(
                         working, recorder, plan, analysis, options.fusion,
-                        buffer_plan, host_program)
+                        buffer_plan, host_program,
+                        assume_ranges=options.assume_ranges)
                     s.set(findings=len(lint_sink.diagnostics))
 
             root.set(nodes=len(working.nodes), kernels=len(kernels))

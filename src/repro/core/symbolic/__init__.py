@@ -3,9 +3,13 @@
 from .unionfind import ContradictionError, UnionFind
 from .constraints import ConstraintStore, product_term
 from .analysis import ConstraintLevel, ShapeAnalysis, analyze_shapes
+from .intervals import (Interval, IntervalFact, IntervalMap,
+                        check_dynamic_bindings, derive_intervals)
 
 __all__ = [
     "ContradictionError", "UnionFind",
     "ConstraintStore", "product_term",
     "ConstraintLevel", "ShapeAnalysis", "analyze_shapes",
+    "Interval", "IntervalFact", "IntervalMap",
+    "derive_intervals", "check_dynamic_bindings",
 ]

@@ -10,6 +10,11 @@ Three kinds of facts, mirroring the paper's shape-constraint taxonomy:
   ``b*s == bs``).  Stored as a union-find over canonical product terms.
 - **likely values** — per-symbol value hints mined from ``SymDim.hint``;
   heuristic inputs only (schedule variant ordering), never correctness.
+- **range facts** — explicit, *proven* per-class bounds recorded with
+  :meth:`ConstraintStore.assume_range` (e.g. a serving deployment that
+  guarantees ``seqlen <= 512``).  Unlike likely-value hints these are
+  facts: the interval engine (``intervals.py``) folds them into the
+  abstract value of every class member.
 
 The store answers the two queries fusion actually needs — "are these shapes
 certainly element-wise identical?" and "do these shapes certainly cover the
@@ -57,8 +62,11 @@ class ConstraintStore:
         self._dims = UnionFind()
         self._products = UnionFind()
         self._likely: dict[str, int] = {}
+        #: key -> (lo, hi) proven bounds; hi None means unbounded above.
+        self._ranges: dict = {}
         self.num_dim_facts = 0
         self.num_product_facts = 0
+        self.num_range_facts = 0
 
     # -- recording ---------------------------------------------------------
 
@@ -88,8 +96,41 @@ class ConstraintStore:
         self.num_product_facts += 1
 
     def note_likely_value(self, sym: SymDim) -> None:
+        """Record a heuristic magnitude for ``sym``.
+
+        Hints live in their own table, separate from constants and range
+        facts, so they can never masquerade as proven bounds: `range_of`
+        ignores them entirely and :meth:`likely_value` clamps them into
+        any proven range before answering.
+        """
         if sym.hint is not None:
             self._likely.setdefault(sym.name, sym.hint)
+
+    def assume_range(self, dim, lo: int | None = None,
+                     hi: int | None = None) -> None:
+        """Record a *proven* class-level bound: ``lo <= dim <= hi``.
+
+        ``dim`` may be a :class:`SymDim` or a bare symbol name.  Facts on
+        the same class meet (intersect); an empty intersection is kept as
+        recorded — the interval engine surfaces it as a contradiction
+        (L601) rather than raising here, so a lint pass can report every
+        empty class instead of dying on the first.
+        """
+        key = dim if isinstance(dim, str) else _dim_key(dim)
+        if isinstance(key, int):
+            if (lo is not None and lo > key) or \
+                    (hi is not None and hi < key):
+                raise ContradictionError(
+                    f"assumed range [{lo}, {hi}] excludes constant {key}")
+            return
+        self._dims.add(key)
+        old_lo, old_hi = self._ranges.get(key, (None, None))
+        if lo is not None:
+            old_lo = lo if old_lo is None else max(old_lo, lo)
+        if hi is not None:
+            old_hi = hi if old_hi is None else min(old_hi, hi)
+        self._ranges[key] = (old_lo, old_hi)
+        self.num_range_facts += 1
 
     # -- queries -----------------------------------------------------------
 
@@ -123,21 +164,102 @@ class ConstraintStore:
         return self._products.same(ta, tb)
 
     def resolve_dim(self, dim: Dim) -> Dim:
-        """Fold a dim to its class constant (int) when one is known."""
+        """Fold a dim to its class constant (int) when one is known.
+
+        A class whose proven range collapses to a single point (an
+        ``assume_range(s, 4, 4)`` fact) resolves exactly like a class
+        constant — min/max facts are class-level knowledge, not hints.
+        """
         key = _dim_key(dim)
         if isinstance(key, int):
             return key
         const = self._dims.constant_of(key)
-        return const if const is not None else dim
+        if const is not None:
+            return const
+        lo, hi = self.range_of(dim)
+        if lo is not None and lo == hi:
+            return lo
+        return dim
+
+    def range_of(self, dim) -> tuple:
+        """Proven ``(lo, hi)`` bounds for a dim's class; ``None`` = open.
+
+        Folds the class constant and every ``assume_range`` fact recorded
+        on *any* member of the class.  Returns ``(None, None)`` when
+        nothing is proven — likely-value hints never contribute.  A
+        contradictory combination comes back with ``lo > hi``; callers
+        (the interval engine) report it rather than this method raising.
+        """
+        key = dim if isinstance(dim, str) else _dim_key(dim)
+        if isinstance(key, int):
+            return key, key
+        lo: int | None = None
+        hi: int | None = None
+        if key in self._dims:
+            const = self._dims.constant_of(key)
+            if const is not None:
+                lo = hi = const
+        for other, (fact_lo, fact_hi) in self._ranges.items():
+            if other != key and not (key in self._dims
+                                     and self._dims.same(key, other)):
+                continue
+            if fact_lo is not None:
+                lo = fact_lo if lo is None else max(lo, fact_lo)
+            if fact_hi is not None:
+                hi = fact_hi if hi is None else min(hi, fact_hi)
+        return lo, hi
+
+    def range_facts(self, dim) -> list:
+        """Provenance of :meth:`range_of`: the individual facts.
+
+        Returns ``("constant", value)`` and ``("assume", key, lo, hi)``
+        tuples, letting the interval engine build blame chains that name
+        each contributing fact.
+        """
+        key = dim if isinstance(dim, str) else _dim_key(dim)
+        facts: list = []
+        if isinstance(key, int):
+            return [("constant", key)]
+        if key in self._dims:
+            const = self._dims.constant_of(key)
+            if const is not None:
+                facts.append(("constant", const))
+        for other, (fact_lo, fact_hi) in self._ranges.items():
+            if other == key or (key in self._dims
+                                and self._dims.same(key, other)):
+                facts.append(("assume", other, fact_lo, fact_hi))
+        return facts
 
     def likely_value(self, dim: Dim) -> int | None:
-        """Heuristic magnitude for a dim: constant, class constant or hint."""
+        """Heuristic magnitude for a dim: proven value, else clamped hint.
+
+        Resolution order: constant > class constant > point range > the
+        symbol's own hint > any class member's hint.  A hint is heuristic
+        only, so it is clamped into the proven range — it may *pick* a
+        value but never widen what the facts allow.
+        """
         if isinstance(dim, int):
             return dim
         const = self._dims.constant_of(dim.name)
         if const is not None:
             return const
-        return self._likely.get(dim.name, dim.hint)
+        lo, hi = self.range_of(dim)
+        if lo is not None and lo == hi:
+            return lo
+        hint = self._likely.get(dim.name)
+        if hint is None and dim.name in self._dims:
+            for name, value in self._likely.items():
+                if name in self._dims and self._dims.same(dim.name, name):
+                    hint = value
+                    break
+        if hint is None:
+            hint = dim.hint
+        if hint is not None:
+            if lo is not None and hint < lo:
+                hint = lo
+            if hi is not None and hint > hi:
+                hint = hi
+        return hint
 
     def dim_classes(self) -> list[list]:
         return self._dims.classes()
@@ -159,4 +281,5 @@ class ConstraintStore:
             "product_facts": self.num_product_facts,
             "dim_classes": len(self.dim_classes()),
             "likely_values": len(self._likely),
+            "range_facts": self.num_range_facts,
         }

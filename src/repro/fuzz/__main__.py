@@ -32,7 +32,10 @@ def build_parser() -> argparse.ArgumentParser:
                         help="run the repro.lint analyzer suite on every "
                              "case (generated graph + pipeline artifacts) "
                              "and treat failing diagnostics as oracle "
-                             "failures")
+                             "failures; also cross-checks the interval "
+                             "engine dynamically — every concrete shape "
+                             "executed must lie inside its statically "
+                             "derived interval")
     parser.add_argument("--lint-level", choices=["default", "strict"],
                         default="default",
                         help="lint strictness when --lint is set "

@@ -201,6 +201,23 @@ class DifferentialOracle:
                 result.failures.append(Failure(
                     executor="lint", kind="lint",
                     detail=f"generated graph: {diag}"))
+            # Dynamic cross-check of the interval engine: every concrete
+            # value this case actually binds/derives must lie inside the
+            # statically derived interval for its symbol — a violation
+            # means the L6xx abstraction is unsound, the one defect the
+            # analyzers themselves cannot see.
+            try:
+                from ..core.symbolic.intervals import \
+                    check_dynamic_bindings
+                for detail in check_dynamic_bindings(graph, bindings):
+                    result.failures.append(Failure(
+                        executor="lint", kind="interval",
+                        detail=f"static/dynamic disagreement: {detail}"))
+            except Exception as exc:  # noqa: BLE001 - unbindable case
+                result.failures.append(Failure(
+                    executor="lint", kind="interval",
+                    detail=f"interval cross-check crashed: "
+                           f"{type(exc).__name__}: {exc}"))
         try:
             inputs = make_inputs(graph, bindings, input_seed)
         except Exception as exc:  # noqa: BLE001 - unbindable case

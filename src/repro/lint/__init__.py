@@ -14,6 +14,9 @@ top of the same (and many more) invariants:
   the kLoop/kInput/kStitch legality rules, independent of the planner;
 - :mod:`memory_checks` — live-range overlap/alias detection over buffer
   plans;
+- :mod:`interval_checks` — whole-signature-class soundness (L6xx):
+  interval-domain proofs that frozen launch/memory/batch plans hold for
+  *every* shape in the class, not just the recorded ones;
 - :mod:`blame` — per-pass attribution: runs the linter after each pass
   and names the pass that introduced each new finding;
 - :mod:`engine` / ``__main__`` — suite orchestration and the
@@ -30,6 +33,8 @@ from .engine import lint_compiled, lint_executable, lint_graph
 from .fusion_checks import check_fusion_plan
 from .graph_checks import check_graph
 from .hostprog_checks import check_host_program
+from .interval_checks import (check_bucket_padding, check_intervals,
+                              check_memory_symbolic, check_plan_coverage)
 from .memory_checks import check_buffer_plan
 from .obs_checks import check_pass_spans
 from .symbolic_checks import check_symbols
@@ -50,6 +55,10 @@ __all__ = [
     "check_buffer_plan",
     "check_host_program",
     "check_pass_spans",
+    "check_intervals",
+    "check_memory_symbolic",
+    "check_plan_coverage",
+    "check_bucket_padding",
     "lint_graph",
     "lint_executable",
     "lint_compiled",

@@ -39,8 +39,14 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument("--no-pipeline", action="store_true",
                         help="graph-level analyzers only; skip the "
                              "compile + fusion/memory audit stage")
-    parser.add_argument("--codes", action="store_true",
-                        help="print the diagnostic code registry and exit")
+    parser.add_argument("--codes", nargs="?", const="__registry__",
+                        metavar="PREFIXES", default=None,
+                        help="bare: print the diagnostic code registry and "
+                             "exit; with a comma-separated prefix list "
+                             "(e.g. 'L6' or 'L301,L6'), only findings "
+                             "whose code matches a prefix are reported "
+                             "and counted — the CI uses this to gate one "
+                             "family independently")
     parser.add_argument("--pass-spans", action="store_true",
                         help="also lint the registered pipeline passes' "
                              "trace span names (L5xx): every pass must "
@@ -62,36 +68,53 @@ def _collect_files(paths: list[str]) -> list[Path]:
 
 
 def _load_graph(path: Path):
-    """Load a serialized graph or corpus case; returns (graph, kind)."""
+    """Load a serialized graph or corpus case; returns (graph, kind,
+    meta) — meta is the corpus case metadata ({} for raw graphs)."""
     from ..fuzz.corpus import load_case
     from ..ir.serde import graph_from_dict
 
     with open(path) as f:
         payload = json.load(f)
     if "case_version" in payload:
-        graph, _bindings, _meta = load_case(path)
-        return graph, "corpus case"
+        graph, _bindings, meta = load_case(path)
+        return graph, "corpus case", meta or {}
     if "format_version" in payload:
-        return graph_from_dict(payload), "graph"
+        return graph_from_dict(payload), "graph", {}
     raise ValueError("neither a serialized graph nor a corpus case")
 
 
-def _lint_one(name: str, graph, level: LintLevel,
-              pipeline: bool) -> DiagnosticSink:
-    sink = lint_graph(graph)
+def _lint_one(name: str, graph, level: LintLevel, pipeline: bool,
+              meta=None) -> DiagnosticSink:
+    meta = meta or {}
+    assume = {name: tuple(bounds) for name, bounds in
+              (meta.get("assume_ranges") or {}).items()}
+    sink = lint_graph(graph, assume_ranges=assume or None)
     # A graph that is structurally broken cannot be compiled; the deep
     # audit only runs once the graph-level analyzers come back clean.
     if pipeline and not sink.errors():
-        lint_compiled(graph, sink=sink)
+        lint_compiled(graph, sink=sink, assume_ranges=assume or None)
     return sink
 
 
 def _report(name: str, sink: DiagnosticSink, level: LintLevel,
-            quiet: bool) -> int:
-    failures = sink.failures(level)
-    for diag in sink:
+            quiet: bool, prefixes=None, expected=()) -> int:
+    """Print findings and count failures.
+
+    ``prefixes`` restricts reporting/counting to matching codes
+    (``--codes L6``).  ``expected`` codes — a corpus case's declared
+    ``expected_lint`` metadata — are demonstration findings the case
+    exists to exhibit; they are printed but never counted as failures,
+    so the checked-in L6xx exhibits stay green under ``--level strict``.
+    """
+    shown = [d for d in sink if prefixes is None
+             or any(d.code.startswith(p) for p in prefixes)]
+    failures = [d for d in sink.failures(level)
+                if (prefixes is None
+                    or any(d.code.startswith(p) for p in prefixes))
+                and d.code not in expected]
+    for diag in shown:
         print(f"{name}: {diag}")
-    if not quiet and not sink:
+    if not quiet and not shown:
         print(f"{name}: OK")
     return len(failures)
 
@@ -108,9 +131,11 @@ def print_code_registry() -> None:
 
 def main(argv=None) -> int:
     args = build_parser().parse_args(argv)
-    if args.codes:
+    if args.codes == "__registry__":
         print_code_registry()
         return 0
+    prefixes = tuple(p.strip() for p in args.codes.split(",")
+                     if p.strip()) if args.codes else None
     if not args.paths and not args.models and not args.pass_spans:
         build_parser().print_usage(sys.stderr)
         print("error: give at least one path, --models, or --pass-spans",
@@ -125,39 +150,47 @@ def main(argv=None) -> int:
 
     for path in _collect_files(args.paths):
         targets += 1
+        expected: tuple = ()
         try:
-            graph, _kind = _load_graph(path)
+            graph, _kind, meta = _load_graph(path)
         except Exception as exc:  # noqa: BLE001 - report, keep linting
             sink = DiagnosticSink()
             sink.emit("L000", f"cannot load {path}: "
                               f"{type(exc).__name__}: {exc}")
         else:
-            sink = _lint_one(str(path), graph, level, pipeline)
+            sink = _lint_one(str(path), graph, level, pipeline, meta)
+            expected = tuple(meta.get("expected_lint", ()))
         diagnostics += len(sink)
-        failing += _report(str(path), sink, level, args.quiet)
+        failing += _report(str(path), sink, level, args.quiet,
+                           prefixes, expected)
 
     if args.pass_spans:
         from .obs_checks import check_pass_spans
         targets += 1
         sink = check_pass_spans()
         diagnostics += len(sink)
-        failing += _report("pipeline:pass-spans", sink, level, args.quiet)
+        failing += _report("pipeline:pass-spans", sink, level, args.quiet,
+                           prefixes)
 
     if args.models:
         from ..models import MODEL_BUILDERS
         for model_name, builder in MODEL_BUILDERS.items():
             targets += 1
             try:
-                graph = builder().graph
+                model = builder()
             except Exception as exc:  # noqa: BLE001
                 sink = DiagnosticSink()
                 sink.emit("L000", f"cannot build model {model_name}: "
                                   f"{type(exc).__name__}: {exc}")
             else:
-                sink = _lint_one(model_name, graph, level, pipeline)
+                # A model's declared axis ranges are proven deployment
+                # bounds: feed them to the interval analyzers so hazards
+                # the class alone cannot exclude are retired by evidence.
+                sink = _lint_one(model_name, model.graph, level, pipeline,
+                                 meta={"assume_ranges": model.axes})
             diagnostics += len(sink)
             failing += _report(f"model:{model_name}", sink, level,
-                               args.quiet)
+                               args.quiet, prefixes)
 
     print(f"linted {targets} target(s): {diagnostics} diagnostic(s), "
           f"{failing} failing at level {level.value}")

@@ -151,6 +151,18 @@ _register("L502", Severity.ERROR, "obs",
 _register("L503", Severity.WARNING, "obs",
           "pass span name is not lower-kebab ([a-z][a-z0-9_-]*)")
 
+# -- L6xx: interval analyzer (whole-signature-class soundness) --------------
+_register("L601", Severity.ERROR, "interval",
+          "unresolvable dim: interval is empty for a live dim")
+_register("L602", Severity.ERROR, "interval",
+          "memory-plan slot reuse unsound for some shape in the class")
+_register("L603", Severity.ERROR, "interval",
+          "launch-plan replay unsound across the signature class")
+_register("L604", Severity.ERROR, "interval",
+          "batch-bucket pad ceiling unsound or waste provably excessive")
+_register("L605", Severity.WARNING, "interval",
+          "possible zero/negative extent reaches a division or reshape")
+
 
 def code_info(code: str) -> CodeInfo:
     try:

@@ -22,12 +22,21 @@ from .diagnostics import DiagnosticSink
 __all__ = ["check_buffer_plan"]
 
 
-def check_buffer_plan(plan, sink: DiagnosticSink | None = None
-                      ) -> DiagnosticSink:
-    """Audit a :class:`~repro.runtime.memory.BufferPlan`."""
+def check_buffer_plan(plan, sink: DiagnosticSink | None = None,
+                      imap=None) -> DiagnosticSink:
+    """Audit a :class:`~repro.runtime.memory.BufferPlan`.
+
+    With an interval map (``repro.core.symbolic.intervals``) the audit
+    is upgraded from concrete to symbolic: overlapping reuses are also
+    judged against the occupants' whole-class byte-size intervals
+    (L602, via :func:`~repro.lint.interval_checks.check_memory_symbolic`).
+    """
     sink = sink if sink is not None else DiagnosticSink()
     if plan is None:
         return sink
+    if imap is not None:
+        from .interval_checks import check_memory_symbolic
+        check_memory_symbolic(plan, imap, sink)
 
     seen_ids: dict[int, object] = {}
     by_slot: dict[int, list] = {}

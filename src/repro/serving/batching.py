@@ -94,12 +94,17 @@ class ShapeBucketer:
             raise ValueError(f"unknown pad_policy {pad_policy!r}; "
                              f"available: {PAD_POLICIES}")
         self.pad_policy = pad_policy
-        store = analyze_shapes(graph, ConstraintLevel.FULL).store
+        #: the shape-constraint store the classes were derived from;
+        #: the L604 lint audit reuses it for provenance.
+        self.store = analyze_shapes(graph, ConstraintLevel.FULL).store
+        store = self.store
         sym_class: dict[str, int] = {}
+        class_members: dict[int, set] = {}
         for index, members in enumerate(store.dim_classes()):
             for key in members:
                 if isinstance(key, str):
                     sym_class[key] = index
+                    class_members.setdefault(index, set()).add(key)
         slot_index: dict = {}
         #: per param: (name, entries); an entry is either a static int
         #: or ``("class", slot)`` indexing :attr:`num_classes` values.
@@ -119,6 +124,35 @@ class ShapeBucketer:
             self._param_axes.append(
                 (param.attrs["param_name"], tuple(entries)))
         self.num_classes = len(slot_index)
+        #: per bucketing slot: the symbol names the slot pads for.
+        self._slot_symbols: list[set] = [
+            set() for __ in range(self.num_classes)]
+        for group, slot in slot_index.items():
+            kind, key = group
+            self._slot_symbols[slot] = set(class_members[key]) \
+                if kind == "class" else {key}
+
+    def class_symbols(self) -> list[set]:
+        """Per bucketing slot, the symbol names it pads for.
+
+        The L604 analyzer intersects these symbols' intervals to get
+        each class's proven value range, then audits :meth:`ceiling`
+        over it.
+        """
+        return [set(symbols) for symbols in self._slot_symbols]
+
+    def ceiling(self, value: int) -> int:
+        """The pad ceiling for one class value — THE soundness seam.
+
+        Everything the batcher freezes per bucket (the key, the padded
+        signature, hence the launch plan) goes through this one method,
+        so the L604 audit of ``ceiling`` over each class's interval
+        covers every padding decision the engine can make.  Subclasses
+        overriding the schedule inherit the audit for free.
+        """
+        if self.pad_policy == "exact":
+            return int(value)
+        return round_up_pow2(value)
 
     def class_values(self, signature: tuple) -> tuple:
         """Concrete value of each constraint class in ``signature``."""
@@ -137,7 +171,7 @@ class ShapeBucketer:
         values = self.class_values(signature)
         if self.pad_policy == "exact":
             return values
-        return tuple(round_up_pow2(v) for v in values)
+        return tuple(self.ceiling(v) for v in values)
 
     def padded_signature(self, signature: tuple) -> tuple:
         """The bucket-ceiling signature ``signature`` is padded to.

@@ -3,6 +3,14 @@
 This is the linter's false-positive guard.  The analyzers re-derive every
 invariant at FULL strictness, so anything the real pipeline produces must
 audit clean — a finding on a zoo model is a lint bug, not a model bug.
+
+One deliberate exception proves the rule: the interval analyzers (L6xx)
+judge the *whole signature class*, and a model whose graph admits a
+degenerate shape (s2t: ``frames < 4`` makes the subsampled length zero)
+is genuinely hazardous until its declared deployment bounds
+(``Model.axes``) are fed in as ``assume_range`` evidence.  The zoo is
+therefore linted *with* each model's axes, and the s2t case pins both
+sides of that contract.
 """
 
 import pytest
@@ -16,16 +24,17 @@ MODELS = sorted(MODEL_BUILDERS)
 
 @pytest.mark.parametrize("name", MODELS)
 def test_model_graph_lints_clean(name):
-    graph = MODEL_BUILDERS[name]().graph
-    sink = lint_graph(graph)
+    model = MODEL_BUILDERS[name]()
+    sink = lint_graph(model.graph, assume_ranges=model.axes)
     assert not sink, f"{name}: {sink.render()}"
 
 
 @pytest.mark.parametrize("name", MODELS)
 def test_compiled_model_emits_zero_diagnostics(name):
-    graph = MODEL_BUILDERS[name]().graph
-    options = CompileOptions(lint_level=LintLevel.DEFAULT)
-    executable = compile_graph(graph, options)
+    model = MODEL_BUILDERS[name]()
+    options = CompileOptions(lint_level=LintLevel.DEFAULT,
+                             assume_ranges=model.axes)
+    executable = compile_graph(model.graph, options)
     sink = executable.report.lint
     assert sink is not None, "lint_level=DEFAULT produced no report"
     assert sink.ok(LintLevel.DEFAULT), sink.render()
@@ -37,10 +46,12 @@ def test_compiled_model_emits_zero_diagnostics(name):
 @pytest.mark.parametrize("name", MODELS[:2])
 def test_lint_executable_matches_report(name):
     """The standalone deep lint agrees with the in-pipeline one."""
-    graph = MODEL_BUILDERS[name]().graph
-    options = CompileOptions(lint_level=LintLevel.DEFAULT)
-    executable = compile_graph(graph, options)
-    standalone = lint_executable(executable, config=options.fusion)
+    model = MODEL_BUILDERS[name]()
+    options = CompileOptions(lint_level=LintLevel.DEFAULT,
+                             assume_ranges=model.axes)
+    executable = compile_graph(model.graph, options)
+    standalone = lint_executable(executable, config=options.fusion,
+                                 assume_ranges=model.axes)
     assert not standalone, standalone.render()
 
 
@@ -48,3 +59,18 @@ def test_lint_off_keeps_reports_lint_free():
     graph = MODEL_BUILDERS[MODELS[0]]().graph
     executable = compile_graph(graph, CompileOptions())
     assert executable.report.lint is None
+
+
+def test_s2t_zero_extent_hazard_is_real_and_retired_by_axes():
+    """Without evidence, s2t's subsampling reshape admits ``frames < 4``
+    — a zero ``sub_len`` — and the interval analyzer must say so; the
+    model's declared frame range is exactly the proof that retires it.
+    This is the intended division of labour: the class describes what
+    *can* happen, the axes describe what deployment *allows*."""
+    model = MODEL_BUILDERS["s2t"]()
+    bare = lint_graph(model.graph)
+    assert "L605" in bare.codes(), "the latent s2t hazard disappeared"
+    assert any("sub_len" in d.message for d in bare.by_code("L605"))
+    assert bare.ok(LintLevel.DEFAULT)      # warning, not error
+    bounded = lint_graph(model.graph, assume_ranges=model.axes)
+    assert not bounded, bounded.render()

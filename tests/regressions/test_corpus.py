@@ -63,7 +63,7 @@ def test_corpus_case_lints_clean(path):
     from repro.lint import lint_graph
 
     graph, _bindings, meta = load_case(path)
-    sink = lint_graph(graph)
+    sink = lint_graph(graph, assume_ranges=meta.get("assume_ranges"))
     expected = set(meta.get("expected_lint", []))
     assert sink.codes() == expected, (
         f"{path.name}: lint codes {sorted(sink.codes())} != expected "
@@ -307,3 +307,114 @@ def test_expected_trace_replays_exactly(path):
         f"{path.name}: trace drifted from the pinned sequence "
         f"({meta.get('expected_trace_scope', '')})")
     assert trace_failures(tracer, pass_names=[]) == []
+
+
+# ---------------------------------------------------------------------------
+# interval replay: one exhibit per L6xx analyzer
+# ---------------------------------------------------------------------------
+
+INTERVAL_CASES = {load_case(p)[2].get("interval_code"): p
+                  for p in CASES if load_case(p)[2].get("interval_code")}
+
+
+def test_every_interval_code_has_an_exhibit():
+    assert set(INTERVAL_CASES) == {"L601", "L602", "L603", "L604", "L605"}, \
+        "an L6xx corpus exhibit went missing"
+
+
+def test_l601_exhibit_contradiction_comes_from_meta_bounds():
+    """The graph itself is clean; the checked-in deployment bounds are
+    the defect.  Without them the case must lint empty."""
+    from repro.lint import lint_graph
+
+    graph, _bindings, meta = load_case(INTERVAL_CASES["L601"])
+    assert not lint_graph(graph).codes()
+    sink = lint_graph(graph, assume_ranges=meta["assume_ranges"])
+    assert sink.codes() == {"L601"}
+
+
+def test_l602_exhibit_slot_alias_is_caught_symbolically():
+    """Compile the diamond, alias its two simultaneously-live symbolic
+    buffers, and the audit must prove the overlap unsound for every
+    shape in the class — not merely structurally suspicious (L301)."""
+    from repro.core import compile_graph
+    from repro.core.symbolic.intervals import derive_intervals
+    from repro.lint import check_buffer_plan
+
+    graph, _bindings, _meta = load_case(INTERVAL_CASES["L602"])
+    executable = compile_graph(graph)
+    plan = executable.buffer_plan
+    assert not check_buffer_plan(plan), "planner emitted an unsound plan"
+    live = sorted(plan.intervals, key=lambda iv: (iv.start, iv.node_id))
+    victims = [iv for iv in live
+               if any(o is not iv and o.slot != iv.slot
+                      and o.start < iv.end and iv.start < o.end
+                      for o in live)]
+    assert len(victims) >= 2, "exhibit lost its overlapping lifetimes"
+    other = next(o for o in victims if o is not victims[0]
+                 and o.slot != victims[0].slot)
+    other.slot = victims[0].slot
+    sink = check_buffer_plan(plan,
+                             imap=derive_intervals(executable.graph))
+    assert {"L301", "L602"} <= sink.codes()
+    assert "every shape" in sink.by_code("L602")[0].message
+
+
+def test_l603_exhibit_phantom_symbol_breaks_plan_coverage():
+    """The checked-in reshape target is derivable; replacing it with a
+    phantom symbol must flag the launch plan as unsound for the class."""
+    from repro.core.symbolic.intervals import derive_intervals
+    from repro.ir.shapes import SymDim
+    from repro.lint import check_plan_coverage
+
+    graph, _bindings, _meta = load_case(INTERVAL_CASES["L603"])
+    imap = derive_intervals(graph)
+    assert not check_plan_coverage(graph, imap), "clean exhibit regressed"
+    reshape = next(n for n in graph.nodes if n.op == "reshape")
+    phantom = SymDim("phantom")
+    reshape.attrs["new_shape"] = tuple(
+        phantom if isinstance(d, SymDim) else d
+        for d in reshape.attrs["new_shape"])
+    reshape.shape = tuple(
+        phantom if isinstance(d, SymDim) else d for d in reshape.shape)
+    sink = check_plan_coverage(graph, derive_intervals(graph))
+    assert sink.codes() == {"L603"}
+    assert "phantom" in sink.by_code("L603")[0].message
+
+
+def test_l604_exhibit_broken_ceilings_fail_the_padding_audit():
+    from repro.core.symbolic.intervals import derive_intervals
+    from repro.lint import check_bucket_padding
+    from repro.serving.batching import ShapeBucketer
+
+    graph, _bindings, _meta = load_case(INTERVAL_CASES["L604"])
+    imap = derive_intervals(graph, assume_ranges={"s": (1, 12)})
+    stock = ShapeBucketer(graph, graph.params)
+    assert not check_bucket_padding(stock, imap), "stock bucketer flagged"
+
+    class Truncating(ShapeBucketer):
+        def ceiling(self, value):
+            return min(super().ceiling(value), 8)
+
+    class Wasteful(ShapeBucketer):
+        def ceiling(self, value):
+            return 4096
+
+    for broken in (Truncating, Wasteful):
+        sink = check_bucket_padding(broken(graph, graph.params), imap)
+        assert sink.codes() == {"L604"}, broken.__name__
+
+
+def test_l605_exhibit_fires_and_still_executes():
+    """The L605 exhibit is a *live* warning: the division fallback admits
+    a zero extent statically, yet every checked-in binding executes —
+    warning severity, not error, is the contract."""
+    from repro.core.symbolic.intervals import check_dynamic_bindings
+    from repro.lint import LintLevel, lint_graph
+
+    graph, bindings, meta = load_case(INTERVAL_CASES["L605"])
+    assert meta["expected_lint"] == ["L605"]
+    sink = lint_graph(graph)
+    assert sink.codes() == {"L605"}
+    assert sink.ok(LintLevel.DEFAULT) and not sink.ok(LintLevel.STRICT)
+    assert check_dynamic_bindings(graph, bindings) == []

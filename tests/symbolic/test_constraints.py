@@ -96,3 +96,80 @@ def test_summary_counters():
     summary = store.summary()
     assert summary["dim_facts"] == 1
     assert summary["dim_classes"] == 1
+
+
+# -- range facts (assume_range / range_of / range_facts) ---------------------
+
+def test_assume_range_basic_and_meet():
+    store = ConstraintStore()
+    store.assume_range("s", 2, 512)
+    assert store.range_of("s") == (2, 512)
+    store.assume_range("s", 8, None)       # facts meet: lo tightens
+    assert store.range_of("s") == (8, 512)
+    store.assume_range("s", None, 128)     # hi tightens
+    assert store.range_of("s") == (8, 128)
+    assert store.summary()["range_facts"] == 3
+
+
+def test_assume_range_on_constant_validates():
+    store = ConstraintStore()
+    store.assume_range(8, 1, 16)           # contains the constant: fine
+    with pytest.raises(ContradictionError):
+        store.assume_range(8, 10, 16)      # excludes it: contradiction
+
+
+def test_empty_range_is_kept_not_raised():
+    """Contradictory assumes are reported by the interval engine (L601),
+    one per class, instead of aborting the analysis on the first."""
+    store = ConstraintStore()
+    store.assume_range("s", 100, None)
+    store.assume_range("s", None, 50)
+    lo, hi = store.range_of("s")
+    assert lo > hi                          # empty, visible to callers
+
+
+def test_ranges_flow_through_dim_classes():
+    store = ConstraintStore()
+    a, b = syms("a", "b")
+    store.assume_range(a, 4, 64)
+    store.assert_dims_equal(a, b)
+    assert store.range_of(b) == (4, 64)
+    assert ("assume", "a", 4, 64) in store.range_facts(b)
+
+
+def test_point_range_resolves_like_a_constant():
+    store = ConstraintStore()
+    (a,) = syms("a")
+    store.assume_range(a, 7, 7)
+    assert store.resolve_dim(a) == 7
+    assert store.likely_value(a) == 7
+
+
+def test_hints_clamped_into_proven_range():
+    """A likely-value hint may pick a value but never widen the facts."""
+    store = ConstraintStore()
+    hinted = SymDim("h", hint=1000)
+    store.note_likely_value(hinted)
+    store.assume_range("h", 2, 128)
+    assert store.likely_value(SymDim("h")) == 128   # clamped to hi
+    store2 = ConstraintStore()
+    store2.note_likely_value(SymDim("k", hint=1))
+    store2.assume_range("k", 16, 64)
+    assert store2.likely_value(SymDim("k")) == 16   # clamped to lo
+
+
+def test_hint_never_becomes_a_range_fact():
+    store = ConstraintStore()
+    store.note_likely_value(SymDim("h", hint=64))
+    assert store.range_of("h") == (None, None)
+    assert store.range_facts("h") == []
+
+
+def test_class_member_hint_is_shared_and_clamped():
+    store = ConstraintStore()
+    a, b = syms("a", "b")
+    store.note_likely_value(SymDim("a", hint=48))
+    store.assert_dims_equal(a, b)
+    assert store.likely_value(b) == 48
+    store.assume_range(b, 1, 32)
+    assert store.likely_value(b) == 32
