@@ -10,6 +10,8 @@ simulated GPU substrate:
 - :mod:`repro.runtime` — the runtime abstraction layer (RAL);
 - :mod:`repro.serving` — concurrent serving runtime with background
   compilation and an interpreter fallback path;
+- :mod:`repro.tuning` — budgeted, cost-model-guided schedule autotuning
+  whose winners freeze into cached launch plans;
 - :mod:`repro.device` — analytic A10/T4 GPU cost model;
 - :mod:`repro.baselines` — seven simulated baseline systems;
 - :mod:`repro.models` / :mod:`repro.workloads` / :mod:`repro.bench` — the
@@ -46,6 +48,7 @@ from .workloads import make_trace
 from .serving import (BatchingOptions, BatchingServingEngine,
                       ServingEngine, ServingOptions, VirtualClock,
                       VirtualScheduler)
+from .tuning import ScheduleTuner, TuningOptions, TuningResult
 
 __version__ = "1.0.0"
 
@@ -65,5 +68,6 @@ __all__ = [
     "make_trace",
     "BatchingOptions", "BatchingServingEngine",
     "ServingEngine", "ServingOptions", "VirtualClock", "VirtualScheduler",
+    "ScheduleTuner", "TuningOptions", "TuningResult",
     "__version__",
 ]

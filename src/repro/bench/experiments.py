@@ -473,9 +473,32 @@ def _softmax_micro():
     return b.graph
 
 
-def e9_schedule_selection(device_name: str = "A10",
-                          seed: int = 0) -> dict:
-    """Selector vs each fixed schedule across row-space extremes."""
+def _geomean(values) -> float:
+    values = [v for v in values if v > 0]
+    if not values:
+        return 1.0
+    return float(np.exp(np.mean(np.log(values))))
+
+
+def e9_schedule_selection(device_name: str = "A10", seed: int = 0,
+                          models: list | None = None,
+                          num_queries: int | None = None,
+                          shape_counts: tuple = (1, 4, 16)) -> dict:
+    """Schedule selection and autotuning, three measurements in one:
+
+    - the original micro table — the heuristic selector vs each fixed
+      generic schedule at three row-space extremes;
+    - the autotuned zoo — per model, the budgeted search's winners vs
+      the heuristic picks vs the adversarial worst case, on both the
+      schedulable-kernel time (the quantity the tuner optimizes) and
+      whole-model device time, with full search accounting;
+    - an E7-style shape-diversity sweep — as distinct signatures grow,
+      each pays its search once and replays cached winners, so the
+      amortized tuned time stays below the heuristic line.
+    """
+    from ..obs.tracer import CapturingTracer
+    from ..tuning import ScheduleTuner, TuningOptions, WorstCaseSelector
+
     device = device_named(device_name)
     graph = _softmax_micro()
     executable = DiscCompiler(CompileOptions()).compile(graph)
@@ -498,8 +521,114 @@ def e9_schedule_selection(device_name: str = "A10",
         record["selected"] = stats.device_time_us
         record["best_fixed"] = min(record[s] for s in schedules)
         rows_out.append(record)
+
+    # -- autotuned zoo ------------------------------------------------------
+    model_names = models or list(BENCH_MODELS)
+    num_queries = num_queries if num_queries is not None \
+        else bench_queries(12)
+    options = TuningOptions()
+    tracer = CapturingTracer()
+    worst_selector = WorstCaseSelector(device)
+    zoo = []
+    for model_name in model_names:
+        model = _bench_model(model_name)
+        exe = DiscCompiler(CompileOptions()).compile(model.graph)
+        trace = make_trace(model, num_queries, "zipf", seed=seed)
+        inputs = trace.inputs()[0]
+        engine = ExecutionEngine(exe, device)
+        signature = engine.host_program.signature(inputs)
+        result = ScheduleTuner(device, options, tracer=tracer).tune(
+            exe, signature)
+
+        def model_time(selector):
+            engine.prepare(inputs, signature, selector=selector,
+                           overwrite=True)
+            __, stats = engine.run(inputs)
+            return stats.device_time_us
+
+        heuristic_model = model_time(None)
+        worst_model = model_time(worst_selector)
+        tuned_model = model_time(result.selector())
+        summary = result.summary()
+        zoo.append({
+            "model": model_name,
+            "kernels": summary["kernels"],
+            "improved": summary["improved"],
+            "heuristic_kernel_us": summary["heuristic_time_us"],
+            "tuned_kernel_us": summary["tuned_time_us"],
+            "kernel_speedup": summary["speedup"],
+            "heuristic_model_us": heuristic_model,
+            "tuned_model_us": tuned_model,
+            "worst_model_us": worst_model,
+            "model_speedup": heuristic_model / tuned_model,
+            "worst_penalty": worst_model / heuristic_model,
+            "enumerated": summary["enumerated"],
+            "pruned": sum(summary["pruned"].values()),
+            "scored": summary["scored"],
+            "tuning_spent_us": summary["spent_us"],
+            "budget_us": summary["budget_us"],
+            "budget_exhausted": summary["budget_exhausted"],
+            "picks": summary["picks"],
+        })
+    autotune = {
+        "budget_us": options.budget_us,
+        "rows": zoo,
+        "geomean_kernel_speedup": _geomean(
+            [r["kernel_speedup"] for r in zoo]),
+        "geomean_model_speedup": _geomean(
+            [r["model_speedup"] for r in zoo]),
+        "geomean_worst_penalty": _geomean(
+            [r["worst_penalty"] for r in zoo]),
+    }
+
+    # -- shape-diversity sweep: search once per signature, replay after -----
+    sweep_model = _bench_model("bert")
+    sweep_exe = DiscCompiler(CompileOptions()).compile(sweep_model.graph)
+    sweep_queries = num_queries * 2
+    sweep = []
+    for k in shape_counts:
+        trace = _k_distinct_trace(sweep_model, sweep_queries, k, seed)
+        heuristic_engine = ExecutionEngine(sweep_exe, device)
+        tuned_engine = ExecutionEngine(sweep_exe, device)
+        tuner = ScheduleTuner(device, options, tracer=tracer)
+        tuned_signatures: set = set()
+        tuning_spent = heuristic_us = tuned_us = 0.0
+        queries = trace.inputs()
+        for query in queries:
+            signature = tuned_engine.host_program.signature(query)
+            if signature not in tuned_signatures:
+                tuned_signatures.add(signature)
+                result = tuner.tune(sweep_exe, signature)
+                tuning_spent += result.spent_us
+                tuned_engine.prepare(query, signature,
+                                     selector=result.selector(),
+                                     overwrite=True)
+            __, stats = heuristic_engine.run(query)
+            heuristic_us += stats.device_time_us
+            __, stats = tuned_engine.run(query)
+            tuned_us += stats.device_time_us
+        n = len(queries)
+        sweep.append({
+            "distinct_shapes": k,
+            "queries": n,
+            "signatures_tuned": len(tuned_signatures),
+            "tuning_spent_us": tuning_spent,
+            "heuristic_us_per_query": heuristic_us / n,
+            "tuned_us_per_query": tuned_us / n,
+            "amortized_us_per_query": (tuned_us + tuning_spent) / n,
+            "speedup": heuristic_us / tuned_us,
+        })
+
+    span_breakdown = {
+        name: info for name, info in tracer.spans.summary().items()
+        if name.startswith("tuning:")}
+
     return {"experiment": "schedule_selection", "device": device_name,
-            "schedules": schedules, "rows": rows_out}
+            "schedules": schedules, "rows": rows_out,
+            "autotune": autotune,
+            "shape_sweep": {"model": "bert", "queries": sweep_queries,
+                            "rows": sweep},
+            "span_breakdown": span_breakdown}
 
 
 def format_schedule_selection(result: dict) -> str:
@@ -509,10 +638,62 @@ def format_schedule_selection(result: dict) -> str:
             + [r[s] for s in result["schedules"]]
             + [r["selected"], r["best_fixed"]]
             for r in result["rows"]]
-    return format_table(
+    text = format_table(
         headers, rows,
         f"[{result['device']}] Softmax kernel device time (us) per "
         f"schedule variant; runtime selection vs fixed")
+
+    autotune = result.get("autotune")
+    if autotune:
+        headers = ["model", "kernels", "improved", "heur kern us",
+                   "tuned kern us", "kern speedup", "heur model us",
+                   "tuned model us", "worst model us", "model speedup",
+                   "enum", "pruned", "scored", "search us", "exhausted"]
+        rows = [[r["model"], r["kernels"], r["improved"],
+                 r["heuristic_kernel_us"], r["tuned_kernel_us"],
+                 r["kernel_speedup"], r["heuristic_model_us"],
+                 r["tuned_model_us"], r["worst_model_us"],
+                 r["model_speedup"], r["enumerated"], r["pruned"],
+                 r["scored"], r["tuning_spent_us"],
+                 "yes" if r["budget_exhausted"] else "no"]
+                for r in autotune["rows"]]
+        text += "\n\n" + format_table(
+            headers, rows,
+            f"[{result['device']}] Autotuned schedules vs heuristic "
+            f"dispatch across the zoo (budget "
+            f"{autotune['budget_us']:.0f}us/signature); geomean "
+            f"speedup {autotune['geomean_kernel_speedup']:.3f}x "
+            f"schedulable-kernel, "
+            f"{autotune['geomean_model_speedup']:.3f}x whole-model, "
+            f"worst-case penalty "
+            f"{autotune['geomean_worst_penalty']:.3f}x")
+
+    sweep = result.get("shape_sweep")
+    if sweep:
+        headers = ["#shapes", "queries", "tuned sigs", "search us",
+                   "heur us/query", "tuned us/query",
+                   "amortized us/query", "speedup"]
+        rows = [[r["distinct_shapes"], r["queries"],
+                 r["signatures_tuned"], r["tuning_spent_us"],
+                 r["heuristic_us_per_query"], r["tuned_us_per_query"],
+                 r["amortized_us_per_query"], r["speedup"]]
+                for r in sweep["rows"]]
+        text += "\n\n" + format_table(
+            headers, rows,
+            f"[{result['device']}] Shape-diversity sweep on "
+            f"{sweep['model']}: each signature pays its search once, "
+            f"then replays cached winners")
+
+    breakdown = result.get("span_breakdown")
+    if breakdown:
+        headers = ["span", "count", "wall us"]
+        rows = [[name, info["count"], info["total_us"]]
+                for name, info in sorted(breakdown.items())]
+        text += "\n\n" + format_table(
+            headers, rows,
+            "Tuning span breakdown (searches actually executed while "
+            "building this table; wall-clock us)")
+    return text
 
 
 # ---------------------------------------------------------------------------

@@ -2,14 +2,17 @@
 
 from .exprs import emit_statement, serialize_shape
 from .kernels import CompiledKernel, CostRecipe, compile_group
-from .schedules import (ELEMENTWISE_SCHEDULES, REDUCTION_SCHEDULES, Schedule,
-                        schedule_named, select_elementwise, select_reduction)
+from .schedules import (ELEMENTWISE_SCHEDULES, HEURISTIC_SELECTOR,
+                        REDUCTION_SCHEDULES, Schedule, ScheduleSelector,
+                        elementwise_vec, row_tile, schedule_named,
+                        select_elementwise, select_reduction)
 from .support import SUPPORT_NAMESPACE
 
 __all__ = [
     "emit_statement", "serialize_shape",
     "CompiledKernel", "CostRecipe", "compile_group",
-    "ELEMENTWISE_SCHEDULES", "REDUCTION_SCHEDULES", "Schedule",
+    "ELEMENTWISE_SCHEDULES", "HEURISTIC_SELECTOR", "REDUCTION_SCHEDULES",
+    "Schedule", "ScheduleSelector", "elementwise_vec", "row_tile",
     "schedule_named", "select_elementwise", "select_reduction",
     "SUPPORT_NAMESPACE",
 ]

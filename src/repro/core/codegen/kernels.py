@@ -26,7 +26,7 @@ from ...ir.ops import OpCategory, op_info
 from ..fusion.kinds import FusionGroup, FusionKind
 from ..fusion.legality import is_last_axis_reduce
 from .exprs import emit_statement, serialize_shape
-from .schedules import (Schedule, select_elementwise, select_reduction)
+from .schedules import HEURISTIC_SELECTOR, Schedule, ScheduleSelector
 from .support import SUPPORT_NAMESPACE, _shape
 
 __all__ = ["CompiledKernel", "CostRecipe", "compile_group"]
@@ -105,8 +105,15 @@ class CompiledKernel:
 
     # -- runtime schedule selection + costing --------------------------------
 
-    def select_schedule(self, dims: dict) -> Schedule | None:
-        """The dispatch stub: pick a variant from the concrete shapes."""
+    def domain_extents(self, dims: dict) -> tuple | None:
+        """Concrete iteration-domain extents of one launch.
+
+        ``("loop", total, innermost)`` for elementwise kernels,
+        ``("rows", rows, cols)`` for row-space reductions, None for
+        kernels with no schedulable domain (library, host, metadata).
+        The schedule selectors and the autotuner's strategy space both
+        work from these extents.
+        """
         if self.recipe.domain is None:
             return None
         kind = self.recipe.domain[0]
@@ -114,16 +121,36 @@ class CompiledKernel:
             shape = _shape(self.recipe.domain[1], dims)
             total = int(np.prod(shape, initial=1))
             innermost = int(shape[-1]) if shape else 1
-            return select_elementwise(total, innermost)
+            return ("loop", total, innermost)
         if kind == "rows":
             rows = int(np.prod(_shape(self.recipe.domain[1], dims),
                                initial=1))
             cols = int(_shape((self.recipe.domain[2],), dims)[0])
-            return select_reduction(rows, cols)
+            return ("rows", rows, cols)
         return None
 
+    def select_schedule(self, dims: dict,
+                        selector: ScheduleSelector | None = None
+                        ) -> Schedule | None:
+        """The dispatch stub: pick a variant from the concrete shapes.
+
+        ``selector`` is the selection seam — None means the generic
+        shape-threshold heuristics; the autotuner installs per-kernel
+        winners through it.
+        """
+        extents = self.domain_extents(dims)
+        if extents is None:
+            return None
+        if selector is None:
+            selector = HEURISTIC_SELECTOR
+        kind, major, minor = extents
+        if kind == "loop":
+            return selector.elementwise(self, major, minor)
+        return selector.reduction(self, major, minor)
+
     def resolve_schedule(self, dims: dict,
-                         forced: Schedule | None = None
+                         forced: Schedule | None = None,
+                         selector: ScheduleSelector | None = None
                          ) -> Schedule | None:
         """Plan-freezing hook: the variant one launch will actually use.
 
@@ -136,11 +163,11 @@ class CompiledKernel:
         what per-call selection would have picked.
         """
         if forced is None:
-            return self.select_schedule(dims)
+            return self.select_schedule(dims, selector)
         if self.recipe.domain is not None:
             domain_kind = self.recipe.domain[0]
             if (domain_kind == "rows") != forced.row_space:
-                return self.select_schedule(dims)
+                return self.select_schedule(dims, selector)
         return forced
 
     def cost_spec(self, dims: dict, schedule: Schedule | None,

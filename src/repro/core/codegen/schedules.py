@@ -1,4 +1,4 @@
-"""Schedule variants and runtime schedule selection.
+"""Schedule variants, runtime schedule selection, and the selection seam.
 
 A static-shape compiler bakes one schedule (tiling, vectorisation, launch
 dims) into each kernel, chosen from the concrete shape.  With unknown
@@ -6,37 +6,80 @@ shapes BladeDISC instead emits a *small set* of schedule variants per
 kernel at compile time and selects among them at run time from the actual
 shapes — a few integer comparisons per launch, no recompilation.
 
-The variants modelled here are the ones the paper's kernels need:
+The variants modelled here come in two populations:
 
-- elementwise kernels: a flat thread-per-element schedule, plus a
-  vectorised (``float4``) one applicable when the innermost extent is a
-  multiple of 4;
-- reduction/stitch kernels over row spaces: ``row_per_warp`` (one warp per
-  row — best for many short rows), ``row_per_block`` (one thread block per
-  row — best for long rows) and ``two_pass`` (grid-wide tree reduction for
-  extreme rows, costing one extra launch).
+- the **generic dispatch variants** every kernel ships: a flat
+  thread-per-element elementwise schedule plus a vectorised (``float4``)
+  one, and three row-space reduction schedules (``row_per_warp``,
+  ``row_per_block``, ``two_pass``).  Their dispatch stub is the pair of
+  heuristics :func:`select_elementwise` / :func:`select_reduction`;
+- the **tuned variants** the schedule autotuner (:mod:`repro.tuning`)
+  specialises per signature: a parameterised row-tile family
+  (``row_tile_t{threads}v{vector}[s{split}]`` — block size, per-lane
+  vector width, optional column-space split paying one combine launch)
+  and parameterised elementwise vector widths (``ew_vec{width}``).
+  Because a tuned variant is generated for *one* concrete tile, its
+  profile tops out closer to peak than the generic variants, whose
+  efficiency cliffs price in their shape-agnostic dispatch.
 
 Each variant supplies the cost model with an efficiency factor and the
-parallelism it exposes; the *selector* chooses using the same shape
-thresholds a generated kernel's dispatch stub would use.  Experiment E9
-verifies the selector tracks the per-shape best variant.
+parallelism it exposes.  :class:`ScheduleSelector` is the selection seam:
+the engines never call the heuristic functions directly, they ask a
+selector, so an autotuned (or adversarial) policy can replace the
+heuristics per kernel without touching the engines.  Experiment E9
+verifies the selector tracks the per-shape best variant and measures the
+tuned variants against it.
 """
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 
-__all__ = ["Schedule", "ELEMENTWISE_SCHEDULES", "REDUCTION_SCHEDULES",
-           "select_elementwise", "select_reduction", "schedule_named"]
+__all__ = ["Schedule", "ELEMENTWISE_SCHEDULES", "EW_VECTOR_WIDTHS",
+           "REDUCTION_SCHEDULES", "ROW_TILE_VECTOR_WIDTHS",
+           "ScheduleSelector", "HEURISTIC_SELECTOR", "elementwise_vec",
+           "row_tile", "select_elementwise", "select_reduction",
+           "schedule_named"]
+
+
+#: efficiency of a tuned elementwise kernel by vector width.  Width 1
+#: matches the generic flat schedule; width 4 the float4 one; width 8
+#: trades register pressure for wider loads and lands just under.
+_EW_VEC_EFF = {1: 0.82, 2: 0.90, 4: 1.0, 8: 0.97}
+
+#: memory-stream efficiency of a tuned row tile by vector width, before
+#: the utilisation and split penalties below.  A perfectly-utilised
+#: float4 tile is a single streaming pass — it reaches the same peak as
+#: the vectorised elementwise schedule; narrower accesses trail it.
+_ROW_VEC_EFF = {1: 0.90, 2: 0.96, 4: 1.0}
+
+#: the vector widths each tuned family can be generated for — the
+#: autotuner's strategy space intersects its width grid with these.
+EW_VECTOR_WIDTHS = tuple(sorted(_EW_VEC_EFF))
+ROW_TILE_VECTOR_WIDTHS = tuple(sorted(_ROW_VEC_EFF))
 
 
 @dataclass(frozen=True)
 class Schedule:
-    """One generated schedule variant of a kernel."""
+    """One generated schedule variant of a kernel.
+
+    The generic dispatch variants are identified by name alone (all the
+    parameter fields at their defaults, exactly as before the tuner
+    existed).  Tuned variants carry their tile parameters: ``block_threads``
+    lanes per row block, ``vector_width`` elements per lane access, and
+    ``col_split`` column-space segments (``> 1`` adds a combine launch).
+    """
 
     name: str
     #: extra kernel launches this schedule needs beyond the first.
     extra_launches: int = 0
+    #: tuned row tile: threads per block (0 = not a tuned row tile).
+    block_threads: int = 0
+    #: tuned vector width in elements (0 = not a tuned variant).
+    vector_width: int = 0
+    #: tuned column-space split factor (1 = whole row per block).
+    col_split: int = 1
 
     @property
     def row_space(self) -> bool:
@@ -47,7 +90,13 @@ class Schedule:
         domain; keying on the family here keeps that decision in one
         place instead of hard-coded name lists at the call sites.
         """
-        return self.name in ("row_per_warp", "row_per_block", "two_pass")
+        return self.block_threads > 0 or \
+            self.name in ("row_per_warp", "row_per_block", "two_pass")
+
+    @property
+    def tuned(self) -> bool:
+        """True for autotuner-generated variants (parameterised tiles)."""
+        return self.block_threads > 0 or self.vector_width > 0
 
     # Efficiency / parallelism are functions of the *concrete* iteration
     # space, evaluated at run time when the shapes are known.
@@ -58,6 +107,8 @@ class Schedule:
             return 1.0, total_elements
         if self.name == "flat":
             return 0.82, total_elements
+        if self.vector_width and not self.block_threads:
+            return _EW_VEC_EFF[self.vector_width], total_elements
         raise ValueError(f"{self.name} is not an elementwise schedule")
 
     def reduction_profile(self, rows: int, cols: int) -> tuple:
@@ -76,7 +127,50 @@ class Schedule:
             # Grid-wide tree reduction: full parallelism, extra launch,
             # intermediate traffic folded into a lower efficiency.
             return 0.70, rows * cols
+        if self.block_threads:
+            # Tuned row tile: each of ``col_split`` segments of a row is
+            # handled by one ``block_threads``-lane block issuing
+            # ``vector_width``-wide accesses.  Idle lanes (tile overshoots
+            # the segment) waste block slots the same way row_per_block's
+            # cliff does, just continuously; splitting pays combine
+            # traffic.  Parallelism counts every launched lane times its
+            # vector width — the same launched-work convention the
+            # generic row schedules use (``row_per_block`` claims
+            # ``rows * 256`` even on short rows); the overshoot pruning
+            # rule bounds how much idle-lane credit a tile can claim.
+            threads, width = self.block_threads, self.vector_width
+            split = self.col_split
+            segment = -(-cols // split)
+            active = min(threads, -(-segment // width))
+            utilisation = active / threads
+            eff = _ROW_VEC_EFF[width] * (0.55 + 0.45 * utilisation)
+            if split > 1:
+                eff *= 0.92
+            parallel = max(1, rows * split * threads * width)
+            return eff, parallel
         raise ValueError(f"{self.name} is not a reduction schedule")
+
+
+def elementwise_vec(width: int) -> Schedule:
+    """The tuned elementwise variant with ``width``-element vector lanes."""
+    if width not in _EW_VEC_EFF:
+        raise ValueError(f"unsupported elementwise vector width {width}; "
+                         f"supported: {sorted(_EW_VEC_EFF)}")
+    return Schedule(f"ew_vec{width}", vector_width=width)
+
+
+def row_tile(threads: int, width: int = 1, split: int = 1) -> Schedule:
+    """The tuned row-tile reduction variant ``(threads, width, split)``."""
+    if threads < 1 or width not in _ROW_VEC_EFF or split < 1:
+        raise ValueError(
+            f"unsupported row tile t={threads} v={width} s={split}; "
+            f"vector widths: {sorted(_ROW_VEC_EFF)}")
+    name = f"row_tile_t{threads}v{width}"
+    if split > 1:
+        name += f"s{split}"
+    return Schedule(name, extra_launches=1 if split > 1 else 0,
+                    block_threads=threads, vector_width=width,
+                    col_split=split)
 
 
 FLAT = Schedule("flat")
@@ -90,9 +184,32 @@ REDUCTION_SCHEDULES = (ROW_PER_WARP, ROW_PER_BLOCK, TWO_PASS)
 
 _BY_NAME = {s.name: s for s in ELEMENTWISE_SCHEDULES + REDUCTION_SCHEDULES}
 
+_ROW_TILE_RE = re.compile(r"row_tile_t(\d+)v(\d+)(?:s(\d+))?\Z")
+_EW_VEC_RE = re.compile(r"ew_vec(\d+)\Z")
+
 
 def schedule_named(name: str) -> Schedule:
-    return _BY_NAME[name]
+    """Look up a variant by name.
+
+    Generic variants resolve to their interned instances; tuned-family
+    names (``row_tile_t{t}v{v}[s{s}]``, ``ew_vec{w}``) are parsed back
+    into parameterised schedules, so a schedule name recorded in a
+    ``RunStats``/``LaunchPlan`` always round-trips.
+    """
+    schedule = _BY_NAME.get(name)
+    if schedule is not None:
+        return schedule
+    match = _ROW_TILE_RE.fullmatch(name)
+    if match is not None:
+        return row_tile(int(match.group(1)), int(match.group(2)),
+                        int(match.group(3) or 1))
+    match = _EW_VEC_RE.fullmatch(name)
+    if match is not None:
+        return elementwise_vec(int(match.group(1)))
+    raise KeyError(
+        f"unknown schedule {name!r}; valid names: {sorted(_BY_NAME)}, "
+        f"plus the tuned families 'row_tile_t<threads>v<width>[s<split>]' "
+        f"and 'ew_vec<width>'")
 
 
 def select_elementwise(total_elements: int, innermost: int) -> Schedule:
@@ -117,3 +234,26 @@ def select_reduction(rows: int, cols: int) -> Schedule:
     if rows >= 512 or cols <= 1024:
         return ROW_PER_BLOCK
     return TWO_PASS
+
+
+class ScheduleSelector:
+    """The schedule-selection seam.
+
+    Engines hand every schedulable kernel's concrete iteration domain to
+    a selector; this base class implements the generic dispatch-stub
+    heuristics, and richer policies (the autotuner's per-kernel winners,
+    the E9 adversarial worst-case) subclass it.  ``kernel`` is the
+    :class:`~repro.core.codegen.kernels.CompiledKernel` being launched,
+    so per-kernel policies can key on its identity.
+    """
+
+    def elementwise(self, kernel, total_elements: int,
+                    innermost: int) -> Schedule:
+        return select_elementwise(total_elements, innermost)
+
+    def reduction(self, kernel, rows: int, cols: int) -> Schedule:
+        return select_reduction(rows, cols)
+
+
+#: the default policy: the shape-threshold dispatch stubs above.
+HEURISTIC_SELECTOR = ScheduleSelector()

@@ -3,11 +3,14 @@
 from .profiles import (A10, CPU_AARCH64, CPU_X86, DEVICES, T4,
                        DeviceProfile, device_named)
 from .cost import KernelSpec, kernel_time_us, library_efficiency, occupancy
+from .compilecost import (COMPILE_GRADES, TUNING_COSTS, compile_cost_us,
+                          tuning_cost_us)
 from .counters import RunStats, Timeline
 
 __all__ = [
     "A10", "CPU_AARCH64", "CPU_X86", "DEVICES", "T4", "DeviceProfile",
     "device_named",
     "KernelSpec", "kernel_time_us", "library_efficiency", "occupancy",
+    "COMPILE_GRADES", "TUNING_COSTS", "compile_cost_us", "tuning_cost_us",
     "RunStats", "Timeline",
 ]

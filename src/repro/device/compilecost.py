@@ -13,7 +13,8 @@ minutes to hours per shape; TensorRT engine builds take minutes.
 
 from __future__ import annotations
 
-__all__ = ["compile_cost_us", "COMPILE_GRADES"]
+__all__ = ["compile_cost_us", "COMPILE_GRADES", "TUNING_COSTS",
+           "tuning_cost_us"]
 
 #: (fixed microseconds, microseconds per graph node)
 COMPILE_GRADES = {
@@ -38,3 +39,26 @@ def compile_cost_us(num_nodes: int, grade: str) -> float:
         raise KeyError(f"unknown compile grade {grade!r}; "
                        f"available: {sorted(COMPILE_GRADES)}") from None
     return fixed + per_node * num_nodes
+
+
+#: Accounting rates for the schedule autotuner's budgeted search
+#: (:mod:`repro.tuning`).  Per-kernel setup covers loading the kernel's
+#: cost recipe and resolving its iteration domain; enumeration is the
+#: strategy-space walk with its pruning predicates (cheap — a handful of
+#: integer checks per candidate); scoring evaluates the analytic cost
+#: model on a surviving candidate.  The scales are per-kernel
+#: milliseconds — two to three orders of magnitude under a TVM-style
+#: measured autotune, which is exactly the cost-model-guided bet.
+TUNING_COSTS = {
+    "per_kernel_us": 800.0,
+    "per_candidate_enumerated_us": 15.0,
+    "per_candidate_scored_us": 350.0,
+}
+
+
+def tuning_cost_us(kernels: int = 0, enumerated: int = 0,
+                   scored: int = 0) -> float:
+    """Simulated microseconds one tuning search charges its budget."""
+    return (TUNING_COSTS["per_kernel_us"] * kernels
+            + TUNING_COSTS["per_candidate_enumerated_us"] * enumerated
+            + TUNING_COSTS["per_candidate_scored_us"] * scored)

@@ -40,6 +40,18 @@ class DeviceProfile:
     kernel_fixed_us: float = 0.5
     #: host cost of one host-placed scalar/shape computation.
     host_op_us: float = 0.08
+    #: launch-config ceiling: threads one block may use.  The schedule
+    #: autotuner prunes tile candidates above it (on CPU the analog is
+    #: the worker-team width of one parallel loop).
+    max_threads_per_block: int = 1024
+    #: shared-memory analog available to one block for staging buffers.
+    #: Modelled as a conservative per-block carve-out rather than the
+    #: full datasheet figure, so double-buffered wide-vector tiles are
+    #: genuinely constrained (the tuner's smem pruning rule).
+    smem_bytes_per_block: int = 24_576
+    #: widest vector load/store one lane can issue, in bytes (float4 on
+    #: the GPUs; the SIMD register width on the CPUs).
+    max_vector_bytes: int = 16
 
     @property
     def saturation_elements(self) -> int:
@@ -87,6 +99,9 @@ CPU_X86 = DeviceProfile(
     sm_count=32,
     threads_per_sm=2,
     host_op_us=0.05,
+    max_threads_per_block=32,
+    smem_bytes_per_block=32_768,
+    max_vector_bytes=64,
 )
 
 #: An AArch64 server CPU (Yitian-710-class), the other CPU target the
@@ -100,6 +115,9 @@ CPU_AARCH64 = DeviceProfile(
     sm_count=64,
     threads_per_sm=2,
     host_op_us=0.05,
+    max_threads_per_block=32,
+    smem_bytes_per_block=32_768,
+    max_vector_bytes=16,
 )
 
 DEVICES = {"A10": A10, "T4": T4, "CPU-x86": CPU_X86,

@@ -28,7 +28,7 @@ hand-built cases:
 
 from .corpus import load_case, save_case
 from .faults import CompileFaultInjector, CorruptedInterpreter, \
-    corrupt_kernel
+    TunerFaultError, TunerFaultInjector, corrupt_kernel
 from .generator import GeneratorConfig, generate_graph
 from .minimizer import MinimizeResult, minimize
 from .oracle import CaseResult, DifferentialOracle, Failure, make_inputs
@@ -50,6 +50,8 @@ __all__ = [
     "corrupt_kernel",
     "CorruptedInterpreter",
     "CompileFaultInjector",
+    "TunerFaultError",
+    "TunerFaultInjector",
     "save_case",
     "load_case",
     "run_campaign",

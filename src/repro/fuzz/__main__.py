@@ -61,6 +61,15 @@ def build_parser() -> argparse.ArgumentParser:
                              "RunStats must be bit-identical to the "
                              "untraced run and the recorded trace must "
                              "satisfy the structural trace invariants")
+    parser.add_argument("--tuning", action="store_true",
+                        help="additionally run the schedule autotuner on "
+                             "every case: tuned plans must be bit-"
+                             "identical to heuristic plans, never slower "
+                             "on simulated device time, deterministic, "
+                             "and within the search budget; seed-varied, "
+                             "a serving run with an injected tuner fault "
+                             "must quarantine the search while every "
+                             "response stays OK")
     return parser
 
 
@@ -70,11 +79,13 @@ def main(argv=None) -> int:
     if args.max_nodes is not None:
         config.max_nodes = args.max_nodes
     oracle = None
-    if args.lint or args.serving or args.batching or args.obs:
+    if args.lint or args.serving or args.batching or args.obs \
+            or args.tuning:
         oracle = DifferentialOracle(
             lint_level=LintLevel(args.lint_level) if args.lint
             else LintLevel.OFF,
-            serving=args.serving, batching=args.batching, obs=args.obs)
+            serving=args.serving, batching=args.batching, obs=args.obs,
+            tuning=args.tuning)
     report = run_campaign(
         seed=args.seed, iters=args.iters, config=config,
         out_dir=args.out, minimize_failures=not args.no_minimize,

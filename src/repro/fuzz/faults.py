@@ -32,7 +32,8 @@ from ..runtime.executable import Executable
 from ..serving.compilepool import (PermanentCompileError,
                                    TransientCompileError)
 
-__all__ = ["CompileFaultInjector", "corrupt_kernel",
+__all__ = ["CompileFaultInjector", "TunerFaultError",
+           "TunerFaultInjector", "corrupt_kernel",
            "CorruptedInterpreter"]
 
 
@@ -102,6 +103,42 @@ class CompileFaultInjector:
             raise TransientCompileError(
                 f"injected transient fault for {model} sig#{index} "
                 f"attempt {attempt}")
+
+
+class TunerFaultError(RuntimeError):
+    """Injected schedule-search failure (distinct from compile faults)."""
+
+
+class TunerFaultInjector:
+    """Deterministic tuner-fault schedule for serving-runtime runs.
+
+    Plugs into ``ServingEngine(tuning_fault=...)``; called once per
+    background compile attempt with ``(model, signature, attempt)``.
+    The first ``fault_signatures`` distinct (model, signature) keys
+    raise :class:`TunerFaultError` on every attempt.  The serving
+    engine must quarantine only the key's *tuning*: the compile still
+    completes, a heuristic (untuned) plan is installed, and every
+    response stays OK and bit-identical — a tuner defect can cost
+    performance, never correctness or availability.
+    """
+
+    def __init__(self, fault_signatures: int = 1) -> None:
+        self.fault_signatures = fault_signatures
+        #: distinct (model, signature) keys in first-seen order.
+        self.seen: dict = {}
+        #: log of (model, signature, attempt) per invocation.
+        self.calls: list[tuple] = []
+
+    def __call__(self, model: str, signature: tuple,
+                 attempt: int) -> None:
+        key = (model, signature)
+        if key not in self.seen:
+            self.seen[key] = len(self.seen) + 1
+        self.calls.append((model, signature, attempt))
+        if self.seen[key] <= self.fault_signatures:
+            raise TunerFaultError(
+                f"injected tuner fault for {model} "
+                f"sig#{self.seen[key]}")
 
 
 class CorruptedInterpreter(Interpreter):

@@ -36,7 +36,7 @@ from ..runtime.engine import ExecutionEngine
 
 __all__ = ["Failure", "CaseResult", "DifferentialOracle", "make_inputs",
            "compare_arrays", "DISC_EXECUTOR", "SERVING_EXECUTOR",
-           "BATCHING_EXECUTOR", "OBS_EXECUTOR"]
+           "BATCHING_EXECUTOR", "OBS_EXECUTOR", "TUNING_EXECUTOR"]
 
 #: name under which the optimized pipeline appears in results.
 DISC_EXECUTOR = "DISC"
@@ -46,6 +46,8 @@ SERVING_EXECUTOR = "SERVING"
 BATCHING_EXECUTOR = "BATCHING"
 #: name under which the tracing (observability) oracle appears.
 OBS_EXECUTOR = "OBS"
+#: name under which the schedule-autotuning oracle appears.
+TUNING_EXECUTOR = "TUNING"
 
 #: (rtol, atol) per dtype name; ints/bools compare exactly.
 _TOLERANCES = {
@@ -153,7 +155,8 @@ class DifferentialOracle:
                  lint_level: LintLevel = LintLevel.OFF,
                  serving: bool = False,
                  batching: bool = False,
-                 obs: bool = False) -> None:
+                 obs: bool = False,
+                 tuning: bool = False) -> None:
         self.device = device
         self.baselines = tuple(baselines) if baselines is not None \
             else tuple(baseline_names())
@@ -185,6 +188,14 @@ class DifferentialOracle:
         #: containment, pass coverage, kernel accounting) — a third
         #: oracle asserting on system *behavior*, not just numbers.
         self.obs = obs
+        #: when True, every case additionally runs the schedule
+        #: autotuner: tuned plans must be bit-identical to heuristic
+        #: plans (schedules change cost, never numerics), never slower
+        #: on simulated device time, deterministic (same signature and
+        #: budget => same winners, same spend), and within budget — and,
+        #: seed-varied, a serving run with an injected tuner fault must
+        #: quarantine the search while every response stays OK.
+        self.tuning = tuning
 
     # -- single case -------------------------------------------------------
 
@@ -238,6 +249,8 @@ class DifferentialOracle:
             self._check_serving(inputs, executable, result)
         if self.batching and executable is not None:
             self._check_batching(inputs, executable, result)
+        if self.tuning and executable is not None:
+            self._check_tuning(inputs, executable, result)
         if self.obs:
             self._check_obs(graph, inputs, executable, result)
         self._check_baselines(graph, inputs, reference, result)
@@ -484,6 +497,143 @@ class DifferentialOracle:
             result.failures.append(Failure(
                 executor=BATCHING_EXECUTOR, kind="invariant",
                 detail="warm burst never took the batched path"))
+
+    # -- schedule autotuning -----------------------------------------------
+
+    def _check_tuning(self, inputs, executable,
+                      result: CaseResult) -> None:
+        """Run the schedule autotuner against its three contracts.
+
+        (1) *Correctness*: a tuned plan's outputs are bit-identical to
+        the heuristic plan's — schedules move simulated cost, never
+        numerics — and its simulated device time is never higher.
+        (2) *Determinism*: an independent tuner with the same signature
+        and budget reaches the same winners for the same spend, and
+        spend never exceeds the budget (seeds alternate a generous and
+        a starvation budget to cover the exhaustion path).
+        (3) *Isolation*: on every third seed, a serving run with an
+        injected tuner fault must quarantine the search only — the
+        compile completes, the installed plan is untuned, and every
+        response is OK and bit-identical.
+        """
+        from ..tuning import ScheduleTuner, TuningOptions
+
+        result.executors_checked.append(TUNING_EXECUTOR)
+        seed = result.input_seed
+        budget = 250_000.0 if seed % 2 == 0 else 2_000.0
+        options = TuningOptions(budget_us=budget)
+        try:
+            engine = ExecutionEngine(executable, self.device)
+            heur_out, heur_stats = engine.run(inputs)
+            signature = engine.host_program.signature(inputs)
+            tuned = ScheduleTuner(self.device, options).tune(
+                executable, signature)
+            engine.prepare(inputs, signature, selector=tuned.selector(),
+                           overwrite=True)
+            tuned_out, tuned_stats = engine.run(inputs)
+            again = ScheduleTuner(self.device, options).tune(
+                executable, signature)
+        except Exception as exc:  # noqa: BLE001
+            result.failures.append(Failure(
+                executor=TUNING_EXECUTOR, kind="exception",
+                detail=f"{type(exc).__name__}: {exc}"))
+            return
+        for index, (ref, got) in enumerate(zip(heur_out, tuned_out)):
+            ref = np.asarray(ref)
+            got = np.asarray(got)
+            if (ref.shape != got.shape or ref.dtype != got.dtype
+                    or ref.tobytes() != got.tobytes()):
+                result.failures.append(Failure(
+                    executor=TUNING_EXECUTOR, kind="mismatch",
+                    detail="tuned plan not bit-identical to heuristic "
+                           "plan", output_index=index))
+        if tuned_stats.device_time_us > heur_stats.device_time_us \
+                * (1 + 1e-12):
+            result.failures.append(Failure(
+                executor=TUNING_EXECUTOR, kind="invariant",
+                detail=f"tuned plan slower than heuristic "
+                       f"({tuned_stats.device_time_us:.3f}us > "
+                       f"{heur_stats.device_time_us:.3f}us)"))
+        if tuned.spent_us > tuned.budget_us:
+            result.failures.append(Failure(
+                executor=TUNING_EXECUTOR, kind="invariant",
+                detail=f"search spent {tuned.spent_us:.0f}us over its "
+                       f"{tuned.budget_us:.0f}us budget"))
+        if tuned.pick_names() != again.pick_names() \
+                or tuned.spent_us != again.spent_us:
+            result.failures.append(Failure(
+                executor=TUNING_EXECUTOR, kind="invariant",
+                detail="tuning not deterministic: same signature and "
+                       "budget produced different winners or spend"))
+        if seed % 3 == 2:
+            self._check_tuning_fault(inputs, executable, heur_out,
+                                     result, options)
+
+    def _check_tuning_fault(self, inputs, executable, expected,
+                            result: CaseResult, options) -> None:
+        """Tuner fault under serving: quarantine search, serve on."""
+        from ..serving import (ServingEngine, ServingOptions,
+                               SignatureCompileCost, VirtualScheduler)
+        from .faults import TunerFaultInjector
+
+        seed = result.input_seed
+        try:
+            scheduler = VirtualScheduler(seed=seed)
+            serving = ServingEngine(
+                self.device, scheduler,
+                ServingOptions(
+                    compile_workers=1,
+                    compile_backoff_us=1_000.0,
+                    compile_cost=SignatureCompileCost(
+                        fixed_us=5_000.0, per_kernel_us=100.0),
+                    tuning=options),
+                tuning_fault=TunerFaultInjector(fault_signatures=99))
+            serving.register_model("case", executable)
+            tickets: list = []
+            scheduler.call_at(0.0, lambda: tickets.extend(
+                serving.submit("case", inputs) for _ in range(2)))
+            scheduler.call_at(1e8, lambda: tickets.append(
+                serving.submit("case", inputs)))
+            scheduler.run_until_idle()
+        except Exception as exc:  # noqa: BLE001
+            result.failures.append(Failure(
+                executor=TUNING_EXECUTOR, kind="exception",
+                detail=f"serving leg: {type(exc).__name__}: {exc}"))
+            return
+        for ticket in tickets:
+            response = ticket.response
+            if response is None or not response.ok:
+                status = "unresolved" if response is None \
+                    else response.status.value
+                result.failures.append(Failure(
+                    executor=TUNING_EXECUTOR, kind="exception",
+                    detail=f"request {ticket.request.id} ended "
+                           f"{status} under a tuner fault, expected "
+                           f"ok"))
+                continue
+            for index, (ref, got) in enumerate(zip(expected,
+                                                   response.outputs)):
+                ref = np.asarray(ref)
+                got = np.asarray(got)
+                if (ref.shape != got.shape or ref.dtype != got.dtype
+                        or ref.tobytes() != got.tobytes()):
+                    result.failures.append(Failure(
+                        executor=TUNING_EXECUTOR, kind="mismatch",
+                        detail=f"path {response.path!r} not "
+                               f"bit-identical under a tuner fault",
+                        output_index=index))
+        if serving.counters["tuning_faults"] < 1:
+            result.failures.append(Failure(
+                executor=TUNING_EXECUTOR, kind="invariant",
+                detail="injected tuner fault never fired"))
+        signature = tickets[-1].request.signature if tickets else None
+        plan = serving.model("case").engine.peek_plan(signature) \
+            if signature is not None else None
+        if plan is None or plan.tuned:
+            result.failures.append(Failure(
+                executor=TUNING_EXECUTOR, kind="invariant",
+                detail="tuner fault must install an untuned heuristic "
+                       "plan"))
 
     # -- tracing oracle ----------------------------------------------------
 

@@ -66,11 +66,15 @@ class EngineOptions:
 
 def charge_kernel(kernel, dims: dict, stats: RunStats,
                   forced: Schedule | None, options: EngineOptions,
-                  device: DeviceProfile) -> None:
+                  device: DeviceProfile, selector=None) -> None:
     """Account one kernel launch into ``stats`` (simulated cost).
 
     Shared by the legacy per-call engine and the launch-plan recorder so
-    the two cost paths cannot drift.
+    the two cost paths cannot drift.  ``selector`` is the schedule
+    selection seam (None = dispatch-stub heuristics); the chosen variant
+    of every schedulable kernel is surfaced in
+    ``stats.details["schedules"]`` so tests and benches can assert on
+    picks.
     """
     kind = kernel.kind
     if kind is FusionKind.METADATA:
@@ -86,7 +90,10 @@ def charge_kernel(kernel, dims: dict, stats: RunStats,
         stats.device_time_us += kernel_time_us(spec, device)
         stats.kernels_launched += 1
         return
-    schedule = kernel.resolve_schedule(dims, forced)
+    schedule = kernel.resolve_schedule(dims, forced, selector)
+    if schedule is not None:
+        stats.details.setdefault("schedules", {})[kernel.name] = \
+            schedule.name
     spec = kernel.cost_spec(dims, schedule, options.base_efficiency)
     stats.device_time_us += kernel_time_us(spec, device)
     stats.kernels_launched += 1 + spec.extra_launches
@@ -109,7 +116,7 @@ def _batch_spec(spec: KernelSpec, batch: int) -> KernelSpec:
 
 def charge_batched_kernel(kernel, dims: dict, batch: int, stats: RunStats,
                           forced: Schedule | None, options: EngineOptions,
-                          device: DeviceProfile) -> None:
+                          device: DeviceProfile, selector=None) -> None:
     """Account one *batched* kernel launch (``batch`` stacked members).
 
     The batch rides a leading dim through a single launch: bytes, flops
@@ -131,7 +138,10 @@ def charge_batched_kernel(kernel, dims: dict, batch: int, stats: RunStats,
         stats.device_time_us += kernel_time_us(spec, device)
         stats.kernels_launched += 1
         return
-    schedule = kernel.resolve_schedule(dims, forced)
+    schedule = kernel.resolve_schedule(dims, forced, selector)
+    if schedule is not None:
+        stats.details.setdefault("schedules", {})[kernel.name] = \
+            schedule.name
     spec = _batch_spec(
         kernel.cost_spec(dims, schedule, options.base_efficiency), batch)
     stats.device_time_us += kernel_time_us(spec, device)
@@ -225,7 +235,8 @@ class ExecutionEngine:
         return self.plans.peek((self._plan_tag, signature))
 
     def prepare(self, inputs: Mapping[str, np.ndarray],
-                signature: tuple | None = None) -> LaunchPlan:
+                signature: tuple | None = None, *,
+                selector=None, overwrite: bool = False) -> LaunchPlan:
         """Freeze and install the signature's plan without executing data.
 
         This is the background-compilation entry point of the serving
@@ -235,13 +246,19 @@ class ExecutionEngine:
         the exact order :meth:`_record` charges it, so the frozen plan is
         bit-identical to one recorded by a data-carrying first call, and
         a later :meth:`run` of the signature replays it as a warm hit.
+
+        ``selector`` freezes schedule picks chosen by a non-default
+        policy (the autotuner's winners) into the plan; ``overwrite``
+        replaces an already-installed plan — the tuner uses it to
+        upgrade a heuristic plan in place.
         """
         program = self.host_program
         if signature is None:
             signature = program.signature(inputs)
-        existing = self.plans.peek((self._plan_tag, signature))
-        if existing is not None:
-            return existing
+        if not overwrite:
+            existing = self.plans.peek((self._plan_tag, signature))
+            if existing is not None:
+                return existing
         tracer = self.tracer
         with tracer.span("engine:prepare", tag=self._plan_tag) as span:
             options = self.options
@@ -254,13 +271,14 @@ class ExecutionEngine:
             device = self.device
             for instr in program.instructions:
                 charge_kernel(instr.kernel, dims, stats, forced, options,
-                              device)
+                              device, selector)
             stats.host_time_us += (options.dispatch_us_per_kernel
                                    * stats.kernels_launched)
             buffer_plan = self.executable.buffer_plan
             if buffer_plan is not None:
                 stats.details["memory"] = buffer_plan.evaluate(dims)
-            plan = LaunchPlan.freeze(signature, dims, stats)
+            plan = LaunchPlan.freeze(signature, dims, stats,
+                                     tuned=selector is not None)
             self.plans.put((self._plan_tag, signature), plan)
             if tracer.enabled:
                 span.set(signature=format_signature(signature),

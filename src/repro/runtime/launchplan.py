@@ -52,13 +52,15 @@ class LaunchPlan:
 
     __slots__ = ("signature", "dims", "device_time_us", "host_time_us",
                  "kernels_launched", "bytes_read", "bytes_written",
-                 "flops", "memory")
+                 "flops", "memory", "schedules", "tuned")
 
     def __init__(self, signature: tuple, dims: dict,
                  device_time_us: float, host_time_us: float,
                  kernels_launched: int, bytes_read: int,
                  bytes_written: int, flops: float,
-                 memory: dict | None) -> None:
+                 memory: dict | None,
+                 schedules: dict | None = None,
+                 tuned: bool = False) -> None:
         self.signature = signature
         #: resolved dim bindings (input symbols + every derived symbol).
         self.dims = dims
@@ -70,10 +72,16 @@ class LaunchPlan:
         self.flops = flops
         #: frozen ``BufferPlan.evaluate`` result (None without a plan).
         self.memory = memory
+        #: kernel name -> chosen schedule name (None when the program
+        #: has no schedulable kernels).
+        self.schedules = schedules
+        #: True when the picks came from the schedule autotuner rather
+        #: than the dispatch-stub heuristics.
+        self.tuned = tuned
 
     @classmethod
-    def freeze(cls, signature: tuple, dims: dict,
-               stats: RunStats) -> "LaunchPlan":
+    def freeze(cls, signature: tuple, dims: dict, stats: RunStats,
+               tuned: bool = False) -> "LaunchPlan":
         """Capture a fully-charged first-call ``RunStats`` as a plan.
 
         The stats were accumulated kernel-by-kernel in execution order,
@@ -81,6 +89,7 @@ class LaunchPlan:
         sums a per-call walk would have produced.
         """
         memory = stats.details.get("memory")
+        schedules = stats.details.get("schedules")
         return cls(
             signature=signature,
             dims=dims,
@@ -91,6 +100,8 @@ class LaunchPlan:
             bytes_written=stats.bytes_written,
             flops=stats.flops,
             memory=dict(memory) if memory is not None else None,
+            schedules=dict(schedules) if schedules is not None else None,
+            tuned=tuned,
         )
 
     def make_stats(self) -> RunStats:
@@ -106,6 +117,8 @@ class LaunchPlan:
         )
         if self.memory is not None:
             stats.details["memory"] = dict(self.memory)
+        if self.schedules is not None:
+            stats.details["schedules"] = dict(self.schedules)
         return stats
 
 

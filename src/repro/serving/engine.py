@@ -46,6 +46,7 @@ from ..obs.tracer import resolve_tracer
 from ..runtime.engine import EngineOptions, ExecutionEngine
 from ..runtime.executable import Executable
 from ..runtime.launchplan import format_signature
+from ..tuning import ScheduleTuner, TuningOptions
 from .compilepool import (BackgroundCompilePool, CompileState,
                           PermanentCompileError, SignatureCompileCost,
                           TransientCompileError)
@@ -89,6 +90,13 @@ class ServingOptions:
     engine: EngineOptions = field(default_factory=EngineOptions)
     #: lint gate applied when registering a model (OFF = skip).
     lint_level: LintLevel = LintLevel.OFF
+    #: budgeted background schedule autotuning (None = heuristics only).
+    #: When set, every background compile job additionally runs the
+    #: schedule search for its signature — sized into the job's duration
+    #: as ``min(budget_us, tuner.estimate_cost_us(model))`` — and
+    #: freezes the winners into the launch plan, so the fast path
+    #: replays tuned picks at zero extra cost.
+    tuning: TuningOptions | None = None
 
 
 @dataclass
@@ -144,15 +152,19 @@ class Ticket:
 
 class _ModelEntry:
     __slots__ = ("name", "executable", "engine", "fallback",
-                 "compile_duration_us")
+                 "compile_duration_us", "tuning_duration_us")
 
     def __init__(self, name, executable, engine, fallback,
-                 compile_duration_us) -> None:
+                 compile_duration_us,
+                 tuning_duration_us: float = 0.0) -> None:
         self.name = name
         self.executable = executable
         self.engine = engine
         self.fallback = fallback
         self.compile_duration_us = compile_duration_us
+        #: per-signature schedule-search time added to each background
+        #: compile job: ``min(budget, static search-cost bound)``.
+        self.tuning_duration_us = tuning_duration_us
 
 
 class PathRouter:
@@ -181,6 +193,8 @@ class PathRouter:
         if plan is not None:
             if tracer.enabled:
                 tracer.event("serving:route", path="fast")
+            if plan.tuned:
+                engine.counters["tuned_served"] += 1
             outputs, stats = entry.engine.run(request.inputs)
             return "fast", outputs, stats, stats.total_time_us
 
@@ -242,7 +256,15 @@ class PathRouter:
 
     def ensure_compile(self, entry: _ModelEntry, request: Request,
                        key: tuple) -> None:
-        """Submit (or coalesce onto) the background compile for ``key``."""
+        """Submit (or coalesce onto) the background compile for ``key``.
+
+        With tuning enabled the job also runs the budgeted schedule
+        search and freezes its winners into the plan; the job's duration
+        is sized up by the model's bounded tuning time.  A tuner fault
+        never loses the signature: the search is abandoned, the key is
+        tuning-quarantined, and the job completes with the heuristic
+        plan — only compile faults reach the pool's retry machinery.
+        """
         engine = self.engine
         inputs = request.inputs
         model, signature = key
@@ -250,10 +272,36 @@ class PathRouter:
         def run(attempt: int) -> None:
             if engine._compile_fault is not None:
                 engine._compile_fault(model, signature, attempt)
+            tuner = engine.tuner
+            if tuner is not None \
+                    and key not in engine._tuning_quarantined:
+                try:
+                    if engine._tuning_fault is not None:
+                        engine._tuning_fault(model, signature, attempt)
+                    result = tuner.tune(entry.executable, signature)
+                except (TransientCompileError, PermanentCompileError):
+                    raise
+                except Exception:
+                    engine.counters["tuning_faults"] += 1
+                    engine._tuning_quarantined.add(key)
+                    if engine.tracer.enabled:
+                        engine.tracer.event("tuning:fault", model=model,
+                                            signature=format_signature(
+                                                signature))
+                else:
+                    engine._note_tuning(result)
+                    entry.engine.prepare(inputs, signature,
+                                         selector=result.selector(),
+                                         overwrite=True)
+                    return
             entry.engine.prepare(inputs, signature)
 
+        duration = entry.compile_duration_us
+        if engine.tuner is not None \
+                and key not in engine._tuning_quarantined:
+            duration += entry.tuning_duration_us
         engine.pool.ensure(
-            key, run, entry.compile_duration_us,
+            key, run, duration,
             on_quarantine=lambda: engine._quarantined.add(key))
 
 
@@ -278,6 +326,7 @@ class ServingEngine:
                  scheduler: VirtualScheduler,
                  options: ServingOptions | None = None,
                  compile_fault: CompileFault | None = None,
+                 tuning_fault: CompileFault | None = None,
                  tracer=None) -> None:
         self.device = device
         self.scheduler = scheduler
@@ -295,6 +344,11 @@ class ServingEngine:
             backoff_multiplier=self.options.backoff_multiplier,
             tracer=tracer)
         self._compile_fault = compile_fault
+        self._tuning_fault = tuning_fault
+        #: the background schedule autotuner (None = heuristics only).
+        self.tuner = ScheduleTuner(device, self.options.tuning,
+                                   tracer=tracer) \
+            if self.options.tuning is not None else None
         self._models: dict[str, _ModelEntry] = {}
         self._queue: deque[Request] = deque()
         self._current: Request | None = None
@@ -303,11 +357,21 @@ class ServingEngine:
         #: every response, in the order they went out (OK + timeout + shed).
         self.completed: list[Response] = []
         self._quarantined: set[tuple] = set()
+        #: keys whose schedule search faulted: they keep compiling and
+        #: serving, on heuristic picks only.
+        self._tuning_quarantined: set[tuple] = set()
         self.counters = {
             "submitted": 0, "ok": 0, "shed": 0, "timeouts": 0,
             "fast_served": 0, "fallback_served": 0,
             "quarantine_served": 0, "sync_served": 0,
             "sync_compile_stalls": 0, "sync_stall_us": 0.0,
+            "tuned_signatures": 0, "tuned_served": 0,
+            "tuning_faults": 0, "tuning_budget_exhausted": 0,
+        }
+        #: aggregated search accounting across all tuned signatures.
+        self.tuning_totals = {
+            "spent_us": 0.0, "enumerated": 0, "pruned": 0, "scored": 0,
+            "kernels": 0, "improved": 0,
         }
         self.router = self._make_router()
 
@@ -343,7 +407,13 @@ class ServingEngine:
                                        self.options.fallback)
         duration = self.options.compile_cost.duration_us(
             len(executable.kernels))
-        entry = _ModelEntry(name, executable, engine, fallback, duration)
+        tuning_duration = 0.0
+        if self.tuner is not None:
+            tuning_duration = min(
+                self.tuner.options.budget_us,
+                self.tuner.estimate_cost_us(executable))
+        entry = _ModelEntry(name, executable, engine, fallback, duration,
+                            tuning_duration)
         self._models[name] = entry
         return entry
 
@@ -481,19 +551,49 @@ class ServingEngine:
         if ticket is not None:
             ticket.response = response
 
+    # -- tuning accounting -------------------------------------------------
+
+    def _note_tuning(self, result) -> None:
+        """Fold one completed schedule search into the counters."""
+        self.counters["tuned_signatures"] += 1
+        if result.budget_exhausted:
+            self.counters["tuning_budget_exhausted"] += 1
+        totals = self.tuning_totals
+        totals["spent_us"] += result.spent_us
+        totals["enumerated"] += result.enumerated
+        totals["pruned"] += sum(result.pruned.values())
+        totals["scored"] += result.scored
+        totals["kernels"] += len(result.kernels)
+        totals["improved"] += sum(1 for k in result.kernels
+                                  if k.improved)
+
     # -- reporting ---------------------------------------------------------
 
     def quarantined_signatures(self) -> set[tuple]:
         return set(self._quarantined)
 
+    def tuning_quarantined_signatures(self) -> set[tuple]:
+        return set(self._tuning_quarantined)
+
     def compile_state(self, model: str, signature: tuple) -> CompileState:
         return self.pool.state((model, signature))
 
     def stats(self) -> dict:
-        return {
+        stats = {
             "requests": dict(self.counters),
             "pool": self.pool.stats.as_dict(),
             "quarantined_signatures": len(self._quarantined),
             "models": {name: entry.engine.plans.stats()
                        for name, entry in self._models.items()},
         }
+        if self.tuner is not None:
+            stats["tuning"] = dict(
+                self.tuning_totals,
+                budget_us=self.tuner.options.budget_us,
+                tuned_signatures=self.counters["tuned_signatures"],
+                tuned_served=self.counters["tuned_served"],
+                faults=self.counters["tuning_faults"],
+                budget_exhaustions=self.counters[
+                    "tuning_budget_exhausted"],
+                quarantined=len(self._tuning_quarantined))
+        return stats

@@ -1,0 +1,19 @@
+"""Cost-model-guided schedule autotuning with budgeted search.
+
+Per-(model, signature) search over a declarative, hardware-pruned
+schedule space, scored with the analytic cost model instead of measured
+— cheap enough to run in the serving runtime's background compile pool
+under an explicit microsecond budget, with winners frozen into launch
+plans so replay pays zero search cost.  See :mod:`repro.tuning.tuner`.
+"""
+
+from .space import PRUNE_RULES, SpaceResult, StrategySpace
+from .tuner import (KernelTuning, ScheduleTuner, TunedSelector,
+                    TuningOptions, TuningResult, WorstCaseSelector,
+                    representative_signature)
+
+__all__ = [
+    "PRUNE_RULES", "SpaceResult", "StrategySpace",
+    "KernelTuning", "ScheduleTuner", "TunedSelector", "TuningOptions",
+    "TuningResult", "WorstCaseSelector", "representative_signature",
+]

@@ -16,6 +16,34 @@ def test_schedule_registry():
         schedule_named("nope")
 
 
+def test_unknown_schedule_error_lists_valid_names():
+    """The KeyError must name every valid choice — generic variants and
+    both tuned families — so a typo'd plan or CLI flag self-documents."""
+    with pytest.raises(KeyError) as err:
+        schedule_named("row_tile_64")  # malformed tuned name
+    message = str(err.value)
+    for s in ELEMENTWISE_SCHEDULES + REDUCTION_SCHEDULES:
+        assert s.name in message
+    assert "row_tile_t<threads>v<width>[s<split>]" in message
+    assert "ew_vec<width>" in message
+
+
+def test_tuned_family_names_round_trip():
+    for name in ("ew_vec2", "ew_vec8", "row_tile_t64v1",
+                 "row_tile_t256v4s8"):
+        schedule = schedule_named(name)
+        assert schedule.name == name
+        assert schedule.tuned
+    split = schedule_named("row_tile_t256v4s8")
+    assert (split.block_threads, split.vector_width, split.col_split) \
+        == (256, 4, 8)
+    assert split.extra_launches == 1
+    with pytest.raises(ValueError):
+        schedule_named("ew_vec3")  # well-formed name, unsupported width
+    with pytest.raises(ValueError):
+        schedule_named("row_tile_t0v1")
+
+
 def test_elementwise_selector_vectorizes_multiples_of_4():
     assert select_elementwise(1024, 256).name == "vectorized4"
     assert select_elementwise(1024, 255).name == "flat"

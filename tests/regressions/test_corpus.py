@@ -273,6 +273,92 @@ def test_faulty_batched_plan_quarantines_bucket_to_solo(path):
 
 
 # ---------------------------------------------------------------------------
+# tuning replay: tuner fault -> quarantined search, heuristic plan, OK
+# ---------------------------------------------------------------------------
+
+TUNING_CASES = [p for p in CASES
+                if load_case(p)[2].get("tuning_fault")]
+
+
+def test_tuning_fault_case_is_checked_in():
+    assert TUNING_CASES, "the tuner-fault corpus case went missing"
+
+
+@pytest.mark.parametrize("path", TUNING_CASES, ids=lambda p: p.stem)
+def test_tuner_fault_quarantines_search_not_service(path):
+    """A tuner fault during background compile must cost performance
+    only: the compile completes, a heuristic (untuned) plan serves the
+    fast path, every response is OK and bit-identical, and the search
+    is quarantined per-key — a healthy tuner on a fresh engine still
+    tunes the same signature."""
+    from repro.core import compile_graph
+    from repro.device import A10
+    from repro.fuzz import TunerFaultInjector, make_inputs
+    from repro.runtime import ExecutionEngine
+    from repro.serving import (ServingEngine, ServingOptions,
+                               SignatureCompileCost, VirtualScheduler)
+    from repro.tuning import TuningOptions
+
+    graph, bindings, meta = load_case(path)
+    assert meta["tuning_fault"] == "injected"
+    inputs = make_inputs(graph, bindings,
+                         seed=int(meta.get("input_seed", 0)))
+    executable = compile_graph(graph)
+    expected, _ = ExecutionEngine(executable, A10).run(inputs)
+
+    def make_serving(tuning_fault):
+        scheduler = VirtualScheduler(seed=0)
+        serving = ServingEngine(
+            A10, scheduler,
+            ServingOptions(
+                compile_cost=SignatureCompileCost(
+                    fixed_us=1_000.0, per_kernel_us=10.0),
+                tuning=TuningOptions(budget_us=250_000.0)),
+            tuning_fault=tuning_fault)
+        serving.register_model("case", executable)
+        return scheduler, serving
+
+    fault = TunerFaultInjector(fault_signatures=1)
+    scheduler, serving = make_serving(fault)
+    cold = serving.submit("case", inputs)
+    scheduler.run_until_idle()
+    warm = serving.submit("case", inputs)
+    scheduler.run_until_idle()
+
+    assert fault.calls, "the injected tuner fault never fired"
+    assert serving.counters["tuning_faults"] == 1
+    assert serving.counters["tuned_signatures"] == 0
+    assert serving.counters["tuned_served"] == 0
+    assert cold.response.ok and cold.response.path == "fallback"
+    assert warm.response.ok and warm.response.path == "fast"
+    sig = cold.request.signature
+    assert ("case", sig) in serving.tuning_quarantined_signatures()
+    plan = serving.model("case").engine.peek_plan(sig)
+    assert plan is not None and not plan.tuned, \
+        "tuner fault must install an untuned heuristic plan"
+    for response in (cold.response, warm.response):
+        for ref, got in zip(expected, response.outputs):
+            assert ref.dtype == got.dtype and ref.shape == got.shape
+            assert ref.tobytes() == got.tobytes(), \
+                "response under a tuner fault diverged from the engine"
+
+    # The quarantine is per-key, not a property of the signature: the
+    # same case on a healthy engine tunes and serves tuned, still
+    # bit-identical.
+    scheduler, healthy = make_serving(None)
+    healthy.submit("case", inputs)
+    scheduler.run_until_idle()
+    tuned = healthy.submit("case", inputs)
+    scheduler.run_until_idle()
+    assert healthy.counters["tuned_signatures"] == 1
+    assert tuned.response.ok and tuned.response.path == "fast"
+    assert healthy.counters["tuned_served"] == 1
+    for ref, got in zip(expected, tuned.response.outputs):
+        assert ref.tobytes() == got.tobytes(), \
+            "tuned response not bit-identical to the heuristic engine"
+
+
+# ---------------------------------------------------------------------------
 # obs replay: pinned engine-level trace (record -> replay taxonomy)
 # ---------------------------------------------------------------------------
 

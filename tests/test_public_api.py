@@ -29,6 +29,8 @@ ESSENTIALS = [
     "trace", "TracedTensor",
     # serving runtime
     "ServingEngine", "ServingOptions", "VirtualScheduler",
+    # schedule autotuning
+    "ScheduleTuner", "TuningOptions",
 ]
 
 
@@ -42,7 +44,7 @@ SUBPACKAGES = [
     "repro.core.symbolic", "repro.core.fusion", "repro.core.codegen",
     "repro.passes", "repro.device", "repro.runtime", "repro.baselines",
     "repro.models", "repro.workloads", "repro.bench", "repro.frontend",
-    "repro.serving", "repro.fuzz", "repro.lint",
+    "repro.serving", "repro.fuzz", "repro.lint", "repro.tuning",
 ]
 
 

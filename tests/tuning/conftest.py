@@ -1,0 +1,26 @@
+"""Shared fixtures for the schedule-autotuning suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.core import compile_graph
+from repro.device import A10
+
+from ..conftest import toy_mlp_graph, toy_mlp_inputs
+
+
+@pytest.fixture(scope="session")
+def toy_exe():
+    return compile_graph(toy_mlp_graph().graph)
+
+
+@pytest.fixture
+def toy_inputs():
+    return toy_mlp_inputs(np.random.default_rng(0), batch=4, seq=8)
+
+
+@pytest.fixture
+def device():
+    return A10

@@ -1,0 +1,241 @@
+"""The budgeted search itself: winners, accounting, determinism.
+
+The contracts under test are the ones the serving runtime relies on:
+spent time never exceeds the budget, the winner is never slower than
+the dispatch-stub heuristic, the same (signature, budget) always tunes
+identically, and the static cost estimate upper-bounds actual spend.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.codegen.schedules import (HEURISTIC_SELECTOR,
+                                          schedule_named)
+from repro.device import A10, TUNING_COSTS, tuning_cost_us
+from repro.obs import CapturingTracer
+from repro.tuning import (ScheduleTuner, TunedSelector, TuningOptions,
+                          WorstCaseSelector, representative_signature)
+
+
+def toy_signature(batch=4, seq=8):
+    return (("x", (batch, seq, 32)), ("w", (32, 16)), ("c", (16,)),
+            ("g", (16,)), ("beta", (16,)))
+
+
+# -- winners ----------------------------------------------------------------
+
+
+def test_tuned_never_slower_than_heuristic_per_kernel(toy_exe):
+    result = ScheduleTuner(A10).tune(toy_exe, toy_signature())
+    assert result.kernels, "toy model must expose schedulable kernels"
+    for record in result.kernels:
+        assert record.winner_time_us <= record.heuristic_time_us, \
+            f"{record.name}: tuned {record.winner} slower than " \
+            f"heuristic {record.heuristic}"
+    assert result.tuned_time_us <= result.heuristic_time_us
+
+
+def test_search_improves_the_toy_model(toy_exe):
+    result = ScheduleTuner(A10).tune(toy_exe, toy_signature())
+    assert any(record.improved for record in result.kernels), \
+        "the search found nothing on a reduction-heavy model"
+    assert result.summary()["speedup"] > 1.0
+
+
+def test_every_pick_round_trips_by_name(toy_exe):
+    result = ScheduleTuner(A10).tune(toy_exe, toy_signature())
+    for name in result.pick_names().values():
+        assert schedule_named(name).name == name
+
+
+def test_heuristic_pick_always_in_scored_set(toy_exe):
+    """The dispatch-stub schedule is always scored, so a tuned plan can
+    degrade to exactly the heuristic choice but never below it."""
+    result = ScheduleTuner(A10).tune(toy_exe, toy_signature())
+    for record in result.kernels:
+        assert record.heuristic_time_us > 0.0
+        assert record.scored >= 1
+
+
+# -- budget accounting ------------------------------------------------------
+
+
+def test_spent_never_exceeds_budget(toy_exe):
+    generous = ScheduleTuner(A10).tune(toy_exe, toy_signature())
+    assert not generous.budget_exhausted
+    assert generous.spent_us <= generous.budget_us
+    for budget in (0.0, 500.0, 3_000.0, generous.spent_us - 1.0):
+        options = TuningOptions(budget_us=budget)
+        result = ScheduleTuner(A10, options).tune(toy_exe,
+                                                  toy_signature())
+        assert result.spent_us <= budget, \
+            f"budget {budget}: spent {result.spent_us}"
+        assert result.budget_exhausted
+
+
+def test_exhausted_kernels_keep_heuristic_picks(toy_exe):
+    result = ScheduleTuner(A10, TuningOptions(budget_us=0.0)).tune(
+        toy_exe, toy_signature())
+    assert result.picks == {}
+    assert all(record.skipped for record in result.kernels)
+    for record in result.kernels:
+        assert record.winner == record.heuristic
+        assert record.winner_time_us == record.heuristic_time_us
+
+
+def test_partial_budget_tunes_a_prefix(toy_exe):
+    """A budget covering some kernels tunes those and leaves the rest
+    heuristic — and the picks it does make match the unbounded run's."""
+    full = ScheduleTuner(A10).tune(toy_exe, toy_signature())
+    per_kernel = [k.cost_us for k in full.kernels if not k.skipped]
+    assert len(per_kernel) >= 2
+    budget = per_kernel[0] + 1.0
+    partial = ScheduleTuner(A10, TuningOptions(budget_us=budget)).tune(
+        toy_exe, toy_signature())
+    assert partial.budget_exhausted
+    assert 0 < len(partial.picks) < len(full.picks)
+    for name, pick in partial.pick_names().items():
+        assert full.pick_names()[name] == pick
+
+
+def test_estimate_upper_bounds_actual_spend(toy_exe):
+    tuner = ScheduleTuner(A10)
+    estimate = tuner.estimate_cost_us(toy_exe)
+    result = tuner.tune(toy_exe, toy_signature())
+    assert result.spent_us <= estimate
+    kernels = len(result.kernels)
+    assert estimate == tuning_cost_us(
+        kernels=kernels, enumerated=result.enumerated,
+        scored=result.enumerated)
+
+
+def test_cost_table_drives_the_charges(toy_exe):
+    result = ScheduleTuner(A10).tune(toy_exe, toy_signature())
+    expected = tuning_cost_us(kernels=len(result.kernels),
+                              enumerated=result.enumerated,
+                              scored=result.scored)
+    assert result.spent_us == pytest.approx(expected)
+    assert TUNING_COSTS["per_candidate_scored_us"] > \
+        TUNING_COSTS["per_candidate_enumerated_us"], \
+        "scoring must cost more than walking or pruning buys nothing"
+
+
+# -- determinism ------------------------------------------------------------
+
+
+def test_same_signature_same_budget_same_plan(toy_exe):
+    options = TuningOptions(budget_us=50_000.0)
+    first = ScheduleTuner(A10, options).tune(toy_exe, toy_signature())
+    second = ScheduleTuner(A10, options).tune(toy_exe, toy_signature())
+    assert first.pick_names() == second.pick_names()
+    assert first.spent_us == second.spent_us
+    assert first.budget_exhausted == second.budget_exhausted
+
+
+def test_different_shapes_tune_differently():
+    """The toy model's reduction has fixed tiny cols, so it tunes the
+    same everywhere; a softmax over symbolic (rows, cols) must not —
+    a shape-blind tuner defeats the point of per-signature search."""
+    from repro.core import compile_graph
+    from repro.ir import dtypes as dt
+    from repro.ir.builder import GraphBuilder
+
+    b = GraphBuilder("softmax_rows")
+    x = b.parameter("x", (b.sym("r", hint=64), b.sym("c", hint=1024)),
+                    dt.f32)
+    b.outputs(b.softmax(x, axis=-1))
+    exe = compile_graph(b.graph)
+    tuner = ScheduleTuner(A10)
+    wide = tuner.tune(exe, (("x", (4, 4096)),))
+    tall = tuner.tune(exe, (("x", (8192, 64)),))
+    assert wide.pick_names() != tall.pick_names()
+    assert all(schedule.tuned for schedule in wide.picks.values())
+
+
+# -- signature classes ------------------------------------------------------
+
+
+def test_representative_signature_prefers_contained_hints(toy_exe):
+    signature = dict(representative_signature(toy_exe))
+    # toy_mlp declares batch hint=8, seq hint=16; static dims pass through.
+    assert signature["x"] == (8, 16, 32)
+    assert signature["w"] == (32, 16)
+
+
+def test_tune_class_equals_tune_at_representative_dims(toy_exe):
+    tuner = ScheduleTuner(A10)
+    by_class = tuner.tune_class(toy_exe)
+    direct = tuner.tune(toy_exe, representative_signature(toy_exe))
+    assert by_class.pick_names() == direct.pick_names()
+    assert by_class.signature == direct.signature
+
+
+def test_assume_ranges_steer_the_representative_dims(toy_exe):
+    wide = representative_signature(
+        toy_exe, assume_ranges={"batch": (256, 256), "seq": (64, 64)})
+    assert dict(wide)["x"] == (256, 64, 32)
+
+
+# -- selectors --------------------------------------------------------------
+
+
+def test_tuned_selector_falls_back_outside_its_picks(toy_exe):
+    result = ScheduleTuner(A10).tune(toy_exe, toy_signature())
+    selector = result.selector()
+    assert isinstance(selector, TunedSelector)
+    # A kernel name the search never saw: both domains defer to the
+    # dispatch stubs.
+    ghost = type("Ghost", (), {"name": "no_such_kernel"})()
+    assert selector.elementwise(ghost, 1024, 64).name \
+        == HEURISTIC_SELECTOR.elementwise(ghost, 1024, 64).name
+    assert selector.reduction(ghost, 64, 1024).name \
+        == HEURISTIC_SELECTOR.reduction(ghost, 64, 1024).name
+
+
+def test_tuned_selector_ignores_family_mismatched_picks():
+    """A row-space winner must not leak into a flat-loop dispatch."""
+    pick = schedule_named("row_tile_t64v1")
+    selector = TunedSelector({"k": pick})
+    kernel = type("K", (), {"name": "k"})()
+    assert not selector.elementwise(kernel, 1024, 64).tuned
+    assert selector.reduction(kernel, 64, 1024) is pick
+
+
+def test_worst_case_selector_is_never_better_than_heuristic():
+    worst = WorstCaseSelector(A10)
+    kernel = type("K", (), {"name": "k"})()
+    for rows, cols in ((8, 8192), (4096, 64), (64, 1024)):
+        w = worst.reduction(kernel, rows, cols)
+        h = HEURISTIC_SELECTOR.reduction(kernel, rows, cols)
+        weff, wpar = w.reduction_profile(rows, cols)
+        heff, hpar = h.reduction_profile(rows, cols)
+        assert weff <= heff or wpar <= hpar
+
+
+# -- observability ----------------------------------------------------------
+
+
+def test_search_emits_tuning_spans(toy_exe):
+    tracer = CapturingTracer()
+    ScheduleTuner(A10, tracer=tracer).tune(toy_exe, toy_signature())
+    search = tracer.spans.one("tuning:search")
+    kernels = tracer.spans.within(search).named("tuning:kernel")
+    assert len(kernels.names()) == search.attrs["kernels"]
+    assert search.attrs["spent_us"] <= search.attrs["budget_us"]
+    assert not search.attrs["budget_exhausted"]
+    for span in kernels:
+        assert span.attrs["enumerated"] >= span.attrs["scored"]
+        assert span.attrs["winner_time_us"] \
+            <= span.attrs["heuristic_time_us"]
+
+
+def test_budget_exhaustion_emits_event(toy_exe):
+    tracer = CapturingTracer()
+    ScheduleTuner(A10, TuningOptions(budget_us=100.0),
+                  tracer=tracer).tune(toy_exe, toy_signature())
+    events = tracer.spans.events().named("tuning:budget_exhausted")
+    assert len(events.names()) == 1, \
+        "exhaustion must be reported once, not once per skipped kernel"
+    event = events.first()
+    assert event.attrs["spent_us"] <= event.attrs["budget_us"]
