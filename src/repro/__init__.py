@@ -45,9 +45,10 @@ from .frontend import TracedTensor, trace
 from .baselines import DiscExecutor, baseline_names, make_baseline
 from .models import Model, build_model, zoo
 from .workloads import make_trace
-from .serving import (BatchingOptions, BatchingServingEngine,
-                      ServingEngine, ServingOptions, VirtualClock,
-                      VirtualScheduler)
+from .serving import (AutoscalerOptions, BatchingOptions,
+                      BatchingServingEngine, ClusterSim, FleetEngine,
+                      FleetOptions, ServingEngine, ServingOptions,
+                      TenantTraffic, VirtualClock, VirtualScheduler)
 from .tuning import ScheduleTuner, TuningOptions, TuningResult
 
 __version__ = "1.0.0"
@@ -66,8 +67,10 @@ __all__ = [
     "DiscExecutor", "baseline_names", "make_baseline",
     "Model", "build_model", "zoo",
     "make_trace",
-    "BatchingOptions", "BatchingServingEngine",
-    "ServingEngine", "ServingOptions", "VirtualClock", "VirtualScheduler",
+    "AutoscalerOptions", "BatchingOptions", "BatchingServingEngine",
+    "ClusterSim", "FleetEngine", "FleetOptions",
+    "ServingEngine", "ServingOptions", "TenantTraffic",
+    "VirtualClock", "VirtualScheduler",
     "ScheduleTuner", "TuningOptions", "TuningResult",
     "__version__",
 ]

@@ -19,6 +19,7 @@ from .experiments import (
     e15_host_overhead, format_host_overhead,
     e16_async_serving, format_async_serving,
     e17_dynamic_batching, format_dynamic_batching,
+    e18_fleet_routing, format_fleet_routing,
 )
 from .serving import ServingResult, simulate_serving
 
@@ -40,5 +41,6 @@ __all__ = [
     "e15_host_overhead", "format_host_overhead",
     "e16_async_serving", "format_async_serving",
     "e17_dynamic_batching", "format_dynamic_batching",
+    "e18_fleet_routing", "format_fleet_routing",
     "ServingResult", "simulate_serving",
 ]

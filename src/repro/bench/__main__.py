@@ -22,6 +22,7 @@ from . import (e1_end_to_end, e3_fusion_ablation, e4_shape_constraints,
                e14_serving_tail_latency, e15_host_overhead,
                e16_async_serving, format_async_serving,
                e17_dynamic_batching, format_dynamic_batching,
+               e18_fleet_routing, format_fleet_routing,
                format_adaptive_specialization,
                format_codegen_strategies, format_compile_overhead,
                format_end_to_end, format_fusion_ablation,
@@ -70,6 +71,8 @@ EXPERIMENTS = {
             format_async_serving, "async_serving"),
     "e17": (lambda device: e17_dynamic_batching(device),
             format_dynamic_batching, "dynamic_batching"),
+    "e18": (lambda device: e18_fleet_routing(device),
+            format_fleet_routing, "fleet_routing"),
 }
 
 

@@ -48,6 +48,7 @@ __all__ = [
     "e15_host_overhead", "format_host_overhead",
     "e16_async_serving", "format_async_serving",
     "e17_dynamic_batching", "format_dynamic_batching",
+    "e18_fleet_routing", "format_fleet_routing",
 ]
 
 #: Zoo configurations used by the end-to-end experiments: moderate sizes
@@ -1472,3 +1473,182 @@ def format_dynamic_batching(result: dict) -> str:
         f"{result['gate_rate_qps']:.0f} qps, p99 "
         f"{result['p99_vs_unbatched_baseline']}x the low-rate "
         f"unbatched baseline")
+
+
+# ---------------------------------------------------------------------------
+# E18 — fleet routing: signature affinity vs signature-blind placement
+# ---------------------------------------------------------------------------
+
+def e18_fleet_routing(device_name: str = "A10",
+                      model_name: str = "bert",
+                      num_queries: int | None = None,
+                      arrival_rate_qps: float = 2_000.0,
+                      replica_counts: tuple = (1, 2, 4, 8),
+                      plan_capacity: int = 64,
+                      seed: int = 0) -> dict:
+    """Tail latency of a multi-replica fleet under signature-affine vs
+    signature-blind routing.
+
+    One shape-diverse zipf trace (single-sequence requests, ~139
+    distinct signatures at the default 600 queries) is replayed through
+    a ``FleetEngine`` across a replica sweep, once per routing policy.
+    Every replica runs a *bounded* launch-plan LRU (``plan_capacity``),
+    pre-warmed to steady state (the cache holds whatever the capacity
+    retains — the fleet has been serving this traffic forever).  The
+    working set exceeds one replica's capacity, and that asymmetry is
+    the whole experiment:
+
+    - **affinity** — rendezvous hashing partitions the signature space,
+      so each replica's share *fits* its plan cache: requests ride the
+      compiled fast path and the per-replica queue stays stable;
+    - **round_robin / least_outstanding** — signature-blind placement
+      makes every replica see every signature: the LRU thrashes, evicted
+      signatures recompile in the background while requests serve on the
+      eager interpreter (~7x the fused service time), utilisation
+      crosses 1 and the queue — hence p99 — blows up.
+
+    Affinity spill is disabled (``affinity_spill_depth`` huge) so the
+    sweep isolates pure placement; the spill valve is exercised by the
+    unit suite.  Every OK response from every configuration is checked
+    bit-identical to a direct ``ExecutionEngine`` run — routing may
+    move work, never change it.  Time is virtual;
+    ``benchmarks/bench_e18_fleet_routing.py`` gates on the 4-replica
+    column (affinity p99 >= 1.5x below round-robin, zero mismatches).
+    """
+    from ..core.pipeline import compile_graph
+    from ..serving import (FleetEngine, FleetOptions, ServingOptions,
+                           SignatureCompileCost, VirtualScheduler)
+
+    device = device_named(device_name)
+    num_queries = num_queries if num_queries is not None \
+        else bench_queries(600)
+    gate_replicas = 4
+    # Serving-scale depth (as E17): the fused fast path holds ~500
+    # qps/replica, the eager fallback ~80 — the gate rate sits between
+    # the two at 4 replicas, so placement decides stability.
+    model = build_model(model_name, layers=12, hidden=256, heads=4) \
+        if model_name == "bert" else _bench_model(model_name)
+    trace = make_trace(model, num_queries, "zipf", seed=seed,
+                       fixed_axes={"batch": 1})
+    inputs = trace.inputs()
+    executable = compile_graph(model.graph)
+    reference = ExecutionEngine(executable, device)
+    expected = [reference.run(query)[0] for query in inputs]
+    rng = np.random.default_rng(seed + 1)
+    # One arrival skeleton scaled once: every configuration sees the
+    # same request order at the same instants.
+    arrivals = np.cumsum(
+        rng.exponential(1e6 / arrival_rate_qps, size=len(inputs)))
+    # Cheap-ish recompiles: an evicted signature re-enters the plan
+    # cache in a few ms, so round-robin measures steady-state thrash,
+    # not a one-off compile storm.
+    compile_cost = SignatureCompileCost(fixed_us=2_000.0,
+                                        per_kernel_us=10.0)
+    serving_options = ServingOptions(
+        queue_capacity=len(inputs), compile_workers=2,
+        compile_cost=compile_cost,
+        engine=EngineOptions(plan_capacity=plan_capacity))
+
+    def run_config(policy: str, replicas: int) -> dict:
+        scheduler = VirtualScheduler(seed=seed + 2)
+        fleet = FleetEngine(
+            device, scheduler,
+            FleetOptions(replicas=replicas, policy=policy,
+                         affinity_spill_depth=10**9,
+                         serving=serving_options))
+        fleet.register_model(model_name, executable)
+        seen: set = set()
+        signatures = []
+        for query in inputs:
+            entry = fleet.replicas()[0].engine.model(model_name)
+            signature = entry.engine.host_program.signature(query)
+            if signature not in seen:
+                seen.add(signature)
+                signatures.append((signature, query))
+        for replica in fleet.replicas():
+            entry = replica.engine.model(model_name)
+            for signature, query in signatures:
+                entry.engine.prepare(query, signature)
+        tickets = []
+        for at, query in zip(arrivals, inputs):
+            scheduler.call_at(float(at), lambda q=query: tickets.append(
+                fleet.submit(model_name, q)))
+        scheduler.run_until_idle()
+        mismatches = errors = 0
+        for ticket, want in zip(tickets, expected):
+            response = ticket.response
+            if response is None or not response.ok:
+                errors += 1
+            elif any(e.tobytes() != g.tobytes()
+                     for e, g in zip(want, response.outputs)):
+                mismatches += 1
+        latencies = np.array([t.response.latency_us for t in tickets
+                              if t.response is not None])
+        paths = {"fast": 0, "fallback": 0}
+        recompiles = 0
+        for replica in fleet.replicas() + fleet.retired:
+            counters = replica.engine.counters
+            paths["fast"] += counters["fast_served"]
+            paths["fallback"] += (counters["fallback_served"]
+                                  + counters["quarantine_served"])
+            recompiles += replica.engine.pool.stats.jobs_submitted
+        return {
+            "policy": policy, "replicas": replicas,
+            "p50_us": round(float(np.percentile(latencies, 50)), 1),
+            "p95_us": round(float(np.percentile(latencies, 95)), 1),
+            "p99_us": round(float(np.percentile(latencies, 99)), 1),
+            "max_us": round(float(latencies.max()), 1),
+            "fast": paths["fast"], "fallback": paths["fallback"],
+            "recompiles": recompiles,
+            "affinity_hits": fleet.counters["affinity_hits"],
+            "affinity_spills": fleet.counters["affinity_spills"],
+            "errors": errors, "mismatches": mismatches,
+        }
+
+    rows = []
+    for replicas in replica_counts:
+        for policy in ("affinity", "round_robin"):
+            rows.append(run_config(policy, replicas))
+        if replicas == gate_replicas:
+            rows.append(run_config("least_outstanding", replicas))
+
+    def row(policy, replicas):
+        return next(r for r in rows if r["policy"] == policy
+                    and r["replicas"] == replicas)
+
+    gate_replicas = gate_replicas if gate_replicas in replica_counts \
+        else replica_counts[-1]
+    aff = row("affinity", gate_replicas)
+    blind = row("round_robin", gate_replicas)
+    return {"experiment": "fleet_routing", "device": device_name,
+            "model": model_name, "num_queries": num_queries,
+            "arrival_rate_qps": arrival_rate_qps,
+            "distinct_signatures": trace.distinct_signatures(),
+            "plan_capacity": plan_capacity,
+            "replica_counts": list(replica_counts),
+            "rows": rows,
+            "gate_replicas": gate_replicas,
+            "p99_ratio_at_gate": round(blind["p99_us"] / aff["p99_us"],
+                                       2),
+            "mismatches": sum(r["mismatches"] for r in rows),
+            "errors": sum(r["errors"] for r in rows)}
+
+
+def format_fleet_routing(result: dict) -> str:
+    headers = ["policy", "replicas", "p50 us", "p95 us", "p99 us",
+               "fast", "fallback", "recompiles", "spills", "errors",
+               "mismatch"]
+    rows = [[r["policy"], r["replicas"], r["p50_us"], r["p95_us"],
+             r["p99_us"], r["fast"], r["fallback"], r["recompiles"],
+             r["affinity_spills"], r["errors"], r["mismatches"]]
+            for r in result["rows"]]
+    return format_table(
+        headers, rows,
+        f"[{result['device']}] Fleet routing on {result['model']} at "
+        f"{result['arrival_rate_qps']:.0f} qps "
+        f"({result['num_queries']} queries, "
+        f"{result['distinct_signatures']} signatures, plan cache "
+        f"{result['plan_capacity']}/replica): affinity p99 is "
+        f"{result['p99_ratio_at_gate']}x below round-robin at "
+        f"{result['gate_replicas']} replicas; "
+        f"{result['mismatches']} output mismatches")

@@ -70,6 +70,16 @@ def build_parser() -> argparse.ArgumentParser:
                              "a serving run with an injected tuner fault "
                              "must quarantine the search while every "
                              "response stays OK")
+    parser.add_argument("--fleet", action="store_true",
+                        help="additionally drive every case through a "
+                             "multi-replica serving fleet (routing policy "
+                             "and replica count varied by seed, seeded "
+                             "per-replica compile/tuner fault schedules, "
+                             "a replica drained mid-stream); no request "
+                             "may be lost or double-served across the "
+                             "scale-down, quarantine must stay on the "
+                             "faulted replica, and every response must be "
+                             "OK and bit-identical to a direct engine run")
     return parser
 
 
@@ -80,12 +90,12 @@ def main(argv=None) -> int:
         config.max_nodes = args.max_nodes
     oracle = None
     if args.lint or args.serving or args.batching or args.obs \
-            or args.tuning:
+            or args.tuning or args.fleet:
         oracle = DifferentialOracle(
             lint_level=LintLevel(args.lint_level) if args.lint
             else LintLevel.OFF,
             serving=args.serving, batching=args.batching, obs=args.obs,
-            tuning=args.tuning)
+            tuning=args.tuning, fleet=args.fleet)
     report = run_campaign(
         seed=args.seed, iters=args.iters, config=config,
         out_dir=args.out, minimize_failures=not args.no_minimize,

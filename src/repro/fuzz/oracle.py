@@ -36,7 +36,8 @@ from ..runtime.engine import ExecutionEngine
 
 __all__ = ["Failure", "CaseResult", "DifferentialOracle", "make_inputs",
            "compare_arrays", "DISC_EXECUTOR", "SERVING_EXECUTOR",
-           "BATCHING_EXECUTOR", "OBS_EXECUTOR", "TUNING_EXECUTOR"]
+           "BATCHING_EXECUTOR", "OBS_EXECUTOR", "TUNING_EXECUTOR",
+           "FLEET_EXECUTOR"]
 
 #: name under which the optimized pipeline appears in results.
 DISC_EXECUTOR = "DISC"
@@ -48,6 +49,8 @@ BATCHING_EXECUTOR = "BATCHING"
 OBS_EXECUTOR = "OBS"
 #: name under which the schedule-autotuning oracle appears.
 TUNING_EXECUTOR = "TUNING"
+#: name under which the multi-replica fleet oracle appears.
+FLEET_EXECUTOR = "FLEET"
 
 #: (rtol, atol) per dtype name; ints/bools compare exactly.
 _TOLERANCES = {
@@ -156,7 +159,8 @@ class DifferentialOracle:
                  serving: bool = False,
                  batching: bool = False,
                  obs: bool = False,
-                 tuning: bool = False) -> None:
+                 tuning: bool = False,
+                 fleet: bool = False) -> None:
         self.device = device
         self.baselines = tuple(baselines) if baselines is not None \
             else tuple(baseline_names())
@@ -196,6 +200,14 @@ class DifferentialOracle:
         #: seed-varied, a serving run with an injected tuner fault must
         #: quarantine the search while every response stays OK.
         self.tuning = tuning
+        #: when True, every case additionally drives a multi-replica
+        #: fleet (routing policy and replica count varied by seed) with
+        #: seeded *per-replica* compile and tuner fault schedules and a
+        #: mid-stream replica drain.  Invariants: no request is lost or
+        #: double-served across the scale-down, quarantine stays
+        #: confined to the faulted replica, and every response is OK
+        #: and bit-identical to a direct engine run.
+        self.fleet = fleet
 
     # -- single case -------------------------------------------------------
 
@@ -251,6 +263,8 @@ class DifferentialOracle:
             self._check_batching(inputs, executable, result)
         if self.tuning and executable is not None:
             self._check_tuning(inputs, executable, result)
+        if self.fleet and executable is not None:
+            self._check_fleet(inputs, executable, result)
         if self.obs:
             self._check_obs(graph, inputs, executable, result)
         self._check_baselines(graph, inputs, reference, result)
@@ -389,6 +403,125 @@ class DifferentialOracle:
                         executor=SERVING_EXECUTOR, kind="mismatch",
                         detail=f"path {response.path!r} not "
                                f"bit-identical to direct engine run",
+                        output_index=index))
+
+    # -- multi-replica fleet -----------------------------------------------
+
+    def _check_fleet(self, inputs, executable,
+                     result: CaseResult) -> None:
+        """Drive a replica fleet through the case with per-replica faults.
+
+        Routing policy and replica count vary with the seed; replica
+        ``r0`` carries a seeded compile-fault schedule (and, every
+        fourth seed, a tuner-fault schedule on top of budgeted tuning)
+        while the other replicas stay clean, and ``r0`` is drained
+        mid-stream.  The invariants: every request resolves OK and
+        bit-identical to a direct engine run, none is lost or
+        double-served across the scale-down, and quarantine never
+        leaks off the faulted replica.
+        """
+        from ..serving import (FleetEngine, FleetOptions, ReplicaState,
+                               ServingOptions, SignatureCompileCost,
+                               VirtualScheduler)
+        from ..tuning import TuningOptions
+        from .faults import CompileFaultInjector, TunerFaultInjector
+
+        result.executors_checked.append(FLEET_EXECUTOR)
+        seed = result.input_seed
+        policy = ("affinity", "round_robin",
+                  "least_outstanding")[seed % 3]
+        replicas = 2 + seed % 2
+        tune = seed % 4 == 3
+        faults: dict = {}
+
+        def compile_fault_factory(uid):
+            if uid != 0:
+                return None
+            return faults.setdefault(uid, CompileFaultInjector(
+                transient_attempts=1 if seed % 2 == 0 else 0,
+                permanent=seed % 3 == 2))
+
+        def tuning_fault_factory(uid):
+            return TunerFaultInjector() if uid == 0 else None
+
+        try:
+            expected, _ = ExecutionEngine(executable, self.device).run(
+                inputs)
+            scheduler = VirtualScheduler(seed=seed)
+            fleet = FleetEngine(
+                self.device, scheduler,
+                FleetOptions(
+                    replicas=replicas, policy=policy,
+                    serving=ServingOptions(
+                        compile_workers=1,
+                        compile_backoff_us=1_000.0,
+                        compile_cost=SignatureCompileCost(
+                            fixed_us=5_000.0, per_kernel_us=100.0),
+                        tuning=(TuningOptions(budget_us=2_000.0)
+                                if tune else None))),
+                compile_fault_factory=compile_fault_factory,
+                tuning_fault_factory=(tuning_fault_factory if tune
+                                      else None))
+            fleet.register_model("case", executable)
+            tickets: list = []
+            # A cold burst across the fleet, a scale-down mid-stream,
+            # then a late wave that must survive the retired replica.
+            scheduler.call_at(0.0, lambda: tickets.extend(
+                fleet.submit("case", inputs) for _ in range(3)))
+            scheduler.call_at(5e7, lambda: fleet.drain("r0"))
+            scheduler.call_at(1e8, lambda: tickets.extend(
+                fleet.submit("case", inputs) for _ in range(3)))
+            scheduler.run_until_idle()
+        except Exception as exc:  # noqa: BLE001
+            result.failures.append(Failure(
+                executor=FLEET_EXECUTOR, kind="exception",
+                detail=f"{type(exc).__name__}: {exc}"))
+            return
+        counters = fleet.stats()["requests"]
+        if counters["submitted"] != 6 or counters["ok"] != 6:
+            result.failures.append(Failure(
+                executor=FLEET_EXECUTOR, kind="invariant",
+                detail=f"{counters['submitted']} submitted / "
+                       f"{counters['ok']} ok across scale-down, "
+                       "expected 6/6 (lost or double-served)"))
+        drained = fleet.replica("r0")
+        if drained.state is not ReplicaState.RETIRED \
+                or drained.outstanding() != 0:
+            result.failures.append(Failure(
+                executor=FLEET_EXECUTOR, kind="invariant",
+                detail=f"drained replica ended {drained.state.value} "
+                       f"with {drained.outstanding()} outstanding"))
+        for replica in fleet.replicas() + fleet.retired:
+            if replica.name == "r0":
+                continue
+            leaked = (replica.engine._quarantined
+                      | replica.engine._tuning_quarantined)
+            if leaked:
+                result.failures.append(Failure(
+                    executor=FLEET_EXECUTOR, kind="invariant",
+                    detail=f"quarantine leaked off the faulted replica "
+                           f"onto {replica.name}: {sorted(leaked)[:1]}"))
+        for ticket in tickets:
+            response = ticket.response
+            if response is None or not response.ok:
+                status = "unresolved" if response is None \
+                    else response.status.value
+                result.failures.append(Failure(
+                    executor=FLEET_EXECUTOR, kind="exception",
+                    detail=f"fleet request {ticket.seq} ended "
+                           f"{status}, expected ok"))
+                continue
+            for index, (ref, got) in enumerate(zip(expected,
+                                                   response.outputs)):
+                ref = np.asarray(ref)
+                got = np.asarray(got)
+                if (ref.shape != got.shape or ref.dtype != got.dtype
+                        or ref.tobytes() != got.tobytes()):
+                    result.failures.append(Failure(
+                        executor=FLEET_EXECUTOR, kind="mismatch",
+                        detail=f"replica {ticket.replica!r} path "
+                               f"{response.path!r} not bit-identical "
+                               "to direct engine run",
                         output_index=index))
 
     # -- dynamic batching --------------------------------------------------

@@ -15,6 +15,13 @@ This package provides it:
   background compilation with retry-backoff and quarantine;
 - :class:`InterpreterFallback` — bit-identical interpreter serving with
   an eager (PyTorch-style) cost model;
+- :class:`FleetEngine` — N replicas per model behind pluggable routing
+  (signature affinity / round robin / least outstanding), per-tenant
+  token-bucket admission, shared or per-replica compile pools, and
+  metric-driven autoscaling (internals.md §15);
+- :class:`ClusterSim` — the deterministic cluster-simulation fixture:
+  multi-tenant Poisson traces in, bit-for-bit replayable per-event
+  transcripts out;
 - :class:`VirtualScheduler` / :class:`VirtualClock` — the injectable
   time seam that makes every interleaving deterministic and seedable.
 
@@ -25,36 +32,63 @@ deterministic concurrency suite.
 from .batching import (BatchingOptions, BatchingServingEngine,
                        ShapeBucketer, round_up_pow2)
 from .clock import Clock, SystemClock, VirtualClock
+from .cluster import (Arrival, ClusterRun, ClusterSim, TenantTraffic,
+                      poisson_arrivals)
 from .compilepool import (BackgroundCompilePool, CompileState,
                           PermanentCompileError, SignatureCompileCost,
                           TransientCompileError)
 from .engine import (PathRouter, Request, Response, ResponseStatus,
                      ServingEngine, ServingOptions, Ticket)
 from .fallback import FallbackOptions, InterpreterFallback
+from .fleet import (AutoscalerOptions, FleetEngine, FleetOptions,
+                    FleetTicket, ReplicaState)
+from .router import (AdmissionController, LeastOutstandingPolicy,
+                     RoundRobinPolicy, RouteDecision, RoutingPolicy,
+                     SignatureAffinityPolicy, TokenBucket, make_policy,
+                     stable_hash)
 from .scheduler import EventHandle, VirtualScheduler
 
 __all__ = [
+    "AdmissionController",
+    "Arrival",
+    "AutoscalerOptions",
     "BackgroundCompilePool",
     "BatchingOptions",
     "BatchingServingEngine",
     "Clock",
+    "ClusterRun",
+    "ClusterSim",
     "CompileState",
     "EventHandle",
     "FallbackOptions",
+    "FleetEngine",
+    "FleetOptions",
+    "FleetTicket",
     "InterpreterFallback",
+    "LeastOutstandingPolicy",
     "PathRouter",
     "PermanentCompileError",
+    "ReplicaState",
     "Request",
     "Response",
     "ResponseStatus",
+    "RoundRobinPolicy",
+    "RouteDecision",
+    "RoutingPolicy",
     "ServingEngine",
     "ServingOptions",
     "ShapeBucketer",
+    "SignatureAffinityPolicy",
     "SignatureCompileCost",
     "SystemClock",
-    "round_up_pow2",
+    "TenantTraffic",
+    "TokenBucket",
     "Ticket",
     "TransientCompileError",
     "VirtualClock",
     "VirtualScheduler",
+    "make_policy",
+    "poisson_arrivals",
+    "round_up_pow2",
+    "stable_hash",
 ]

@@ -263,9 +263,11 @@ class BatchingServingEngine(ServingEngine):
                  scheduler: VirtualScheduler,
                  options: ServingOptions | None = None,
                  batching: BatchingOptions | None = None,
-                 compile_fault=None, tracer=None) -> None:
+                 compile_fault=None, tracer=None, *,
+                 name: str = "serving") -> None:
         super().__init__(device, scheduler, options,
-                         compile_fault=compile_fault, tracer=tracer)
+                         compile_fault=compile_fault, tracer=tracer,
+                         name=name)
         self.batching = batching or BatchingOptions()
         if self.batching.pad_policy not in PAD_POLICIES:
             raise ValueError(

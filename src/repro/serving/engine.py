@@ -327,10 +327,13 @@ class ServingEngine:
                  options: ServingOptions | None = None,
                  compile_fault: CompileFault | None = None,
                  tuning_fault: CompileFault | None = None,
-                 tracer=None) -> None:
+                 tracer=None, *, name: str = "serving") -> None:
         self.device = device
         self.scheduler = scheduler
         self.options = options or ServingOptions()
+        #: replica identity; namespaces this engine's stats so a fleet
+        #: can aggregate N replicas without counter collisions.
+        self.name = name
         #: request-lifecycle spans + ``serving:*`` events (None = off).
         #: Handed down to the compile pool and to every registered
         #: model's engine so one trace covers the whole request path.
@@ -343,6 +346,10 @@ class ServingEngine:
             backoff_us=self.options.compile_backoff_us,
             backoff_multiplier=self.options.backoff_multiplier,
             tracer=tracer)
+        #: False once :meth:`adopt_pool` swaps in a pool owned elsewhere
+        #: (fleet shared-pool mode); stats then mark the pool shared so
+        #: aggregation counts its jobs once, not once per replica.
+        self.owns_pool = True
         self._compile_fault = compile_fault
         self._tuning_fault = tuning_fault
         #: the background schedule autotuner (None = heuristics only).
@@ -378,6 +385,17 @@ class ServingEngine:
     def _make_router(self) -> PathRouter:
         """Factory seam: subclasses may install a richer router."""
         return PathRouter(self)
+
+    def adopt_pool(self, pool: BackgroundCompilePool) -> None:
+        """Replace the engine's private compile pool with a shared one.
+
+        Fleet shared-pool mode: N replicas compile through one
+        :class:`BackgroundCompilePool`, so identical (model, signature)
+        jobs coalesce across replicas instead of compiling N times.
+        Must run before any request is submitted.
+        """
+        self.pool = pool
+        self.owns_pool = False
 
     # -- registration ------------------------------------------------------
 
@@ -580,8 +598,10 @@ class ServingEngine:
 
     def stats(self) -> dict:
         stats = {
+            "name": self.name,
             "requests": dict(self.counters),
-            "pool": self.pool.stats.as_dict(),
+            "pool": dict(self.pool.stats.as_dict(),
+                         shared=not self.owns_pool),
             "quarantined_signatures": len(self._quarantined),
             "models": {name: entry.engine.plans.stats()
                        for name, entry in self._models.items()},

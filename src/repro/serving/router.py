@@ -1,0 +1,231 @@
+"""Fleet routing policies and per-tenant admission control.
+
+The fleet splits *placement* from *execution*: a :class:`RoutingPolicy`
+picks which replica serves a request, and an :class:`AdmissionController`
+decides — before any routing — whether the tenant may submit at all.
+Both layers are deterministic functions of their inputs so whole-cluster
+interleavings replay bit-for-bit under the virtual clock.
+
+Three policies ship (see internals.md §15):
+
+- **signature affinity** — the fleet-level analogue of the paper's
+  shape-specialization caching.  A request is cheap only on a replica
+  whose launch-plan cache already holds its signature class, so
+  signatures are pinned to replicas by rendezvous (highest-random-weight)
+  hashing: each replica scores ``blake2b(replica_uid | model | signature)``
+  and the highest score wins.  Adding or retiring a replica remaps only
+  the signatures that hashed to it — every other replica keeps its warm
+  cache.  When the affine replica's queue is deeper than
+  ``spill_depth``, the request spills to the least-loaded replica
+  (freshness is worth less than a queue's worth of waiting).
+- **round robin** — the classic baseline: rotate over active replicas,
+  blind to caches and load.
+- **least outstanding** — route to the replica with the fewest
+  unresolved requests, blind to caches.
+
+Hashing never uses Python's ``hash()`` (randomized per process by
+``PYTHONHASHSEED``); :func:`stable_hash` is blake2b over the rendered
+key, identical across runs, processes, and platforms.
+"""
+
+from __future__ import annotations
+
+import hashlib
+from dataclasses import dataclass
+from typing import Mapping, Protocol, Sequence
+
+from ..runtime.launchplan import format_signature
+
+__all__ = ["AdmissionController", "LeastOutstandingPolicy", "POLICIES",
+           "ReplicaView", "RouteDecision", "RoundRobinPolicy",
+           "RoutingPolicy", "SignatureAffinityPolicy", "TokenBucket",
+           "make_policy", "stable_hash"]
+
+
+def stable_hash(text: str) -> int:
+    """A process-stable 64-bit hash of ``text`` (blake2b, not hash())."""
+    digest = hashlib.blake2b(text.encode("utf-8"), digest_size=8)
+    return int.from_bytes(digest.digest(), "big")
+
+
+class ReplicaView(Protocol):
+    """What a policy may observe about a replica (fleet's ``_Replica``)."""
+
+    name: str
+    uid: int
+
+    def waiting(self) -> int: ...        # queued, not yet in service
+    def outstanding(self) -> int: ...    # submitted, not yet responded
+    def warm(self, model: str, signature: tuple) -> bool: ...
+
+
+@dataclass(frozen=True)
+class RouteDecision:
+    """One routing verdict, recorded verbatim in fleet transcripts."""
+
+    replica: str
+    policy: str
+    #: the replica rendezvous hashing picked first (affinity only).
+    affine: str | None = None
+    #: True when the affine replica was over ``spill_depth`` and the
+    #: request went to the least-loaded replica instead.
+    spilled: bool = False
+    #: True when the chosen replica already held the signature's plan.
+    warm: bool = False
+
+
+class RoutingPolicy:
+    """Chooses a replica for one request; must be deterministic."""
+
+    name = "base"
+
+    def choose(self, model: str, signature: tuple,
+               replicas: Sequence[ReplicaView]) -> RouteDecision:
+        raise NotImplementedError
+
+
+def _least_outstanding(replicas: Sequence[ReplicaView]) -> ReplicaView:
+    """Fewest unresolved requests; ties broken by lowest uid."""
+    return min(replicas, key=lambda r: (r.outstanding(), r.uid))
+
+
+class RoundRobinPolicy(RoutingPolicy):
+    """Rotate over active replicas, per model, blind to caches."""
+
+    name = "round_robin"
+
+    def __init__(self) -> None:
+        self._next: dict[str, int] = {}
+
+    def choose(self, model: str, signature: tuple,
+               replicas: Sequence[ReplicaView]) -> RouteDecision:
+        turn = self._next.get(model, 0)
+        self._next[model] = turn + 1
+        ordered = sorted(replicas, key=lambda r: r.uid)
+        replica = ordered[turn % len(ordered)]
+        return RouteDecision(replica=replica.name, policy=self.name,
+                             warm=replica.warm(model, signature))
+
+
+class LeastOutstandingPolicy(RoutingPolicy):
+    """Route to the replica with the fewest unresolved requests."""
+
+    name = "least_outstanding"
+
+    def choose(self, model: str, signature: tuple,
+               replicas: Sequence[ReplicaView]) -> RouteDecision:
+        replica = _least_outstanding(replicas)
+        return RouteDecision(replica=replica.name, policy=self.name,
+                             warm=replica.warm(model, signature))
+
+
+class SignatureAffinityPolicy(RoutingPolicy):
+    """Rendezvous-hash signatures to replicas; spill when overloaded."""
+
+    name = "affinity"
+
+    def __init__(self, spill_depth: int = 8) -> None:
+        if spill_depth < 1:
+            raise ValueError("spill_depth must be >= 1")
+        self.spill_depth = spill_depth
+
+    def score(self, replica: ReplicaView, model: str,
+              signature: tuple) -> int:
+        return stable_hash(
+            f"{replica.uid}|{model}|{format_signature(signature)}")
+
+    def affine_replica(self, model: str, signature: tuple,
+                       replicas: Sequence[ReplicaView]) -> ReplicaView:
+        return max(replicas,
+                   key=lambda r: (self.score(r, model, signature), r.uid))
+
+    def choose(self, model: str, signature: tuple,
+               replicas: Sequence[ReplicaView]) -> RouteDecision:
+        affine = self.affine_replica(model, signature, replicas)
+        if len(replicas) > 1 and affine.waiting() >= self.spill_depth:
+            spill = _least_outstanding(
+                [r for r in replicas if r is not affine])
+            return RouteDecision(
+                replica=spill.name, policy=self.name, affine=affine.name,
+                spilled=True, warm=spill.warm(model, signature))
+        return RouteDecision(
+            replica=affine.name, policy=self.name, affine=affine.name,
+            warm=affine.warm(model, signature))
+
+
+POLICIES = {
+    "affinity": SignatureAffinityPolicy,
+    "round_robin": RoundRobinPolicy,
+    "least_outstanding": LeastOutstandingPolicy,
+}
+
+
+def make_policy(name: str, **kwargs) -> RoutingPolicy:
+    """Instantiate a registered policy by name."""
+    try:
+        factory = POLICIES[name]
+    except KeyError:
+        raise ValueError(f"unknown routing policy {name!r}; "
+                         f"available: {sorted(POLICIES)}") from None
+    return factory(**kwargs)
+
+
+# -- per-tenant admission --------------------------------------------------
+
+
+class TokenBucket:
+    """A token bucket refilled continuously on the (virtual) clock."""
+
+    __slots__ = ("rate_per_s", "burst", "tokens", "_refilled_us")
+
+    def __init__(self, rate_per_s: float, burst: float) -> None:
+        if rate_per_s <= 0 or burst < 1:
+            raise ValueError("need rate_per_s > 0 and burst >= 1")
+        self.rate_per_s = rate_per_s
+        self.burst = burst
+        self.tokens = float(burst)
+        self._refilled_us = 0.0
+
+    def try_acquire(self, now_us: float) -> bool:
+        """Take one token if available; refills lazily up to burst."""
+        if now_us > self._refilled_us:
+            self.tokens = min(
+                self.burst,
+                self.tokens
+                + (now_us - self._refilled_us) * self.rate_per_s / 1e6)
+            self._refilled_us = now_us
+        if self.tokens >= 1.0:
+            self.tokens -= 1.0
+            return True
+        return False
+
+
+class AdmissionController:
+    """Per-tenant token-bucket quotas; exhaustion sheds the request.
+
+    ``quotas`` maps tenant name to ``(rate_per_s, burst)``.
+    ``default_quota`` applies to tenants without an explicit quota
+    (None = unmetered).  The SHED happens at the fleet edge, before
+    routing, so an abusive tenant cannot fill any replica's queue.
+    """
+
+    def __init__(self,
+                 quotas: Mapping[str, tuple[float, float]] | None = None,
+                 default_quota: tuple[float, float] | None = None) -> None:
+        self._buckets: dict[str, TokenBucket] = {
+            tenant: TokenBucket(*quota)
+            for tenant, quota in (quotas or {}).items()}
+        self._default_quota = default_quota
+        self.admitted: dict[str, int] = {}
+        self.shed: dict[str, int] = {}
+
+    def admit(self, tenant: str, now_us: float) -> bool:
+        bucket = self._buckets.get(tenant)
+        if bucket is None and self._default_quota is not None:
+            bucket = TokenBucket(*self._default_quota)
+            self._buckets[tenant] = bucket
+        if bucket is None or bucket.try_acquire(now_us):
+            self.admitted[tenant] = self.admitted.get(tenant, 0) + 1
+            return True
+        self.shed[tenant] = self.shed.get(tenant, 0) + 1
+        return False

@@ -273,6 +273,94 @@ def test_faulty_batched_plan_quarantines_bucket_to_solo(path):
 
 
 # ---------------------------------------------------------------------------
+# fleet replay: a permanent fault quarantines ONE replica, never the fleet
+# ---------------------------------------------------------------------------
+
+FLEET_CASES = [p for p in CASES
+               if load_case(p)[2].get("fleet_fault")]
+
+
+def test_fleet_quarantine_case_is_checked_in():
+    assert FLEET_CASES, "the fleet replica-quarantine corpus case went missing"
+
+
+@pytest.mark.parametrize("path", FLEET_CASES, ids=lambda p: p.stem)
+def test_fleet_quarantine_stays_on_the_faulted_replica(path):
+    """A permanently failing compile on one replica pins *that replica*
+    to its interpreter fallback; its peer compiles normally and serves
+    the fast path, and draining the faulted replica hands its traffic
+    over without losing or double-serving a request.  Every response —
+    quarantined, fallback or fast, before or after the drain — is
+    bit-identical to a direct engine run."""
+    from repro.core import compile_graph
+    from repro.device import A10
+    from repro.fuzz import CompileFaultInjector, make_inputs
+    from repro.runtime import ExecutionEngine
+    from repro.serving import (FleetEngine, FleetOptions, ReplicaState,
+                               ServingOptions, SignatureCompileCost,
+                               VirtualScheduler)
+
+    graph, bindings, meta = load_case(path)
+    assert meta["fleet_fault"] == "permanent"
+    inputs = make_inputs(graph, bindings,
+                         seed=int(meta.get("input_seed", 0)))
+    executable = compile_graph(graph)
+    expected, _ = ExecutionEngine(executable, A10).run(inputs)
+
+    scheduler = VirtualScheduler(seed=0)
+    fleet = FleetEngine(
+        A10, scheduler,
+        FleetOptions(
+            replicas=2, policy="round_robin",
+            serving=ServingOptions(compile_cost=SignatureCompileCost(
+                fixed_us=1_000.0, per_kernel_us=10.0))),
+        compile_fault_factory=lambda uid: (
+            CompileFaultInjector(permanent=True) if uid == 0 else None))
+    fleet.register_model("case", executable)
+
+    tickets = []
+    for start in (0.0, 1e8):           # cold burst, then warm revisit
+        scheduler.call_at(start, lambda: tickets.extend(
+            fleet.submit("case", inputs) for _ in range(2)))
+    scheduler.call_at(2e8, lambda: fleet.drain("r0", reason="faulted"))
+    scheduler.call_at(3e8, lambda: tickets.extend(
+        fleet.submit("case", inputs) for _ in range(2)))
+    scheduler.run_until_idle()
+
+    r0, r1 = fleet.replica("r0"), fleet.replica("r1")
+    sig = tickets[0].request.signature
+    assert ("case", sig) in r0.engine._quarantined, \
+        "the faulted replica must quarantine the signature"
+    assert not r1.engine._quarantined, \
+        "quarantine leaked to a healthy replica"
+    assert r0.engine.pool.stats.jobs_submitted == 1, \
+        "quarantine must stop recompilation on the faulted replica"
+    assert r0.state is ReplicaState.RETIRED and r0.outstanding() == 0
+    assert [t.replica for t in tickets[4:]] == ["r1", "r1"], \
+        "post-drain traffic must route around the retired replica"
+
+    paths = {name: set() for name in ("r0", "r1")}
+    assert len(tickets) == 6
+    assert fleet.counters["routed"] == 6
+    assert sum(r.engine.counters["ok"]
+               for r in fleet.replicas() + fleet.retired) == 6, \
+        "a request was lost or double-served across the drain"
+    for ticket in tickets:
+        response = ticket.response
+        assert response.ok
+        paths[ticket.replica].add(response.path)
+        for ref, got in zip(expected, response.outputs):
+            assert ref.dtype == got.dtype and ref.shape == got.shape
+            assert ref.tobytes() == got.tobytes(), \
+                f"replica {ticket.replica} path {response.path} " \
+                "diverged from the direct engine run"
+    assert "fast" not in paths["r0"], \
+        "the permanently faulted replica can never serve a compiled plan"
+    assert "fast" in paths["r1"], \
+        "the healthy replica must recover to the fast path"
+
+
+# ---------------------------------------------------------------------------
 # tuning replay: tuner fault -> quarantined search, heuristic plan, OK
 # ---------------------------------------------------------------------------
 

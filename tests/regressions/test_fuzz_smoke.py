@@ -45,6 +45,19 @@ def test_bounded_batching_campaign_seed0_is_clean(tmp_path):
     assert "BATCHING" in report.executors
 
 
+def test_bounded_fleet_campaign_seed0_is_clean(tmp_path):
+    """The fleet oracle rides the same campaign: every case driven
+    through a multi-replica fleet (policy and replica count varied by
+    seed, per-replica compile/tuner fault schedules, one replica drained
+    mid-stream) — no request lost or double-served across the
+    scale-down, quarantine pinned to the faulted replica, every response
+    OK and bit-identical to a direct engine run."""
+    report = run_campaign(seed=0, iters=10, out_dir=tmp_path,
+                          oracle=DifferentialOracle(fleet=True))
+    assert report.ok, report.summary()
+    assert "FLEET" in report.executors
+
+
 def test_bounded_obs_campaign_seed0_is_clean(tmp_path):
     """The trace oracle rides the same campaign: every case recompiled
     and re-run under a CapturingTracer with bit-identical outputs/stats

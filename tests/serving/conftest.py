@@ -12,9 +12,9 @@ import pytest
 
 from repro.core import compile_graph
 from repro.device import A10
-from repro.serving import (BatchingServingEngine, ServingEngine,
-                           ServingOptions, SignatureCompileCost,
-                           VirtualScheduler)
+from repro.serving import (BatchingServingEngine, FleetEngine,
+                           FleetOptions, ServingEngine, ServingOptions,
+                           SignatureCompileCost, VirtualScheduler)
 
 from ..conftest import toy_mlp_graph
 
@@ -53,6 +53,25 @@ def make_batching(exe, seed=0, compile_fault=None, batching=None,
                                    batching=batching,
                                    compile_fault=compile_fault,
                                    tracer=tracer)
+    engine.register_model("mlp", exe)
+    return scheduler, engine
+
+
+def make_fleet(exe, seed=0, compile_fault_factory=None, tracer=None,
+               fleet=None, **serving_overrides):
+    """A (scheduler, fleet) pair with the toy model registered.
+
+    ``fleet`` holds :class:`FleetOptions` field overrides (replicas,
+    policy, quotas, autoscaler, ...); the remaining keyword arguments
+    configure the per-replica :class:`ServingOptions`.
+    """
+    serving_overrides.setdefault("compile_cost", FAST_COMPILE)
+    options = FleetOptions(serving=ServingOptions(**serving_overrides),
+                           **(fleet or {}))
+    scheduler = VirtualScheduler(seed=seed)
+    engine = FleetEngine(A10, scheduler, options,
+                         compile_fault_factory=compile_fault_factory,
+                         tracer=tracer)
     engine.register_model("mlp", exe)
     return scheduler, engine
 

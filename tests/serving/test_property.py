@@ -16,7 +16,8 @@ from repro.fuzz import CompileFaultInjector, make_inputs
 from repro.fuzz.sampler import binding_suite
 from repro.runtime import ExecutionEngine
 from repro.serving import (BatchingOptions, BatchingServingEngine,
-                           ResponseStatus, ServingEngine, ServingOptions,
+                           FleetEngine, FleetOptions, ResponseStatus,
+                           ServingEngine, ServingOptions,
                            SignatureCompileCost, VirtualScheduler)
 
 from ..strategies import batched_request_mixes, fuzz_graphs
@@ -119,3 +120,69 @@ def test_batched_responses_bit_identical_to_direct_engine(
             expected, _ = reference.run(inputs)
             assert bit_identical(expected, response.outputs), \
                 f"path {response.path!r} diverged from direct engine run"
+
+
+@settings(max_examples=12, deadline=None,
+          suppress_health_check=[HealthCheck.too_slow])
+@given(graph=fuzz_graphs(max_nodes=10),
+       seed=st.integers(min_value=0, max_value=2**16),
+       replicas=st.integers(min_value=1, max_value=4),
+       policy=st.sampled_from(["affinity", "round_robin",
+                               "least_outstanding"]),
+       shared_pool=st.booleans(),
+       transient=st.integers(min_value=0, max_value=2),
+       permanent_every=st.sampled_from([None, 2]),
+       drain_mid_stream=st.booleans())
+def test_fleet_responses_bit_identical_to_direct_engine(
+        graph, seed, replicas, policy, shared_pool, transient,
+        permanent_every, drain_mid_stream):
+    """The fleet property: for any graph, any routing policy, any
+    replica count, any per-replica compile-fault schedule, and a scale
+    event mid-stream, every OK fleet response is bit-identical to a
+    direct ``ExecutionEngine`` run — a request cannot observe which
+    replica (or which path on it) served it."""
+    executable = compile_graph(graph)
+    reference = ExecutionEngine(executable, A10)
+    faults = {}
+
+    def fault_factory(uid):
+        # Every replica gets its own seeded schedule; uid -1 is the
+        # shared pool's fleet-level schedule.
+        return faults.setdefault(uid, CompileFaultInjector(
+            transient_attempts=(transient + uid) % 3,
+            permanent_every=permanent_every))
+
+    scheduler = VirtualScheduler(seed=seed)
+    fleet = FleetEngine(
+        A10, scheduler,
+        FleetOptions(
+            replicas=replicas, policy=policy,
+            shared_compile_pool=shared_pool,
+            serving=ServingOptions(
+                compile_workers=1 + seed % 3,
+                compile_backoff_us=500.0,
+                compile_cost=SignatureCompileCost(fixed_us=2_000.0,
+                                                  per_kernel_us=50.0))),
+        compile_fault_factory=fault_factory)
+    fleet.register_model("m", executable)
+
+    cases = [make_inputs(graph, bindings, seed=7)
+             for bindings in binding_suite(graph, limit=2)]
+    tickets = []
+    for index, inputs in enumerate(cases):
+        scheduler.call_at(0.0, lambda i=inputs: tickets.append(
+            (i, fleet.submit("m", i))))
+        scheduler.call_at(1e7 + index, lambda i=inputs: tickets.append(
+            (i, fleet.submit("m", i))))
+    if drain_mid_stream and replicas > 1:
+        scheduler.call_at(5_000.0, lambda: fleet.drain("r0"))
+    scheduler.run_until_idle()
+
+    assert len(tickets) == 2 * len(cases)
+    for inputs, ticket in tickets:
+        response = ticket.response
+        assert response is not None and response.ok
+        expected, _ = reference.run(inputs)
+        assert bit_identical(expected, response.outputs), \
+            f"replica {ticket.replica!r} path {response.path!r} " \
+            "diverged from direct engine run"
