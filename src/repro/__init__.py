@@ -38,7 +38,8 @@ from .core import (CompileOptions, ConstraintLevel, DiscCompiler,
                    FusionConfig, FusionKind, compile_graph)
 from .runtime import (EngineOptions, Executable, ExecutionEngine,
                       HostProgram, LaunchPlan, LaunchPlanCache,
-                      LegacyExecutionEngine)
+                      LegacyExecutionEngine, MemoryBudget,
+                      SymbolicBufferPlan, measure_peak_bytes)
 from .device import A10, T4, DeviceProfile, RunStats, Timeline, device_named
 from .interp import evaluate
 from .frontend import TracedTensor, trace
@@ -60,7 +61,8 @@ __all__ = [
     "FusionKind", "compile_graph",
     "EngineOptions", "Executable", "ExecutionEngine",
     "HostProgram", "LaunchPlan", "LaunchPlanCache",
-    "LegacyExecutionEngine",
+    "LegacyExecutionEngine", "MemoryBudget", "SymbolicBufferPlan",
+    "measure_peak_bytes",
     "A10", "T4", "DeviceProfile", "RunStats", "Timeline", "device_named",
     "evaluate",
     "TracedTensor", "trace",

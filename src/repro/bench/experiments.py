@@ -775,15 +775,26 @@ def format_placement_overhead(result: dict) -> str:
 # E11 — intermediate-buffer planning (the pipeline's memory optimisation)
 # ---------------------------------------------------------------------------
 
-def e11_memory_planning(models: list | None = None, seed: int = 0) -> dict:
+def e11_memory_planning(models: list | None = None, seed: int = 0,
+                        shapes_per_model: int = 8) -> dict:
     """Naive vs liveness-reused intermediate memory, with and without
-    fusion.
+    fusion — plus the symbolic one-plan-per-class sweep.
 
     Fusion already eliminates most intermediates (they live inside fused
     kernels); buffer reuse then shares what remains.  The paper's pipeline
     applies both; this experiment separates their contributions.
+
+    The *diversity* sweep prices what the class-wide symbolic plan costs
+    under shape churn: for ``shapes_per_model`` seeded in-class shapes it
+    compares the one frozen plan's peak against (a) no reuse at all and
+    (b) a best-fit-decreasing planner that is allowed to re-plan for every
+    concrete shape (``replan_peak_for_shape``).  The class plan is priced
+    once and reused for every shape — the per-shape baseline pays a
+    re-planning pass per signature.  The gate bounds the worst ratio of
+    symbolic peak over per-shape peak.
     """
     from ..numerics.resolve import bind_inputs, resolve_all_dims
+    from ..runtime.memory import replan_peak_for_shape
 
     model_names = models or list(BENCH_MODELS)
     rng = np.random.default_rng(seed)
@@ -807,7 +818,43 @@ def e11_memory_planning(models: list | None = None, seed: int = 0) -> dict:
                 "reuse_factor": stats["reuse_factor"],
                 "slots": stats["slots"],
             })
-    return {"experiment": "memory_planning", "rows": rows}
+
+    diversity = []
+    for model_name in model_names:
+        model = _bench_model(model_name)
+        exe = DiscCompiler(CompileOptions(
+            assume_ranges=model.axes)).compile(model.graph)
+        symbolic = exe.symbolic_plan
+        shape_rng = np.random.default_rng(seed)
+        naive_mb = symbolic_mb = replan_mb = 0.0
+        worst_ratio = 0.0
+        for _draw in range(shapes_per_model):
+            values = {axis: int(shape_rng.integers(lo, hi + 1))
+                      for axis, (lo, hi) in model.axes.items()}
+            inputs = model.sample_inputs(shape_rng, values)
+            dims = bind_inputs(exe.params, inputs)
+            resolve_all_dims(exe.graph.nodes, dims)
+            concrete = exe.buffer_plan.evaluate(dims)
+            one_plan = symbolic.peak_at(dims)
+            per_shape = replan_peak_for_shape(
+                exe.buffer_plan.intervals, dims)["peak_bytes"]
+            naive_mb += concrete["naive_bytes"] / 1e6
+            symbolic_mb += one_plan / 1e6
+            replan_mb += per_shape / 1e6
+            if per_shape:
+                worst_ratio = max(worst_ratio, one_plan / per_shape)
+        diversity.append({
+            "model": model_name,
+            "shapes": shapes_per_model,
+            "proven": bool(symbolic.proven),
+            "class_peak_hi_mb": (symbolic.peak_hi_bytes() or 0) / 1e6,
+            "naive_mb": naive_mb,
+            "symbolic_peak_mb": symbolic_mb,
+            "replan_peak_mb": replan_mb,
+            "worst_ratio": worst_ratio,
+        })
+    return {"experiment": "memory_planning", "rows": rows,
+            "diversity": diversity, "seed": seed}
 
 
 def format_memory_planning(result: dict) -> str:
@@ -816,9 +863,24 @@ def format_memory_planning(result: dict) -> str:
     rows = [[r["model"], r["fusion"], r["values"], r["naive_mb"],
              r["peak_mb"], r["reuse_factor"], r["slots"]]
             for r in result["rows"]]
-    return format_table(headers, rows,
-                        "Intermediate-buffer planning: naive vs "
-                        "liveness-reused peak memory")
+    part1 = format_table(headers, rows,
+                         "Intermediate-buffer planning: naive vs "
+                         "liveness-reused peak memory")
+    diversity = result.get("diversity")
+    if not diversity:
+        return part1
+    headers2 = ["model", "shapes", "proven", "class hi MB", "naive MB",
+                "one-plan MB", "per-shape MB", "worst ratio"]
+    rows2 = [[d["model"], d["shapes"], d["proven"],
+              d["class_peak_hi_mb"], d["naive_mb"],
+              d["symbolic_peak_mb"], d["replan_peak_mb"],
+              d["worst_ratio"]]
+             for d in diversity]
+    part2 = format_table(
+        headers2, rows2,
+        "Shape-diversity sweep: one symbolic class plan vs per-shape "
+        "re-planning vs no reuse (summed peak over sampled shapes)")
+    return part1 + "\n\n" + part2
 
 
 # ---------------------------------------------------------------------------

@@ -29,10 +29,11 @@ from ..lint.blame import BlameRecorder
 from ..lint.diagnostics import LintLevel
 from ..lint.engine import _run_pipeline_lint
 from ..obs.tracer import resolve_tracer
-from ..passes import PassManager, default_pipeline
+from ..passes import PassManager, PeakMemoryReorder, default_pipeline
 from ..runtime.executable import CompileReport, Executable
 from ..runtime.hostprog import lower_program
 from ..runtime.memory import plan_buffers
+from ..runtime.symplan import plan_symbolic
 from .codegen.kernels import compile_group
 from .fusion.kinds import FusionConfig, FusionKind
 from .fusion.planner import plan_fusion
@@ -63,6 +64,17 @@ class CompileOptions:
     #: class alone cannot exclude (e.g. a possible zero extent).  Zoo
     #: models supply their ``Model.axes`` ranges.
     assume_ranges: dict | None = None
+    #: lift the buffer plan to the signature class (runtime.symplan):
+    #: symbolic slot extents, interval-valued peak with provenance, the
+    #: aliasing proof.  ``assume_ranges`` makes the peak finitely
+    #: provable; without them the plan still builds with an unbounded
+    #: upper end.  Per-call numbers are unchanged either way.
+    symbolic_memory: bool = True
+    #: append the peak-aware operator reordering pass: reschedule nodes
+    #: within topological freedom to shrink the estimated symbolic peak.
+    #: Off by default — it changes kernel order (outputs stay
+    #: bit-identical; costs and checked-in artifacts do not).
+    reorder_for_memory: bool = False
     #: observability tracer (:class:`repro.obs.Tracer`).  None — the
     #: default — resolves to the shared no-op tracer; when set, the
     #: compile emits a ``compile:<graph>`` root span with ``stage:*``
@@ -91,8 +103,12 @@ class DiscCompiler:
             if linting:
                 recorder = BlameRecorder()
                 recorder.prime(working)
+            passes = default_pipeline()
+            if options.reorder_for_memory:
+                passes.append(PeakMemoryReorder(
+                    assume_ranges=options.assume_ranges))
             manager = PassManager(
-                default_pipeline(),
+                passes,
                 verify_each=options.verify_each_pass,
                 after_each=recorder.after_pass if recorder else None,
                 tracer=options.tracer)
@@ -118,14 +134,26 @@ class DiscCompiler:
                             node.dtype.to_numpy(), copy=False)
                 s.set(kernels=len(kernels))
 
-            with tracer.span("stage:memory"):
-                buffer_plan = plan_buffers(kernels, working.outputs)
+            constant_bytes = sum(int(value.nbytes)
+                                 for value in constants.values())
+            with tracer.span("stage:memory") as s:
+                buffer_plan = plan_buffers(kernels, working.outputs,
+                                           constant_bytes=constant_bytes)
+                symbolic_plan = None
+                if options.symbolic_memory:
+                    symbolic_plan = plan_symbolic(
+                        buffer_plan, working,
+                        assume_ranges=options.assume_ranges,
+                        constant_bytes=constant_bytes)
+                    s.set(slots=buffer_plan.num_slots,
+                          class_peak=str(symbolic_plan.peak_fact.interval))
             # Host-program lowering: renumber values to dense slots, freeze
             # per-kernel slot tuples and last-use release, factor the dim
             # resolver — everything the engine would otherwise re-derive
             # per call (see runtime.hostprog).
             with tracer.span("stage:hostprog") as s:
-                host_program = lower_program(working, kernels, constants)
+                host_program = lower_program(working, kernels, constants,
+                                             buffer_plan=buffer_plan)
                 s.set(slots=host_program.num_slots)
             lint_sink = None
             if linting:
@@ -154,7 +182,8 @@ class DiscCompiler:
         return Executable(graph=working, plan=plan, kernels=kernels,
                           constants=constants, report=report,
                           buffer_plan=buffer_plan,
-                          host_program=host_program)
+                          host_program=host_program,
+                          symbolic_plan=symbolic_plan)
 
 
 def compile_graph(graph: Graph,

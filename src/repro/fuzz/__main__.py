@@ -80,6 +80,18 @@ def build_parser() -> argparse.ArgumentParser:
                              "scale-down, quarantine must stay on the "
                              "faulted replica, and every response must be "
                              "OK and bit-identical to a direct engine run")
+    parser.add_argument("--memplan", action="store_true",
+                        help="additionally audit the symbolic (class-wide) "
+                             "memory plan on every case: the frozen slot "
+                             "expressions must price the binding exactly "
+                             "like the concrete plan and stay inside the "
+                             "class peak interval, the ground-truth memory "
+                             "oracle must never observe more live bytes "
+                             "than the plan charges, the plan's aliasing "
+                             "proof and the independent L602 analyzer must "
+                             "agree and both be clean, and a recompile "
+                             "under the peak-aware reorder pass must stay "
+                             "bit-identical")
     return parser
 
 
@@ -90,12 +102,12 @@ def main(argv=None) -> int:
         config.max_nodes = args.max_nodes
     oracle = None
     if args.lint or args.serving or args.batching or args.obs \
-            or args.tuning or args.fleet:
+            or args.tuning or args.fleet or args.memplan:
         oracle = DifferentialOracle(
             lint_level=LintLevel(args.lint_level) if args.lint
             else LintLevel.OFF,
             serving=args.serving, batching=args.batching, obs=args.obs,
-            tuning=args.tuning, fleet=args.fleet)
+            tuning=args.tuning, fleet=args.fleet, memplan=args.memplan)
     report = run_campaign(
         seed=args.seed, iters=args.iters, config=config,
         out_dir=args.out, minimize_failures=not args.no_minimize,

@@ -37,7 +37,7 @@ from ..runtime.engine import ExecutionEngine
 __all__ = ["Failure", "CaseResult", "DifferentialOracle", "make_inputs",
            "compare_arrays", "DISC_EXECUTOR", "SERVING_EXECUTOR",
            "BATCHING_EXECUTOR", "OBS_EXECUTOR", "TUNING_EXECUTOR",
-           "FLEET_EXECUTOR"]
+           "FLEET_EXECUTOR", "MEMPLAN_EXECUTOR"]
 
 #: name under which the optimized pipeline appears in results.
 DISC_EXECUTOR = "DISC"
@@ -51,6 +51,8 @@ OBS_EXECUTOR = "OBS"
 TUNING_EXECUTOR = "TUNING"
 #: name under which the multi-replica fleet oracle appears.
 FLEET_EXECUTOR = "FLEET"
+#: name under which the symbolic-memory-plan oracle appears.
+MEMPLAN_EXECUTOR = "MEMPLAN"
 
 #: (rtol, atol) per dtype name; ints/bools compare exactly.
 _TOLERANCES = {
@@ -160,7 +162,8 @@ class DifferentialOracle:
                  batching: bool = False,
                  obs: bool = False,
                  tuning: bool = False,
-                 fleet: bool = False) -> None:
+                 fleet: bool = False,
+                 memplan: bool = False) -> None:
         self.device = device
         self.baselines = tuple(baselines) if baselines is not None \
             else tuple(baseline_names())
@@ -208,6 +211,16 @@ class DifferentialOracle:
         #: confined to the faulted replica, and every response is OK
         #: and bit-identical to a direct engine run.
         self.fleet = fleet
+        #: when True, every case additionally audits the symbolic
+        #: (class-wide) memory plan: the frozen slot expressions must
+        #: price the case's binding exactly like the concrete plan, the
+        #: class peak interval must contain it, the ground-truth oracle
+        #: (``measure_peak_bytes``) must never observe more live bytes
+        #: than the plan charges, the plan's own aliasing proof and the
+        #: independent L602 analyzer must both be clean *and agree*,
+        #: and a recompile under the peak-aware reorder pass must stay
+        #: bit-identical.
+        self.memplan = memplan
 
     # -- single case -------------------------------------------------------
 
@@ -265,6 +278,8 @@ class DifferentialOracle:
             self._check_tuning(inputs, executable, result)
         if self.fleet and executable is not None:
             self._check_fleet(inputs, executable, result)
+        if self.memplan and executable is not None:
+            self._check_memplan(graph, inputs, executable, result)
         if self.obs:
             self._check_obs(graph, inputs, executable, result)
         self._check_baselines(graph, inputs, reference, result)
@@ -523,6 +538,142 @@ class DifferentialOracle:
                                f"{response.path!r} not bit-identical "
                                "to direct engine run",
                         output_index=index))
+
+    # -- symbolic memory plan ------------------------------------------------
+
+    def _check_memplan(self, graph: Graph, inputs, executable,
+                       result: CaseResult) -> None:
+        """Audit the symbolic (class-wide) memory plan on this case.
+
+        Five contracts: (1) *exactness* — the class plan's frozen slot
+        expressions price this binding exactly like the concrete plan
+        (``peak_at(dims) == evaluate(dims)["peak_bytes"]``) and the
+        class peak interval contains the result; (2) *soundness* — the
+        ground-truth oracle (:func:`~repro.runtime.symplan.
+        measure_peak_bytes`) never observes more live bytes than the
+        plan charges, and its replayed outputs are bit-identical to a
+        direct engine run; (3) the plan's own aliasing proof
+        (``verify_sound``) is clean; (4) *cross-check* — the
+        independent L602 analyzer reaches the same verdict (the two
+        implement one judgement separately; disagreement means one is
+        wrong); (5) *reorder differential* — recompiling under the
+        peak-aware reorder pass yields bit-identical outputs with a
+        sound plan whose estimated peak never worsened.
+        """
+        from ..lint.interval_checks import check_memory_symbolic
+        from ..numerics.resolve import bind_inputs
+        from ..runtime.symplan import measure_peak_bytes
+
+        result.executors_checked.append(MEMPLAN_EXECUTOR)
+        symbolic = getattr(executable, "symbolic_plan", None)
+        if symbolic is None:
+            result.failures.append(Failure(
+                executor=MEMPLAN_EXECUTOR, kind="invariant",
+                detail="pipeline produced no symbolic plan "
+                       "(CompileOptions.symbolic_memory defaults on)"))
+            return
+        try:
+            program = executable.host_program
+            dims = bind_inputs(program.params, inputs)
+            program.resolution.run(dims)
+            expected, _ = ExecutionEngine(executable, self.device).run(
+                inputs)
+            peak = symbolic.peak_at(dims)
+            charged = symbolic.evaluate(dims)["peak_bytes"]
+            measured = measure_peak_bytes(executable, inputs)
+        except Exception as exc:  # noqa: BLE001
+            result.failures.append(Failure(
+                executor=MEMPLAN_EXECUTOR, kind="exception",
+                detail=f"{type(exc).__name__}: {exc}"))
+            return
+        if peak != charged:
+            result.failures.append(Failure(
+                executor=MEMPLAN_EXECUTOR, kind="invariant",
+                detail=f"class plan prices this binding at {peak} bytes "
+                       f"but the concrete plan charges {charged} — the "
+                       f"frozen slot expressions drifted from the slot "
+                       f"assignment"))
+        interval = symbolic.peak_fact.interval
+        if interval.lo is not None and peak < interval.lo:
+            result.failures.append(Failure(
+                executor=MEMPLAN_EXECUTOR, kind="invariant",
+                detail=f"in-class peak {peak} below the class interval "
+                       f"lower bound {interval.lo}"))
+        if interval.hi is not None and peak > interval.hi:
+            result.failures.append(Failure(
+                executor=MEMPLAN_EXECUTOR, kind="invariant",
+                detail=f"in-class peak {peak} exceeds the *proven* class "
+                       f"upper bound {interval.hi} — the interval "
+                       f"abstraction is unsound"))
+        if measured["measured_peak_bytes"] > peak:
+            result.failures.append(Failure(
+                executor=MEMPLAN_EXECUTOR, kind="invariant",
+                detail=f"ground truth observed "
+                       f"{measured['measured_peak_bytes']} live bytes "
+                       f"but the class plan charges only {peak} — the "
+                       f"reuse plan under-provisions this binding"))
+        for index, (ref, got) in enumerate(zip(expected,
+                                               measured["outputs"])):
+            ref = np.asarray(ref)
+            got = np.asarray(got)
+            if (ref.shape != got.shape or ref.dtype != got.dtype
+                    or ref.tobytes() != got.tobytes()):
+                result.failures.append(Failure(
+                    executor=MEMPLAN_EXECUTOR, kind="mismatch",
+                    detail="memory-oracle replay not bit-identical to a "
+                           "direct engine run",
+                    output_index=index))
+        own = symbolic.verify_sound()
+        analyzer = check_memory_symbolic(executable.buffer_plan,
+                                         symbolic.imap).by_code("L602")
+        for violation in own:
+            result.failures.append(Failure(
+                executor=MEMPLAN_EXECUTOR, kind="invariant",
+                detail=f"aliasing proof failed: {violation}"))
+        for diag in analyzer:
+            result.failures.append(Failure(
+                executor=MEMPLAN_EXECUTOR, kind="invariant",
+                detail=f"L602 analyzer: {diag}"))
+        if bool(own) != bool(analyzer):
+            result.failures.append(Failure(
+                executor=MEMPLAN_EXECUTOR, kind="invariant",
+                detail=f"planner proof and L602 disagree "
+                       f"({len(own)} vs {len(analyzer)} findings) — one "
+                       f"of the two independent judgements is wrong"))
+        self._check_memplan_reorder(graph, inputs, expected, result)
+
+    def _check_memplan_reorder(self, graph: Graph, inputs, expected,
+                               result: CaseResult) -> None:
+        """Reorder differential: the peak-aware schedule changes cost
+        estimates only, never numerics or plan soundness."""
+        try:
+            reordered = compile_graph(graph, CompileOptions(
+                verify_each_pass=self.check_invariants,
+                reorder_for_memory=True))
+            outputs, _ = ExecutionEngine(reordered, self.device).run(
+                inputs)
+        except Exception as exc:  # noqa: BLE001
+            result.failures.append(Failure(
+                executor=MEMPLAN_EXECUTOR, kind="exception",
+                detail=f"reorder recompile: {type(exc).__name__}: {exc}"))
+            return
+        for index, (ref, got) in enumerate(zip(expected, outputs)):
+            ref = np.asarray(ref)
+            got = np.asarray(got)
+            if (ref.shape != got.shape or ref.dtype != got.dtype
+                    or ref.tobytes() != got.tobytes()):
+                result.failures.append(Failure(
+                    executor=MEMPLAN_EXECUTOR, kind="mismatch",
+                    detail="peak-aware reorder changed numerics — the "
+                           "pass must only move schedule cost",
+                    output_index=index))
+        plan = getattr(reordered, "symbolic_plan", None)
+        if plan is not None:
+            for violation in plan.verify_sound():
+                result.failures.append(Failure(
+                    executor=MEMPLAN_EXECUTOR, kind="invariant",
+                    detail=f"reordered plan aliasing proof failed: "
+                           f"{violation}"))
 
     # -- dynamic batching --------------------------------------------------
 

@@ -265,9 +265,14 @@ def check_bucket_padding(bucketer, imap: IntervalMap,
             continue  # L601 owns empty classes
         values, exhaustive = _probe_values(interval, hint)
         label = "/".join(sorted(symbols))
+        # Audit the *effective* seam: budget-capped schedules route
+        # through ``class_ceiling(slot, value)``; plain bucketers (and
+        # subclasses overriding ``ceiling``) fall back unchanged.
+        schedule = getattr(bucketer, "class_ceiling", None)
         min_waste = None
         for value in values:
-            ceiling = bucketer.ceiling(value)
+            ceiling = schedule(slot, value) if schedule is not None \
+                else bucketer.ceiling(value)
             if ceiling < value:
                 sink.emit(
                     "L604",

@@ -6,6 +6,7 @@ from .simplify import AlgebraicSimplify, ConstantFold
 from .cse import CommonSubexpressionElimination
 from .dce import DeadCodeElimination
 from .placement import PlaceShapeComputations, is_host_placed
+from .reorder import PeakMemoryReorder
 
 __all__ = [
     "FunctionPass", "Pass", "PassManager", "PassResult",
@@ -13,6 +14,7 @@ __all__ = [
     "AlgebraicSimplify", "ConstantFold",
     "CommonSubexpressionElimination",
     "DeadCodeElimination",
+    "PeakMemoryReorder",
     "PlaceShapeComputations", "is_host_placed",
     "default_pipeline",
 ]

@@ -1,0 +1,143 @@
+"""Peak-aware operator reordering within topological freedom.
+
+A topological order fixes *correctness*, not *memory*: any linear
+extension of the dataflow DAG computes the same values, but different
+extensions hold different sets of intermediates live at once.  The
+buffer planner's peak is a function of the kernel order, and the kernel
+order follows the node order — so rescheduling nodes is the one knob
+that shrinks the class-wide peak without touching numerics.
+
+The pass weighs every value by its **symbolic** byte size — the proven
+interval upper bound from ``derive_intervals`` (the same facts the
+symbolic buffer plan is built on), falling back to a deterministic
+surrogate for unbounded dims — then greedily list-schedules: among the
+ready nodes, always run the one that frees the most bytes relative to
+what it allocates.  The candidate order is adopted only when its
+estimated peak is *strictly lower* than the current order's under the
+same weights, so the pass can never make the estimate worse; ties keep
+the incumbent order, which keeps compiles stable and artifacts
+reproducible.
+
+Outputs are bit-identical by construction — every node still sees the
+exact same input values — which the ``--memplan`` fuzz leg re-proves on
+every generated graph.
+"""
+
+from __future__ import annotations
+
+from ..core.codegen.exprs import serialize_shape
+from ..core.symbolic.intervals import derive_intervals
+from .base import Pass
+
+__all__ = ["PeakMemoryReorder"]
+
+#: surrogate multiplier for a dim with no proven upper bound: large
+#: enough that unbounded values dominate scheduling decisions, fixed so
+#: the estimate is deterministic.
+_UNBOUNDED_SCALE = 1024
+
+
+class PeakMemoryReorder(Pass):
+    """Reschedule nodes to shrink the estimated symbolic peak."""
+
+    name = "peak_memory_reorder"
+
+    def __init__(self, assume_ranges: dict | None = None) -> None:
+        self.assume_ranges = dict(assume_ranges) if assume_ranges else None
+
+    def run(self, graph) -> dict:
+        weights = self._weights(graph)
+        original = list(graph.nodes)
+        candidate = self._schedule(graph, weights)
+        before = self._estimate_peak(graph, original, weights)
+        after = self._estimate_peak(graph, candidate, weights)
+        if after < before and candidate != original:
+            graph.nodes[:] = candidate
+            return {"changed": True, "estimated_peak_before": before,
+                    "estimated_peak_after": after}
+        return {"changed": False, "estimated_peak_before": before,
+                "estimated_peak_after": before}
+
+    # -- symbolic weights ----------------------------------------------------
+
+    def _weights(self, graph) -> dict:
+        """Node -> class-wide byte weight (0 for sources: parameters
+        and constants are not planner-owned allocations)."""
+        imap = derive_intervals(graph, assume_ranges=self.assume_ranges)
+        sources = {node.id for node in graph.params}
+        weights: dict[int, int] = {}
+        for node in graph.nodes:
+            if node.id in sources or node.op == "constant":
+                weights[node.id] = 0
+                continue
+            try:
+                fact = imap.size_fact(serialize_shape(node.shape),
+                                      node.dtype.size)
+            except Exception:  # noqa: BLE001 - malformed node: no weight
+                weights[node.id] = 0
+                continue
+            interval = fact.interval
+            if interval.hi is not None:
+                weights[node.id] = max(int(interval.hi), 0)
+            else:
+                lo = interval.lo if interval.lo is not None else 1
+                weights[node.id] = max(int(lo), 1) * _UNBOUNDED_SCALE
+        return weights
+
+    # -- greedy list scheduling ------------------------------------------------
+
+    def _schedule(self, graph, weights: dict) -> list:
+        position = {node.id: index
+                    for index, node in enumerate(graph.nodes)}
+        users = graph.users()
+        outputs = {node.id for node in graph.outputs}
+        indegree = {node.id: len(node.inputs) for node in graph.nodes}
+        remaining_users = {node.id: len(users[node])
+                           for node in graph.nodes}
+        ready = [node for node in graph.nodes if indegree[node.id] == 0]
+        order: list = []
+
+        def score(node) -> tuple:
+            freed = 0
+            for operand in set(node.inputs):
+                if remaining_users[operand.id] == 1 \
+                        and operand.id not in outputs:
+                    freed += weights[operand.id]
+            alloc = weights[node.id]
+            # smaller is better: net growth first, then allocation size,
+            # then original position for determinism.
+            return (alloc - freed, alloc, position[node.id])
+
+        while ready:
+            ready.sort(key=score)
+            node = ready.pop(0)
+            order.append(node)
+            for operand in set(node.inputs):
+                remaining_users[operand.id] -= 1
+            for user in users[node]:
+                indegree[user.id] -= 1
+                if indegree[user.id] == 0:
+                    ready.append(user)
+        if len(order) != len(graph.nodes):
+            return list(graph.nodes)  # cyclic/broken: keep incumbent
+        return order
+
+    # -- node-level peak estimate ----------------------------------------------
+
+    def _estimate_peak(self, graph, order: list, weights: dict) -> int:
+        """Max live bytes over ``order`` under node-level liveness:
+        a value dies after its last consumer runs; outputs never die."""
+        users = graph.users()
+        outputs = {node.id for node in graph.outputs}
+        remaining = {node.id: len(users[node]) for node in graph.nodes}
+        live = 0
+        peak = 0
+        for node in order:
+            live += weights[node.id]
+            peak = max(peak, live)
+            for operand in set(node.inputs):
+                remaining[operand.id] -= 1
+                if remaining[operand.id] == 0 \
+                        and operand.id not in outputs:
+                    live -= weights[operand.id]
+        return peak

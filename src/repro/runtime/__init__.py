@@ -10,8 +10,11 @@ from .hostprog import (HostInstruction, HostProgram, lower_executable,
                        lower_program)
 from .launchplan import (BatchLaunchPlan, LaunchPlan, LaunchPlanCache,
                          format_signature)
-from .memory import BufferPlan, Interval, plan_buffers
+from .memory import (BufferPlan, Interval, plan_buffers,
+                     replan_peak_for_shape, scale_batched_memory)
 from .specialize import AdaptiveEngine, SpecializationOptions
+from .symplan import (MemoryBudget, SlotExtent, SymbolicBufferPlan,
+                      measure_peak_bytes, plan_symbolic)
 
 __all__ = [
     "ShapeSpecializationCache", "shape_signature", "make_signature_fn",
@@ -21,5 +24,8 @@ __all__ = [
     "HostInstruction", "HostProgram", "lower_executable", "lower_program",
     "BatchLaunchPlan", "LaunchPlan", "LaunchPlanCache", "format_signature",
     "BufferPlan", "Interval", "plan_buffers",
+    "replan_peak_for_shape", "scale_batched_memory",
     "AdaptiveEngine", "SpecializationOptions",
+    "MemoryBudget", "SlotExtent", "SymbolicBufferPlan",
+    "measure_peak_bytes", "plan_symbolic",
 ]

@@ -39,6 +39,7 @@ from .executable import Executable
 from .hostprog import HostProgram, lower_executable
 from .launchplan import (BatchLaunchPlan, LaunchPlan, LaunchPlanCache,
                          format_signature)
+from .memory import scale_batched_memory
 
 __all__ = ["EngineOptions", "ExecutionEngine", "LegacyExecutionEngine",
            "charge_batched_kernel", "charge_kernel"]
@@ -184,6 +185,12 @@ class ExecutionEngine:
             LaunchPlanCache(self.options.plan_capacity,
                             tracer=tracer)
         self._plan_tag = plan_tag
+        # The class-wide memory snapshot is computed once per engine —
+        # every frozen plan of every signature in the class shares it,
+        # so replay never touches the planner again.
+        symbolic = getattr(executable, "symbolic_plan", None)
+        self._memory_class = symbolic.snapshot() \
+            if symbolic is not None else None
 
     def run(self, inputs: Mapping[str, np.ndarray],
             signature: tuple | None = None) -> tuple[list, RunStats]:
@@ -279,6 +286,7 @@ class ExecutionEngine:
                 stats.details["memory"] = buffer_plan.evaluate(dims)
             plan = LaunchPlan.freeze(signature, dims, stats,
                                      tuned=selector is not None)
+            plan.memory_class = self._memory_class
             self.plans.put((self._plan_tag, signature), plan)
             if tracer.enabled:
                 span.set(signature=format_signature(signature),
@@ -332,13 +340,13 @@ class ExecutionEngine:
                                    * stats.kernels_launched)
             buffer_plan = self.executable.buffer_plan
             if buffer_plan is not None:
-                memory = buffer_plan.evaluate(dims)
-                stats.details["memory"] = {
-                    k: v * batch_size if isinstance(v, (int, float))
-                    else v
-                    for k, v in memory.items()}
+                stats.details["memory"] = scale_batched_memory(
+                    buffer_plan.evaluate(dims), batch_size)
             plan = BatchLaunchPlan.freeze_batched(
                 key[1], dims, stats, batch_size, signature)
+            if self._memory_class is not None:
+                plan.memory_class = dict(self._memory_class,
+                                         batch=batch_size)
             self.plans.put(key, plan)
             if tracer.enabled:
                 span.set(signature=format_signature(key[1]),
@@ -428,6 +436,7 @@ class ExecutionEngine:
             stats.details["memory"] = buffer_plan.evaluate(dims)
         results = [env[slot] for slot in program.output_slots]
         plan = LaunchPlan.freeze(signature, dims, stats)
+        plan.memory_class = self._memory_class
         return results, stats, plan
 
     # -- warm path: replay against the frozen plan -------------------------

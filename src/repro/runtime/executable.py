@@ -50,6 +50,10 @@ class Executable:
     #: slot-addressed host program (see runtime.hostprog); the pipeline
     #: lowers it at compile time, the engine lowers lazily if absent.
     host_program: object = None
+    #: class-wide symbolic memory plan (see runtime.symplan): one reuse
+    #: plan proven for every shape in the signature class, with an
+    #: interval-valued peak the serving/fleet budgets consume.
+    symbolic_plan: object = None
 
     @property
     def params(self) -> Sequence[Node]:

@@ -65,7 +65,7 @@ class HostProgram:
     def __init__(self, params: list, param_slots: tuple,
                  env_template: list, instructions: list,
                  output_slots: tuple, resolution: DimResolutionPlan,
-                 slot_of: dict) -> None:
+                 slot_of: dict, planned_slots: tuple = ()) -> None:
         #: parameter nodes, in program order (for binding).
         self.params = params
         #: ((slot, param_name), ...) — where each input array lands.
@@ -80,6 +80,10 @@ class HostProgram:
         self.resolution = resolution
         #: node id -> slot (diagnostics, lint, tests).
         self.slot_of = slot_of
+        #: env slots of buffer-planned values (kernel outputs the
+        #: memory plan accounts for) — the measurement oracle in
+        #: ``runtime.symplan`` tracks exactly these.
+        self.planned_slots = tuple(planned_slots)
         #: param-order signature closure (the per-call cache key).
         self.signature = make_signature_fn(params)
 
@@ -138,7 +142,8 @@ class HostProgram:
         return "\n".join(lines)
 
 
-def lower_program(graph, kernels: list, constants: dict) -> HostProgram:
+def lower_program(graph, kernels: list, constants: dict,
+                  buffer_plan=None) -> HostProgram:
     """Lower an ordered kernel list into a :class:`HostProgram`.
 
     Slot numbering follows the legacy engine's environment-population
@@ -219,6 +224,13 @@ def lower_program(graph, kernels: list, constants: dict) -> HostProgram:
     for slot, value in constant_slots:
         env_template[slot] = value
 
+    planned_slots: tuple = ()
+    if buffer_plan is not None:
+        planned_slots = tuple(sorted(
+            slot_of[interval.node_id]
+            for interval in buffer_plan.intervals
+            if interval.node_id in slot_of))
+
     return HostProgram(
         params=params,
         param_slots=param_slots,
@@ -227,10 +239,12 @@ def lower_program(graph, kernels: list, constants: dict) -> HostProgram:
         output_slots=output_slots,
         resolution=build_resolution_plan(graph.nodes),
         slot_of=slot_of,
+        planned_slots=planned_slots,
     )
 
 
 def lower_executable(executable) -> HostProgram:
     """Lower a compiled :class:`~repro.runtime.executable.Executable`."""
     return lower_program(executable.graph, executable.kernels,
-                         executable.constants)
+                         executable.constants,
+                         buffer_plan=executable.buffer_plan)

@@ -52,7 +52,7 @@ class LaunchPlan:
 
     __slots__ = ("signature", "dims", "device_time_us", "host_time_us",
                  "kernels_launched", "bytes_read", "bytes_written",
-                 "flops", "memory", "schedules", "tuned")
+                 "flops", "memory", "memory_class", "schedules", "tuned")
 
     def __init__(self, signature: tuple, dims: dict,
                  device_time_us: float, host_time_us: float,
@@ -72,6 +72,13 @@ class LaunchPlan:
         self.flops = flops
         #: frozen ``BufferPlan.evaluate`` result (None without a plan).
         self.memory = memory
+        #: the *class-wide* memory snapshot
+        #: (``SymbolicBufferPlan.snapshot()``): slot count, symbolic
+        #: peak bounds and provenance expression — identical for every
+        #: signature in the class, so replay carries the whole-class
+        #: story without ever re-planning per shape.  None when the
+        #: executable has no symbolic plan.
+        self.memory_class = None
         #: kernel name -> chosen schedule name (None when the program
         #: has no schedulable kernels).
         self.schedules = schedules

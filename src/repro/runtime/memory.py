@@ -20,7 +20,8 @@ import numpy as np
 from ..core.codegen.exprs import serialize_shape
 from ..core.codegen.support import _shape
 
-__all__ = ["BufferPlan", "Interval", "plan_buffers"]
+__all__ = ["BufferPlan", "Interval", "plan_buffers",
+           "replan_peak_for_shape", "scale_batched_memory"]
 
 
 @dataclass
@@ -42,28 +43,61 @@ class Interval:
 class BufferPlan:
     """Compile-time liveness intervals + slot assignment."""
 
-    def __init__(self, intervals: list) -> None:
+    def __init__(self, intervals: list, constant_bytes: int = 0,
+                 size_hints: dict | None = None) -> None:
         self.intervals = intervals
-        self.num_slots = self._assign_slots()
+        #: bytes of the executable's constant pool — resident for the
+        #: whole program, shared across batch members, and charged into
+        #: ``total_peak_bytes`` on *every* accounting path (record,
+        #: prepare, batched prepare, legacy) so replayed plans agree
+        #: with first-call stats.
+        self.constant_bytes = int(constant_bytes)
+        self.num_slots = self._assign_slots(size_hints)
 
-    def _assign_slots(self) -> int:
+    def _assign_slots(self, size_hints: dict | None = None) -> int:
         """Greedy interval-graph colouring in production order.
 
         Two intervals may share a slot iff their live ranges do not
-        overlap.  Greedy over intervals sorted by start index is optimal
-        for interval graphs.
+        overlap.  Greedy over intervals sorted by start index uses the
+        minimum number of slots (interval graphs are perfect).  Which
+        *free* slot an interval reuses is a pure heuristic — any choice
+        is sound — so with ``size_hints`` (symbol name -> representative
+        dim value, the paper's "likely value") the planner best-fits by
+        hinted byte size: big values share slots with big values, which
+        keeps the one class-wide plan's peak close to what a per-shape
+        re-planner achieves (the E11 gate).
         """
-        slot_free_at: list[int] = []  # slot -> end of current occupant
+        slot_free_at: list[int] = []   # slot -> end of current occupant
+        slot_size: list[int] = []      # slot -> max hinted bytes so far
         for interval in sorted(self.intervals, key=lambda i: i.start):
-            for slot, free_at in enumerate(slot_free_at):
-                if free_at < interval.start:
-                    interval.slot = slot
-                    slot_free_at[slot] = interval.end
-                    break
-            else:
+            free = [slot for slot, free_at in enumerate(slot_free_at)
+                    if free_at < interval.start]
+            if not free:
                 interval.slot = len(slot_free_at)
                 slot_free_at.append(interval.end)
+                slot_size.append(self._hinted_bytes(interval, size_hints))
+                continue
+            if size_hints is None:
+                slot = free[0]
+            else:
+                size = self._hinted_bytes(interval, size_hints)
+                # Tightest slot already big enough, else least growth.
+                slot = min(free, key=lambda s: (
+                    (0, slot_size[s] - size) if slot_size[s] >= size
+                    else (1, size - slot_size[s])))
+                slot_size[slot] = max(slot_size[slot], size)
+            interval.slot = slot
+            slot_free_at[slot] = interval.end
         return len(slot_free_at)
+
+    @staticmethod
+    def _hinted_bytes(interval: Interval, size_hints: dict | None) -> int:
+        if not size_hints:
+            return 0
+        try:
+            return interval.bytes_at(size_hints)
+        except Exception:
+            return 0
 
     def evaluate(self, dims: dict) -> dict:
         """Per-call memory statistics for concrete dim bindings."""
@@ -77,6 +111,8 @@ class BufferPlan:
         return {
             "naive_bytes": naive,
             "peak_bytes": peak,
+            "constant_bytes": self.constant_bytes,
+            "total_peak_bytes": peak + self.constant_bytes,
             "reuse_factor": naive / peak if peak else 1.0,
             "slots": self.num_slots,
             "values": len(self.intervals),
@@ -96,7 +132,71 @@ class BufferPlan:
                         f"{earlier} / {later}")
 
 
-def plan_buffers(kernels: list, graph_outputs) -> BufferPlan:
+#: memory-dict fields that scale with the batch dim (per-member bytes).
+_BATCH_SCALED = ("naive_bytes", "peak_bytes")
+
+
+def scale_batched_memory(memory: dict, batch_size: int) -> dict:
+    """Per-member memory stats -> one batched launch's stats.
+
+    Only the per-member *byte* totals scale with the batch dim.  The
+    slot/value counts and the reuse ratio describe the plan itself and
+    are batch-invariant, and the constant pool is shared across members
+    — scaling those (as the old inline dict comprehension did) reported
+    a 4-member batch as having 4x the slots and 4x the reuse factor.
+    """
+    scaled = dict(memory)
+    for key in _BATCH_SCALED:
+        if key in scaled:
+            scaled[key] = scaled[key] * batch_size
+    if "total_peak_bytes" in scaled:
+        scaled["total_peak_bytes"] = (
+            scaled.get("peak_bytes", 0) + scaled.get("constant_bytes", 0))
+    return scaled
+
+
+def replan_peak_for_shape(intervals: list, dims: dict) -> dict:
+    """Best-fit-decreasing *per-shape* re-planning — the E11 baseline.
+
+    This is what a planner that knows the concrete sizes (and is free
+    to re-run per call) can do: place values largest-first into the
+    tightest free slot whose live ranges stay disjoint.  It exists to
+    keep the symbolic one-plan honest — the E11 gate bounds the
+    class-wide plan's peak against this per-shape peak across a shape
+    sweep.  Returns ``{"peak_bytes", "slots"}``.
+    """
+    items = sorted(intervals,
+                   key=lambda i: (-i.bytes_at(dims), i.start, i.node_id))
+    slots: list[dict] = []  # {"size": int, "ranges": [(start, end)]}
+    for item in items:
+        size = item.bytes_at(dims)
+        best = None
+        for slot in slots:
+            if any(start <= item.end and item.start <= end
+                   for start, end in slot["ranges"]):
+                continue
+            fits = slot["size"] >= size
+            # prefer the tightest slot that already fits; otherwise the
+            # one needing the least growth.
+            cost = (0, slot["size"] - size) if fits \
+                else (1, size - slot["size"])
+            if best is None or cost < best[0]:
+                best = (cost, slot)
+        if best is None:
+            slots.append({"size": size,
+                          "ranges": [(item.start, item.end)]})
+        else:
+            slot = best[1]
+            slot["size"] = max(slot["size"], size)
+            slot["ranges"].append((item.start, item.end))
+    return {
+        "peak_bytes": sum(slot["size"] for slot in slots),
+        "slots": len(slots),
+    }
+
+
+def plan_buffers(kernels: list, graph_outputs,
+                 constant_bytes: int = 0) -> BufferPlan:
     """Build the liveness intervals from an ordered kernel list.
 
     Only *intermediates* are planned: values produced by one kernel and
@@ -104,15 +204,21 @@ def plan_buffers(kernels: list, graph_outputs) -> BufferPlan:
     (they are handed to the caller); parameters and constants are not
     device-allocated per call.
     """
+    from ..ir.shapes import SymDim
+
     output_ids = {node.id for node in graph_outputs}
     produced_at: dict[int, tuple] = {}   # node id -> (kernel idx, node)
     last_use: dict[int, int] = {}
+    size_hints: dict[str, int] = {}
     for index, kernel in enumerate(kernels):
         for node in kernel.input_nodes:
             if node.id in produced_at:
                 last_use[node.id] = index
         for node in kernel.output_nodes:
             produced_at[node.id] = (index, node)
+            for dim in node.shape:
+                if isinstance(dim, SymDim):
+                    size_hints.setdefault(dim.name, dim.hint or 8)
 
     end_of_program = len(kernels)
     intervals = []
@@ -126,4 +232,5 @@ def plan_buffers(kernels: list, graph_outputs) -> BufferPlan:
             start=start,
             end=end,
         ))
-    return BufferPlan(intervals)
+    return BufferPlan(intervals, constant_bytes=constant_bytes,
+                      size_hints=size_hints)

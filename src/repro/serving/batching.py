@@ -75,6 +75,12 @@ class BatchingOptions:
     #: round the batch dim up to a power of two (empty slots are cost,
     #: not members) so launch plans converge to a handful of keys.
     round_batch_to_pow2: bool = True
+    #: when set, batch sizes are additionally capped by what the
+    #: model's *proven* class-wide peak (``runtime.symplan``) fits into
+    #: the budget, and pad ceilings stop exceeding each class's proven
+    #: maximum.  Models whose peak cannot be proven keep the configured
+    #: limits — "cannot prove" never silently admits anything.
+    memory_budget: object | None = None
 
 
 class ShapeBucketer:
@@ -89,11 +95,17 @@ class ShapeBucketer:
     class constant) take no part in bucketing.
     """
 
-    def __init__(self, graph, params, pad_policy: str = "bucket") -> None:
+    def __init__(self, graph, params, pad_policy: str = "bucket",
+                 class_caps: tuple | None = None) -> None:
         if pad_policy not in PAD_POLICIES:
             raise ValueError(f"unknown pad_policy {pad_policy!r}; "
                              f"available: {PAD_POLICIES}")
         self.pad_policy = pad_policy
+        #: per bucketing slot, an optional proven class maximum (from
+        #: ``MemoryBudget.bucket_caps``); ``None`` entries leave the
+        #: stock ceiling schedule untouched.  Assignable after
+        #: construction — the caps are derived from :meth:`class_symbols`.
+        self.class_caps = tuple(class_caps) if class_caps else None
         #: the shape-constraint store the classes were derived from;
         #: the L604 lint audit reuses it for provenance.
         self.store = analyze_shapes(graph, ConstraintLevel.FULL).store
@@ -154,6 +166,25 @@ class ShapeBucketer:
             return int(value)
         return round_up_pow2(value)
 
+    def class_ceiling(self, slot: int, value: int) -> int:
+        """The *effective* ceiling for one bucketing slot: the
+        :meth:`ceiling` schedule, clamped to the slot's proven class
+        maximum when a memory budget supplied one.
+
+        The clamp stays sound for every in-class value: a member can
+        never exceed its own class's proven maximum, so the clamped
+        ceiling still dominates it — while padding past the proven
+        range (pow2 jumping 12 -> 16 when the class tops out at 12)
+        stops burning budget on bytes no request can need.  The L604
+        audit drives this method, so budget-capped schedules inherit
+        the truncation/waste checks.
+        """
+        ceiling = self.ceiling(value)
+        caps = self.class_caps
+        if caps and slot < len(caps) and caps[slot] is not None:
+            ceiling = max(int(value), min(ceiling, int(caps[slot])))
+        return ceiling
+
     def class_values(self, signature: tuple) -> tuple:
         """Concrete value of each constraint class in ``signature``."""
         values: list = [None] * self.num_classes
@@ -171,7 +202,8 @@ class ShapeBucketer:
         values = self.class_values(signature)
         if self.pad_policy == "exact":
             return values
-        return tuple(self.ceiling(v) for v in values)
+        return tuple(self.class_ceiling(slot, v)
+                     for slot, v in enumerate(values))
 
     def padded_signature(self, signature: tuple) -> tuple:
         """The bucket-ceiling signature ``signature`` is padded to.
@@ -276,6 +308,9 @@ class BatchingServingEngine(ServingEngine):
         if self.batching.max_batch_size < 1:
             raise ValueError("max_batch_size must be >= 1")
         self._bucketers: dict[str, ShapeBucketer] = {}
+        #: model -> proven batch cap from the memory budget (None =
+        #: unconstrained or unprovable; the configured limit applies).
+        self._batch_caps: dict[str, int | None] = {}
         self._buckets: dict[tuple, _Bucket] = {}
         #: request id -> ("bucket", _Bucket) | ("batch", _Batch); only
         #: requests currently held by the batcher appear here.
@@ -290,13 +325,38 @@ class BatchingServingEngine(ServingEngine):
 
     def register_model(self, name, model, compile_options=None):
         entry = super().register_model(name, model, compile_options)
-        self._bucketers[name] = ShapeBucketer(
+        bucketer = ShapeBucketer(
             entry.executable.graph, entry.engine.host_program.params,
             self.batching.pad_policy)
+        budget = self.batching.memory_budget
+        symbolic = getattr(entry.executable, "symbolic_plan", None)
+        cap: int | None = None
+        if budget is not None and symbolic is not None:
+            bucketer.class_caps = tuple(
+                budget.bucket_caps(symbolic, bucketer))
+            cap = budget.max_batch_size(
+                symbolic, limit=self.batching.max_batch_size)
+            if cap is not None and cap < 1:
+                raise ValueError(
+                    f"model {name!r}: proven class-wide peak "
+                    f"{symbolic.footprint_hi_bytes()} bytes does not "
+                    f"fit the memory budget "
+                    f"({budget.usable_bytes} usable) at batch size 1")
+        self._bucketers[name] = bucketer
+        self._batch_caps[name] = cap
         return entry
 
     def bucketer(self, name: str) -> ShapeBucketer:
         return self._bucketers[name]
+
+    def max_batch_for(self, model: str) -> int:
+        """The effective batch limit for one model: the configured
+        ``max_batch_size``, tightened by the memory budget's proven cap
+        when one exists."""
+        cap = self._batch_caps.get(model)
+        if cap is None:
+            return self.batching.max_batch_size
+        return min(self.batching.max_batch_size, cap)
 
     # -- admission seam ----------------------------------------------------
 
@@ -331,7 +391,7 @@ class BatchingServingEngine(ServingEngine):
             self.tracer.event(
                 "batch:enqueue", parent=request.span,
                 bucket=str(bucket.key[1]), size=len(bucket.members))
-        if len(bucket.members) >= self.batching.max_batch_size:
+        if len(bucket.members) >= self.max_batch_for(request.model):
             self._flush(bucket)
 
     def _join_queued_batch(self, request: Request, key: tuple,
@@ -342,7 +402,7 @@ class BatchingServingEngine(ServingEngine):
         fills otherwise-padded slots of the coming launch."""
         for item in self._queue:
             if isinstance(item, _Batch) and item.key == key and \
-                    len(item.members) < self.batching.max_batch_size:
+                    len(item.members) < self.max_batch_for(item.model):
                 item.members.append(request)
                 self._member_state[request.id] = ("batch", item)
                 metrics = getattr(self.tracer, "metrics", None)
@@ -399,9 +459,17 @@ class BatchingServingEngine(ServingEngine):
         if self._current is None:
             self._dispatch_next()
 
-    def _batch_dim(self, live_members: int) -> int:
+    def _batch_dim(self, live_members: int, model: str | None = None) -> int:
         if self.batching.round_batch_to_pow2:
-            return round_up_pow2(live_members)
+            dim = round_up_pow2(live_members)
+            if model is not None:
+                # pow2 rounding must not blow a proven memory cap: the
+                # padded batch dim is charged for real in the batched
+                # cost model, so clamp it back to the budgeted limit
+                # (never below the live member count).
+                dim = min(dim, max(self.max_batch_for(model),
+                                   live_members))
+            return dim
         return live_members
 
     # -- dispatch seam -----------------------------------------------------
@@ -417,7 +485,7 @@ class BatchingServingEngine(ServingEngine):
             self._dispatch_next()
             return
         entry = self._models[item.model]
-        batch_size = self._batch_dim(len(live))
+        batch_size = self._batch_dim(len(live), item.model)
         batched_sig = entry.engine.host_program.batched_signature(
             item.padded, batch_size)
         plan = entry.engine.peek_batched(item.padded, batch_size)

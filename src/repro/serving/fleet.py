@@ -128,6 +128,16 @@ class FleetOptions:
     batching: BatchingOptions | None = None
     #: when set, the fleet scales itself (None = fixed size).
     autoscaler: AutoscalerOptions | None = None
+    #: when set (a :class:`~repro.runtime.symplan.MemoryBudget`), the
+    #: fleet treats it as one shared device-memory pool: every replica
+    #: reserves the *proven* class-wide footprint of its registered
+    #: models (symbolic peak x effective batch + constants), scale-ups
+    #: that would overcommit the pool are blocked (counted and
+    #: transcripted), and registering a model the current fleet cannot
+    #: provably hold fails fast.  Models with no provable peak leave
+    #: the fleet unconstrained — "cannot prove" is explicit, never an
+    #: implicit admit.
+    memory_budget: object | None = None
 
 
 class FleetTicket:
@@ -281,7 +291,12 @@ class FleetEngine:
             "affinity_hits": 0, "affinity_misses": 0,
             "affinity_spills": 0,
             "scale_ups": 0, "drains": 0, "retires": 0,
+            "memory_blocked_scale_ups": 0,
         }
+        self.memory_budget = self.options.memory_budget
+        #: model -> proven per-replica footprint bytes (None when the
+        #: class peak has no finite proven bound).
+        self._model_footprints: dict[str, int | None] = {}
         auto = self.options.autoscaler
         if auto is not None:
             if auto.min_replicas < 1:
@@ -404,9 +419,64 @@ class FleetEngine:
         else:
             executable = model
         self._registry[name] = (executable, compile_options)
+        self._model_footprints[name] = self._footprint_of(executable)
+        if self.memory_budget is not None:
+            total = self.replica_footprint_bytes()
+            cap = self.memory_budget.max_replicas(total)
+            if cap is not None and cap < len(self.active_replicas()):
+                del self._registry[name]
+                del self._model_footprints[name]
+                raise ValueError(
+                    f"model {name!r}: fleet of "
+                    f"{len(self.active_replicas())} replicas needs "
+                    f"{total * len(self.active_replicas())} proven "
+                    f"bytes but the budget holds "
+                    f"{self.memory_budget.usable_bytes}")
         for replica in self._replicas:
             replica.engine.register_model(name, executable,
                                           compile_options)
+
+    # -- memory accounting ---------------------------------------------------
+
+    def _footprint_of(self, executable: Executable) -> int | None:
+        """Proven per-replica device bytes one model needs: the
+        class-wide symbolic peak at the effective batch size, plus the
+        constant pool.  None when no finite bound is provable."""
+        symbolic = getattr(executable, "symbolic_plan", None)
+        if symbolic is None:
+            return None
+        batch = 1
+        if self.options.batching is not None:
+            batch = self.options.batching.max_batch_size
+            if self.memory_budget is not None:
+                cap = self.memory_budget.max_batch_size(symbolic,
+                                                        limit=batch)
+                if cap is not None:
+                    batch = max(min(batch, cap), 1)
+        return symbolic.footprint_hi_bytes(batch)
+
+    def replica_footprint_bytes(self) -> int | None:
+        """Proven bytes one replica reserves (every replica hosts every
+        registered model); None while any model's peak is unproven."""
+        if not self._model_footprints:
+            return None
+        total = 0
+        for footprint in self._model_footprints.values():
+            if footprint is None:
+                return None
+            total += footprint
+        return total
+
+    def _max_replicas_allowed(self, configured: int) -> int:
+        """``configured``, tightened by the memory budget when the
+        per-replica footprint is provable."""
+        if self.memory_budget is None:
+            return configured
+        cap = self.memory_budget.max_replicas(
+            self.replica_footprint_bytes())
+        if cap is None:
+            return configured
+        return min(configured, cap)
 
     # -- request intake ----------------------------------------------------
 
@@ -559,12 +629,26 @@ class FleetEngine:
             cooled = (self._last_scale_up_us is None
                       or now - self._last_scale_up_us >= auto.cooldown_us)
             if sustained and cooled and len(active) < auto.max_replicas:
-                self.counters["scale_ups"] += 1
-                self._last_scale_up_us = now
-                self._breach_since_us = None
-                self._add_replica(reason="autoscale")
-                if self.metrics is not None:
-                    self.metrics.counter("fleet.scale_ups").inc()
+                allowed = self._max_replicas_allowed(auto.max_replicas)
+                if len(active) < allowed:
+                    self.counters["scale_ups"] += 1
+                    self._last_scale_up_us = now
+                    self._breach_since_us = None
+                    self._add_replica(reason="autoscale")
+                    if self.metrics is not None:
+                        self.metrics.counter("fleet.scale_ups").inc()
+                else:
+                    # Scaling is load-justified but would overcommit
+                    # the proven memory pool; record the block and
+                    # restart the sustain window so the transcript
+                    # stays bounded.
+                    self.counters["memory_blocked_scale_ups"] += 1
+                    self._breach_since_us = None
+                    self._record(("scale_blocked_memory", now,
+                                  len(active), allowed))
+                    if self.metrics is not None:
+                        self.metrics.counter(
+                            "fleet.memory_blocked_scale_ups").inc()
         else:
             self._breach_since_us = None
 
@@ -637,8 +721,18 @@ class FleetEngine:
         for stats in pools.values():
             for key, value in stats.items():
                 pool[key] = pool.get(key, 0) + value
+        footprint = self.replica_footprint_bytes()
+        memory = {
+            "budget_bytes": (self.memory_budget.usable_bytes
+                             if self.memory_budget is not None else None),
+            "footprint_per_replica_bytes": footprint,
+            "replica_cap": (self.memory_budget.max_replicas(footprint)
+                            if self.memory_budget is not None else None),
+            "model_footprints": dict(self._model_footprints),
+        }
         return {
             "fleet": dict(self.counters),
+            "memory": memory,
             "replicas": {
                 r.name: {"state": r.state.value, "routed": r.routed}
                 for r in self._replicas + self.retired},

@@ -67,3 +67,15 @@ def test_bounded_obs_campaign_seed0_is_clean(tmp_path):
                           oracle=DifferentialOracle(obs=True))
     assert report.ok, report.summary()
     assert "OBS" in report.executors
+
+def test_bounded_memplan_campaign_seed0_is_clean(tmp_path):
+    """The symbolic-memory oracle rides the same campaign: every case's
+    class-wide plan must price the binding exactly like the concrete
+    plan, stay inside the class peak interval, dominate the ground-truth
+    measured peak, carry a clean aliasing proof that the independent
+    L602 analyzer agrees with, and survive a peak-aware-reorder
+    recompile bit-identically."""
+    report = run_campaign(seed=0, iters=15, out_dir=tmp_path,
+                          oracle=DifferentialOracle(memplan=True))
+    assert report.ok, report.summary()
+    assert "MEMPLAN" in report.executors

@@ -1,0 +1,245 @@
+"""Unit tests for the symbolic memory planner and its consumers.
+
+The property suite (``test_symplan_property``) proves the class-wide
+claims over random graphs; here each piece is pinned down directly:
+snapshot contents, budget arithmetic, the ground-truth measurement
+oracle, the peak-aware reorder pass, and the batched-accounting
+regression (byte totals scale with the batch, structure facts do not).
+"""
+
+import numpy as np
+import pytest
+
+from repro.core import compile_graph
+from repro.core.pipeline import CompileOptions
+from repro.device import A10
+from repro.interp import evaluate
+from repro.ir import GraphBuilder, f32
+from repro.ir.verifier import verify
+from repro.passes import PeakMemoryReorder
+from repro.runtime import (ExecutionEngine, MemoryBudget,
+                           measure_peak_bytes, scale_batched_memory)
+
+from ..conftest import toy_mlp_graph, toy_mlp_inputs
+from ..models.test_zoo import small
+
+
+def compiled_bert():
+    model = small("bert")
+    executable = compile_graph(model.graph, CompileOptions(
+        assume_ranges=model.axes))
+    return model, executable
+
+
+# -- the class-wide snapshot --------------------------------------------------
+
+def test_snapshot_is_plain_class_wide_data():
+    model, executable = compiled_bert()
+    symbolic = executable.symbolic_plan
+    snap = symbolic.snapshot()
+    assert snap["slots"] == executable.buffer_plan.num_slots
+    assert snap["values"] == len(executable.buffer_plan.intervals)
+    assert snap["proven"] is True
+    assert snap["constant_bytes"] == symbolic.constant_bytes > 0
+    assert 0 <= snap["peak_lo_bytes"] <= snap["peak_hi_bytes"]
+    assert "max(" in snap["expression"]
+
+
+def test_provenance_chain_names_the_bound():
+    _, executable = compiled_bert()
+    chain = executable.symbolic_plan.provenance()
+    assert chain and "class peak" in chain[0]
+
+
+def test_unbounded_without_assume_ranges():
+    exe = compile_graph(toy_mlp_graph().graph)
+    symbolic = exe.symbolic_plan
+    assert not symbolic.proven
+    assert symbolic.peak_hi_bytes() is None
+    assert symbolic.footprint_hi_bytes() is None
+    assert symbolic.snapshot()["peak_hi_bytes"] is None
+
+
+# -- MemoryBudget arithmetic --------------------------------------------------
+
+def test_budget_rejects_bad_parameters():
+    with pytest.raises(ValueError):
+        MemoryBudget(0)
+    with pytest.raises(ValueError):
+        MemoryBudget(1 << 20, reserve_fraction=1.0)
+
+
+def test_budget_fits_is_three_valued():
+    budget = MemoryBudget(1000, reserve_fraction=0.1)
+    assert budget.usable_bytes == 900
+    assert budget.fits(900) is True
+    assert budget.fits(901) is False
+    assert budget.fits(None) is None  # cannot prove != fits
+
+
+def test_budget_max_batch_size_arithmetic():
+    _, executable = compiled_bert()
+    symbolic = executable.symbolic_plan
+    hi = symbolic.peak_hi_bytes()
+    const = symbolic.constant_bytes
+    budget = MemoryBudget(const + 3 * hi + hi // 2)
+    assert budget.max_batch_size(symbolic) == 3
+    assert budget.max_batch_size(symbolic, limit=2) == 2
+    # Constants alone overflow the device: not even one member fits.
+    assert MemoryBudget(max(const - 1, 1)).max_batch_size(symbolic) == 0
+
+
+def test_budget_unprovable_peak_yields_none():
+    exe = compile_graph(toy_mlp_graph().graph)
+    budget = MemoryBudget(1 << 40)
+    assert budget.max_batch_size(exe.symbolic_plan) is None
+    assert budget.max_replicas(None) is None
+
+
+def test_budget_max_replicas_shares_one_pool():
+    budget = MemoryBudget(10_000)
+    assert budget.max_replicas(3_000) == 3
+    assert budget.max_replicas(3_000, limit=2) == 2
+    assert budget.max_replicas(20_000) == 0
+
+
+def test_footprint_scales_batch_but_not_constants():
+    _, executable = compiled_bert()
+    symbolic = executable.symbolic_plan
+    one = symbolic.footprint_hi_bytes(1)
+    four = symbolic.footprint_hi_bytes(4)
+    assert four - symbolic.constant_bytes == \
+        4 * (one - symbolic.constant_bytes)
+
+
+# -- the ground-truth measurement oracle --------------------------------------
+
+def test_measure_oracle_bounded_and_bit_identical(rng):
+    model, executable = compiled_bert()
+    inputs = model.sample_inputs(rng)
+    expected, _ = ExecutionEngine(executable, A10).run(inputs)
+    measured = measure_peak_bytes(executable, inputs)
+    assert 0 < measured["measured_peak_bytes"]
+    dims = {}
+    program = executable.host_program
+    from repro.numerics.resolve import bind_inputs
+    dims = bind_inputs(program.params, inputs)
+    program.resolution.run(dims)
+    assert measured["measured_peak_bytes"] <= \
+        executable.symbolic_plan.peak_at(dims)
+    for ref, got in zip(expected, measured["outputs"]):
+        ref, got = np.asarray(ref), np.asarray(got)
+        assert ref.shape == got.shape and ref.dtype == got.dtype
+        assert ref.tobytes() == got.tobytes()
+
+
+# -- the peak-aware reorder pass -----------------------------------------------
+
+def two_fat_branches():
+    """Builder order materializes both big intermediates before either
+    reduction — maximal concurrent liveness, so a peak-aware schedule
+    has strict room to improve."""
+    b = GraphBuilder("fat")
+    x1 = b.parameter("x1", (1024,), f32)
+    x2 = b.parameter("x2", (1024,), f32)
+    e1 = b.exp(x1)
+    e2 = b.exp(x2)
+    r1 = b.reduce_max(e1, axes=0, keepdims=True)
+    r2 = b.reduce_max(e2, axes=0, keepdims=True)
+    b.outputs(b.add(r1, r2))
+    return b.graph
+
+
+def test_reorder_strictly_lowers_estimated_peak(rng):
+    graph = two_fat_branches()
+    inputs = {"x1": rng.normal(size=(1024,)).astype(np.float32),
+              "x2": rng.normal(size=(1024,)).astype(np.float32)}
+    before = [np.asarray(v) for v in evaluate(graph, inputs)]
+    result = PeakMemoryReorder().run(graph)
+    assert result["changed"] is True
+    assert result["estimated_peak_after"] < \
+        result["estimated_peak_before"]
+    verify(graph)  # still a valid topological order
+    after = [np.asarray(v) for v in evaluate(graph, inputs)]
+    for ref, got in zip(before, after):
+        assert ref.tobytes() == got.tobytes()
+
+
+def test_reorder_keeps_incumbent_when_no_improvement():
+    graph = compile_graph(two_fat_branches()).graph
+    order = [n.id for n in graph.nodes]
+    result = PeakMemoryReorder().run(graph)
+    if not result["changed"]:
+        assert [n.id for n in graph.nodes] == order
+    assert result["estimated_peak_after"] <= \
+        result["estimated_peak_before"]
+
+
+def test_reorder_option_is_bit_identical(rng):
+    builder = toy_mlp_graph()
+    inputs = toy_mlp_inputs(rng)
+    plain = compile_graph(toy_mlp_graph().graph)
+    reordered = compile_graph(builder.graph, CompileOptions(
+        reorder_for_memory=True))
+    ref, _ = ExecutionEngine(plain, A10).run(inputs)
+    got, _ = ExecutionEngine(reordered, A10).run(inputs)
+    for a, b in zip(ref, got):
+        a, b = np.asarray(a), np.asarray(b)
+        assert a.tobytes() == b.tobytes()
+    assert reordered.symbolic_plan.verify_sound() == []
+
+
+# -- batched accounting (the E11 regression) -----------------------------------
+
+def test_scale_batched_memory_scales_totals_only():
+    memory = {"naive_bytes": 100, "peak_bytes": 60, "slots": 3,
+              "values": 5, "reuse_factor": 100 / 60,
+              "constant_bytes": 40, "total_peak_bytes": 100}
+    scaled = scale_batched_memory(memory, 4)
+    assert scaled["naive_bytes"] == 400
+    assert scaled["peak_bytes"] == 240
+    # Structure facts and the shared constant pool are batch-invariant.
+    assert scaled["slots"] == 3
+    assert scaled["values"] == 5
+    assert scaled["reuse_factor"] == memory["reuse_factor"]
+    assert scaled["constant_bytes"] == 40
+    assert scaled["total_peak_bytes"] == 240 + 40
+
+
+def test_batched_plan_memory_accounting(rng):
+    """Regression: ``prepare_batched`` used to multiply *every* numeric
+    memory field by the batch size — slot counts, value counts and the
+    reuse factor included — and dropped constants from the peak."""
+    model, executable = compiled_bert()
+    engine = ExecutionEngine(executable, A10)
+    inputs = model.sample_inputs(rng)
+    signature = engine.host_program.signature(inputs)
+    batch = 4
+    plan = engine.prepare_batched(signature, batch)
+    memory = plan.make_stats().details["memory"]
+    dims = engine.host_program.bind_signature(signature)
+    base = executable.buffer_plan.evaluate(dims)
+    assert memory["slots"] == base["slots"]
+    assert memory["values"] == base["values"]
+    assert memory["reuse_factor"] == base["reuse_factor"]
+    assert memory["naive_bytes"] == batch * base["naive_bytes"]
+    assert memory["peak_bytes"] == batch * base["peak_bytes"]
+    assert memory["constant_bytes"] == base["constant_bytes"]
+    assert memory["total_peak_bytes"] == \
+        batch * base["peak_bytes"] + base["constant_bytes"]
+    # The class snapshot rides along, tagged with the batch size.
+    assert plan.memory_class["batch"] == batch
+    assert plan.memory_class["proven"] is True
+
+
+def test_single_call_memory_unifies_constants_into_peak(rng):
+    """One accounting story on every path: the per-call stats carry
+    ``constant_bytes`` and ``total_peak_bytes = peak + constants``."""
+    model, executable = compiled_bert()
+    engine = ExecutionEngine(executable, A10)
+    _, stats = engine.run(model.sample_inputs(rng))
+    memory = stats.details["memory"]
+    assert memory["constant_bytes"] == \
+        executable.symbolic_plan.constant_bytes
+    assert memory["total_peak_bytes"] == \
+        memory["peak_bytes"] + memory["constant_bytes"]

@@ -428,3 +428,129 @@ def test_seeds_explore_distinct_interleavings(toy_exe, inputs_by_shape):
         transcripts.add(transcript(serving, tickets))
     assert len(transcripts) > 1, \
         "seed sweep is vacuous: every seed produced one interleaving"
+
+
+# ---------------------------------------------------------------------------
+# memory budget: proven caps on pad ceilings and batch sizes
+# ---------------------------------------------------------------------------
+
+def proven_toy(batch_hi=12, seq_hi=48):
+    from repro.core import compile_graph
+    from repro.core.pipeline import CompileOptions
+
+    from ..conftest import toy_mlp_graph
+
+    return compile_graph(toy_mlp_graph().graph, CompileOptions(
+        assume_ranges={"batch": (1, batch_hi), "seq": (1, seq_hi)}))
+
+
+def big_budget():
+    from repro.runtime import MemoryBudget
+
+    return MemoryBudget(1 << 40)
+
+
+def test_budget_caps_bucket_ceilings_at_proven_class_maxima(rng=None):
+    """pow2 padding past the proven class range burns bytes no request
+    can ever need: with a budget declared, the ceilings clamp to the
+    interval maxima (batch <= 12, seq <= 48)."""
+    exe = proven_toy()
+    _, serving = make_batching(exe, batching=options(
+        memory_budget=big_budget()))
+    bucketer = serving.bucketer("mlp")
+    assert bucketer.class_caps == (12, 48)
+    # Stock pow2 would jump 9 -> 16 and 33 -> 64; the caps stop that.
+    assert bucketer.class_ceiling(0, 9) == 12
+    assert bucketer.class_ceiling(1, 33) == 48
+    # Below the cap the stock schedule is untouched.
+    assert bucketer.class_ceiling(0, 3) == 4
+    assert bucketer.class_ceiling(1, 17) == 32
+
+
+def test_budget_capped_bucketer_passes_the_l604_audit():
+    """The clamp must stay an upper bound of every in-class value —
+    the padding analyzer proves it over the declared intervals."""
+    from repro.core.symbolic.intervals import derive_intervals
+    from repro.lint import check_bucket_padding
+
+    exe = proven_toy()
+    _, serving = make_batching(exe, batching=options(
+        memory_budget=big_budget()))
+    imap = derive_intervals(exe.graph,
+                            assume_ranges={"batch": (1, 12),
+                                           "seq": (1, 48)})
+    sink = check_bucket_padding(serving.bucketer("mlp"), imap)
+    assert not sink.codes(), sink.render()
+
+
+def test_budget_tightens_the_configured_batch_limit():
+    from repro.runtime import MemoryBudget
+
+    exe = proven_toy()
+    symbolic = exe.symbolic_plan
+    hi = symbolic.peak_hi_bytes()
+    fits_two = MemoryBudget(symbolic.constant_bytes + 2 * hi + hi // 2)
+    _, serving = make_batching(exe, batching=options(
+        max_batch_size=4, memory_budget=fits_two))
+    assert serving.max_batch_for("mlp") == 2
+    # A generous budget leaves the configured limit in charge.
+    _, roomy = make_batching(exe, batching=options(
+        max_batch_size=4, memory_budget=big_budget()))
+    assert roomy.max_batch_for("mlp") == 4
+
+
+def test_budget_too_small_for_one_member_fails_registration():
+    from repro.runtime import MemoryBudget
+
+    exe = proven_toy()
+    starved = MemoryBudget(max(exe.symbolic_plan.constant_bytes, 1))
+    with pytest.raises(ValueError, match="does not fit"):
+        make_batching(exe, batching=options(memory_budget=starved))
+
+
+def test_unproven_plan_leaves_batching_unconstrained(toy_exe):
+    """No finite proven peak -> no cap; the configured limit applies
+    and registration succeeds ("cannot prove" is never "does not
+    fit")."""
+    from repro.runtime import MemoryBudget
+
+    _, serving = make_batching(toy_exe, batching=options(
+        max_batch_size=4, memory_budget=MemoryBudget(1)))
+    assert serving.max_batch_for("mlp") == 4
+    caps = serving.bucketer("mlp").class_caps
+    assert caps is None or all(cap is None for cap in caps)
+    # Uncapped ceilings follow the stock pow2 schedule.
+    assert serving.bucketer("mlp").class_ceiling(0, 9) == 16
+
+
+def test_capped_batches_never_exceed_the_proven_limit(inputs_by_shape,
+                                                      expected_by_shape):
+    """Behavioral: with a two-member budget cap and four co-bucketable
+    arrivals, every launch holds at most two members and every response
+    stays bit-identical."""
+    from repro.runtime import MemoryBudget
+
+    exe = proven_toy()
+    symbolic = exe.symbolic_plan
+    hi = symbolic.peak_hi_bytes()
+    fits_two = MemoryBudget(symbolic.constant_bytes + 2 * hi + hi // 2)
+    scheduler, serving = make_batching(exe, batching=options(
+        max_batch_size=4, memory_budget=fits_two))
+    warm_batched(serving, inputs_by_shape[(3, 5)], 2)
+    engine = ExecutionEngine(exe, A10)
+    tickets = []
+    for _ in range(2):
+        tickets.append(serving.submit("mlp", inputs_by_shape[(3, 5)]))
+        tickets.append(serving.submit("mlp", inputs_by_shape[(4, 7)]))
+    scheduler.run_until_idle()
+    for ticket in tickets:
+        response = ticket.response
+        assert response.ok
+        batch = response.stats.details.get("batch")
+        if batch is not None:
+            assert batch["size"] <= 2
+        shape = (3, 5) if ticket.request.inputs \
+            is inputs_by_shape[(3, 5)] else (4, 7)
+        assert bit_identical(engine.run(inputs_by_shape[shape])[0],
+                             response.outputs)
+    assert serving.counters["batched_served"] >= 2

@@ -11,10 +11,12 @@ fleet invariant and same-seed runs must replay the exact transcript.
 import numpy as np
 import pytest
 
+from repro.core import compile_graph
+from repro.core.pipeline import CompileOptions
 from repro.device import A10
 from repro.fuzz import CompileFaultInjector
 from repro.obs import MetricsRegistry, Tracer
-from repro.runtime import ExecutionEngine
+from repro.runtime import ExecutionEngine, MemoryBudget
 from repro.serving import (Arrival, AutoscalerOptions, ClusterSim,
                            FleetEngine, FleetOptions, ReplicaState,
                            ResponseStatus, ServingOptions,
@@ -22,8 +24,20 @@ from repro.serving import (Arrival, AutoscalerOptions, ClusterSim,
                            TokenBucket, VirtualClock, VirtualScheduler,
                            poisson_arrivals)
 
-from ..conftest import toy_mlp_inputs
+from ..conftest import toy_mlp_graph, toy_mlp_inputs
 from .conftest import FAST_COMPILE, bit_identical, make_fleet
+
+
+@pytest.fixture(scope="module")
+def proven_exe():
+    """The toy MLP under declared deployment bounds: the symbolic peak
+    is finitely proven, so :class:`MemoryBudget` has a number to admit
+    replicas and batches against.  Numerics are untouched — outputs stay
+    bit-identical to the unbounded ``toy_exe`` compile (the 50-seed
+    suite asserts exactly that by comparing against ``toy_exe``'s
+    engine)."""
+    return compile_graph(toy_mlp_graph().graph, CompileOptions(
+        assume_ranges={"batch": (1, 16), "seq": (1, 64)}))
 
 
 @pytest.fixture(scope="module")
@@ -267,6 +281,72 @@ def test_p99_breach_triggers_scale_up(toy_exe, inputs_a):
     assert all(t.response.ok for t in tickets)
 
 
+# -- memory budget ----------------------------------------------------------
+
+
+def budget_for(executable, replicas: int, slack: float = 0.5):
+    """A budget admitting exactly ``replicas`` copies of the model."""
+    footprint = executable.symbolic_plan.footprint_hi_bytes(1)
+    return MemoryBudget(int(footprint * (replicas + slack)))
+
+
+def test_memory_budget_blocks_autoscaler_scale_up(proven_exe, inputs_a):
+    """The device fits one replica; the autoscaler wants up to three.
+    Every boot is refused on *proven* arithmetic, the refusals land in
+    counters/events, and every request still resolves OK."""
+    overrides = dict(AUTOSCALE)
+    overrides["memory_budget"] = budget_for(proven_exe, replicas=1)
+    scheduler, fleet, tickets = overloaded_fleet(proven_exe, inputs_a,
+                                                 overrides)
+    scheduler.run_until_idle()
+    assert fleet.counters["scale_ups"] == 0
+    assert fleet.counters["memory_blocked_scale_ups"] >= 1
+    blocked = [e for e in fleet.events if e[0] == "scale_blocked_memory"]
+    assert blocked and all(e[3] == 1 for e in blocked), \
+        "every refusal must carry the proven replica cap"
+    booted = {e[2] for e in fleet.events
+              if e[0] == "replica_up" and e[3] == "autoscale"}
+    assert not booted, "a replica booted past the budget"
+    assert all(t.response.ok for t in tickets)
+
+
+def test_memory_budget_register_fails_fast(proven_exe):
+    """Three replicas cannot provably fit a two-replica budget: the
+    fleet refuses the model at registration, not at first OOM."""
+    with pytest.raises(ValueError, match="proven bytes"):
+        make_fleet(proven_exe,
+                   fleet={"replicas": 3, "policy": "round_robin",
+                          "memory_budget": budget_for(proven_exe, 2)})
+
+
+def test_memory_budget_stats_block(proven_exe):
+    _, fleet = make_fleet(
+        proven_exe,
+        fleet={"replicas": 2, "policy": "round_robin",
+               "memory_budget": budget_for(proven_exe, 3)})
+    memory = fleet.stats()["memory"]
+    footprint = proven_exe.symbolic_plan.footprint_hi_bytes(1)
+    assert memory["footprint_per_replica_bytes"] == footprint
+    assert memory["model_footprints"] == {"mlp": footprint}
+    assert memory["replica_cap"] == 3
+    assert memory["budget_bytes"] == budget_for(proven_exe, 3).usable_bytes
+
+
+def test_unproven_footprint_never_silently_fits(toy_exe, inputs_a):
+    """Without deployment bounds the peak is unprovable: the budget
+    reports None (not "fits") and leaves scaling unconstrained."""
+    scheduler, fleet = make_fleet(
+        toy_exe,
+        fleet={"replicas": 2, "policy": "round_robin",
+               "memory_budget": MemoryBudget(1)})  # absurdly small
+    scheduler.call_at(0.0, lambda: fleet.submit("mlp", inputs_a))
+    scheduler.run_until_idle()
+    memory = fleet.stats()["memory"]
+    assert memory["footprint_per_replica_bytes"] is None
+    assert memory["replica_cap"] is None
+    assert fleet.counters["memory_blocked_scale_ups"] == 0
+
+
 def test_manual_drain_finishes_queued_work_then_retires(
         toy_exe, inputs_a):
     scheduler, fleet = make_fleet(
@@ -451,16 +531,24 @@ def expected_by_shape(toy_exe, inputs_by_shape):
             for shape, inputs in inputs_by_shape.items()}
 
 
-def fleet_sim(toy_exe, seed):
+def fleet_sim(exe, seed):
     def faults(sim_seed):
         # Replica r0 carries the fault schedule; the rest stay clean.
         return lambda uid: (
             CompileFaultInjector(transient_attempts=1, permanent_every=3)
             if uid == 0 else None)
 
+    # When the peak is proven, run the cluster under a budget that
+    # admits exactly the three base replicas — the memory accounting
+    # then participates in every seed's invariant and replay checks.
+    budget = None
+    symbolic = exe.symbolic_plan
+    if symbolic is not None and symbolic.proven:
+        budget = budget_for(exe, replicas=3)
     return ClusterSim(
-        A10, {"mlp": toy_exe},
+        A10, {"mlp": exe},
         FleetOptions(replicas=3, policy="affinity",
+                     memory_budget=budget,
                      serving=ServingOptions(compile_cost=FAST_COMPILE,
                                             queue_capacity=16,
                                             compile_backoff_us=2_000.0)),
@@ -486,10 +574,10 @@ def scenario_arrivals(inputs_by_shape):
 
 
 @pytest.mark.parametrize("seed", SEEDS)
-def test_seed_upholds_all_fleet_invariants(toy_exe, seed,
+def test_seed_upholds_all_fleet_invariants(proven_exe, seed,
                                            inputs_by_shape,
                                            expected_by_shape):
-    run = fleet_sim(toy_exe, seed).run(
+    run = fleet_sim(proven_exe, seed).run(
         scenario_arrivals(inputs_by_shape),
         drains=[(50_000.0, "r1")])
     tickets = run.tickets
@@ -521,28 +609,36 @@ def test_seed_upholds_all_fleet_invariants(toy_exe, seed,
     drained = run.fleet.replica("r1")
     assert drained.state is ReplicaState.RETIRED
     assert drained.outstanding() == 0
+    # Memory accounting holds on every seed: the proven footprint
+    # admits exactly the base fleet, nothing was blocked, and the
+    # snapshot is identical whichever interleaving played out.
+    memory = run.fleet.stats()["memory"]
+    assert memory["replica_cap"] == 3
+    assert memory["footprint_per_replica_bytes"] == \
+        memory["model_footprints"]["mlp"] > 0
+    assert run.fleet.counters["memory_blocked_scale_ups"] == 0
 
 
 @pytest.mark.parametrize("seed", [0, 17, 43])
-def test_same_seed_replays_the_exact_transcript(toy_exe, seed,
+def test_same_seed_replays_the_exact_transcript(proven_exe, seed,
                                                 inputs_by_shape):
-    sim = fleet_sim(toy_exe, seed)
+    sim = fleet_sim(proven_exe, seed)
     arrivals = scenario_arrivals(inputs_by_shape)
     first = sim.run(arrivals, drains=[(50_000.0, "r1")])
     second = sim.run(arrivals, drains=[(50_000.0, "r1")])
     assert first.transcript == second.transcript
 
 
-def test_seeds_explore_distinct_cluster_interleavings(toy_exe,
+def test_seeds_explore_distinct_cluster_interleavings(proven_exe,
                                                       inputs_by_shape):
     arrivals = scenario_arrivals(inputs_by_shape)
-    transcripts = {fleet_sim(toy_exe, seed).run(arrivals).transcript
+    transcripts = {fleet_sim(proven_exe, seed).run(arrivals).transcript
                    for seed in SEEDS[:10]}
     assert len(transcripts) > 1, \
         "50-seed sweep is vacuous: every seed produced one interleaving"
 
 
-def test_poisson_traffic_replays_bit_for_bit(toy_exe, inputs_by_shape):
+def test_poisson_traffic_replays_bit_for_bit(proven_exe, inputs_by_shape):
     pool = list(inputs_by_shape.values())
     traffic = [TenantTraffic("alpha", "mlp", rate_qps=600.0,
                              num_requests=20, inputs=pool),
@@ -551,5 +647,5 @@ def test_poisson_traffic_replays_bit_for_bit(toy_exe, inputs_by_shape):
     arrivals = poisson_arrivals(traffic, seed=5)
     assert arrivals == poisson_arrivals(traffic, seed=5)
     assert arrivals != poisson_arrivals(traffic, seed=6)
-    sim = fleet_sim(toy_exe, 5)
+    sim = fleet_sim(proven_exe, 5)
     assert sim.run(arrivals).transcript == sim.run(arrivals).transcript
